@@ -1,0 +1,211 @@
+// §5/§6 comparison: object-swapping vs the naive per-object migration
+// baseline (related work [1,5,6]) vs in-heap compression (related work
+// [2,3]).
+//
+// Scenario: a PDA must evict a 1000-object region of its heap. For each
+// design we report: host CPU time to evict (the paper's energy argument —
+// compression burns CPU), virtual network time on the 700 Kbps link,
+// store round-trips, heap bytes actually freed, and host CPU time to bring
+// the data back.
+#include <cstdio>
+#include <vector>
+
+#include "obiswap/obiswap.h"
+#include "workload/list_workload.h"
+
+namespace {
+
+using namespace obiswap;  // NOLINT
+using runtime::Object;
+using runtime::Value;
+using workload::TimeMs;
+
+constexpr int kListSize = 1000;
+constexpr int kClusterSize = 50;
+
+struct StoreWorld {
+  StoreWorld()
+      : network(1), discovery(network), store(DeviceId(2), 64 * 1024 * 1024),
+        client(network, discovery, DeviceId(1)) {
+    network.AddDevice(DeviceId(1));
+    network.AddDevice(DeviceId(2));
+    network.SetInRange(DeviceId(1), DeviceId(2), true);
+    discovery.Announce(&store);
+  }
+  net::Network network;
+  net::Discovery discovery;
+  net::StoreNode store;
+  net::StoreClient client;
+};
+
+struct Row {
+  const char* name;
+  double evict_host_ms;
+  double network_virtual_ms;
+  uint64_t round_trips;
+  long long bytes_freed;
+  double restore_host_ms;
+  double restore_network_ms;
+};
+
+void Print(const Row& row) {
+  std::printf("%-26s %12.2f %12.1f %8llu %12lld %12.2f %12.1f\n", row.name,
+              row.evict_host_ms, row.network_virtual_ms,
+              (unsigned long long)row.round_trips, row.bytes_freed,
+              row.restore_host_ms, row.restore_network_ms);
+}
+
+int64_t VerifySum(runtime::Runtime& rt, const std::string& global) {
+  Value cursor = *rt.GetGlobal(global);
+  int64_t sum = 0;
+  while (cursor.is_ref() && cursor.ref() != nullptr) {
+    sum += rt.Invoke(cursor.ref(), "get_value")->as_int();
+    cursor = *rt.Invoke(cursor.ref(), "next");
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t expected = int64_t{kListSize} * (kListSize - 1) / 2;
+  std::printf(
+      "Baseline comparison (§5/§6): evicting a %d-object region "
+      "(clusters of %d)\n\n",
+      kListSize, kClusterSize);
+  std::printf("%-26s %12s %12s %8s %12s %12s %12s\n", "design",
+              "evict ms", "net ms(v)", "trips", "bytes freed", "restore ms",
+              "net ms(v)");
+
+  // --- object-swapping (this paper) ---------------------------------------
+  std::fprintf(stderr, "[progress] starting: object-swapping (this paper)\n");
+  {
+    StoreWorld world;
+    runtime::Runtime rt(1);
+    const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
+    swap::SwappingManager manager(rt);
+    manager.AttachStore(&world.client, &world.discovery);
+    auto clusters =
+        workload::BuildList(rt, &manager, cls, kListSize, kClusterSize,
+                            "head");
+    rt.heap().Collect();
+    size_t before = rt.heap().used_bytes();
+    uint64_t clock0 = world.network.clock().now_us();
+    double evict_ms = TimeMs([&] {
+      for (SwapClusterId id : clusters) {
+        OBISWAP_CHECK(manager.SwapOut(id).ok());
+      }
+      rt.heap().Collect();
+    });
+    uint64_t evict_net = world.network.clock().now_us() - clock0;
+    long long freed = static_cast<long long>(before) -
+                      static_cast<long long>(rt.heap().used_bytes());
+    uint64_t trips = manager.stats().swap_outs;
+    clock0 = world.network.clock().now_us();
+    double restore_ms = TimeMs([&] {
+      OBISWAP_CHECK(VerifySum(rt, "head") == expected);
+    });
+    uint64_t restore_net = world.network.clock().now_us() - clock0;
+    Print(Row{"object-swapping", evict_ms, evict_net / 1000.0, trips, freed,
+              restore_ms, restore_net / 1000.0});
+  }
+
+  // --- object-swapping + lz77 payloads ---------------------------------------
+  std::fprintf(stderr, "[progress] starting: object-swapping + lz77 payloads\n");
+  {
+    StoreWorld world;
+    runtime::Runtime rt(1);
+    const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
+    swap::SwappingManager::Options options;
+    options.codec = "lz77";
+    swap::SwappingManager manager(rt, options);
+    manager.AttachStore(&world.client, &world.discovery);
+    auto clusters =
+        workload::BuildList(rt, &manager, cls, kListSize, kClusterSize,
+                            "head");
+    rt.heap().Collect();
+    size_t before = rt.heap().used_bytes();
+    uint64_t clock0 = world.network.clock().now_us();
+    double evict_ms = TimeMs([&] {
+      for (SwapClusterId id : clusters) {
+        OBISWAP_CHECK(manager.SwapOut(id).ok());
+      }
+      rt.heap().Collect();
+    });
+    uint64_t evict_net = world.network.clock().now_us() - clock0;
+    long long freed = static_cast<long long>(before) -
+                      static_cast<long long>(rt.heap().used_bytes());
+    clock0 = world.network.clock().now_us();
+    double restore_ms = TimeMs([&] {
+      OBISWAP_CHECK(VerifySum(rt, "head") == expected);
+    });
+    uint64_t restore_net = world.network.clock().now_us() - clock0;
+    Print(Row{"object-swapping + lz77", evict_ms, evict_net / 1000.0,
+              manager.stats().swap_outs, freed, restore_ms,
+              restore_net / 1000.0});
+  }
+
+  // --- naive per-object migration ----------------------------------------------
+  std::fprintf(stderr, "[progress] starting: naive per-object migration\n");
+  {
+    StoreWorld world;
+    runtime::Runtime rt(1);
+    const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
+    baseline::NaiveProxyManager manager(rt);
+    manager.AttachStore(&world.client, &world.discovery);
+    workload::BuildList(rt, nullptr, cls, kListSize, kListSize, "head");
+    rt.heap().Collect();
+    size_t before = rt.heap().used_bytes();
+    std::vector<Object*> objects;
+    rt.heap().ForEachObject([&](Object* obj) {
+      if (obj->kind() == runtime::ObjectKind::kRegular) objects.push_back(obj);
+    });
+    uint64_t clock0 = world.network.clock().now_us();
+    double evict_ms = TimeMs([&] {
+      OBISWAP_CHECK(manager.SwapOutObjects(objects).ok());
+      rt.heap().Collect();
+    });
+    uint64_t evict_net = world.network.clock().now_us() - clock0;
+    long long freed = static_cast<long long>(before) -
+                      static_cast<long long>(rt.heap().used_bytes());
+    uint64_t trips = manager.stats().store_round_trips;
+    clock0 = world.network.clock().now_us();
+    double restore_ms = TimeMs([&] {
+      OBISWAP_CHECK(VerifySum(rt, "head") == expected);
+    });
+    uint64_t restore_net = world.network.clock().now_us() - clock0;
+    Print(Row{"naive per-object migration", evict_ms, evict_net / 1000.0,
+              trips, freed, restore_ms, restore_net / 1000.0});
+  }
+
+  // --- in-heap compression -----------------------------------------------------
+  std::fprintf(stderr, "[progress] starting: in-heap compression\n");
+  {
+    runtime::Runtime rt(1);
+    const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
+    baseline::CompressionSwapper swapper(rt, "lz77");
+    workload::BuildList(rt, nullptr, cls, kListSize, kListSize, "head");
+    rt.heap().Collect();
+    size_t before = rt.heap().used_bytes();
+    double evict_ms = TimeMs([&] {
+      OBISWAP_CHECK(swapper.CompressGlobal("head").ok());
+      rt.heap().Collect();
+    });
+    long long freed = static_cast<long long>(before) -
+                      static_cast<long long>(rt.heap().used_bytes());
+    double restore_ms = TimeMs([&] {
+      OBISWAP_CHECK(swapper.DecompressGlobal("head").ok());
+      OBISWAP_CHECK(VerifySum(rt, "head") == expected);
+    });
+    Print(Row{"in-heap compression (lz77)", evict_ms, 0.0, 0, freed,
+              restore_ms, 0.0});
+  }
+
+  std::printf(
+      "\npaper's expectations: swapping frees (almost) everything for one "
+      "round-trip per cluster;\nthe migration baseline pays a round-trip "
+      "per OBJECT (latency-bound on Bluetooth) and keeps\nits surrogates; "
+      "compression needs no network but burns CPU (energy) and leaves the "
+      "compressed\npool resident.\n");
+  return 0;
+}

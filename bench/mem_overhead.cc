@@ -1,0 +1,122 @@
+// §5 memory-overhead claims: "a naive [approach] would have one proxy per
+// each object and all references mediated by them. Common application
+// objects are small. So, this could potentially double memory occupation
+// when fully-loaded ... even when all objects were swapped, the proxies
+// would still remain."
+//
+// Measures resident heap bytes for a 10000 x 64-byte list under three
+// designs — no mediation, swap-clusters (sizes swept), and the naive
+// per-object-surrogate baseline — both fully loaded and after swapping
+// everything out.
+#include <cstdio>
+#include <memory>
+
+#include "obiswap/obiswap.h"
+#include "workload/list_workload.h"
+
+namespace {
+
+using namespace obiswap;  // NOLINT
+using runtime::Object;
+using runtime::Value;
+
+constexpr int kListSize = 10000;
+
+struct StoreWorld {
+  StoreWorld()
+      : network(1), discovery(network), store(DeviceId(2), 64 * 1024 * 1024),
+        client(network, discovery, DeviceId(1)) {
+    network.AddDevice(DeviceId(1));
+    network.AddDevice(DeviceId(2));
+    network.SetInRange(DeviceId(1), DeviceId(2), true);
+    discovery.Announce(&store);
+  }
+  net::Network network;
+  net::Discovery discovery;
+  net::StoreNode store;
+  net::StoreClient client;
+};
+
+size_t Collected(runtime::Runtime& rt) {
+  rt.heap().Collect();
+  rt.heap().Collect();
+  return rt.heap().used_bytes();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Memory overhead (paper §5 discussion): resident heap bytes for "
+      "%d x 64-byte objects\n\n",
+      kListSize);
+  std::printf("%-28s %14s %14s %10s\n", "design", "fully loaded",
+              "all swapped", "proxies");
+
+  // --- no mediation (plain VM) ---------------------------------------------
+  size_t baseline_bytes = 0;
+  {
+    runtime::Runtime rt(1);
+    const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
+    workload::BuildList(rt, nullptr, cls, kListSize, kListSize, "head");
+    baseline_bytes = Collected(rt);
+    std::printf("%-28s %14zu %14s %10s\n", "no mediation", baseline_bytes,
+                "-", "0");
+  }
+
+  // --- swap-clusters at the paper's sizes ------------------------------------
+  for (int size : {20, 50, 100}) {
+    StoreWorld world;
+    runtime::Runtime rt(1);
+    const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
+    swap::SwappingManager manager(rt);
+    manager.AttachStore(&world.client, &world.discovery);
+    auto clusters =
+        workload::BuildList(rt, &manager, cls, kListSize, size, "head");
+    size_t loaded = Collected(rt);
+    for (SwapClusterId id : clusters) {
+      Result<SwapKey> key = manager.SwapOut(id);
+      OBISWAP_CHECK(key.ok());
+    }
+    size_t swapped = Collected(rt);
+    std::string label = "swap-clusters/" + std::to_string(size);
+    std::printf("%-28s %14zu %14zu %10llu   (+%.1f%% loaded vs none)\n",
+                label.c_str(), loaded, swapped,
+                (unsigned long long)manager.stats().proxies_created,
+                100.0 * (static_cast<double>(loaded) -
+                         static_cast<double>(baseline_bytes)) /
+                    static_cast<double>(baseline_bytes));
+  }
+
+  // --- naive per-object surrogates ---------------------------------------------
+  {
+    StoreWorld world;
+    runtime::Runtime rt(1);
+    const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
+    baseline::NaiveProxyManager manager(rt);
+    manager.AttachStore(&world.client, &world.discovery);
+    workload::BuildList(rt, nullptr, cls, kListSize, kListSize, "head");
+    size_t loaded = Collected(rt);
+
+    // Swap every object out individually.
+    std::vector<Object*> objects;
+    rt.heap().ForEachObject([&](Object* obj) {
+      if (obj->kind() == runtime::ObjectKind::kRegular) objects.push_back(obj);
+    });
+    OBISWAP_CHECK(manager.SwapOutObjects(objects).ok());
+    size_t swapped = Collected(rt);
+    std::printf("%-28s %14zu %14zu %10zu   (+%.1f%% loaded vs none)\n",
+                "naive per-object surrogate", loaded, swapped,
+                manager.LiveProxyCount(),
+                100.0 * (static_cast<double>(loaded) -
+                         static_cast<double>(baseline_bytes)) /
+                    static_cast<double>(baseline_bytes));
+  }
+
+  std::printf(
+      "\npaper's claims: naive ~doubles fully-loaded occupation for small "
+      "objects and keeps\nits surrogates after swapping; swap-cluster "
+      "proxies cost ~1/cluster-size and the\nswapped residue is just "
+      "replacement-objects + inbound proxies.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// §2 supplement: the replication cluster's "adaptable size". Sweeps the
+// grain and measures what a full first traversal of a 2000-object list
+// costs over the 700 Kbps link: faults (round-trips), bytes shipped, and
+// virtual time. Small grains pay latency per fault; large grains ship
+// speculative bytes — the trade-off the Policy Engine's
+// set-replication-cluster-size action tunes at runtime.
+#include <cstdio>
+
+#include "obiswap/obiswap.h"
+#include "workload/list_workload.h"
+
+namespace {
+
+using namespace obiswap;  // NOLINT
+using runtime::LocalScope;
+using runtime::Object;
+using runtime::Value;
+
+constexpr int kListSize = 2000;
+constexpr DeviceId kPda(1);
+constexpr DeviceId kServerDev(100);
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Replication grain sweep: first full traversal of a %d-object list "
+      "over 700 Kbps\n\n",
+      kListSize);
+  std::printf("%8s %8s %14s %14s %12s\n", "grain", "faults", "bytes shipped",
+              "net ms(v)", "overhead/obj");
+
+  for (size_t grain : {1, 4, 16, 64, 256}) {
+    net::Network network;
+    network.AddDevice(kPda);
+    network.AddDevice(kServerDev);
+    network.SetInRange(kPda, kServerDev, true);
+
+    runtime::Runtime server_rt(9);
+    const runtime::ClassInfo* server_cls =
+        workload::RegisterNodeClass(server_rt);
+    replication::ReplicationServer server(server_rt, grain);
+    {
+      LocalScope scope(server_rt.heap());
+      Object** head = scope.Add(nullptr);
+      for (int i = kListSize - 1; i >= 0; --i) {
+        Object* node = server_rt.New(server_cls);
+        OBISWAP_CHECK(server_rt.SetField(node, "value", Value::Int(i)).ok());
+        if (*head != nullptr)
+          OBISWAP_CHECK(
+              server_rt.SetField(node, "next", Value::Ref(*head)).ok());
+        *head = node;
+      }
+      OBISWAP_CHECK(server.PublishRoot("list", *head).ok());
+    }
+    replication::ReplicationService service(server);
+    replication::NetworkLink link(network, kPda, kServerDev, service);
+
+    runtime::Runtime device_rt(1);
+    workload::RegisterNodeClass(device_rt);
+    replication::DeviceEndpoint endpoint(device_rt, link, kPda, nullptr);
+
+    Object* root = *endpoint.FetchRoot("list");
+    OBISWAP_CHECK(device_rt.SetGlobal("list", Value::Ref(root)).ok());
+    OBISWAP_CHECK(device_rt.SetGlobal("cur", *device_rt.GetGlobal("list"))
+                      .ok());
+    int64_t sum = 0;
+    for (;;) {
+      Value cur = *device_rt.GetGlobal("cur");
+      if (!cur.is_ref() || cur.ref() == nullptr) break;
+      sum += device_rt.Invoke(cur.ref(), "get_value")->as_int();
+      OBISWAP_CHECK(
+          device_rt.SetGlobal("cur", *device_rt.Invoke(cur.ref(), "next"))
+              .ok());
+    }
+    OBISWAP_CHECK(sum == int64_t{kListSize} * (kListSize - 1) / 2);
+
+    uint64_t faults = endpoint.stats().object_faults;
+    uint64_t bytes = network.stats().bytes_moved;
+    double net_ms = network.clock().now_ms();
+    std::printf("%8zu %8llu %14llu %14.1f %12.1f\n", grain,
+                (unsigned long long)faults, (unsigned long long)bytes,
+                net_ms, static_cast<double>(bytes) / kListSize - 0.0);
+  }
+  std::printf(
+      "\nreading: tiny grains are latency-bound (one 30 ms round-trip per "
+      "object); large grains\namortize round-trips but raise per-fault "
+      "stall time. The policy engine adapts this knob\nat runtime "
+      "(set-replication-cluster-size).\n");
+  return 0;
+}

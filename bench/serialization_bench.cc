@@ -1,0 +1,139 @@
+// §2 supplement (Communication Services cost): XML serialization /
+// deserialization throughput for cluster documents, XML parse/write, and
+// the payload codecs. Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "obiswap/obiswap.h"
+#include "workload/list_workload.h"
+
+namespace {
+
+using namespace obiswap;  // NOLINT
+using runtime::LocalScope;
+using runtime::Object;
+using runtime::Value;
+
+/// Builds a self-contained cluster of `n` nodes and returns (runtime, members).
+struct ClusterGraph {
+  explicit ClusterGraph(int n) : scope(rt.heap()) {
+    cls = workload::RegisterNodeClass(rt);
+    Object* prev = nullptr;
+    for (int i = 0; i < n; ++i) {
+      Object* node = rt.New(cls);
+      scope.Add(node);
+      OBISWAP_CHECK(rt.SetField(node, "value", Value::Int(i)).ok());
+      if (prev != nullptr) {
+        OBISWAP_CHECK(rt.SetField(prev, "next", Value::Ref(node)).ok());
+      }
+      members.push_back(node);
+      prev = node;
+    }
+  }
+
+  Result<serialization::SerializedCluster> Serialize() {
+    auto describe = [](Object*) -> Result<serialization::ExternalRef> {
+      return InternalError("self-contained");
+    };
+    return serialization::SerializeCluster(rt, 1, members, describe);
+  }
+
+  runtime::Runtime rt{1};
+  LocalScope scope;
+  const runtime::ClassInfo* cls = nullptr;
+  std::vector<Object*> members;
+};
+
+void BM_SerializeCluster(benchmark::State& state) {
+  ClusterGraph graph(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto serialized = graph.Serialize();
+    OBISWAP_CHECK(serialized.ok());
+    bytes = serialized->xml.size();
+    benchmark::DoNotOptimize(serialized->xml);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) *
+                          static_cast<int64_t>(state.iterations()));
+  state.counters["doc_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SerializeCluster)->Arg(20)->Arg(50)->Arg(100)->Arg(500);
+
+void BM_DeserializeCluster(benchmark::State& state) {
+  ClusterGraph graph(static_cast<int>(state.range(0)));
+  auto serialized = graph.Serialize();
+  OBISWAP_CHECK(serialized.ok());
+  auto resolve = [](const serialization::ExternalRef&) -> Result<Object*> {
+    return InternalError("self-contained");
+  };
+  runtime::Runtime target(2);
+  workload::RegisterNodeClass(target);
+  serialization::DeserializeOptions options;
+  options.expected_id = 1;
+  for (auto _ : state) {
+    auto members = serialization::DeserializeCluster(target, serialized->xml,
+                                                     options, resolve);
+    OBISWAP_CHECK(members.ok());
+    benchmark::DoNotOptimize(members);
+    state.PauseTiming();
+    target.heap().Collect();  // keep the heap from accumulating copies
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(serialized->xml.size()) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeserializeCluster)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_XmlParse(benchmark::State& state) {
+  ClusterGraph graph(static_cast<int>(state.range(0)));
+  auto serialized = graph.Serialize();
+  OBISWAP_CHECK(serialized.ok());
+  for (auto _ : state) {
+    auto doc = xml::Parse(serialized->xml);
+    OBISWAP_CHECK(doc.ok());
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(serialized->xml.size()) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_XmlParse)->Arg(100)->Arg(500);
+
+void BM_CodecCompress(benchmark::State& state) {
+  ClusterGraph graph(200);
+  auto serialized = graph.Serialize();
+  OBISWAP_CHECK(serialized.ok());
+  const compress::Codec* codec =
+      compress::FindCodec(state.range(0) == 0 ? "rle" : "lz77");
+  size_t out_bytes = 0;
+  for (auto _ : state) {
+    std::string compressed = codec->Compress(serialized->xml);
+    out_bytes = compressed.size();
+    benchmark::DoNotOptimize(compressed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(serialized->xml.size()) *
+                          static_cast<int64_t>(state.iterations()));
+  state.counters["ratio"] =
+      static_cast<double>(serialized->xml.size()) /
+      static_cast<double>(out_bytes);
+  state.SetLabel(codec->name());
+}
+BENCHMARK(BM_CodecCompress)->Arg(0)->Arg(1);
+
+void BM_CodecDecompress(benchmark::State& state) {
+  ClusterGraph graph(200);
+  auto serialized = graph.Serialize();
+  OBISWAP_CHECK(serialized.ok());
+  const compress::Codec* codec = compress::FindCodec("lz77");
+  std::string compressed = codec->Compress(serialized->xml);
+  for (auto _ : state) {
+    auto restored = codec->Decompress(compressed);
+    OBISWAP_CHECK(restored.ok());
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(serialized->xml.size()) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CodecDecompress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build, test, run every benchmark and every example. The benchmark and
+# test transcripts land in test_output.txt / bench_output.txt at the repo
+# root (the files EXPERIMENTS.md numbers come from).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "===== example: $(basename "$e") ====="
+  "$e"
+done

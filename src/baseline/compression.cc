@@ -1,0 +1,126 @@
+#include "baseline/compression.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "compress/codec.h"
+#include "serialization/graph_xml.h"
+
+namespace obiswap::baseline {
+
+using runtime::ClassBuilder;
+using runtime::ClassInfo;
+using runtime::LocalScope;
+using runtime::Object;
+using runtime::ObjectKind;
+using runtime::Value;
+using runtime::ValueKind;
+
+namespace {
+constexpr const char* kBlobClassName = "baseline.CompressedBlob";
+constexpr size_t kSlotData = 0;
+constexpr size_t kSlotRootOid = 1;
+}  // namespace
+
+CompressionSwapper::CompressionSwapper(runtime::Runtime& rt,
+                                       std::string codec)
+    : rt_(rt), codec_(std::move(codec)) {
+  OBISWAP_CHECK(compress::FindCodec(codec_) != nullptr);
+  const ClassInfo* existing = rt_.types().Find(kBlobClassName);
+  blob_cls_ = existing != nullptr
+                  ? existing
+                  : *rt_.types().Register(
+                        ClassBuilder(kBlobClassName)
+                            .Field("data", ValueKind::kStr)
+                            .Field("root_oid", ValueKind::kInt));
+}
+
+Result<size_t> CompressionSwapper::CompressGlobal(const std::string& name) {
+  OBISWAP_ASSIGN_OR_RETURN(Value root_value, rt_.GetGlobal(name));
+  if (!root_value.is_ref() || root_value.ref() == nullptr)
+    return InvalidArgumentError("global '" + name + "' is not a reference");
+  Object* root = root_value.ref();
+  if (root->kind() != ObjectKind::kRegular)
+    return InvalidArgumentError("global '" + name +
+                                "' is mediated; baseline needs raw graphs");
+
+  // Collect the closure (it must be self-contained).
+  std::vector<Object*> members;
+  std::unordered_set<const Object*> seen;
+  std::deque<Object*> frontier{root};
+  seen.insert(root);
+  while (!frontier.empty()) {
+    Object* obj = frontier.front();
+    frontier.pop_front();
+    members.push_back(obj);
+    for (size_t i = 0; i < obj->slot_count(); ++i) {
+      const Value& slot = obj->RawSlot(i);
+      if (!slot.is_ref() || slot.ref() == nullptr) continue;
+      if (slot.ref()->kind() != ObjectKind::kRegular)
+        return InvalidArgumentError(
+            "graph references middleware objects; not self-contained");
+      if (seen.insert(slot.ref()).second) frontier.push_back(slot.ref());
+    }
+  }
+
+  auto describe = [](Object*) -> Result<serialization::ExternalRef> {
+    return InvalidArgumentError("graph is not self-contained");
+  };
+  OBISWAP_ASSIGN_OR_RETURN(
+      serialization::SerializedCluster doc,
+      serialization::SerializeCluster(rt_, 0, members, describe));
+
+  const compress::Codec* codec = compress::FindCodec(codec_);
+  std::string blob_bytes = compress::FrameCompress(*codec, doc.xml);
+  stats_.original_bytes += doc.xml.size();
+  stats_.compressed_bytes += blob_bytes.size();
+  ++stats_.compressions;
+
+  OBISWAP_ASSIGN_OR_RETURN(Object * blob, rt_.TryNewMiddleware(blob_cls_));
+  LocalScope scope(rt_.heap());
+  scope.Add(blob);
+  blob->RawSlotMutable(kSlotData) = Value::Str(std::move(blob_bytes));
+  blob->RawSlotMutable(kSlotRootOid) =
+      Value::Int(static_cast<int64_t>(root->oid().value()));
+  rt_.heap().RefreshAccounting(blob);
+
+  size_t compressed = blob->RawSlot(kSlotData).as_str().size();
+  OBISWAP_RETURN_IF_ERROR(rt_.SetGlobal(BlobGlobal(name), Value::Ref(blob)));
+  rt_.RemoveGlobal(name);
+  return compressed;
+}
+
+Status CompressionSwapper::DecompressGlobal(const std::string& name) {
+  OBISWAP_ASSIGN_OR_RETURN(Value blob_value, rt_.GetGlobal(BlobGlobal(name)));
+  Object* blob = blob_value.ref();
+  OBISWAP_ASSIGN_OR_RETURN(
+      std::string xml_text,
+      compress::FrameDecompress(blob->RawSlot(kSlotData).as_str()));
+  ++stats_.decompressions;
+
+  auto resolve = [](const serialization::ExternalRef&) -> Result<Object*> {
+    return DataLossError("self-contained graph has external refs");
+  };
+  serialization::DeserializeOptions options;
+  options.expected_id = 0;
+  OBISWAP_ASSIGN_OR_RETURN(
+      std::vector<Object*> members,
+      serialization::DeserializeCluster(rt_, xml_text, options, resolve));
+
+  ObjectId root_oid(
+      static_cast<uint64_t>(blob->RawSlot(kSlotRootOid).as_int()));
+  Object* root = nullptr;
+  for (Object* member : members) {
+    if (member->oid() == root_oid) root = member;
+  }
+  if (root == nullptr) return DataLossError("root object missing from blob");
+  OBISWAP_RETURN_IF_ERROR(rt_.SetGlobal(name, Value::Ref(root)));
+  rt_.RemoveGlobal(BlobGlobal(name));
+  return OkStatus();
+}
+
+bool CompressionSwapper::IsCompressed(const std::string& name) const {
+  return rt_.HasGlobal(BlobGlobal(name));
+}
+
+}  // namespace obiswap::baseline

@@ -1,0 +1,57 @@
+// Heap-compression baseline (related work [2] Chen et al., OOPSLA'03 and
+// [3] Chihaia & Gross's software-only model).
+//
+// Instead of shipping idle data to a nearby device, this baseline
+// compresses it *in place*: the serialized graph is LZ77-compressed into a
+// managed blob object that stays on the constrained device's heap. Memory
+// shrinks by (original - compressed) but never reaches zero — "the
+// compressed-memory pool actually reduces the memory available to
+// applications" — and every cycle burns CPU, the paper's energy argument
+// against compression on mobile devices.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "runtime/runtime.h"
+
+namespace obiswap::baseline {
+
+class CompressionSwapper {
+ public:
+  struct Stats {
+    uint64_t compressions = 0;
+    uint64_t decompressions = 0;
+    uint64_t original_bytes = 0;    ///< serialized size before codec
+    uint64_t compressed_bytes = 0;  ///< blob size kept on the heap
+  };
+
+  /// `codec` is one of the compress module's codecs ("lz77" default).
+  explicit CompressionSwapper(runtime::Runtime& rt,
+                              std::string codec = "lz77");
+
+  /// Compresses the self-contained object graph rooted at global `name`
+  /// into an in-heap blob, then drops the graph (the next collection frees
+  /// it). Returns the compressed size. The graph must not reference objects
+  /// outside itself.
+  Result<size_t> CompressGlobal(const std::string& name);
+
+  /// Rebuilds the graph from the blob and restores the global.
+  Status DecompressGlobal(const std::string& name);
+
+  bool IsCompressed(const std::string& name) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static std::string BlobGlobal(const std::string& name) {
+    return "__compressed_" + name;
+  }
+
+  runtime::Runtime& rt_;
+  std::string codec_;
+  const runtime::ClassInfo* blob_cls_;
+  Stats stats_;
+};
+
+}  // namespace obiswap::baseline

@@ -1,0 +1,58 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace obiswap {
+
+uint32_t Adler32(std::string_view data) {
+  constexpr uint32_t kMod = 65521;
+  uint32_t a = 1;
+  uint32_t b = 0;
+  size_t i = 0;
+  while (i < data.size()) {
+    // Process in blocks small enough that a/b cannot overflow 32 bits.
+    size_t block_end = i + 5552;
+    if (block_end > data.size()) block_end = data.size();
+    for (; i < block_end; ++i) {
+      a += static_cast<unsigned char>(data[i]);
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+  }
+  return (b << 16) | a;
+}
+
+namespace {
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 1469598103934665603ull;
+  for (char ch : data) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace obiswap

@@ -1,0 +1,20 @@
+// Checksums used to guard swapped payloads against store-side corruption
+// (Status kDataLoss on mismatch at swap-in time).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace obiswap {
+
+/// Adler-32 over `data` (RFC 1950 variant). Fast, good enough for payload
+/// integrity in the simulated store.
+uint32_t Adler32(std::string_view data);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used for policy/file checks.
+uint32_t Crc32(std::string_view data);
+
+/// 64-bit FNV-1a hash, used for content-addressed dedup in StoreNode stats.
+uint64_t Fnv1a64(std::string_view data);
+
+}  // namespace obiswap

@@ -1,0 +1,84 @@
+// Strongly-typed identifiers used throughout obiswap.
+//
+// Each id is a distinct type so a SwapClusterId can never be passed where a
+// replication ClusterId is expected; all are cheap 32/64-bit values.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace obiswap {
+
+/// CRTP base providing comparison / hashing for a wrapped integer id.
+template <typename Tag, typename Rep = uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  constexpr Rep value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+
+  std::string ToString() const { return std::to_string(value_); }
+
+  static constexpr Rep kInvalid = static_cast<Rep>(-1);
+
+ private:
+  Rep value_ = kInvalid;
+};
+
+/// Identifies a registered class (type) in the runtime's TypeRegistry.
+struct ClassIdTag {};
+using ClassId = StrongId<ClassIdTag>;
+
+/// Identifies a registered method within a class.
+struct MethodIdTag {};
+using MethodId = StrongId<MethodIdTag>;
+
+/// Globally unique object identity (survives replication and swapping).
+struct ObjectIdTag {};
+using ObjectId = StrongId<ObjectIdTag, uint64_t>;
+
+/// A replication cluster: the unit of incremental replication (OBIWAN §2).
+struct ClusterIdTag {};
+using ClusterId = StrongId<ClusterIdTag>;
+
+/// A swap-cluster: a group of chained replication clusters — the unit of
+/// swapping (paper §3). Id 0 is reserved for swap-cluster-0 (globals).
+struct SwapClusterIdTag {};
+using SwapClusterId = StrongId<SwapClusterIdTag>;
+
+/// swap-cluster-0: the special cluster holding process roots (paper §3).
+inline constexpr SwapClusterId kSwapCluster0 = SwapClusterId(0);
+
+/// A device in the simulated wireless neighbourhood.
+struct DeviceIdTag {};
+using DeviceId = StrongId<DeviceIdTag>;
+
+/// A stored swap-cluster payload on a StoreNode ("a number, a file name").
+struct SwapKeyTag {};
+using SwapKey = StrongId<SwapKeyTag, uint64_t>;
+
+}  // namespace obiswap
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<obiswap::StrongId<Tag, Rep>> {
+  size_t operator()(obiswap::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>()(id.value());
+  }
+};
+}  // namespace std

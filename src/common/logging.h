@@ -1,0 +1,44 @@
+// Minimal leveled logger. Off by default above kWarn so tests stay quiet;
+// examples raise the level to narrate what the middleware is doing.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace obiswap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level actually emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace obiswap
+
+#define OBISWAP_LOG(level)                                                  \
+  if (::obiswap::LogLevel::level < ::obiswap::GetLogLevel()) {              \
+  } else                                                                    \
+    ::obiswap::internal::LogMessage(::obiswap::LogLevel::level, __FILE__,   \
+                                    __LINE__)                               \
+        .stream()

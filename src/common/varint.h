@@ -1,0 +1,33 @@
+// LEB128-style varint encoding, used by the compression codecs' container
+// format and by StoreNode's on-"disk" layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace obiswap {
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1..10 bytes).
+void PutVarint64(std::string* out, uint64_t value);
+
+/// Appends a 32-bit value (convenience wrapper).
+inline void PutVarint32(std::string* out, uint32_t value) {
+  PutVarint64(out, value);
+}
+
+/// Reads a varint from the front of `*in`, advancing it past the encoding.
+/// Fails with kDataLoss if `*in` is truncated or over-long.
+Result<uint64_t> GetVarint64(std::string_view* in);
+
+/// ZigZag mapping so small negative numbers stay short.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace obiswap

@@ -1,0 +1,229 @@
+#include "compress/codec.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/varint.h"
+
+namespace obiswap::compress {
+
+// --------------------------------------------------------------------------
+// RLE
+// --------------------------------------------------------------------------
+// Token stream: (byte, varint run_length)*. Prefixed with varint total size.
+
+std::string RleCodec::Compress(std::string_view input) const {
+  std::string out;
+  PutVarint64(&out, input.size());
+  size_t i = 0;
+  while (i < input.size()) {
+    char byte = input[i];
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == byte) ++run;
+    out.push_back(byte);
+    PutVarint64(&out, run);
+    i += run;
+  }
+  return out;
+}
+
+Result<std::string> RleCodec::Decompress(std::string_view input) const {
+  std::string_view rest = input;
+  OBISWAP_ASSIGN_OR_RETURN(uint64_t total, GetVarint64(&rest));
+  std::string out;
+  out.reserve(total);
+  while (out.size() < total) {
+    if (rest.empty()) return DataLossError("rle: truncated stream");
+    char byte = rest[0];
+    rest.remove_prefix(1);
+    OBISWAP_ASSIGN_OR_RETURN(uint64_t run, GetVarint64(&rest));
+    if (run == 0 || out.size() + run > total)
+      return DataLossError("rle: bad run length");
+    out.append(run, byte);
+  }
+  if (!rest.empty()) return DataLossError("rle: trailing bytes");
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// LZ77
+// --------------------------------------------------------------------------
+// Token stream (after a varint original-size header):
+//   0x00, varint len, <len literal bytes>     -- literal run
+//   0x01, varint distance, varint length      -- match (copy from window)
+
+namespace {
+constexpr size_t kWindowSize = 32 * 1024;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 1 << 16;
+constexpr size_t kHashBits = 15;
+constexpr size_t kMaxChain = 32;
+
+inline uint32_t HashAt(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+}  // namespace
+
+std::string Lz77Codec::Compress(std::string_view input) const {
+  std::string out;
+  PutVarint64(&out, input.size());
+  const size_t n = input.size();
+  if (n == 0) return out;
+
+  // head[h] = most recent position with hash h; prev[i] = previous position
+  // in the same chain.
+  std::vector<int32_t> head(size_t{1} << kHashBits, -1);
+  std::vector<int32_t> prev(n, -1);
+
+  std::string literals;
+  auto flush_literals = [&]() {
+    if (literals.empty()) return;
+    out.push_back(0x00);
+    PutVarint64(&out, literals.size());
+    out += literals;
+    literals.clear();
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (i + kMinMatch <= n) {
+      uint32_t h = HashAt(input.data() + i);
+      int32_t candidate = head[h];
+      size_t chain = 0;
+      while (candidate >= 0 && chain < kMaxChain &&
+             i - static_cast<size_t>(candidate) <= kWindowSize) {
+        size_t len = 0;
+        size_t max_len = n - i;
+        if (max_len > kMaxMatch) max_len = kMaxMatch;
+        const char* a = input.data() + candidate;
+        const char* b = input.data() + i;
+        while (len < max_len && a[len] == b[len]) ++len;
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_dist = i - static_cast<size_t>(candidate);
+          if (len == max_len) break;
+        }
+        candidate = prev[candidate];
+        ++chain;
+      }
+      // Insert current position into the chain.
+      prev[i] = head[h];
+      head[h] = static_cast<int32_t>(i);
+    }
+    if (best_len >= kMinMatch) {
+      flush_literals();
+      out.push_back(0x01);
+      PutVarint64(&out, best_dist);
+      PutVarint64(&out, best_len);
+      // Insert skipped positions into the hash chains (cheap, improves
+      // later matches).
+      size_t end = i + best_len;
+      for (size_t j = i + 1; j < end && j + kMinMatch <= n; ++j) {
+        uint32_t h = HashAt(input.data() + j);
+        prev[j] = head[h];
+        head[h] = static_cast<int32_t>(j);
+      }
+      i = end;
+    } else {
+      literals.push_back(input[i]);
+      ++i;
+    }
+  }
+  flush_literals();
+  return out;
+}
+
+Result<std::string> Lz77Codec::Decompress(std::string_view input) const {
+  std::string_view rest = input;
+  OBISWAP_ASSIGN_OR_RETURN(uint64_t total, GetVarint64(&rest));
+  std::string out;
+  out.reserve(total);
+  while (out.size() < total) {
+    if (rest.empty()) return DataLossError("lz77: truncated stream");
+    uint8_t tag = static_cast<uint8_t>(rest[0]);
+    rest.remove_prefix(1);
+    if (tag == 0x00) {
+      OBISWAP_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(&rest));
+      if (len == 0 || len > rest.size() || out.size() + len > total)
+        return DataLossError("lz77: bad literal run");
+      out.append(rest.substr(0, len));
+      rest.remove_prefix(len);
+    } else if (tag == 0x01) {
+      OBISWAP_ASSIGN_OR_RETURN(uint64_t dist, GetVarint64(&rest));
+      OBISWAP_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(&rest));
+      if (dist == 0 || dist > out.size() || len < kMinMatch ||
+          out.size() + len > total)
+        return DataLossError("lz77: bad match token");
+      size_t start = out.size() - dist;
+      for (uint64_t k = 0; k < len; ++k) out.push_back(out[start + k]);
+    } else {
+      return DataLossError("lz77: unknown token tag");
+    }
+  }
+  if (!rest.empty()) return DataLossError("lz77: trailing bytes");
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Registry and framing
+// --------------------------------------------------------------------------
+
+const Codec* FindCodec(std::string_view name) {
+  static const IdentityCodec identity;
+  static const RleCodec rle;
+  static const Lz77Codec lz77;
+  if (name == "identity") return &identity;
+  if (name == "rle") return &rle;
+  if (name == "lz77") return &lz77;
+  return nullptr;
+}
+
+std::vector<std::string> CodecNames() { return {"identity", "rle", "lz77"}; }
+
+// Frame: "OSWC" magic, varint name-length, name, varint original size,
+// 4-byte little-endian Adler-32 of original, compressed payload.
+std::string FrameCompress(const Codec& codec, std::string_view payload) {
+  std::string out = "OSWC";
+  std::string name = codec.name();
+  PutVarint64(&out, name.size());
+  out += name;
+  PutVarint64(&out, payload.size());
+  uint32_t checksum = Adler32(payload);
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((checksum >> (8 * i)) & 0xFF));
+  out += codec.Compress(payload);
+  return out;
+}
+
+Result<std::string> FrameDecompress(std::string_view frame) {
+  if (frame.substr(0, 4) != "OSWC")
+    return DataLossError("frame: bad magic");
+  std::string_view rest = frame.substr(4);
+  OBISWAP_ASSIGN_OR_RETURN(uint64_t name_len, GetVarint64(&rest));
+  if (name_len > rest.size()) return DataLossError("frame: truncated name");
+  std::string name(rest.substr(0, name_len));
+  rest.remove_prefix(name_len);
+  OBISWAP_ASSIGN_OR_RETURN(uint64_t original_size, GetVarint64(&rest));
+  if (rest.size() < 4) return DataLossError("frame: truncated checksum");
+  uint32_t expected = 0;
+  for (int i = 0; i < 4; ++i)
+    expected |= static_cast<uint32_t>(static_cast<unsigned char>(rest[i]))
+                << (8 * i);
+  rest.remove_prefix(4);
+  const Codec* codec = FindCodec(name);
+  if (codec == nullptr)
+    return DataLossError("frame: unknown codec '" + name + "'");
+  OBISWAP_ASSIGN_OR_RETURN(std::string payload, codec->Decompress(rest));
+  if (payload.size() != original_size)
+    return DataLossError("frame: size mismatch");
+  if (Adler32(payload) != expected)
+    return DataLossError("frame: checksum mismatch");
+  return payload;
+}
+
+}  // namespace obiswap::compress

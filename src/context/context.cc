@@ -1,0 +1,117 @@
+#include "context/context.h"
+
+#include <algorithm>
+
+namespace obiswap::context {
+
+Result<int64_t> PropertyRegistry::GetInt(const std::string& name) const {
+  auto it = ints_.find(name);
+  if (it == ints_.end()) return NotFoundError("no int property '" + name + "'");
+  return it->second;
+}
+
+Result<double> PropertyRegistry::GetReal(const std::string& name) const {
+  auto it = reals_.find(name);
+  if (it == reals_.end())
+    return NotFoundError("no real property '" + name + "'");
+  return it->second;
+}
+
+Result<std::string> PropertyRegistry::GetString(const std::string& name) const {
+  auto it = strings_.find(name);
+  if (it == strings_.end())
+    return NotFoundError("no string property '" + name + "'");
+  return it->second;
+}
+
+Result<double> PropertyRegistry::GetNumeric(const std::string& name) const {
+  auto real_it = reals_.find(name);
+  if (real_it != reals_.end()) return real_it->second;
+  auto int_it = ints_.find(name);
+  if (int_it != ints_.end()) return static_cast<double>(int_it->second);
+  return NotFoundError("no numeric property '" + name + "'");
+}
+
+bool PropertyRegistry::Has(const std::string& name) const {
+  return ints_.count(name) > 0 || reals_.count(name) > 0 ||
+         strings_.count(name) > 0;
+}
+
+MemoryMonitor::MemoryMonitor(runtime::Heap& heap, EventBus& bus,
+                             PropertyRegistry& props,
+                             double pressure_threshold,
+                             double relief_threshold)
+    : heap_(heap),
+      bus_(bus),
+      props_(props),
+      pressure_threshold_(pressure_threshold),
+      relief_threshold_(relief_threshold) {
+  OBISWAP_CHECK(relief_threshold_ <= pressure_threshold_);
+}
+
+double MemoryMonitor::used_ratio() const {
+  if (heap_.capacity_bytes() == 0 || heap_.capacity_bytes() == SIZE_MAX)
+    return 0.0;
+  return static_cast<double>(heap_.used_bytes()) /
+         static_cast<double>(heap_.capacity_bytes());
+}
+
+void MemoryMonitor::Poll() {
+  double ratio = used_ratio();
+  props_.SetInt("mem.used_bytes", static_cast<int64_t>(heap_.used_bytes()));
+  props_.SetInt("mem.capacity_bytes",
+                heap_.capacity_bytes() == SIZE_MAX
+                    ? -1
+                    : static_cast<int64_t>(heap_.capacity_bytes()));
+  props_.SetReal("mem.used_ratio", ratio);
+  if (!under_pressure_ && ratio >= pressure_threshold_) {
+    under_pressure_ = true;
+    bus_.Publish(Event(kEventMemoryPressure)
+                     .Set("used_bytes",
+                          static_cast<int64_t>(heap_.used_bytes()))
+                     .Set("ratio_pct", static_cast<int64_t>(ratio * 100)));
+  } else if (under_pressure_ && ratio <= relief_threshold_) {
+    under_pressure_ = false;
+    bus_.Publish(Event(kEventMemoryRelief)
+                     .Set("used_bytes",
+                          static_cast<int64_t>(heap_.used_bytes()))
+                     .Set("ratio_pct", static_cast<int64_t>(ratio * 100)));
+  }
+}
+
+ConnectivityMonitor::ConnectivityMonitor(net::Network& network,
+                                         net::Discovery& discovery,
+                                         DeviceId self, EventBus& bus,
+                                         PropertyRegistry& props)
+    : network_(network),
+      discovery_(discovery),
+      self_(self),
+      bus_(bus),
+      props_(props) {}
+
+void ConnectivityMonitor::Poll() {
+  std::vector<net::StoreNode*> stores = discovery_.NearbyStores(self_);
+  std::vector<DeviceId> now;
+  int64_t free_bytes = 0;
+  now.reserve(stores.size());
+  for (net::StoreNode* store : stores) {
+    now.push_back(store->device());
+    free_bytes += static_cast<int64_t>(store->free_bytes());
+  }
+  std::sort(now.begin(), now.end());
+  props_.SetInt("net.nearby_stores", static_cast<int64_t>(now.size()));
+  props_.SetInt("net.nearby_free_bytes", free_bytes);
+  bool changed = first_poll_ ? !now.empty() : now != nearby_;
+  first_poll_ = false;
+  if (changed) {
+    Event event(kEventConnectivityChanged);
+    event.Set("nearby_count", static_cast<int64_t>(now.size()));
+    event.Set("nearby_free_bytes", free_bytes);
+    nearby_ = std::move(now);
+    bus_.Publish(event);
+  } else {
+    nearby_ = std::move(now);
+  }
+}
+
+}  // namespace obiswap::context

@@ -1,0 +1,97 @@
+// Context Management (paper §2): "abstracts resources and manages the
+// corresponding properties whose values vary during applications execution.
+// In particular, it is responsible for monitoring available memory and
+// network connectivity."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "context/events.h"
+#include "net/bridge.h"
+#include "net/network.h"
+#include "runtime/heap.h"
+
+namespace obiswap::context {
+
+/// Named properties the policy engine's conditions can reference
+/// (e.g. "mem.used_ratio", "net.nearby_stores").
+class PropertyRegistry {
+ public:
+  void SetInt(const std::string& name, int64_t value) {
+    ints_[name] = value;
+  }
+  void SetReal(const std::string& name, double value) {
+    reals_[name] = value;
+  }
+  void SetString(const std::string& name, std::string value) {
+    strings_[name] = std::move(value);
+  }
+
+  Result<int64_t> GetInt(const std::string& name) const;
+  Result<double> GetReal(const std::string& name) const;
+  Result<std::string> GetString(const std::string& name) const;
+
+  /// Numeric lookup usable by policy expressions: ints and reals both
+  /// resolve; kNotFound otherwise.
+  Result<double> GetNumeric(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, int64_t> ints_;
+  std::unordered_map<std::string, double> reals_;
+  std::unordered_map<std::string, std::string> strings_;
+};
+
+/// Watches heap occupancy and publishes edge-triggered memory-pressure /
+/// memory-relief events. Thresholds are fractions of heap capacity.
+class MemoryMonitor {
+ public:
+  MemoryMonitor(runtime::Heap& heap, EventBus& bus, PropertyRegistry& props,
+                double pressure_threshold = 0.85,
+                double relief_threshold = 0.70);
+
+  /// Samples the heap; publishes on threshold crossings and refreshes
+  /// "mem.used_bytes", "mem.capacity_bytes", "mem.used_ratio".
+  void Poll();
+
+  bool under_pressure() const { return under_pressure_; }
+  double used_ratio() const;
+
+ private:
+  runtime::Heap& heap_;
+  EventBus& bus_;
+  PropertyRegistry& props_;
+  double pressure_threshold_;
+  double relief_threshold_;
+  bool under_pressure_ = false;
+};
+
+/// Watches which announced store devices are reachable and publishes
+/// connectivity-changed when the set changes. Refreshes
+/// "net.nearby_stores" and "net.nearby_free_bytes".
+class ConnectivityMonitor {
+ public:
+  ConnectivityMonitor(net::Network& network, net::Discovery& discovery,
+                      DeviceId self, EventBus& bus, PropertyRegistry& props);
+
+  void Poll();
+
+  const std::vector<DeviceId>& nearby() const { return nearby_; }
+
+ private:
+  net::Network& network_;
+  net::Discovery& discovery_;
+  DeviceId self_;
+  EventBus& bus_;
+  PropertyRegistry& props_;
+  std::vector<DeviceId> nearby_;
+  bool first_poll_ = true;
+};
+
+}  // namespace obiswap::context

@@ -1,0 +1,62 @@
+#include "context/events.h"
+
+#include <algorithm>
+
+namespace obiswap::context {
+
+Result<std::string> Event::GetString(const std::string& key) const {
+  auto it = strings_.find(key);
+  if (it == strings_.end())
+    return NotFoundError("event '" + type_ + "' has no string '" + key + "'");
+  return it->second;
+}
+
+Result<int64_t> Event::GetInt(const std::string& key) const {
+  auto it = ints_.find(key);
+  if (it == ints_.end())
+    return NotFoundError("event '" + type_ + "' has no int '" + key + "'");
+  return it->second;
+}
+
+int64_t Event::GetIntOr(const std::string& key, int64_t fallback) const {
+  auto it = ints_.find(key);
+  return it == ints_.end() ? fallback : it->second;
+}
+
+uint64_t EventBus::Subscribe(const std::string& type, EventHandler handler) {
+  uint64_t token = next_token_++;
+  by_type_[type].push_back(Subscription{token, std::move(handler)});
+  return token;
+}
+
+uint64_t EventBus::SubscribeAll(EventHandler handler) {
+  uint64_t token = next_token_++;
+  all_.push_back(Subscription{token, std::move(handler)});
+  return token;
+}
+
+void EventBus::Unsubscribe(uint64_t token) {
+  auto drop = [token](std::vector<Subscription>& subs) {
+    subs.erase(std::remove_if(subs.begin(), subs.end(),
+                              [token](const Subscription& s) {
+                                return s.token == token;
+                              }),
+               subs.end());
+  };
+  for (auto& [type, subs] : by_type_) drop(subs);
+  drop(all_);
+}
+
+void EventBus::Publish(const Event& event) {
+  ++published_;
+  // Copy handler lists: a handler may (un)subscribe while we iterate.
+  auto it = by_type_.find(event.type());
+  if (it != by_type_.end()) {
+    std::vector<Subscription> subs = it->second;
+    for (const Subscription& sub : subs) sub.handler(event);
+  }
+  std::vector<Subscription> all = all_;
+  for (const Subscription& sub : all) sub.handler(event);
+}
+
+}  // namespace obiswap::context

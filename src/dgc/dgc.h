@@ -1,0 +1,115 @@
+// Distributed garbage collection for replicated objects.
+//
+// OBIWAN's Memory Management module runs a reference-listing DGC between
+// the device and the master (paper §2, refs [11,12]): the server keeps a
+// *scion* per (device, object) it shipped — a GC root pinning the master
+// copy while any device may still hold a replica — and the device, after a
+// local collection, reports replicas that are no longer held. "Held" covers
+// both live replicas in the heap and members of swapped-out clusters (those
+// live on a store device but are still the application's data).
+//
+// Deliberately NOT covered: the store devices themselves. "There are no
+// explicit references among the objects residing in devices running
+// applications, and those serialized in swapping devices. All the decisions
+// are made locally" (§3) — a swapped cluster's store entry is dropped by the
+// replacement-object's finalizer, not by DGC.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "replication/device.h"
+#include "replication/server.h"
+#include "runtime/runtime.h"
+#include "swap/manager.h"
+
+namespace obiswap::dgc {
+
+/// Server side: scion table, registered as a root provider on the master
+/// heap so master objects with outstanding replicas survive the master LGC.
+class DgcServer final : public runtime::RootProvider,
+                        public replication::ReplicationServer::ShipObserver {
+ public:
+  struct Stats {
+    uint64_t scions_created = 0;
+    uint64_t scions_released = 0;
+  };
+
+  explicit DgcServer(replication::ReplicationServer& server);
+  ~DgcServer() override;
+
+  DgcServer(const DgcServer&) = delete;
+  DgcServer& operator=(const DgcServer&) = delete;
+
+  /// A device reports replicas it no longer holds.
+  Status Release(DeviceId device, const std::vector<ObjectId>& oids);
+
+  /// Outstanding scions for one device / in total.
+  size_t ScionCount(DeviceId device) const;
+  size_t TotalScions() const;
+  bool HasScion(DeviceId device, ObjectId oid) const;
+
+  // ShipObserver
+  void OnShipped(DeviceId device,
+                 const std::vector<runtime::Object*>& shipped) override;
+  void OnReleased(DeviceId device,
+                  const std::vector<ObjectId>& released) override;
+
+  // RootProvider: every object with at least one scion is a master root.
+  void EnumerateRoots(const std::function<void(runtime::Object*)>& visit)
+      override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  replication::ReplicationServer& server_;
+  /// oid → (master object, per-device holder set).
+  struct Scion {
+    runtime::Object* master;
+    std::unordered_set<DeviceId> holders;
+  };
+  std::unordered_map<ObjectId, Scion> scions_;
+  Stats stats_;
+};
+
+/// How the device's release report reaches the server.
+using ReleaseFn =
+    std::function<Status(DeviceId, const std::vector<ObjectId>&)>;
+
+/// In-process release path.
+ReleaseFn DirectRelease(replication::ReplicationServer& server);
+
+/// Device side: computes the set of replicated objects no longer held and
+/// reports it. Asynchronous-complete in spirit: a cycle can run at any time
+/// and only ever shrinks the holder sets (safe w.r.t. concurrent mutator
+/// work because "held" is re-derived from scratch each cycle).
+class DgcClient {
+ public:
+  struct Stats {
+    uint64_t cycles = 0;
+    uint64_t releases_sent = 0;
+  };
+
+  /// `swap` may be null (device without the swapping layer).
+  DgcClient(runtime::Runtime& rt, replication::DeviceEndpoint& endpoint,
+            swap::SwappingManager* swap, ReleaseFn release);
+
+  /// Runs a DGC cycle: local collection, recompute held set, report the
+  /// difference. Returns how many oids were released.
+  Result<size_t> RunCycle();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  runtime::Runtime& rt_;
+  replication::DeviceEndpoint& endpoint_;
+  swap::SwappingManager* swap_;
+  ReleaseFn release_;
+  Stats stats_;
+};
+
+}  // namespace obiswap::dgc

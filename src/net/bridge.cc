@@ -1,0 +1,203 @@
+#include "net/bridge.h"
+
+#include <algorithm>
+
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace obiswap::net {
+
+namespace {
+
+std::string ErrorResponse(StatusCode code, const std::string& message) {
+  auto response = xml::Node::Element("response");
+  response->SetAttr("status", StatusCodeName(code));
+  response->SetAttr("message", message);
+  return xml::Write(*response);
+}
+
+std::string OkResponse(const std::string* payload = nullptr) {
+  auto response = xml::Node::Element("response");
+  response->SetAttr("status", "OK");
+  if (payload != nullptr) {
+    response->AddElement("payload")->AddText(*payload);
+  }
+  return xml::Write(*response);
+}
+
+StatusCode CodeFromName(const std::string& name) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kInvalidArgument, StatusCode::kFailedPrecondition,
+        StatusCode::kResourceExhausted, StatusCode::kUnavailable,
+        StatusCode::kDataLoss, StatusCode::kInternal}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+}  // namespace
+
+std::string StoreService::Handle(const std::string& request_xml) {
+  auto parsed = xml::Parse(request_xml);
+  if (!parsed.ok())
+    return ErrorResponse(StatusCode::kInvalidArgument,
+                         "bad request: " + parsed.status().message());
+  const xml::Node& request = **parsed;
+  if (request.name() != "request")
+    return ErrorResponse(StatusCode::kInvalidArgument, "not a request");
+  const std::string* op = request.FindAttr("op");
+  if (op == nullptr)
+    return ErrorResponse(StatusCode::kInvalidArgument, "missing op");
+  auto key_attr = request.GetIntAttr("key");
+  if (!key_attr.ok())
+    return ErrorResponse(StatusCode::kInvalidArgument, "missing key");
+  SwapKey key(static_cast<uint64_t>(*key_attr));
+
+  if (*op == "store") {
+    const xml::Node* payload = request.FindChild("payload");
+    if (payload == nullptr)
+      return ErrorResponse(StatusCode::kInvalidArgument, "missing payload");
+    Status status = node_.Store(key, payload->InnerText());
+    if (!status.ok()) return ErrorResponse(status.code(), status.message());
+    return OkResponse();
+  }
+  if (*op == "fetch") {
+    Result<std::string> text = node_.Fetch(key);
+    if (!text.ok())
+      return ErrorResponse(text.status().code(), text.status().message());
+    return OkResponse(&*text);
+  }
+  if (*op == "drop") {
+    Status status = node_.Drop(key);
+    if (!status.ok()) return ErrorResponse(status.code(), status.message());
+    return OkResponse();
+  }
+  return ErrorResponse(StatusCode::kInvalidArgument, "unknown op '" + *op +
+                                                         "'");
+}
+
+void Discovery::Announce(StoreNode* node) {
+  announced_[node->device()] = node;
+  services_.erase(node->device());
+  services_.emplace(node->device(), StoreService(*node));
+}
+
+void Discovery::Withdraw(DeviceId device) {
+  announced_.erase(device);
+  services_.erase(device);
+}
+
+StoreService* Discovery::ServiceFor(DeviceId device) {
+  auto it = services_.find(device);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+std::vector<StoreNode*> Discovery::NearbyStores(DeviceId from,
+                                                size_t min_free_bytes) const {
+  std::vector<StoreNode*> out;
+  for (const auto& [device, node] : announced_) {
+    if (device == from) continue;
+    if (!network_.IsOnline(device) || !network_.InRange(from, device))
+      continue;
+    if (node->free_bytes() < min_free_bytes) continue;
+    out.push_back(node);
+  }
+  std::sort(out.begin(), out.end(), [](StoreNode* a, StoreNode* b) {
+    if (a->free_bytes() != b->free_bytes())
+      return a->free_bytes() > b->free_bytes();
+    return a->device() < b->device();
+  });
+  return out;
+}
+
+Result<std::string> StoreClient::Call(DeviceId device,
+                                      const std::string& request_xml) {
+  StoreService* service = discovery_.ServiceFor(device);
+  if (service == nullptr)
+    return NotFoundError("device " + device.ToString() + " not announced");
+  ++stats_.calls;
+  Status last = UnavailableError("no attempt made");
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    Result<uint64_t> out = network_.Transfer(self_, device,
+                                             request_xml.size());
+    if (!out.ok()) {
+      last = out.status();
+      if (last.code() != StatusCode::kUnavailable) return last;
+      continue;
+    }
+    stats_.bytes_sent += request_xml.size();
+    std::string response = service->Handle(request_xml);
+    Result<uint64_t> back =
+        network_.Transfer(device, self_, response.size());
+    if (!back.ok()) {
+      last = back.status();
+      if (last.code() != StatusCode::kUnavailable) return last;
+      continue;
+    }
+    stats_.bytes_received += response.size();
+    return response;
+  }
+  return last;
+}
+
+namespace {
+/// Parses a response envelope into Status + optional payload.
+Result<std::string> ParseResponse(const std::string& response_xml,
+                                  bool expect_payload) {
+  auto parsed = xml::Parse(response_xml);
+  if (!parsed.ok()) return parsed.status();
+  const xml::Node& response = **parsed;
+  const std::string* status_name = response.FindAttr("status");
+  if (status_name == nullptr)
+    return DataLossError("response missing status");
+  if (*status_name != "OK") {
+    const std::string* message = response.FindAttr("message");
+    return Status(CodeFromName(*status_name),
+                  message != nullptr ? *message : "remote error");
+  }
+  if (!expect_payload) return std::string();
+  const xml::Node* payload = response.FindChild("payload");
+  if (payload == nullptr) return DataLossError("response missing payload");
+  return payload->InnerText();
+}
+}  // namespace
+
+Status StoreClient::Store(DeviceId device, SwapKey key,
+                          const std::string& text) {
+  auto request = xml::Node::Element("request");
+  request->SetAttr("op", "store");
+  request->SetIntAttr("key", static_cast<int64_t>(key.value()));
+  request->AddElement("payload")->AddText(text);
+  OBISWAP_ASSIGN_OR_RETURN(std::string response,
+                           Call(device, xml::Write(*request)));
+  OBISWAP_ASSIGN_OR_RETURN(std::string ignored,
+                           ParseResponse(response, /*expect_payload=*/false));
+  (void)ignored;
+  return OkStatus();
+}
+
+Result<std::string> StoreClient::Fetch(DeviceId device, SwapKey key) {
+  auto request = xml::Node::Element("request");
+  request->SetAttr("op", "fetch");
+  request->SetIntAttr("key", static_cast<int64_t>(key.value()));
+  OBISWAP_ASSIGN_OR_RETURN(std::string response,
+                           Call(device, xml::Write(*request)));
+  return ParseResponse(response, /*expect_payload=*/true);
+}
+
+Status StoreClient::Drop(DeviceId device, SwapKey key) {
+  auto request = xml::Node::Element("request");
+  request->SetAttr("op", "drop");
+  request->SetIntAttr("key", static_cast<int64_t>(key.value()));
+  OBISWAP_ASSIGN_OR_RETURN(std::string response,
+                           Call(device, xml::Write(*request)));
+  OBISWAP_ASSIGN_OR_RETURN(std::string ignored,
+                           ParseResponse(response, /*expect_payload=*/false));
+  (void)ignored;
+  return OkStatus();
+}
+
+}  // namespace obiswap::net

@@ -1,0 +1,96 @@
+// Web-service bridge (the paper's Communication Services).
+//
+// Mobile VMs of the era lacked remote invocation, so OBIWAN tunnelled calls
+// through web services with XML-encoded payloads. We model that: every
+// store/fetch/drop becomes an XML request envelope shipped over the
+// simulated network, a dispatch on the store device, and an XML response
+// envelope shipped back. The store device runs *only* the dumb StoreService
+// — no VM, no middleware (§3).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "net/network.h"
+#include "net/store_node.h"
+
+namespace obiswap::net {
+
+/// Server side: turns request envelopes into StoreNode operations. This is
+/// the entirety of the software a swapping device needs.
+class StoreService {
+ public:
+  explicit StoreService(StoreNode& node) : node_(node) {}
+
+  /// Handles one XML request, returns the XML response (errors become
+  /// response envelopes with a status attribute, never exceptions).
+  std::string Handle(const std::string& request_xml);
+
+  StoreNode& node() { return node_; }
+
+ private:
+  StoreNode& node_;
+};
+
+/// Directory of announced store devices — the discovery service. Nearby =
+/// online, in radio range, and announced.
+class Discovery {
+ public:
+  explicit Discovery(Network& network) : network_(network) {}
+
+  /// A store device announces itself (idempotent re-announce allowed).
+  void Announce(StoreNode* node);
+  void Withdraw(DeviceId device);
+
+  /// The service endpoint for a device; nullptr if not announced.
+  StoreService* ServiceFor(DeviceId device);
+
+  /// Store devices reachable from `from` whose advertised free capacity is
+  /// at least `min_free_bytes`, best (most free) first.
+  std::vector<StoreNode*> NearbyStores(DeviceId from,
+                                       size_t min_free_bytes = 0) const;
+
+ private:
+  Network& network_;
+  std::unordered_map<DeviceId, StoreNode*> announced_;
+  std::unordered_map<DeviceId, StoreService> services_;
+};
+
+/// Client side: the mobile device's view of remote stores. Each call is two
+/// transfers (request out, response back) and a remote dispatch.
+class StoreClient {
+ public:
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t retries = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+  };
+
+  StoreClient(Network& network, Discovery& discovery, DeviceId self,
+              int max_attempts = 3)
+      : network_(network),
+        discovery_(discovery),
+        self_(self),
+        max_attempts_(max_attempts) {}
+
+  Status Store(DeviceId device, SwapKey key, const std::string& text);
+  Result<std::string> Fetch(DeviceId device, SwapKey key);
+  Status Drop(DeviceId device, SwapKey key);
+
+  const Stats& stats() const { return stats_; }
+  DeviceId self() const { return self_; }
+
+ private:
+  Result<std::string> Call(DeviceId device, const std::string& request_xml);
+
+  Network& network_;
+  Discovery& discovery_;
+  DeviceId self_;
+  int max_attempts_;
+  Stats stats_;
+};
+
+}  // namespace obiswap::net

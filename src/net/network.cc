@@ -1,0 +1,103 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace obiswap::net {
+
+uint64_t Network::PairKey(DeviceId a, DeviceId b) {
+  uint32_t lo = std::min(a.value(), b.value());
+  uint32_t hi = std::max(a.value(), b.value());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+void Network::AddDevice(DeviceId device) { devices_.emplace(device, true); }
+
+void Network::RemoveDevice(DeviceId device) {
+  devices_.erase(device);
+  for (auto it = in_range_.begin(); it != in_range_.end();) {
+    uint32_t lo = static_cast<uint32_t>(*it & 0xFFFFFFFF);
+    uint32_t hi = static_cast<uint32_t>(*it >> 32);
+    if (lo == device.value() || hi == device.value()) {
+      it = in_range_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Network::HasDevice(DeviceId device) const {
+  return devices_.count(device) > 0;
+}
+
+void Network::SetOnline(DeviceId device, bool online) {
+  auto it = devices_.find(device);
+  if (it != devices_.end()) it->second = online;
+}
+
+bool Network::IsOnline(DeviceId device) const {
+  auto it = devices_.find(device);
+  return it != devices_.end() && it->second;
+}
+
+void Network::SetInRange(DeviceId a, DeviceId b, bool in_range) {
+  if (in_range) {
+    in_range_.insert(PairKey(a, b));
+  } else {
+    in_range_.erase(PairKey(a, b));
+  }
+}
+
+bool Network::InRange(DeviceId a, DeviceId b) const {
+  return in_range_.count(PairKey(a, b)) > 0;
+}
+
+void Network::SetLinkParams(DeviceId a, DeviceId b, LinkParams params) {
+  link_params_[PairKey(a, b)] = params;
+}
+
+LinkParams Network::GetLinkParams(DeviceId a, DeviceId b) const {
+  auto it = link_params_.find(PairKey(a, b));
+  return it == link_params_.end() ? default_link_ : it->second;
+}
+
+Result<uint64_t> Network::Transfer(DeviceId from, DeviceId to, size_t bytes) {
+  if (!IsOnline(from))
+    return UnavailableError("device " + from.ToString() + " is offline");
+  if (!IsOnline(to))
+    return UnavailableError("device " + to.ToString() + " is offline");
+  if (!InRange(from, to))
+    return UnavailableError("devices " + from.ToString() + " and " +
+                            to.ToString() + " are out of range");
+  LinkParams link = GetLinkParams(from, to);
+  if (link.loss_rate > 0.0 && rng_.NextBool(link.loss_rate)) {
+    ++stats_.transfer_failures;
+    // A lost attempt still consumes the latency window.
+    clock_.Advance(link.latency_us);
+    stats_.busy_us += link.latency_us;
+    return UnavailableError("transfer lost on link");
+  }
+  uint64_t elapsed =
+      link.latency_us +
+      static_cast<uint64_t>(static_cast<double>(bytes) * 8.0 * 1e6 /
+                            link.bandwidth_bps);
+  clock_.Advance(elapsed);
+  ++stats_.transfers;
+  stats_.bytes_moved += bytes;
+  stats_.busy_us += elapsed;
+  return elapsed;
+}
+
+std::vector<DeviceId> Network::Reachable(DeviceId device) const {
+  std::vector<DeviceId> out;
+  if (!IsOnline(device)) return out;
+  for (const auto& [other, online] : devices_) {
+    if (other == device || !online) continue;
+    if (InRange(device, other)) out.push_back(other);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace obiswap::net

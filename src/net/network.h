@@ -1,0 +1,85 @@
+// Simulated short-range wireless network.
+//
+// Devices register with the network; pairs of devices are either in range or
+// not (devices wander in and out — the paper's "nearby devices"). A transfer
+// costs latency + size/bandwidth in virtual time and can be lost. The
+// default link models the paper's testbed: Bluetooth at 700 Kbps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/sim_clock.h"
+
+namespace obiswap::net {
+
+/// Link characteristics between a device pair.
+struct LinkParams {
+  double bandwidth_bps = 700'000.0;  ///< paper: Bluetooth at 700 Kbps
+  uint64_t latency_us = 30'000;      ///< per-message setup latency
+  double loss_rate = 0.0;            ///< probability a transfer attempt fails
+};
+
+class Network {
+ public:
+  struct Stats {
+    uint64_t transfers = 0;
+    uint64_t transfer_failures = 0;
+    uint64_t bytes_moved = 0;
+    uint64_t busy_us = 0;  ///< total virtual link time consumed
+  };
+
+  explicit Network(uint64_t seed = 1) : rng_(seed) {}
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+
+  /// Registers a device (idempotent). New devices start online.
+  void AddDevice(DeviceId device);
+  /// Removes a device entirely (all its links disappear).
+  void RemoveDevice(DeviceId device);
+  bool HasDevice(DeviceId device) const;
+  /// Offline devices are unreachable regardless of range.
+  void SetOnline(DeviceId device, bool online);
+  bool IsOnline(DeviceId device) const;
+
+  /// Marks a device pair as in (or out of) radio range. Symmetric.
+  void SetInRange(DeviceId a, DeviceId b, bool in_range);
+  bool InRange(DeviceId a, DeviceId b) const;
+
+  /// Overrides link parameters for one pair (symmetric). Pairs without an
+  /// override use the default link.
+  void SetLinkParams(DeviceId a, DeviceId b, LinkParams params);
+  void SetDefaultLinkParams(LinkParams params) { default_link_ = params; }
+  LinkParams GetLinkParams(DeviceId a, DeviceId b) const;
+
+  /// Moves `bytes` from `from` to `to`. On success returns the virtual
+  /// microseconds the transfer took (the clock has been advanced by then).
+  /// kUnavailable if offline/out of range or the attempt was lost.
+  Result<uint64_t> Transfer(DeviceId from, DeviceId to, size_t bytes);
+
+  /// Devices currently reachable from `device` (online and in range).
+  std::vector<DeviceId> Reachable(DeviceId device) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static uint64_t PairKey(DeviceId a, DeviceId b);
+
+  SimClock clock_;
+  Rng rng_;
+  LinkParams default_link_;
+  std::unordered_map<DeviceId, bool> devices_;  // id -> online
+  std::unordered_set<uint64_t> in_range_;
+  std::unordered_map<uint64_t, LinkParams> link_params_;
+  Stats stats_;
+};
+
+}  // namespace obiswap::net

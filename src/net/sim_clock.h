@@ -1,0 +1,23 @@
+// Virtual time for the simulated wireless neighbourhood.
+//
+// Transfer times over the 700 Kbps "Bluetooth" links are modelled in virtual
+// microseconds so the swap-latency experiments are deterministic and
+// independent of host speed.
+#pragma once
+
+#include <cstdint>
+
+namespace obiswap::net {
+
+class SimClock {
+ public:
+  uint64_t now_us() const { return now_us_; }
+  void Advance(uint64_t delta_us) { now_us_ += delta_us; }
+
+  double now_ms() const { return static_cast<double>(now_us_) / 1000.0; }
+
+ private:
+  uint64_t now_us_ = 0;
+};
+
+}  // namespace obiswap::net

@@ -1,0 +1,48 @@
+#include "net/store_node.h"
+
+namespace obiswap::net {
+
+Status StoreNode::Store(SwapKey key, std::string text) {
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    // Idempotent re-store: the bridge retries when a response envelope is
+    // lost, so an identical (key, content) pair must succeed.
+    if (it->second == text) return OkStatus();
+    return AlreadyExistsError("key " + key.ToString() + " already stored");
+  }
+  if (used_bytes_ + text.size() > capacity_bytes_) {
+    ++stats_.rejected_full;
+    return ResourceExhaustedError("store full on device " +
+                                  device_.ToString());
+  }
+  used_bytes_ += text.size();
+  entries_.emplace(key, std::move(text));
+  ++stats_.stores;
+  return OkStatus();
+}
+
+Result<std::string> StoreNode::Fetch(SwapKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    return NotFoundError("key " + key.ToString() + " not stored");
+  ++stats_.fetches;
+  return it->second;
+}
+
+Status StoreNode::Drop(SwapKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    return NotFoundError("key " + key.ToString() + " not stored");
+  used_bytes_ -= it->second.size();
+  entries_.erase(it);
+  ++stats_.drops;
+  return OkStatus();
+}
+
+std::vector<SwapKey> StoreNode::Keys() const {
+  std::vector<SwapKey> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, text] : entries_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace obiswap::net

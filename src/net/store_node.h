@@ -1,0 +1,63 @@
+// StoreNode: the paper's "dumb" swapping device.
+//
+// "The devices that receive swapped objects need not have neither OBIWAN nor
+// even a virtual machine installed. They need only be able to store and
+// return a textual representation of the serialized objects" (§3). A
+// StoreNode does exactly three things — store, fetch, drop — on XML text
+// keyed by a unique id, within a storage capacity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace obiswap::net {
+
+class StoreNode {
+ public:
+  struct Stats {
+    uint64_t stores = 0;
+    uint64_t fetches = 0;
+    uint64_t drops = 0;
+    uint64_t rejected_full = 0;
+  };
+
+  StoreNode(DeviceId device, size_t capacity_bytes)
+      : device_(device), capacity_bytes_(capacity_bytes) {}
+
+  DeviceId device() const { return device_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t used_bytes() const { return used_bytes_; }
+  size_t free_bytes() const { return capacity_bytes_ - used_bytes_; }
+  size_t entry_count() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// Stores `text` under `key`. kAlreadyExists if the key is taken,
+  /// kResourceExhausted if it does not fit.
+  Status Store(SwapKey key, std::string text);
+
+  /// Returns the stored text. kNotFound if unknown.
+  Result<std::string> Fetch(SwapKey key);
+
+  /// Discards the stored text (paper: issued when the swap-cluster's
+  /// replacement-object became unreachable). kNotFound if unknown.
+  Status Drop(SwapKey key);
+
+  bool Contains(SwapKey key) const { return entries_.count(key) > 0; }
+
+  /// All stored keys (diagnostics / GC audits), unordered.
+  std::vector<SwapKey> Keys() const;
+
+ private:
+  DeviceId device_;
+  size_t capacity_bytes_;
+  size_t used_bytes_ = 0;
+  std::unordered_map<SwapKey, std::string> entries_;
+  Stats stats_;
+};
+
+}  // namespace obiswap::net

@@ -1,0 +1,57 @@
+#include "persist/flash_store.h"
+
+namespace obiswap::persist {
+
+FlashStore::FlashStore(DeviceId device, size_t capacity_bytes,
+                       net::SimClock& clock, FlashParams params)
+    : device_(device),
+      capacity_bytes_(capacity_bytes),
+      clock_(clock),
+      params_(params) {}
+
+uint64_t FlashStore::AccessCost(size_t bytes, uint64_t per_kib) const {
+  return params_.op_latency_us +
+         (static_cast<uint64_t>(bytes) * per_kib) / 1024;
+}
+
+Status FlashStore::Store(SwapKey key, std::string text) {
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    if (it->second == text) return OkStatus();  // idempotent re-store
+    return AlreadyExistsError("flash key " + key.ToString() +
+                              " already stored");
+  }
+  if (used_bytes_ + text.size() > capacity_bytes_)
+    return ResourceExhaustedError("flash full");
+  uint64_t cost = AccessCost(text.size(), params_.write_us_per_kib);
+  clock_.Advance(cost);
+  stats_.busy_us += cost;
+  ++stats_.writes;
+  stats_.bytes_written += text.size();
+  used_bytes_ += text.size();
+  entries_.emplace(key, std::move(text));
+  return OkStatus();
+}
+
+Result<std::string> FlashStore::Fetch(SwapKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    return NotFoundError("flash key " + key.ToString() + " not stored");
+  uint64_t cost = AccessCost(it->second.size(), params_.read_us_per_kib);
+  clock_.Advance(cost);
+  stats_.busy_us += cost;
+  ++stats_.reads;
+  stats_.bytes_read += it->second.size();
+  return it->second;
+}
+
+Status FlashStore::Drop(SwapKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    return NotFoundError("flash key " + key.ToString() + " not stored");
+  used_bytes_ -= it->second.size();
+  entries_.erase(it);
+  ++stats_.drops;
+  return OkStatus();
+}
+
+}  // namespace obiswap::persist

@@ -1,0 +1,71 @@
+// Local persistent storage (OBIWAN Figure 1's "Persistence" module, and
+// the fallback the related work [7] uses: .Net Micro persists unreachable
+// data to flash cards).
+//
+// A FlashStore offers the same dumb store/fetch/drop contract as a remote
+// StoreNode but lives on the device itself: no radio, but flash-like
+// asymmetric access costs charged to the virtual clock, and a wear counter
+// (flash endurance is why the paper prefers shipping data to *other*
+// devices when any are nearby).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "net/sim_clock.h"
+
+namespace obiswap::persist {
+
+struct FlashParams {
+  /// CompactFlash-era throughput: writes much slower than reads.
+  uint64_t read_us_per_kib = 300;
+  uint64_t write_us_per_kib = 1200;
+  uint64_t op_latency_us = 500;  ///< per-operation controller overhead
+};
+
+class FlashStore {
+ public:
+  struct Stats {
+    uint64_t writes = 0;
+    uint64_t reads = 0;
+    uint64_t drops = 0;
+    uint64_t bytes_written = 0;  ///< wear proxy
+    uint64_t bytes_read = 0;
+    uint64_t busy_us = 0;
+  };
+
+  /// `device` is the owning device's id (swap bookkeeping distinguishes
+  /// local from remote placements by it). `clock` is advanced by access
+  /// costs.
+  FlashStore(DeviceId device, size_t capacity_bytes, net::SimClock& clock,
+             FlashParams params = FlashParams());
+
+  DeviceId device() const { return device_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t used_bytes() const { return used_bytes_; }
+  size_t free_bytes() const { return capacity_bytes_ - used_bytes_; }
+  size_t entry_count() const { return entries_.size(); }
+
+  Status Store(SwapKey key, std::string text);
+  Result<std::string> Fetch(SwapKey key);
+  Status Drop(SwapKey key);
+  bool Contains(SwapKey key) const { return entries_.count(key) > 0; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  uint64_t AccessCost(size_t bytes, uint64_t per_kib) const;
+
+  DeviceId device_;
+  size_t capacity_bytes_;
+  size_t used_bytes_ = 0;
+  net::SimClock& clock_;
+  FlashParams params_;
+  std::unordered_map<SwapKey, std::string> entries_;
+  Stats stats_;
+};
+
+}  // namespace obiswap::persist

@@ -1,0 +1,107 @@
+#include "policy/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+
+namespace obiswap::policy {
+
+PolicyEngine::PolicyEngine(context::EventBus& bus,
+                           context::PropertyRegistry& props)
+    : bus_(bus), props_(props) {
+  bus_token_ = bus_.SubscribeAll(
+      [this](const context::Event& event) { OnEvent(event); });
+}
+
+PolicyEngine::~PolicyEngine() { bus_.Unsubscribe(bus_token_); }
+
+Status PolicyEngine::RegisterAction(const std::string& name,
+                                    ActionFn action) {
+  if (actions_.count(name) > 0)
+    return AlreadyExistsError("action '" + name + "' already registered");
+  actions_.emplace(name, std::move(action));
+  return OkStatus();
+}
+
+Status PolicyEngine::AddRule(PolicyRule rule) {
+  if (rule.on_event.empty())
+    return InvalidArgumentError("rule '" + rule.name + "' has no event");
+  if (actions_.count(rule.action) == 0)
+    return NotFoundError("rule '" + rule.name + "' names unknown action '" +
+                         rule.action + "'");
+  rules_.push_back(std::move(rule));
+  // Keep rules ordered: higher priority first (stable for equal priority).
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const PolicyRule& a, const PolicyRule& b) {
+                     return a.priority > b.priority;
+                   });
+  return OkStatus();
+}
+
+Result<size_t> PolicyEngine::LoadXml(const std::string& xml_text) {
+  OBISWAP_ASSIGN_OR_RETURN(auto doc, xml::Parse(xml_text));
+  if (doc->name() != "policies")
+    return InvalidArgumentError("expected <policies> root");
+  size_t added = 0;
+  for (const xml::Node* policy_el : doc->FindChildren("policy")) {
+    PolicyRule rule;
+    OBISWAP_ASSIGN_OR_RETURN(rule.name, policy_el->GetAttr("name"));
+    OBISWAP_ASSIGN_OR_RETURN(rule.on_event, policy_el->GetAttr("on"));
+    OBISWAP_ASSIGN_OR_RETURN(int64_t priority,
+                             policy_el->GetIntAttrOr("priority", 0));
+    rule.priority = static_cast<int>(priority);
+    if (const std::string* when = policy_el->FindAttr("when");
+        when != nullptr) {
+      rule.condition_text = *when;
+      OBISWAP_ASSIGN_OR_RETURN(rule.condition, ParseExpr(*when));
+    }
+    const xml::Node* action_el = policy_el->FindChild("action");
+    if (action_el == nullptr)
+      return InvalidArgumentError("policy '" + rule.name +
+                                  "' has no <action>");
+    OBISWAP_ASSIGN_OR_RETURN(rule.action, action_el->GetAttr("name"));
+    for (const xml::Node* param_el : action_el->FindChildren("param")) {
+      OBISWAP_ASSIGN_OR_RETURN(std::string key, param_el->GetAttr("name"));
+      OBISWAP_ASSIGN_OR_RETURN(std::string value,
+                               param_el->GetAttr("value"));
+      rule.params[key] = value;
+    }
+    OBISWAP_RETURN_IF_ERROR(AddRule(std::move(rule)));
+    ++added;
+  }
+  return added;
+}
+
+void PolicyEngine::OnEvent(const context::Event& event) {
+  for (const PolicyRule& rule : rules_) {
+    if (rule.on_event != event.type()) continue;
+    ++stats_.rules_evaluated;
+    if (rule.condition != nullptr) {
+      Result<double> value = rule.condition->Eval(props_);
+      if (!value.ok()) {
+        ++stats_.condition_errors;
+        OBISWAP_LOG(kWarn) << "policy '" << rule.name
+                           << "' condition error: "
+                           << value.status().ToString();
+        continue;
+      }
+      if (*value == 0.0) {
+        ++stats_.conditions_false;
+        continue;
+      }
+    }
+    auto it = actions_.find(rule.action);
+    OBISWAP_CHECK(it != actions_.end());  // enforced by AddRule
+    ++stats_.actions_fired;
+    Status status = it->second(event, rule.params);
+    if (!status.ok()) {
+      ++stats_.action_failures;
+      OBISWAP_LOG(kWarn) << "policy '" << rule.name << "' action '"
+                         << rule.action << "' failed: " << status.ToString();
+    }
+  }
+}
+
+}  // namespace obiswap::policy

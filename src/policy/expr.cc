@@ -1,0 +1,345 @@
+#include "policy/expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace obiswap::policy {
+
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+enum class TokKind {
+  kNumber,
+  kIdent,
+  kOp,    // one of: + - * / ( ) < <= > >= == != ! and or not
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  double number = 0.0;
+};
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push_op = [&tokens](std::string op) {
+    tokens.push_back(Token{TokKind::kOp, std::move(op)});
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+              ((input[i] == '+' || input[i] == '-') && i > start &&
+               (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        ++i;
+      }
+      OBISWAP_ASSIGN_OR_RETURN(double value,
+                               ParseDouble(input.substr(start, i - start)));
+      tokens.push_back(Token{TokKind::kNumber, input.substr(start, i - start),
+                             value});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_' || input[i] == '.')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      // Word operator aliases (XML-attribute friendly).
+      if (word == "lt") {
+        push_op("<");
+      } else if (word == "le") {
+        push_op("<=");
+      } else if (word == "gt") {
+        push_op(">");
+      } else if (word == "ge") {
+        push_op(">=");
+      } else if (word == "eq") {
+        push_op("==");
+      } else if (word == "ne") {
+        push_op("!=");
+      } else if (word == "and" || word == "or" || word == "not") {
+        push_op(word);
+      } else {
+        tokens.push_back(Token{TokKind::kIdent, std::move(word)});
+      }
+      continue;
+    }
+    // Symbol operators.
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      if (i + 1 < input.size() && input[i + 1] == '=') {
+        push_op(std::string(1, c) + "=");
+        i += 2;
+      } else if (c == '=') {
+        return InvalidArgumentError("single '=' in expression (use ==)");
+      } else {
+        push_op(std::string(1, c));
+        ++i;
+      }
+      continue;
+    }
+    if (c == '+' || c == '-' || c == '*' || c == '/' || c == '(' ||
+        c == ')') {
+      push_op(std::string(1, c));
+      ++i;
+      continue;
+    }
+    return InvalidArgumentError(std::string("bad character '") + c +
+                                "' in expression");
+  }
+  tokens.push_back(Token{TokKind::kEnd, ""});
+  return tokens;
+}
+
+// ------------------------------------------------------------------ AST --
+
+class NumberExpr final : public Expr {
+ public:
+  explicit NumberExpr(double value) : value_(value) {}
+  Result<double> Eval(const context::PropertyRegistry&) const override {
+    return value_;
+  }
+  std::string ToString() const override { return StrFormat("%g", value_); }
+
+ private:
+  double value_;
+};
+
+class IdentExpr final : public Expr {
+ public:
+  explicit IdentExpr(std::string name) : name_(std::move(name)) {}
+  Result<double> Eval(
+      const context::PropertyRegistry& props) const override {
+    return props.GetNumeric(name_);
+  }
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(char op, std::unique_ptr<Expr> operand)
+      : op_(op), operand_(std::move(operand)) {}
+  Result<double> Eval(
+      const context::PropertyRegistry& props) const override {
+    OBISWAP_ASSIGN_OR_RETURN(double v, operand_->Eval(props));
+    return op_ == '!' ? (v == 0.0 ? 1.0 : 0.0) : -v;
+  }
+  std::string ToString() const override {
+    return std::string(1, op_ == '!' ? '!' : '-') + "(" +
+           operand_->ToString() + ")";
+  }
+
+ private:
+  char op_;
+  std::unique_ptr<Expr> operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(std::string op, std::unique_ptr<Expr> lhs,
+             std::unique_ptr<Expr> rhs)
+      : op_(std::move(op)), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<double> Eval(
+      const context::PropertyRegistry& props) const override {
+    OBISWAP_ASSIGN_OR_RETURN(double a, lhs_->Eval(props));
+    // Short-circuit the logical forms.
+    if (op_ == "and") {
+      if (a == 0.0) return 0.0;
+      OBISWAP_ASSIGN_OR_RETURN(double b, rhs_->Eval(props));
+      return b != 0.0 ? 1.0 : 0.0;
+    }
+    if (op_ == "or") {
+      if (a != 0.0) return 1.0;
+      OBISWAP_ASSIGN_OR_RETURN(double b, rhs_->Eval(props));
+      return b != 0.0 ? 1.0 : 0.0;
+    }
+    OBISWAP_ASSIGN_OR_RETURN(double b, rhs_->Eval(props));
+    if (op_ == "+") return a + b;
+    if (op_ == "-") return a - b;
+    if (op_ == "*") return a * b;
+    if (op_ == "/") {
+      if (b == 0.0) return InvalidArgumentError("division by zero");
+      return a / b;
+    }
+    if (op_ == "<") return a < b ? 1.0 : 0.0;
+    if (op_ == "<=") return a <= b ? 1.0 : 0.0;
+    if (op_ == ">") return a > b ? 1.0 : 0.0;
+    if (op_ == ">=") return a >= b ? 1.0 : 0.0;
+    if (op_ == "==") return a == b ? 1.0 : 0.0;
+    if (op_ == "!=") return a != b ? 1.0 : 0.0;
+    return InternalError("unknown operator " + op_);
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + op_ + " " + rhs_->ToString() + ")";
+  }
+
+ private:
+  std::string op_;
+  std::unique_ptr<Expr> lhs_;
+  std::unique_ptr<Expr> rhs_;
+};
+
+// --------------------------------------------------------------- parser --
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Expr>> Parse() {
+    OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, ParseOr());
+    if (!AtEnd())
+      return InvalidArgumentError("trailing tokens after expression: '" +
+                                  Peek().text + "'");
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+  bool ConsumeOp(const std::string& op) {
+    if (Peek().kind == TokKind::kOp && Peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAnd());
+    while (ConsumeOp("or")) {
+      OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAnd());
+      lhs = std::make_unique<BinaryExpr>("or", std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseCompare());
+    while (ConsumeOp("and")) {
+      OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseCompare());
+      lhs = std::make_unique<BinaryExpr>("and", std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseCompare() {
+    OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAdditive());
+    for (const char* op : {"<=", ">=", "==", "!=", "<", ">"}) {
+      if (ConsumeOp(op)) {
+        OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdditive());
+        return std::unique_ptr<Expr>(
+            std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs)));
+      }
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseTerm());
+    for (;;) {
+      if (ConsumeOp("+")) {
+        OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseTerm());
+        lhs = std::make_unique<BinaryExpr>("+", std::move(lhs),
+                                           std::move(rhs));
+      } else if (ConsumeOp("-")) {
+        OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseTerm());
+        lhs = std::make_unique<BinaryExpr>("-", std::move(lhs),
+                                           std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseTerm() {
+    OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParsePrimary());
+    for (;;) {
+      if (ConsumeOp("*")) {
+        OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParsePrimary());
+        lhs = std::make_unique<BinaryExpr>("*", std::move(lhs),
+                                           std::move(rhs));
+      } else if (ConsumeOp("/")) {
+        OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParsePrimary());
+        lhs = std::make_unique<BinaryExpr>("/", std::move(lhs),
+                                           std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    if (ConsumeOp("(")) {
+      OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOr());
+      if (!ConsumeOp(")")) return InvalidArgumentError("missing ')'");
+      return inner;
+    }
+    if (ConsumeOp("not") || ConsumeOp("!")) {
+      OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParsePrimary());
+      return std::unique_ptr<Expr>(
+          std::make_unique<UnaryExpr>('!', std::move(operand)));
+    }
+    if (ConsumeOp("-")) {
+      OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParsePrimary());
+      return std::unique_ptr<Expr>(
+          std::make_unique<UnaryExpr>('-', std::move(operand)));
+    }
+    if (Peek().kind == TokKind::kNumber) {
+      double value = Peek().number;
+      ++pos_;
+      return std::unique_ptr<Expr>(std::make_unique<NumberExpr>(value));
+    }
+    if (Peek().kind == TokKind::kIdent) {
+      std::string name = Peek().text;
+      ++pos_;
+      return std::unique_ptr<Expr>(
+          std::make_unique<IdentExpr>(std::move(name)));
+    }
+    return InvalidArgumentError("unexpected token '" + Peek().text +
+                                "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Expr>> ParseExpr(const std::string& text) {
+  OBISWAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<bool> EvalCondition(const std::string& text,
+                           const context::PropertyRegistry& props) {
+  OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, ParseExpr(text));
+  OBISWAP_ASSIGN_OR_RETURN(double value, expr->Eval(props));
+  return value != 0.0;
+}
+
+}  // namespace obiswap::policy

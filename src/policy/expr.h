@@ -1,0 +1,49 @@
+// Condition expressions for declarative policies.
+//
+// Policies are "coded in XML" (§4); their `when` conditions are small
+// numeric expressions over context properties, e.g.
+//
+//   mem.used_ratio ge 0.85 and net.nearby_stores gt 0
+//
+// Word operators (lt le gt ge eq ne and or not) are aliases for the symbol
+// forms so conditions embed cleanly in XML attributes; both are accepted.
+// Identifiers resolve through the PropertyRegistry at evaluation time;
+// truthiness is "!= 0".
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "context/context.h"
+
+namespace obiswap::policy {
+
+/// Parsed expression tree.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  /// Evaluates against the current properties. Unknown identifiers fail
+  /// with kNotFound (a policy over an unpublished property never fires).
+  virtual Result<double> Eval(const context::PropertyRegistry& props)
+      const = 0;
+  /// Round-trippable textual form (canonical, symbol operators).
+  virtual std::string ToString() const = 0;
+};
+
+/// Parses an expression. Grammar (highest to lowest precedence):
+///   primary   := number | identifier | '(' expr ')' | ('not'|'!') primary
+///                | '-' primary
+///   term      := primary (('*'|'/') primary)*
+///   additive  := term (('+'|'-') term)*
+///   compare   := additive (op additive)?      op in < <= > >= == != and
+///                word aliases lt le gt ge eq ne
+///   conjunct  := compare ('and' compare)*
+///   expr      := conjunct ('or' conjunct)*
+Result<std::unique_ptr<Expr>> ParseExpr(const std::string& text);
+
+/// Convenience: parse + evaluate truthiness.
+Result<bool> EvalCondition(const std::string& text,
+                           const context::PropertyRegistry& props);
+
+}  // namespace obiswap::policy

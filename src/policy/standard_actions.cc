@@ -1,0 +1,60 @@
+#include "policy/standard_actions.h"
+
+#include "common/string_util.h"
+
+namespace obiswap::policy {
+
+namespace {
+Result<int64_t> RequiredIntParam(const ActionParams& params,
+                                 const std::string& name) {
+  auto it = params.find(name);
+  if (it == params.end())
+    return InvalidArgumentError("missing action param '" + name + "'");
+  return ParseInt64(it->second);
+}
+}  // namespace
+
+Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
+                           swap::SwappingManager& manager) {
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "swap-out-victim",
+      [&manager](const context::Event&, const ActionParams&) {
+        return manager.SwapOutVictim().status();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "swap-out",
+      [&manager](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t cluster,
+                                 RequiredIntParam(params, "cluster"));
+        return manager.SwapOut(SwapClusterId(static_cast<uint32_t>(cluster)))
+            .status();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "swap-in",
+      [&manager](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t cluster,
+                                 RequiredIntParam(params, "cluster"));
+        return manager.SwapIn(SwapClusterId(static_cast<uint32_t>(cluster)));
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "collect", [&rt](const context::Event&, const ActionParams&) {
+        rt.heap().Collect();
+        return OkStatus();
+      }));
+  return OkStatus();
+}
+
+Status RegisterReplicationActions(PolicyEngine& engine,
+                                  replication::ReplicationServer& server) {
+  return engine.RegisterAction(
+      "set-replication-cluster-size",
+      [&server](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t size,
+                                 RequiredIntParam(params, "size"));
+        if (size <= 0) return InvalidArgumentError("size must be positive");
+        server.set_cluster_size(static_cast<size_t>(size));
+        return OkStatus();
+      });
+}
+
+}  // namespace obiswap::policy

@@ -1,0 +1,31 @@
+// Standard middleware actions for the policy engine.
+//
+// These bind the engine to the other OBIWAN modules: swapping (swap-out a
+// victim / a named cluster, swap-in), memory management (collect), and
+// replication (adapt the cluster size). Applications register their own
+// actions alongside these.
+#pragma once
+
+#include "policy/engine.h"
+#include "replication/server.h"
+#include "runtime/runtime.h"
+#include "swap/manager.h"
+
+namespace obiswap::policy {
+
+/// Registers:
+///   swap-out-victim              — SwappingManager::SwapOutVictim
+///   swap-out   (param "cluster") — SwappingManager::SwapOut
+///   swap-in    (param "cluster") — SwappingManager::SwapIn
+///   collect                      — full local collection
+/// All objects must outlive the engine.
+Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
+                           swap::SwappingManager& manager);
+
+/// Registers:
+///   set-replication-cluster-size (param "size") — adapts the grain
+/// (paper §2: clusters have "adaptable size").
+Status RegisterReplicationActions(PolicyEngine& engine,
+                                  replication::ReplicationServer& server);
+
+}  // namespace obiswap::policy

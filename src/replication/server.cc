@@ -1,0 +1,153 @@
+#include "replication/server.h"
+
+#include <deque>
+
+#include "serialization/graph_xml.h"
+
+namespace obiswap::replication {
+
+using runtime::Object;
+using runtime::Value;
+
+Status ReplicationServer::PublishRoot(const std::string& name, Object* root) {
+  if (root == nullptr) return InvalidArgumentError("null root");
+  if (roots_.count(name) > 0)
+    return AlreadyExistsError("root '" + name + "' already published");
+  roots_[name] = root;
+  // Anchor the root in the master runtime's globals so the master LGC never
+  // collects published graphs.
+  return rt_.SetGlobal("__obiwan_root_" + name, Value::Ref(root));
+}
+
+Result<RootInfo> ReplicationServer::GetRoot(const std::string& name) {
+  ++stats_.root_requests;
+  auto it = roots_.find(name);
+  if (it == roots_.end())
+    return NotFoundError("no published root '" + name + "'");
+  return RootInfo{it->second->oid(), it->second->cls().name()};
+}
+
+Object* ReplicationServer::FindByOid(ObjectId oid) {
+  Object* found = nullptr;
+  rt_.heap().ForEachObject([&](Object* obj) {
+    if (obj->oid() == oid) found = obj;
+  });
+  return found;
+}
+
+Result<ClusterReply> ReplicationServer::FetchCluster(DeviceId device,
+                                                     ObjectId oid) {
+  ++stats_.cluster_requests;
+  Object* start = FindByOid(oid);
+  if (start == nullptr)
+    return NotFoundError("no master object with oid " + oid.ToString());
+  std::unordered_set<ObjectId>& sent = sessions_[device];
+  if (sent.count(oid) > 0)
+    return FailedPreconditionError("device already holds oid " +
+                                   oid.ToString());
+
+  // BFS from the faulted object over not-yet-sent objects.
+  std::vector<Object*> members;
+  std::unordered_set<const Object*> visited;
+  std::deque<Object*> frontier;
+  frontier.push_back(start);
+  visited.insert(start);
+  while (!frontier.empty() && members.size() < cluster_size_) {
+    Object* obj = frontier.front();
+    frontier.pop_front();
+    if (sent.count(obj->oid()) > 0) continue;  // device already holds it
+    members.push_back(obj);
+    for (size_t i = 0; i < obj->slot_count(); ++i) {
+      const Value& slot = obj->RawSlot(i);
+      if (!slot.is_ref() || slot.ref() == nullptr) continue;
+      Object* target = slot.ref();
+      if (visited.insert(target).second) frontier.push_back(target);
+    }
+  }
+
+  ClusterId cluster(next_cluster_id_++);
+  for (Object* member : members) sent.insert(member->oid());
+
+  // External refs: objects outside this cluster, described by identity. On
+  // the device they bind to existing replicas or become replication
+  // proxies.
+  auto describe = [](Object* target) {
+    serialization::ExternalRef ref;
+    ref.oid = target->oid();
+    ref.class_name = target->cls().name();
+    ref.cluster = target->cluster();
+    return Result<serialization::ExternalRef>(ref);
+  };
+  // Label members with the cluster id so the document carries it.
+  for (Object* member : members) member->set_cluster(cluster);
+  OBISWAP_ASSIGN_OR_RETURN(
+      serialization::SerializedCluster serialized,
+      serialization::SerializeCluster(rt_, cluster.value(), members,
+                                      describe));
+
+  stats_.objects_shipped += members.size();
+  stats_.bytes_shipped += serialized.xml.size();
+  // Observer first (transactional support seeds versions on first ship),
+  // then collect the versions that travel with the reply.
+  if (observer_ != nullptr) observer_->OnShipped(device, members);
+  ClusterReply reply{cluster, std::move(serialized.xml), members.size(), {}};
+  if (version_provider_) {
+    reply.versions.reserve(members.size());
+    for (Object* member : members) {
+      reply.versions.emplace_back(member->oid(),
+                                  version_provider_(member->oid()));
+    }
+  }
+  return reply;
+}
+
+bool ReplicationServer::HasShipped(DeviceId device, ObjectId oid) const {
+  auto it = sessions_.find(device);
+  return it != sessions_.end() && it->second.count(oid) > 0;
+}
+
+void ReplicationServer::ReleaseObjects(DeviceId device,
+                                       const std::vector<ObjectId>& oids) {
+  auto it = sessions_.find(device);
+  if (it != sessions_.end()) {
+    for (ObjectId oid : oids) it->second.erase(oid);
+  }
+  if (observer_ != nullptr) observer_->OnReleased(device, oids);
+}
+
+Result<ReplicationServer::ValueSnapshot> ReplicationServer::SnapshotValues(
+    DeviceId device, ObjectId oid) {
+  if (!HasShipped(device, oid))
+    return FailedPreconditionError("device does not hold oid " +
+                                   oid.ToString());
+  Object* master = FindByOid(oid);
+  if (master == nullptr)
+    return NotFoundError("no master object with oid " + oid.ToString());
+  ValueSnapshot snapshot;
+  snapshot.oid = oid;
+  snapshot.version = version_provider_ ? version_provider_(oid) : 0;
+  const auto& fields = master->cls().fields();
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const runtime::Value& slot = master->RawSlot(i);
+    // Structural state is never refreshed; nil is skipped too — a nil slot
+    // on the master may be a cleared reference, which must not clobber the
+    // replica's (possibly mediated) link.
+    if (fields[i].kind == runtime::ValueKind::kRef || slot.is_ref() ||
+        slot.is_nil()) {
+      continue;
+    }
+    snapshot.fields.emplace_back(fields[i].name, slot);
+  }
+  return snapshot;
+}
+
+size_t ReplicationServer::SentCount(DeviceId device) const {
+  auto it = sessions_.find(device);
+  return it == sessions_.end() ? 0 : it->second.size();
+}
+
+void ReplicationServer::ForgetDevice(DeviceId device) {
+  sessions_.erase(device);
+}
+
+}  // namespace obiswap::replication

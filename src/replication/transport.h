@@ -1,0 +1,64 @@
+// Replication over the web-service bridge (Communication Services).
+//
+// Same envelope discipline as the store bridge: requests and responses are
+// XML documents shipped over the simulated network, so replication pays
+// realistic transfer costs on the 700 Kbps link.
+#pragma once
+
+#include <string>
+
+#include "net/network.h"
+#include "replication/device.h"
+#include "replication/server.h"
+
+namespace obiswap::replication {
+
+/// Server-side dispatcher: one per hosted ReplicationServer.
+class ReplicationService {
+ public:
+  explicit ReplicationService(ReplicationServer& server) : server_(server) {}
+
+  /// Handles one XML request; errors become response envelopes.
+  std::string Handle(const std::string& request_xml);
+
+ private:
+  ReplicationServer& server_;
+};
+
+/// Device-side ServerLink that tunnels through the network.
+class NetworkLink : public ServerLink {
+ public:
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t retries = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+  };
+
+  NetworkLink(net::Network& network, DeviceId self, DeviceId server_device,
+              ReplicationService& service, int max_attempts = 3)
+      : network_(network),
+        self_(self),
+        server_device_(server_device),
+        service_(service),
+        max_attempts_(max_attempts) {}
+
+  Result<RootInfo> GetRoot(const std::string& name) override;
+  Result<ClusterReply> FetchCluster(DeviceId device, ObjectId oid) override;
+  Result<ReplicationServer::ValueSnapshot> SnapshotValues(
+      DeviceId device, ObjectId oid) override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Result<std::string> Call(const std::string& request_xml);
+
+  net::Network& network_;
+  DeviceId self_;
+  DeviceId server_device_;
+  ReplicationService& service_;
+  int max_attempts_;
+  Stats stats_;
+};
+
+}  // namespace obiswap::replication

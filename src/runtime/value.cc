@@ -1,0 +1,38 @@
+#include "runtime/value.h"
+
+namespace obiswap::runtime {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNil:
+      return "nil";
+    case ValueKind::kRef:
+      return "ref";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kReal:
+      return "real";
+    case ValueKind::kStr:
+      return "str";
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ValueKind::kNil:
+      return true;
+    case ValueKind::kRef:
+      return ref_ == other.ref_;
+    case ValueKind::kInt:
+      return int_ == other.int_;
+    case ValueKind::kReal:
+      return real_ == other.real_;
+    case ValueKind::kStr:
+      return str_ == other.str_;
+  }
+  return false;
+}
+
+}  // namespace obiswap::runtime

@@ -1,0 +1,44 @@
+// Class schemas as XML documents.
+//
+// OBIWAN ships application classes to devices (Figure 1's "Assembly /
+// Class Files" feeding the Extended Class Loader). Our runtime's classes
+// are metadata, so the portable equivalent of a class file is an XML
+// schema: field layouts and payload sizes travel as text; method bodies
+// bind on arrival from a registry of native implementations (the stand-in
+// for executable code the device already has).
+//
+//   <classes>
+//     <class name="Node" payload="64">
+//       <field name="next" type="ref"/>
+//       <field name="value" type="int"/>
+//       <method name="next"/>
+//     </class>
+//   </classes>
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "runtime/runtime.h"
+
+namespace obiswap::serialization {
+
+/// Method implementations available on the device, keyed "Class.method".
+using NativeMethods =
+    std::unordered_map<std::string, runtime::MethodFn>;
+
+/// Registers every class in the document with `rt`'s TypeRegistry. Each
+/// declared <method> must resolve in `methods` ("Class.method" key);
+/// classes already registered are rejected (kAlreadyExists). Returns the
+/// number of classes registered.
+Result<size_t> LoadClassesXml(runtime::Runtime& rt,
+                              const std::string& xml_text,
+                              const NativeMethods* methods = nullptr);
+
+/// Exports the registry's regular classes (fields, payloads and method
+/// names; middleware proxy classes are skipped) as a schema document that
+/// LoadClassesXml on another device accepts.
+std::string DumpClassesXml(const runtime::TypeRegistry& types);
+
+}  // namespace obiswap::serialization

@@ -1,0 +1,906 @@
+#include "swap/manager.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "compress/codec.h"
+#include "serialization/graph_xml.h"
+
+namespace obiswap::swap {
+
+using runtime::ClassBuilder;
+using runtime::ClassInfo;
+using runtime::LocalScope;
+using runtime::Object;
+using runtime::ObjectKind;
+using runtime::Value;
+using runtime::ValueKind;
+
+SwappingManager::SwappingManager(runtime::Runtime& rt, Options options)
+    : rt_(rt),
+      options_(std::move(options)),
+      alive_(std::make_shared<SwappingManager*>(this)) {
+  OBISWAP_CHECK(options_.clusters_per_swap_cluster > 0);
+  OBISWAP_CHECK(compress::FindCodec(options_.codec) != nullptr);
+
+  std::shared_ptr<SwappingManager*> alive = alive_;
+  auto proxy_finalizer = [alive](Object* obj) {
+    if (*alive != nullptr) (*alive)->OnProxyFinalized(obj);
+  };
+  auto replacement_finalizer = [alive](Object* obj) {
+    if (*alive != nullptr) (*alive)->OnReplacementFinalized(obj);
+  };
+
+  const ClassInfo* existing = rt_.types().Find(kSwapProxyClassName);
+  if (existing != nullptr) {
+    proxy_cls_ = existing;
+    replacement_cls_ = rt_.types().Find(kReplacementClassName);
+    OBISWAP_CHECK(replacement_cls_ != nullptr);
+  } else {
+    proxy_cls_ = *rt_.types().Register(
+        ClassBuilder(kSwapProxyClassName)
+            .Kind(ObjectKind::kSwapClusterProxy)
+            .Field("target", ValueKind::kRef)
+            .Field("source", ValueKind::kInt)
+            .Field("target_sc", ValueKind::kInt)
+            .Field("target_oid", ValueKind::kInt)
+            .Field("assigned", ValueKind::kInt)
+            .OnFinalize(proxy_finalizer));
+    replacement_cls_ = *rt_.types().Register(
+        ClassBuilder(kReplacementClassName)
+            .Kind(ObjectKind::kReplacement)
+            .Field("cluster", ValueKind::kInt)
+            .Field("key", ValueKind::kInt)
+            .Field("device", ValueKind::kInt)
+            .OnFinalize(replacement_finalizer));
+  }
+
+  rt_.SetInterceptor(ObjectKind::kSwapClusterProxy, this);
+  rt_.SetInterceptor(ObjectKind::kReplacement, this);
+  rt_.SetStoreMediator(this);
+  rt_.SetIdentityHook(this);
+}
+
+SwappingManager::~SwappingManager() {
+  *alive_ = nullptr;
+  rt_.SetInterceptor(ObjectKind::kSwapClusterProxy, nullptr);
+  rt_.SetInterceptor(ObjectKind::kReplacement, nullptr);
+  rt_.SetStoreMediator(nullptr);
+  rt_.SetIdentityHook(nullptr);
+  if (bus_ != nullptr) bus_->Unsubscribe(bus_token_);
+}
+
+void SwappingManager::AttachStore(net::StoreClient* client,
+                                  net::Discovery* discovery) {
+  store_ = client;
+  discovery_ = discovery;
+}
+
+void SwappingManager::AttachBus(context::EventBus* bus) {
+  bus_ = bus;
+  bus_token_ = bus_->Subscribe(
+      context::kEventClusterReplicated,
+      [this](const context::Event& event) { OnClusterReplicated(event); });
+}
+
+void SwappingManager::InstallPressureHandler() {
+  rt_.heap().SetPressureHandler([this](size_t needed) {
+    (void)needed;
+    Result<SwapClusterId> victim = SwapOutVictim();
+    if (!victim.ok()) {
+      OBISWAP_LOG(kWarn) << "pressure: no swappable victim: "
+                         << victim.status().ToString();
+      return false;
+    }
+    OBISWAP_LOG(kInfo) << "pressure: swapped out cluster "
+                       << victim->ToString();
+    return true;
+  });
+}
+
+Status SwappingManager::Place(Object* obj, SwapClusterId id) {
+  OBISWAP_RETURN_IF_ERROR(registry_.AddMember(rt_.heap(), obj, id));
+  registry_.Touch(id, ++crossing_seq_);
+  return OkStatus();
+}
+
+SwapState SwappingManager::StateOf(SwapClusterId id) const {
+  const SwapClusterInfo* info = registry_.Find(id);
+  return info == nullptr ? SwapState::kLoaded : info->state;
+}
+
+size_t SwappingManager::InboundProxyCount(SwapClusterId id) {
+  auto it = inbound_.find(id);
+  if (it == inbound_.end()) return 0;
+  size_t write = 0;
+  size_t live = 0;
+  auto& list = it->second;
+  for (size_t read = 0; read < list.size(); ++read) {
+    Object* proxy = list[read]->get();
+    if (proxy == nullptr) continue;
+    // A patched assigned-proxy may have moved on to another target cluster.
+    if (ProxyTargetSc(proxy) != id) continue;
+    ++live;
+    list[write++] = list[read];
+  }
+  list.resize(write);
+  return live;
+}
+
+// ---------------------------------------------------------------------------
+// Resolution and proxy lifecycle
+// ---------------------------------------------------------------------------
+
+bool SwappingManager::ResolveUltimate(Object* value, Resolved* out) const {
+  if (value == nullptr) return false;
+  switch (value->kind()) {
+    case ObjectKind::kRegular:
+      *out = Resolved{value, value->swap_cluster(), value->oid()};
+      return true;
+    case ObjectKind::kSwapClusterProxy:
+      *out = Resolved{ProxyTarget(value), ProxyTargetSc(value),
+                      ProxyTargetOid(value)};
+      return true;
+    case ObjectKind::kReplicationProxy:
+    case ObjectKind::kReplacement:
+      return false;  // not swap-mediated
+  }
+  return false;
+}
+
+Object* SwappingManager::FindReusableProxy(SwapClusterId source,
+                                           ObjectId oid) {
+  auto it = reuse_.find(ReuseKey{source.value(), oid.value()});
+  if (it == reuse_.end()) return nullptr;
+  Object* proxy = it->second->get();
+  if (proxy == nullptr) {
+    reuse_.erase(it);
+    return nullptr;
+  }
+  return proxy;
+}
+
+void SwappingManager::RegisterProxy(Object* proxy, SwapClusterId target_sc,
+                                    ObjectId target_oid,
+                                    SwapClusterId source) {
+  runtime::WeakRef weak = rt_.heap().NewWeakRef(proxy);
+  inbound_[target_sc].push_back(weak);
+  reuse_[ReuseKey{source.value(), target_oid.value()}] = weak;
+}
+
+Result<Object*> SwappingManager::CreateProxy(SwapClusterId source,
+                                             const Resolved& resolved) {
+  // Root the target across the allocation (which may collect).
+  LocalScope scope(rt_.heap());
+  scope.Add(resolved.target);
+  OBISWAP_ASSIGN_OR_RETURN(Object * proxy, rt_.TryNewMiddleware(proxy_cls_));
+  proxy->set_swap_cluster(source);
+  proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(resolved.target);
+  proxy->RawSlotMutable(kProxySlotSource) =
+      Value::Int(static_cast<int64_t>(source.value()));
+  proxy->RawSlotMutable(kProxySlotTargetSc) =
+      Value::Int(static_cast<int64_t>(resolved.sc.value()));
+  proxy->RawSlotMutable(kProxySlotTargetOid) =
+      Value::Int(static_cast<int64_t>(resolved.oid.value()));
+  proxy->RawSlotMutable(kProxySlotAssigned) = Value::Int(0);
+  RegisterProxy(proxy, resolved.sc, resolved.oid, source);
+  ++stats_.proxies_created;
+  return proxy;
+}
+
+Result<Object*> SwappingManager::ResolveForContext(SwapClusterId context,
+                                                   Object* value) {
+  Resolved resolved;
+  if (!ResolveUltimate(value, &resolved)) return value;  // pass-through kinds
+
+  if (IsSwapProxy(value) && ProxySource(value) == context) {
+    // Already the right mediation for this context.
+    ++stats_.proxies_reused;
+    return value;
+  }
+  if (resolved.sc == context) {
+    // Rule iii: a reference into the holder's own swap-cluster is stored
+    // raw (dismantle any proxy).
+    if (IsSwapProxy(value)) ++stats_.proxies_dismantled;
+    return resolved.target;
+  }
+  // Rules i/ii: reuse the proxy for this (source, target) pair or create
+  // one.
+  if (Object* reusable = FindReusableProxy(context, resolved.oid);
+      reusable != nullptr) {
+    ++stats_.proxies_reused;
+    return reusable;
+  }
+  return CreateProxy(context, resolved);
+}
+
+Object* SwappingManager::MediateStore(runtime::Runtime& rt, Object* holder,
+                                      Object* value) {
+  (void)rt;
+  SwapClusterId context =
+      holder == nullptr ? kSwapCluster0 : holder->swap_cluster();
+  if (!context.valid()) context = kSwapCluster0;
+  Result<Object*> mediated = ResolveForContext(context, value);
+  if (!mediated.ok()) {
+    // Allocation of the mediating proxy failed; store the raw reference —
+    // referential integrity beats mediation (and the cluster then simply
+    // cannot swap until memory recovers).
+    OBISWAP_LOG(kWarn) << "store mediation failed: "
+                       << mediated.status().ToString();
+    return value;
+  }
+  return *mediated;
+}
+
+bool SwappingManager::SameObject(const Object* a, const Object* b) {
+  auto identity = [](const Object* obj) -> uint64_t {
+    switch (obj->kind()) {
+      case ObjectKind::kRegular:
+        return obj->oid().value();
+      case ObjectKind::kSwapClusterProxy:
+        return ProxyTargetOid(obj).value();
+      case ObjectKind::kReplicationProxy:
+        // Slot 0 of a replication proxy is the remote oid.
+        return static_cast<uint64_t>(obj->RawSlot(0).as_int());
+      case ObjectKind::kReplacement:
+        return obj->oid().value();
+    }
+    return obj->oid().value();
+  };
+  return identity(a) == identity(b);
+}
+
+Status SwappingManager::Assign(Object* proxy) {
+  if (!IsSwapProxy(proxy))
+    return InvalidArgumentError("assign() takes a swap-cluster-proxy");
+  if (ProxySource(proxy) != kSwapCluster0)
+    return FailedPreconditionError(
+        "assign() is only valid for proxies with source in swap-cluster-0");
+  proxy->RawSlotMutable(kProxySlotAssigned) = Value::Int(1);
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive regrouping
+// ---------------------------------------------------------------------------
+
+Status SwappingManager::MergeSwapClusters(SwapClusterId into,
+                                          SwapClusterId from) {
+  if (into == from) return InvalidArgumentError("merge of a cluster with itself");
+  SwapClusterInfo* into_info = registry_.Find(into);
+  SwapClusterInfo* from_info = registry_.Find(from);
+  if (into_info == nullptr || from_info == nullptr)
+    return NotFoundError("unknown swap-cluster in merge");
+  if (into_info->state != SwapState::kLoaded ||
+      from_info->state != SwapState::kLoaded)
+    return FailedPreconditionError("merge requires both clusters loaded");
+  for (SwapClusterId active : rt_.context_stack()) {
+    if (active == into || active == from)
+      return FailedPreconditionError("merge of an executing swap-cluster");
+  }
+  if (victim_filter_ && (victim_filter_(into) || victim_filter_(from)))
+    return FailedPreconditionError("merge of a pinned swap-cluster");
+
+  // 1. Relabel every object of `from` (registered or method-created) and
+  //    fold membership into `into`.
+  rt_.heap().ForEachObject([&](Object* obj) {
+    if (obj->kind() != ObjectKind::kRegular) return;
+    if (obj->swap_cluster() != from) return;
+    obj->set_swap_cluster(into);
+    into_info->members.push_back(rt_.heap().NewWeakRef(obj));
+  });
+
+  // 2. Relabel proxies: targets into `from` now target `into`; proxies
+  //    sourced in `from` now speak for `into`.
+  rt_.heap().ForEachObject([&](Object* proxy) {
+    if (proxy->kind() != ObjectKind::kSwapClusterProxy) return;
+    if (ProxyTargetSc(proxy) == from) {
+      proxy->RawSlotMutable(kProxySlotTargetSc) =
+          Value::Int(static_cast<int64_t>(into.value()));
+      inbound_[into].push_back(rt_.heap().NewWeakRef(proxy));
+    }
+    if (ProxySource(proxy) == from) {
+      proxy->RawSlotMutable(kProxySlotSource) =
+          Value::Int(static_cast<int64_t>(into.value()));
+      proxy->set_swap_cluster(into);
+      ReuseKey old_key{from.value(), ProxyTargetOid(proxy).value()};
+      auto it = reuse_.find(old_key);
+      if (it != reuse_.end() && it->second->get() == proxy) {
+        runtime::WeakRef weak = it->second;
+        reuse_.erase(it);
+        reuse_.emplace(
+            ReuseKey{into.value(), ProxyTargetOid(proxy).value()}, weak);
+      }
+    }
+  });
+
+  // 3. Dismantle proxies that became internal: any slot in the merged
+  //    cluster holding an into->into proxy reverts to the raw reference —
+  //    "there are no further indirections ... the application runs at
+  //    full-speed".
+  rt_.heap().ForEachObject([&](Object* holder) {
+    if (holder->kind() != ObjectKind::kRegular) return;
+    if (holder->swap_cluster() != into) return;
+    for (size_t i = 0; i < holder->slot_count(); ++i) {
+      const Value& slot = holder->RawSlot(i);
+      if (!slot.is_ref() || !IsSwapProxy(slot.ref())) continue;
+      Object* proxy = slot.ref();
+      if (ProxySource(proxy) == into && ProxyTargetSc(proxy) == into) {
+        holder->RawSlotMutable(i).set_ref(ProxyTarget(proxy));
+        ++stats_.proxies_dismantled;
+      }
+    }
+  });
+
+  // 4. Fold bookkeeping and retire `from`.
+  into_info->crossing_count += from_info->crossing_count;
+  into_info->last_crossing_seq =
+      std::max(into_info->last_crossing_seq, from_info->last_crossing_seq);
+  into_info->replication_clusters.insert(
+      into_info->replication_clusters.end(),
+      from_info->replication_clusters.begin(),
+      from_info->replication_clusters.end());
+  registry_.Remove(from);
+  inbound_.erase(from);
+  ++stats_.merges;
+  return OkStatus();
+}
+
+Result<SwapClusterId> SwappingManager::SplitSwapCluster(
+    SwapClusterId id, const std::vector<Object*>& members_to_move) {
+  SwapClusterInfo* info = registry_.Find(id);
+  if (info == nullptr) return NotFoundError("unknown swap-cluster in split");
+  if (info->state != SwapState::kLoaded)
+    return FailedPreconditionError("split requires a loaded cluster");
+  if (members_to_move.empty())
+    return InvalidArgumentError("split with no members to move");
+  for (SwapClusterId active : rt_.context_stack()) {
+    if (active == id)
+      return FailedPreconditionError("split of an executing swap-cluster");
+  }
+  if (victim_filter_ && victim_filter_(id))
+    return FailedPreconditionError("split of a pinned swap-cluster");
+  std::unordered_set<const Object*> moving;
+  std::unordered_set<uint64_t> moving_oids;
+  for (Object* member : members_to_move) {
+    if (member == nullptr || member->kind() != ObjectKind::kRegular ||
+        member->swap_cluster() != id)
+      return InvalidArgumentError(
+          "split members must be regular objects of the split cluster");
+    moving.insert(member);
+    moving_oids.insert(member->oid().value());
+  }
+
+  SwapClusterId fresh = registry_.Create();
+  SwapClusterInfo* fresh_info = registry_.Find(fresh);
+  for (Object* member : members_to_move) {
+    member->set_swap_cluster(fresh);
+    fresh_info->members.push_back(rt_.heap().NewWeakRef(member));
+  }
+
+  // Existing proxies whose ultimate target moved now mediate into the new
+  // cluster.
+  rt_.heap().ForEachObject([&](Object* proxy) {
+    if (proxy->kind() != ObjectKind::kSwapClusterProxy) return;
+    if (ProxyTargetSc(proxy) != id) return;
+    if (moving_oids.count(ProxyTargetOid(proxy).value()) == 0) return;
+    proxy->RawSlotMutable(kProxySlotTargetSc) =
+        Value::Int(static_cast<int64_t>(fresh.value()));
+    inbound_[fresh].push_back(rt_.heap().NewWeakRef(proxy));
+  });
+
+  // Raw references that now cross the new boundary acquire proxies, in
+  // both directions ("for every reference linking two different
+  // swap-clusters ... a special proxy always remains in the way").
+  // Two phases: mediation allocates (and may collect), which must not
+  // happen while iterating the heap's object list.
+  struct PendingMediation {
+    Object* holder;
+    size_t slot;
+    Object* target;
+  };
+  std::vector<PendingMediation> pending;
+  rt_.heap().ForEachObject([&](Object* holder) {
+    if (holder->kind() != ObjectKind::kRegular) return;
+    SwapClusterId holder_sc = holder->swap_cluster();
+    if (holder_sc != id && holder_sc != fresh) return;
+    for (size_t i = 0; i < holder->slot_count(); ++i) {
+      const Value& slot = holder->RawSlot(i);
+      if (!slot.is_ref() || slot.ref() == nullptr) continue;
+      Object* target = slot.ref();
+      if (target->kind() != ObjectKind::kRegular) continue;
+      if (target->swap_cluster() == holder_sc) continue;
+      pending.push_back(PendingMediation{holder, i, target});
+    }
+  });
+  LocalScope scope(rt_.heap());
+  for (const PendingMediation& entry : pending) {
+    scope.Add(entry.holder);
+    scope.Add(entry.target);
+  }
+  for (const PendingMediation& entry : pending) {
+    OBISWAP_ASSIGN_OR_RETURN(
+        Object * mediated,
+        ResolveForContext(entry.holder->swap_cluster(), entry.target));
+    entry.holder->RawSlotMutable(entry.slot).set_ref(mediated);
+  }
+
+  registry_.Touch(id, ++crossing_seq_);
+  registry_.Touch(fresh, crossing_seq_);
+  ++stats_.splits;
+  return fresh;
+}
+
+// ---------------------------------------------------------------------------
+// Invocation interception
+// ---------------------------------------------------------------------------
+
+Result<Value> SwappingManager::Invoke(runtime::Runtime& rt, Object* receiver,
+                                      std::string_view method,
+                                      std::vector<Value>& args) {
+  (void)rt;
+  if (IsReplacement(receiver)) {
+    return FailedPreconditionError(
+        "direct invocation on a replacement-object: applications reach a "
+        "swapped cluster only through swap-cluster-proxies");
+  }
+  return ProxyInvoke(receiver, method, args);
+}
+
+Result<Value> SwappingManager::ProxyInvoke(Object* proxy,
+                                           std::string_view method,
+                                           std::vector<Value>& args) {
+  Object* target = ProxyTarget(proxy);
+  if (target == nullptr)
+    return InternalError("swap-cluster-proxy with null target");
+
+  if (IsReplacement(target)) {
+    // The mediated cluster is swapped out: fault it back in as a whole
+    // ("since one of the objects enclosed ... becomes needed again, there
+    // is a high probability that the others will be as well").
+    OBISWAP_RETURN_IF_ERROR(SwapIn(ReplacementCluster(target)));
+    target = ProxyTarget(proxy);  // patched by SwapIn
+    if (target == nullptr || IsReplacement(target))
+      return InternalError("swap-in did not patch the faulting proxy");
+  }
+
+  SwapClusterId target_sc = ProxyTargetSc(proxy);
+  ++stats_.boundary_crossings;
+  registry_.RecordCrossing(target_sc, ++crossing_seq_);
+
+  // Mediate reference arguments into the target's context (the generated
+  // proxy code "verifies references being passed as parameters").
+  for (Value& arg : args) {
+    if (!arg.is_ref() || arg.ref() == nullptr) continue;
+    OBISWAP_ASSIGN_OR_RETURN(Object * mediated,
+                             ResolveForContext(target_sc, arg.ref()));
+    arg.set_ref(mediated);
+  }
+
+  Result<Value> result = rt_.Invoke(target, method, std::move(args));
+  if (!result.ok()) return result;
+  return MediateReturn(proxy, *std::move(result));
+}
+
+Result<Value> SwappingManager::MediateReturn(Object* proxy, Value result) {
+  if (!result.is_ref() || result.ref() == nullptr) return result;
+
+  // Root the returned object: mediation may allocate.
+  LocalScope scope(rt_.heap());
+  scope.Add(result.ref());
+
+  Resolved resolved;
+  if (!ResolveUltimate(result.ref(), &resolved)) return result;
+
+  SwapClusterId source = ProxySource(proxy);
+  if (resolved.sc == source) {
+    // Returning home: hand the raw object back (rule iii).
+    if (IsSwapProxy(result.ref())) ++stats_.proxies_dismantled;
+    result.set_ref(resolved.target);
+    return result;
+  }
+
+  if (ProxyAssigned(proxy)) {
+    // assign() optimization (§4): "instead of creating a new
+    // swap-cluster-proxy to be returned to application code (discarding
+    // itself), it patches itself."
+    ObjectId old_oid = ProxyTargetOid(proxy);
+    auto it = reuse_.find(ReuseKey{source.value(), old_oid.value()});
+    if (it != reuse_.end() && it->second->get() == proxy) reuse_.erase(it);
+    proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(resolved.target);
+    proxy->RawSlotMutable(kProxySlotTargetSc) =
+        Value::Int(static_cast<int64_t>(resolved.sc.value()));
+    proxy->RawSlotMutable(kProxySlotTargetOid) =
+        Value::Int(static_cast<int64_t>(resolved.oid.value()));
+    inbound_[resolved.sc].push_back(rt_.heap().NewWeakRef(proxy));
+    ++stats_.assigned_patches;
+    result.set_ref(proxy);
+    return result;
+  }
+
+  // Default path: a fresh proxy mediates the returned reference (paper's
+  // tests A2/B1 — "an additional swap-cluster-proxy is created ... later
+  // reclaimed by the LGC").
+  OBISWAP_ASSIGN_OR_RETURN(Object * fresh, CreateProxy(source, resolved));
+  result.set_ref(fresh);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Swap-out / swap-in
+// ---------------------------------------------------------------------------
+
+SwapKey SwappingManager::NextKey() {
+  uint64_t self = store_ != nullptr ? store_->self().value() : 0;
+  return SwapKey((self << 32) | next_key_++);
+}
+
+Status SwappingManager::StoreAt(DeviceId device, SwapKey key,
+                                const std::string& payload) {
+  if (IsLocalDevice(device)) return local_->Store(key, payload);
+  OBISWAP_CHECK(store_ != nullptr);
+  return store_->Store(device, key, payload);
+}
+
+Result<std::string> SwappingManager::FetchFrom(DeviceId device, SwapKey key) {
+  if (IsLocalDevice(device)) return local_->Fetch(key);
+  if (store_ == nullptr)
+    return FailedPreconditionError("no store client attached");
+  return store_->Fetch(device, key);
+}
+
+Status SwappingManager::DropAt(DeviceId device, SwapKey key) {
+  if (IsLocalDevice(device)) return local_->Drop(key);
+  if (store_ == nullptr)
+    return FailedPreconditionError("no store client attached");
+  return store_->Drop(device, key);
+}
+
+Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
+  SwapClusterInfo* info = registry_.Find(id);
+  if (info == nullptr)
+    return NotFoundError("no swap-cluster " + id.ToString());
+  if (info->state != SwapState::kLoaded)
+    return FailedPreconditionError("swap-cluster " + id.ToString() + " is " +
+                                   SwapStateName(info->state));
+  if ((store_ == nullptr || discovery_ == nullptr) && local_ == nullptr)
+    return FailedPreconditionError("no store client or local store attached");
+  for (SwapClusterId active : rt_.context_stack()) {
+    if (active == id)
+      return FailedPreconditionError("swap-cluster " + id.ToString() +
+                                     " is currently executing");
+  }
+  if (victim_filter_ && victim_filter_(id)) {
+    return FailedPreconditionError("swap-cluster " + id.ToString() +
+                                   " is pinned (uncommitted transactional "
+                                   "writes)");
+  }
+
+  std::vector<Object*> members = registry_.LiveMembers(id);
+  if (members.empty())
+    return FailedPreconditionError("swap-cluster " + id.ToString() +
+                                   " has no live members");
+  // Objects allocated inside a member's methods inherit the cluster label
+  // without explicit registration; fold every same-cluster object reachable
+  // from the registered members into the swap unit.
+  {
+    std::unordered_set<const Object*> seen(members.begin(), members.end());
+    for (size_t scan = 0; scan < members.size(); ++scan) {
+      Object* member = members[scan];
+      for (size_t i = 0; i < member->slot_count(); ++i) {
+        const Value& slot = member->RawSlot(i);
+        if (!slot.is_ref() || slot.ref() == nullptr) continue;
+        Object* target = slot.ref();
+        if (target->kind() != ObjectKind::kRegular) continue;
+        if (target->swap_cluster() != id) continue;
+        if (!seen.insert(target).second) continue;
+        members.push_back(target);
+        info->members.push_back(rt_.heap().NewWeakRef(target));
+      }
+    }
+  }
+  LocalScope scope(rt_.heap());
+  for (Object* member : members) scope.Add(member);
+
+  // Serialize. External targets must be mediation machinery — a raw
+  // reference to another swap-cluster would violate the §3 invariant.
+  auto describe =
+      [](Object* external) -> Result<serialization::ExternalRef> {
+    if (external->kind() != ObjectKind::kSwapClusterProxy &&
+        external->kind() != ObjectKind::kReplicationProxy) {
+      return InternalError(
+          "raw cross-swap-cluster reference found during swap-out "
+          "(mediation invariant violated): target class " +
+          external->cls().name());
+    }
+    serialization::ExternalRef ref;
+    ref.oid = external->oid();
+    ref.class_name = external->cls().name();
+    return ref;
+  };
+  OBISWAP_ASSIGN_OR_RETURN(
+      serialization::SerializedCluster serialized,
+      serialization::SerializeCluster(rt_, id.value(), members, describe));
+
+  const compress::Codec* codec = compress::FindCodec(options_.codec);
+  std::string payload = compress::FrameCompress(*codec, serialized.xml);
+
+  // Pick a nearby store with room ("stores the swapped objects in any
+  // nearby device with wireless connectivity and available storage");
+  // fall back to the local flash when nothing suitable is in range.
+  size_t need = payload.size();
+  if (need < options_.store_min_free_bytes)
+    need = options_.store_min_free_bytes;
+  SwapKey key = NextKey();
+  Status stored = UnavailableError("no nearby store device with " +
+                                   FormatBytes(need) + " free");
+  DeviceId chosen;
+  if (store_ != nullptr && discovery_ != nullptr) {
+    for (net::StoreNode* candidate :
+         discovery_->NearbyStores(store_->self(), need)) {
+      stored = store_->Store(candidate->device(), key, payload);
+      if (stored.ok()) {
+        chosen = candidate->device();
+        break;
+      }
+    }
+  }
+  if (!stored.ok() && local_ != nullptr &&
+      local_->free_bytes() >= payload.size()) {
+    stored = local_->Store(key, payload);
+    if (stored.ok()) {
+      chosen = local_->device();
+      ++stats_.local_swap_outs;
+    }
+  }
+  if (!stored.ok()) {
+    ++stats_.swap_out_failures;
+    return stored;
+  }
+
+  // Build the replacement-object: "simply an array of references ... filled
+  // with references to every swap-cluster-proxy referenced by" the cluster.
+  Result<Object*> replacement_or = rt_.TryNewMiddleware(replacement_cls_);
+  if (!replacement_or.ok()) {
+    // Roll back the store entry; the cluster stays loaded.
+    (void)DropAt(chosen, key);
+    ++stats_.swap_out_failures;
+    return replacement_or.status();
+  }
+  Object* replacement = *replacement_or;
+  scope.Add(replacement);
+  replacement->RawSlotMutable(kReplSlotCluster) =
+      Value::Int(static_cast<int64_t>(id.value()));
+  replacement->RawSlotMutable(kReplSlotKey) =
+      Value::Int(static_cast<int64_t>(key.value()));
+  replacement->RawSlotMutable(kReplSlotDevice) =
+      Value::Int(static_cast<int64_t>(chosen.value()));
+  for (Object* outbound : serialized.outbound) {
+    replacement->AppendSlot(Value::Ref(outbound));
+  }
+  rt_.heap().RefreshAccounting(replacement);
+
+  // Patch every inbound swap-cluster-proxy to target the replacement
+  // ("every swap-cluster referencing objects contained in swap-cluster-2
+  // will be made to reference ReplacementObject-2 instead").
+  auto& inbound = inbound_[id];
+  size_t write = 0;
+  for (size_t read = 0; read < inbound.size(); ++read) {
+    Object* proxy = inbound[read]->get();
+    if (proxy == nullptr) continue;
+    if (ProxyTargetSc(proxy) == id) {
+      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(replacement);
+    }
+    inbound[write++] = inbound[read];
+  }
+  inbound.resize(write);
+
+  info->state = SwapState::kSwapped;
+  info->key = key;
+  info->store_device = chosen;
+  info->replacement = rt_.heap().NewWeakRef(replacement);
+  info->swapped_object_count = members.size();
+  info->swapped_payload_bytes = payload.size();
+  info->swapped_oids.clear();
+  info->swapped_oids.reserve(members.size());
+  for (Object* member : members) info->swapped_oids.push_back(member->oid());
+  ++info->swap_out_count;
+
+  ++stats_.swap_outs;
+  stats_.bytes_swapped_out += payload.size();
+  if (bus_ != nullptr) {
+    bus_->Publish(context::Event(context::kEventClusterSwappedOut)
+                      .Set("swap_cluster", static_cast<int64_t>(id.value()))
+                      .Set("objects", static_cast<int64_t>(members.size()))
+                      .Set("bytes", static_cast<int64_t>(payload.size()))
+                      .Set("device", static_cast<int64_t>(chosen.value())));
+  }
+  // The members are now detached from the application graph; the next
+  // collection reclaims them (the LocalScope roots die with this frame).
+  return key;
+}
+
+Result<SwapClusterId> SwappingManager::SwapOutVictim() {
+  std::vector<SwapClusterId> exclude = rt_.context_stack();
+  for (;;) {
+    SwapClusterId victim = registry_.PickLruVictim(exclude);
+    if (!victim.valid())
+      return FailedPreconditionError("no eligible swap-out victim");
+    Result<SwapKey> key = SwapOut(victim);
+    if (key.ok()) return victim;
+    // This victim failed (e.g. store full for its payload); try the next.
+    exclude.push_back(victim);
+    if (key.status().code() == StatusCode::kFailedPrecondition ||
+        key.status().code() == StatusCode::kResourceExhausted ||
+        key.status().code() == StatusCode::kUnavailable) {
+      continue;
+    }
+    return key.status();
+  }
+}
+
+Status SwappingManager::SwapIn(SwapClusterId id) {
+  SwapClusterInfo* info = registry_.Find(id);
+  if (info == nullptr) return NotFoundError("no swap-cluster " + id.ToString());
+  if (info->state != SwapState::kSwapped)
+    return FailedPreconditionError("swap-cluster " + id.ToString() + " is " +
+                                   SwapStateName(info->state));
+  Object* replacement = info->replacement->get();
+  if (replacement == nullptr)
+    return InternalError("swap-in of cluster " + id.ToString() +
+                         " whose replacement-object is dead");
+  LocalScope scope(rt_.heap());
+  scope.Add(replacement);
+
+  OBISWAP_ASSIGN_OR_RETURN(std::string payload,
+                           FetchFrom(info->store_device, info->key));
+  OBISWAP_ASSIGN_OR_RETURN(std::string xml_text,
+                           compress::FrameDecompress(payload));
+
+  // Outbound proxies were kept alive by the replacement; they resolve the
+  // document's external references by index.
+  auto resolve = [replacement](const serialization::ExternalRef& ref)
+      -> Result<Object*> {
+    size_t slot = kReplSlotFirstOutbound + ref.index;
+    if (slot >= replacement->slot_count())
+      return DataLossError("external ref index out of range");
+    Object* target = replacement->RawSlot(slot).ref();
+    if (target == nullptr)
+      return InternalError("replacement outbound slot is null");
+    return target;
+  };
+  serialization::DeserializeOptions options;
+  options.expected_id = static_cast<int64_t>(id.value());
+  options.assign_swap_cluster = id;
+  OBISWAP_ASSIGN_OR_RETURN(
+      std::vector<Object*> members,
+      serialization::DeserializeCluster(rt_, xml_text, options, resolve));
+  for (Object* member : members) scope.Add(member);
+
+  // Rebuild membership and the oid → object map for proxy patching.
+  info->members.clear();
+  std::unordered_map<uint64_t, Object*> by_oid;
+  for (Object* member : members) {
+    info->members.push_back(rt_.heap().NewWeakRef(member));
+    by_oid[member->oid().value()] = member;
+  }
+
+  // Patch all inbound proxies back to the fresh replicas ("their internal
+  // references are patched in order to target the corresponding object
+  // replicas being swapped-in").
+  auto& inbound = inbound_[id];
+  size_t write = 0;
+  for (size_t read = 0; read < inbound.size(); ++read) {
+    Object* proxy = inbound[read]->get();
+    if (proxy == nullptr) continue;
+    if (ProxyTargetSc(proxy) == id) {
+      auto it = by_oid.find(ProxyTargetOid(proxy).value());
+      if (it == by_oid.end())
+        return InternalError(
+            "inbound proxy targets an oid missing from the swapped payload");
+      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(it->second);
+    }
+    inbound[write++] = inbound[read];
+  }
+  inbound.resize(write);
+
+  // The store copy is stale the moment the cluster is writable again.
+  Status dropped = DropAt(info->store_device, info->key);
+  if (!dropped.ok()) {
+    ++stats_.drop_failures;
+    OBISWAP_LOG(kWarn) << "drop after swap-in failed: " << dropped.ToString();
+  }
+
+  info->state = SwapState::kLoaded;
+  info->key = SwapKey();
+  info->store_device = DeviceId();
+  info->replacement = runtime::WeakRef();
+  info->swapped_oids.clear();
+  ++info->swap_in_count;
+  registry_.RecordCrossing(id, ++crossing_seq_);
+
+  ++stats_.swap_ins;
+  stats_.bytes_swapped_in += payload.size();
+  if (bus_ != nullptr) {
+    bus_->Publish(context::Event(context::kEventClusterSwappedIn)
+                      .Set("swap_cluster", static_cast<int64_t>(id.value()))
+                      .Set("objects", static_cast<int64_t>(members.size())));
+  }
+  // The replacement-object is now unreferenced: "as it is no longer needed,
+  // [it] becomes eligible for local reclamation."
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// GC cooperation and event handling
+// ---------------------------------------------------------------------------
+
+void SwappingManager::OnProxyFinalized(Object* proxy) {
+  // Paper §4: "When a swap-cluster-proxy becomes unreachable, its finalizer
+  // invokes code that eliminates entries referring to it."
+  ++stats_.proxies_finalized;
+  ReuseKey key{ProxySource(proxy).value(), ProxyTargetOid(proxy).value()};
+  auto it = reuse_.find(key);
+  if (it != reuse_.end() && it->second->get() == nullptr) reuse_.erase(it);
+  // inbound_ entries are weak and pruned lazily on traversal.
+}
+
+void SwappingManager::OnReplacementFinalized(Object* replacement) {
+  // "When a replacement-object ... becomes unreachable, this means that all
+  // object replicas enclosed in it are already unreachable ... the swapping
+  // device may be instructed to discard the XML text."
+  SwapClusterId id = ReplacementCluster(replacement);
+  SwapKey key = ReplacementKey(replacement);
+  DeviceId device = ReplacementDevice(replacement);
+  SwapClusterInfo* info = registry_.Find(id);
+  if (info == nullptr || info->state != SwapState::kSwapped ||
+      !(info->key == key)) {
+    return;  // already swapped back in (or re-swapped under a new key)
+  }
+  info->state = SwapState::kDropped;
+  info->replacement = runtime::WeakRef();
+  if (store_ != nullptr || local_ != nullptr) {
+    Status dropped = DropAt(device, key);
+    if (dropped.ok()) {
+      ++stats_.drops;
+    } else {
+      ++stats_.drop_failures;
+      OBISWAP_LOG(kWarn) << "store drop failed: " << dropped.ToString();
+    }
+  }
+  if (bus_ != nullptr) {
+    bus_->Publish(context::Event(context::kEventClusterDropped)
+                      .Set("swap_cluster", static_cast<int64_t>(id.value())));
+  }
+}
+
+void SwappingManager::OnClusterReplicated(const context::Event& event) {
+  int64_t cluster_value = event.GetIntOr("cluster", -1);
+  if (cluster_value < 0) return;
+  ClusterId cluster(static_cast<uint32_t>(cluster_value));
+
+  // Fold the arriving replication cluster into the current swap-cluster
+  // group; start a new group every clusters_per_swap_cluster clusters.
+  if (!current_group_.valid() ||
+      clusters_in_group_ >= options_.clusters_per_swap_cluster) {
+    current_group_ = registry_.Create();
+    clusters_in_group_ = 0;
+  }
+  SwapClusterInfo* info = registry_.Find(current_group_);
+  info->replication_clusters.push_back(cluster);
+  ++clusters_in_group_;
+
+  // Label the fresh replicas (they arrive without a swap-cluster).
+  rt_.heap().ForEachObject([&](Object* obj) {
+    if (obj->kind() != ObjectKind::kRegular) return;
+    if (obj->cluster() != cluster) return;
+    if (obj->swap_cluster().valid()) return;
+    Status placed = Place(obj, current_group_);
+    if (!placed.ok()) {
+      OBISWAP_LOG(kWarn) << "placing replica failed: " << placed.ToString();
+    }
+  });
+}
+
+}  // namespace obiswap::swap

@@ -1,0 +1,258 @@
+// SwappingManager: the paper's core contribution, orchestrated.
+//
+// The manager plugs into the runtime purely through its user-level hooks —
+// no VM modification, mirroring the paper's portability argument:
+//
+//   * StoreMediator — every reference store is resolved for the holder's
+//     swap-cluster context: same-cluster stores stay raw (full speed, §1),
+//     cross-cluster stores get a swap-cluster-proxy (created or reused —
+//     "when there are multiple references to the same object, across the
+//     same pair of swap-clusters, only a swap-cluster-proxy is required").
+//   * Interceptor (kSwapClusterProxy) — boundary invocations: forwards to
+//     the real object (faulting the whole swap-cluster back in if the
+//     target is a replacement-object), mediates reference arguments into
+//     the target's context and the returned reference into the source's
+//     context (rules i–iii, §4), and records recency/frequency.
+//   * Interceptor (kReplacement) — direct invocation of a replacement is a
+//     middleware error: applications only ever reach one through a proxy.
+//   * IdentityHook — reference identity through proxies (the C# operator==
+//     overload; §4 "Enforcing Object Identity").
+//   * Heap pressure handler (optional) — swap out the LRU victim when an
+//     allocation does not fit.
+//   * EventBus (optional) — listens to cluster-replicated events to fold
+//     arriving replication clusters into swap-clusters ("a number (also
+//     adaptable) of chained object clusters as a single macro-object"), and
+//     publishes swap-out/swap-in/drop events.
+//
+// Bookkeeping follows §4's SwappingManager: hash tables over weak
+// references, with proxy and replacement finalizers removing dead entries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "context/events.h"
+#include "net/bridge.h"
+#include "persist/flash_store.h"
+#include "runtime/runtime.h"
+#include "swap/proxy.h"
+#include "swap/swap_cluster.h"
+
+namespace obiswap::swap {
+
+class SwappingManager final : public runtime::Interceptor,
+                              public runtime::StoreMediator,
+                              public runtime::IdentityHook {
+ public:
+  struct Options {
+    /// Replication clusters folded into each swap-cluster (adaptable).
+    size_t clusters_per_swap_cluster = 1;
+    /// Codec applied to swapped XML payloads ("identity", "rle", "lz77").
+    std::string codec = "identity";
+    /// Free bytes a store must advertise before being chosen.
+    size_t store_min_free_bytes = 0;
+  };
+
+  struct Stats {
+    uint64_t proxies_created = 0;
+    uint64_t proxies_reused = 0;
+    uint64_t proxies_dismantled = 0;
+    uint64_t proxies_finalized = 0;
+    uint64_t boundary_crossings = 0;
+    uint64_t assigned_patches = 0;
+    uint64_t swap_outs = 0;
+    uint64_t swap_ins = 0;
+    uint64_t drops = 0;
+    uint64_t drop_failures = 0;
+    uint64_t swap_out_failures = 0;
+    uint64_t bytes_swapped_out = 0;
+    uint64_t bytes_swapped_in = 0;
+    uint64_t local_swap_outs = 0;  ///< clusters parked on the local flash
+    uint64_t merges = 0;
+    uint64_t splits = 0;
+  };
+
+  /// Installs the mediation hooks on `rt` and registers the proxy and
+  /// replacement classes. The manager must outlive every collection of
+  /// `rt`'s heap (its finalizers call back into the manager).
+  explicit SwappingManager(runtime::Runtime& rt)
+      : SwappingManager(rt, Options()) {}
+  SwappingManager(runtime::Runtime& rt, Options options);
+  ~SwappingManager() override;
+
+  SwappingManager(const SwappingManager&) = delete;
+  SwappingManager& operator=(const SwappingManager&) = delete;
+
+  // --- wiring (each optional) ---------------------------------------------
+  /// Enables actual swap-out/in through nearby store devices.
+  void AttachStore(net::StoreClient* client, net::Discovery* discovery);
+  /// Local-persistence fallback (Figure 1's Persistence module / the .Net
+  /// Micro flash approach): used when no nearby store can take a cluster.
+  /// Remote stores are always preferred — flash wears out and is part of
+  /// the device's own scarce resources.
+  void AttachLocalStore(persist::FlashStore* store) { local_ = store; }
+  /// Joins the middleware event bus (replication grouping + swap events).
+  void AttachBus(context::EventBus* bus);
+  /// Makes heap exhaustion swap out LRU victims automatically.
+  void InstallPressureHandler();
+
+  // --- swap-cluster management ----------------------------------------------
+  /// Creates a fresh swap-cluster for locally built graphs.
+  SwapClusterId NewSwapCluster() { return registry_.Create(); }
+  /// Adds `obj` to a swap-cluster (labels it and registers weak
+  /// membership). Placing counts as a "touch" for LRU victim selection, so
+  /// a cluster under construction is never the next swap-out victim.
+  Status Place(runtime::Object* obj, SwapClusterId id);
+
+  SwapClusterRegistry& registry() { return registry_; }
+  const SwapClusterRegistry& registry() const { return registry_; }
+
+  // --- swapping ----------------------------------------------------------------
+  /// Detaches swap-cluster `id`, ships its XML to a nearby store, installs
+  /// the replacement-object and patches inbound proxies. Returns the store
+  /// key. The freed memory is reclaimed by the next collection.
+  Result<SwapKey> SwapOut(SwapClusterId id);
+
+  /// Swap-out the least-recently-crossed eligible cluster (not executing,
+  /// loaded, non-empty). Returns the victim's id.
+  Result<SwapClusterId> SwapOutVictim();
+
+  /// Fetches a swapped cluster back, re-creates its objects, patches every
+  /// inbound proxy to the fresh replicas and retires the replacement.
+  Status SwapIn(SwapClusterId id);
+
+  /// The assign() iteration optimization (§4): marks a swap-cluster-proxy
+  /// whose source is swap-cluster-0 so that boundary-crossing returns patch
+  /// the proxy in place instead of creating a proxy per reference.
+  Status Assign(runtime::Object* proxy);
+
+  // --- adaptive regrouping (paper §3: "a number (ALSO ADAPTABLE) of
+  // --- chained object clusters as a single macro-object") -----------------
+  /// Merges two loaded swap-clusters: `from`'s members join `into`, every
+  /// proxy between the two is dismantled (their references become raw
+  /// intra-cluster links again — full speed), and proxies from/to other
+  /// clusters are relabeled. `from` ceases to exist.
+  Status MergeSwapClusters(SwapClusterId into, SwapClusterId from);
+
+  /// Splits `members_to_move` (all members of `id`) out of a loaded
+  /// swap-cluster into a fresh one; references that now cross the new
+  /// boundary acquire swap-cluster-proxies. Returns the new cluster's id.
+  Result<SwapClusterId> SplitSwapCluster(
+      SwapClusterId id, const std::vector<runtime::Object*>& members_to_move);
+
+  /// Optional veto on swap-out (e.g. transactional support pins clusters
+  /// with uncommitted writes). Return true to forbid swapping `id` now.
+  using VictimFilter = std::function<bool(SwapClusterId)>;
+  void SetVictimFilter(VictimFilter filter) {
+    victim_filter_ = std::move(filter);
+  }
+
+  // --- runtime hooks ---------------------------------------------------------
+  Result<runtime::Value> Invoke(runtime::Runtime& rt,
+                                runtime::Object* receiver,
+                                std::string_view method,
+                                std::vector<runtime::Value>& args) override;
+  runtime::Object* MediateStore(runtime::Runtime& rt, runtime::Object* holder,
+                                runtime::Object* value) override;
+  bool SameObject(const runtime::Object* a,
+                  const runtime::Object* b) override;
+
+  /// Resolves `value` for use from `context`: raw if same cluster,
+  /// dismantled if it is a proxy back into `context`, otherwise a (reused
+  /// or fresh) proxy. Exposed for tests and the baselines.
+  Result<runtime::Object*> ResolveForContext(SwapClusterId context,
+                                             runtime::Object* value);
+
+  // --- introspection ------------------------------------------------------------
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  SwapState StateOf(SwapClusterId id) const;
+  /// Live proxies currently targeting cluster `id` (prunes dead entries).
+  size_t InboundProxyCount(SwapClusterId id);
+
+ private:
+  struct ReuseKey {
+    uint32_t source;
+    uint64_t oid;
+    bool operator==(const ReuseKey& other) const {
+      return source == other.source && oid == other.oid;
+    }
+  };
+  struct ReuseKeyHash {
+    size_t operator()(const ReuseKey& key) const {
+      return std::hash<uint64_t>()(key.oid * 1000003u + key.source);
+    }
+  };
+
+  /// (ultimate target object, its swap-cluster, its identity) of a value.
+  struct Resolved {
+    runtime::Object* target;
+    SwapClusterId sc;
+    ObjectId oid;
+  };
+  /// nullopt-style: returns false if `value` is not swap-managed
+  /// (replication proxies pass through raw).
+  bool ResolveUltimate(runtime::Object* value, Resolved* out) const;
+
+  Result<runtime::Object*> CreateProxy(SwapClusterId source,
+                                       const Resolved& resolved);
+  runtime::Object* FindReusableProxy(SwapClusterId source, ObjectId oid);
+  void RegisterProxy(runtime::Object* proxy, SwapClusterId target_sc,
+                     ObjectId target_oid, SwapClusterId source);
+
+  Result<runtime::Value> ProxyInvoke(runtime::Object* proxy,
+                                     std::string_view method,
+                                     std::vector<runtime::Value>& args);
+  Result<runtime::Value> MediateReturn(runtime::Object* proxy,
+                                       runtime::Value result);
+
+  void OnClusterReplicated(const context::Event& event);
+  void OnProxyFinalized(runtime::Object* proxy);
+  void OnReplacementFinalized(runtime::Object* replacement);
+
+  SwapKey NextKey();
+
+  runtime::Runtime& rt_;
+  Options options_;
+  SwapClusterRegistry registry_;
+  const runtime::ClassInfo* proxy_cls_ = nullptr;
+  const runtime::ClassInfo* replacement_cls_ = nullptr;
+
+  /// Store plumbing shared by swap-out, swap-in and the drop path.
+  Status StoreAt(DeviceId device, SwapKey key, const std::string& payload);
+  Result<std::string> FetchFrom(DeviceId device, SwapKey key);
+  Status DropAt(DeviceId device, SwapKey key);
+  bool IsLocalDevice(DeviceId device) const {
+    return local_ != nullptr && local_->device() == device;
+  }
+
+  net::StoreClient* store_ = nullptr;
+  net::Discovery* discovery_ = nullptr;
+  persist::FlashStore* local_ = nullptr;
+  context::EventBus* bus_ = nullptr;
+  uint64_t bus_token_ = 0;
+
+  /// (source swap-cluster, target oid) → proxy, for stored-reference reuse.
+  std::unordered_map<ReuseKey, runtime::WeakRef, ReuseKeyHash> reuse_;
+  /// target swap-cluster → proxies currently mediating into it.
+  std::unordered_map<SwapClusterId, std::vector<runtime::WeakRef>> inbound_;
+
+  /// Grouping state for replication-driven swap-cluster formation.
+  SwapClusterId current_group_;
+  size_t clusters_in_group_ = 0;
+
+  uint64_t crossing_seq_ = 0;
+  uint64_t next_key_ = 1;
+  VictimFilter victim_filter_;
+  Stats stats_;
+
+  /// Finalizers capture this handle; the destructor nulls it so a GC after
+  /// manager teardown cannot call into a dead manager.
+  std::shared_ptr<SwappingManager*> alive_;
+};
+
+}  // namespace obiswap::swap

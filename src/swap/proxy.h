@@ -1,0 +1,80 @@
+// Swap-cluster-proxy and replacement-object layouts.
+//
+// The original system's `obicomp` compiler generated one proxy class per
+// application class; here a single metadata-driven proxy class mediates any
+// target (see DESIGN.md §4). A swap-cluster-proxy permanently mediates one
+// reference crossing from a *source* swap-cluster into a *target*
+// swap-cluster; its target slot points at the real object while the target
+// cluster is loaded, and at the cluster's replacement-object while swapped.
+//
+// A replacement-object "is simply an array of references" (§3): a fixed
+// header (cluster id, store key, store device) plus one appended slot per
+// outbound proxy of the swapped cluster — keeping downstream clusters
+// reachable (Figure 4's 2→4 proxies survive through ReplacementObject-2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "runtime/object.h"
+
+namespace obiswap::swap {
+
+inline constexpr const char* kSwapProxyClassName = "obiwan.SwapClusterProxy";
+inline constexpr const char* kReplacementClassName = "obiwan.Replacement";
+
+// --- SwapClusterProxy slot layout -----------------------------------------
+inline constexpr size_t kProxySlotTarget = 0;     ///< ref: object/replacement
+inline constexpr size_t kProxySlotSource = 1;     ///< int: source swap-cluster
+inline constexpr size_t kProxySlotTargetSc = 2;   ///< int: target swap-cluster
+inline constexpr size_t kProxySlotTargetOid = 3;  ///< int: ultimate target oid
+inline constexpr size_t kProxySlotAssigned = 4;   ///< int: assign() flag (§4)
+
+// --- Replacement slot layout ------------------------------------------------
+inline constexpr size_t kReplSlotCluster = 0;        ///< int: swap-cluster id
+inline constexpr size_t kReplSlotKey = 1;            ///< int: store key
+inline constexpr size_t kReplSlotDevice = 2;         ///< int: store device
+inline constexpr size_t kReplSlotFirstOutbound = 3;  ///< refs appended from here
+
+// --- typed accessors ---------------------------------------------------------
+
+inline bool IsSwapProxy(const runtime::Object* obj) {
+  return obj != nullptr &&
+         obj->kind() == runtime::ObjectKind::kSwapClusterProxy;
+}
+inline bool IsReplacement(const runtime::Object* obj) {
+  return obj != nullptr && obj->kind() == runtime::ObjectKind::kReplacement;
+}
+
+inline runtime::Object* ProxyTarget(const runtime::Object* proxy) {
+  return proxy->RawSlot(kProxySlotTarget).ref();
+}
+inline SwapClusterId ProxySource(const runtime::Object* proxy) {
+  return SwapClusterId(
+      static_cast<uint32_t>(proxy->RawSlot(kProxySlotSource).as_int()));
+}
+inline SwapClusterId ProxyTargetSc(const runtime::Object* proxy) {
+  return SwapClusterId(
+      static_cast<uint32_t>(proxy->RawSlot(kProxySlotTargetSc).as_int()));
+}
+inline ObjectId ProxyTargetOid(const runtime::Object* proxy) {
+  return ObjectId(
+      static_cast<uint64_t>(proxy->RawSlot(kProxySlotTargetOid).as_int()));
+}
+inline bool ProxyAssigned(const runtime::Object* proxy) {
+  return proxy->RawSlot(kProxySlotAssigned).as_int() != 0;
+}
+
+inline SwapClusterId ReplacementCluster(const runtime::Object* repl) {
+  return SwapClusterId(
+      static_cast<uint32_t>(repl->RawSlot(kReplSlotCluster).as_int()));
+}
+inline SwapKey ReplacementKey(const runtime::Object* repl) {
+  return SwapKey(static_cast<uint64_t>(repl->RawSlot(kReplSlotKey).as_int()));
+}
+inline DeviceId ReplacementDevice(const runtime::Object* repl) {
+  return DeviceId(
+      static_cast<uint32_t>(repl->RawSlot(kReplSlotDevice).as_int()));
+}
+
+}  // namespace obiswap::swap

@@ -1,0 +1,122 @@
+#include "swap/swap_cluster.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace obiswap::swap {
+
+const char* SwapStateName(SwapState state) {
+  switch (state) {
+    case SwapState::kLoaded:
+      return "loaded";
+    case SwapState::kSwapped:
+      return "swapped";
+    case SwapState::kDropped:
+      return "dropped";
+  }
+  return "?";
+}
+
+SwapClusterId SwapClusterRegistry::Create() {
+  SwapClusterId id(next_id_++);
+  SwapClusterInfo info;
+  info.id = id;
+  clusters_.emplace(id, std::move(info));
+  return id;
+}
+
+SwapClusterInfo* SwapClusterRegistry::Find(SwapClusterId id) {
+  auto it = clusters_.find(id);
+  return it == clusters_.end() ? nullptr : &it->second;
+}
+
+const SwapClusterInfo* SwapClusterRegistry::Find(SwapClusterId id) const {
+  auto it = clusters_.find(id);
+  return it == clusters_.end() ? nullptr : &it->second;
+}
+
+Status SwapClusterRegistry::AddMember(runtime::Heap& heap,
+                                      runtime::Object* obj,
+                                      SwapClusterId id) {
+  if (obj == nullptr) return InvalidArgumentError("null member");
+  if (obj->kind() != runtime::ObjectKind::kRegular)
+    return InvalidArgumentError(
+        "only regular application objects join swap-clusters");
+  SwapClusterInfo* info = Find(id);
+  if (info == nullptr)
+    return NotFoundError("no swap-cluster " + id.ToString());
+  if (info->state != SwapState::kLoaded)
+    return FailedPreconditionError("swap-cluster " + id.ToString() +
+                                   " is not loaded");
+  obj->set_swap_cluster(id);
+  info->members.push_back(heap.NewWeakRef(obj));
+  return OkStatus();
+}
+
+std::vector<runtime::Object*> SwapClusterRegistry::LiveMembers(
+    SwapClusterId id) {
+  std::vector<runtime::Object*> out;
+  SwapClusterInfo* info = Find(id);
+  if (info == nullptr) return out;
+  std::unordered_set<const runtime::Object*> seen;
+  size_t write = 0;
+  for (size_t read = 0; read < info->members.size(); ++read) {
+    runtime::Object* target = info->members[read]->get();
+    if (target == nullptr) continue;           // collected: prune
+    if (!seen.insert(target).second) continue;  // duplicate registration
+    out.push_back(target);
+    info->members[write++] = info->members[read];
+  }
+  info->members.resize(write);
+  return out;
+}
+
+void SwapClusterRegistry::RecordCrossing(SwapClusterId id, uint64_t seq) {
+  SwapClusterInfo* info = Find(id);
+  if (info == nullptr) return;
+  ++info->crossing_count;
+  info->last_crossing_seq = seq;
+}
+
+void SwapClusterRegistry::Touch(SwapClusterId id, uint64_t seq) {
+  SwapClusterInfo* info = Find(id);
+  if (info != nullptr) info->last_crossing_seq = seq;
+}
+
+SwapClusterId SwapClusterRegistry::PickLruVictim(
+    const std::vector<SwapClusterId>& exclude) {
+  SwapClusterId best;
+  uint64_t best_seq = 0;
+  bool found = false;
+  for (auto& [id, info] : clusters_) {
+    if (info.state != SwapState::kLoaded) continue;
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end())
+      continue;
+    // Skip clusters with no live members: nothing to free.
+    bool any_live = false;
+    for (const auto& weak : info.members) {
+      if (weak->get() != nullptr) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) continue;
+    if (!found || info.last_crossing_seq < best_seq ||
+        (info.last_crossing_seq == best_seq && id < best)) {
+      best = id;
+      best_seq = info.last_crossing_seq;
+      found = true;
+    }
+  }
+  return best;
+}
+
+std::vector<SwapClusterId> SwapClusterRegistry::Ids() const {
+  std::vector<SwapClusterId> ids;
+  ids.reserve(clusters_.size());
+  for (const auto& [id, info] : clusters_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace obiswap::swap

@@ -1,0 +1,103 @@
+// Swap-cluster bookkeeping.
+//
+// "A swap-cluster is the basic unit of swapping. Each one contains all the
+// objects comprised in a group of one or more object clusters, previously
+// replicated" (§3). The registry tracks, per swap-cluster: membership (weak
+// — the LGC stays in charge of lifetime), load state, the store location of
+// a swapped-out cluster, and the recency/frequency signals gathered as the
+// application crosses boundaries (used by victim selection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "runtime/heap.h"
+#include "runtime/object.h"
+
+namespace obiswap::swap {
+
+enum class SwapState : uint8_t {
+  kLoaded,   ///< members resident in the device heap
+  kSwapped,  ///< members serialized on a store device, replacement in place
+  kDropped,  ///< became unreachable while swapped; store told to discard
+};
+
+const char* SwapStateName(SwapState state);
+
+struct SwapClusterInfo {
+  SwapClusterId id;
+  SwapState state = SwapState::kLoaded;
+
+  /// Replication clusters folded into this swap-cluster (empty for
+  /// locally-built graphs).
+  std::vector<ClusterId> replication_clusters;
+
+  /// Weak membership: dead members drop out automatically.
+  std::vector<runtime::WeakRef> members;
+
+  // --- boundary-crossing signals (paper: "basic data w.r.t. recency and
+  // --- frequency, as these boundaries are transversed") -------------------
+  uint64_t crossing_count = 0;
+  uint64_t last_crossing_seq = 0;  ///< logical time of last crossing
+
+  // --- swapped state -------------------------------------------------------
+  SwapKey key;
+  DeviceId store_device;
+  runtime::WeakRef replacement;       ///< the stand-in, while swapped
+  size_t swapped_object_count = 0;
+  size_t swapped_payload_bytes = 0;
+  /// Identity of the members while swapped: these objects are *held* by the
+  /// device (on the store) even though not resident — DGC must not release
+  /// them to the server.
+  std::vector<ObjectId> swapped_oids;
+
+  uint64_t swap_out_count = 0;
+  uint64_t swap_in_count = 0;
+};
+
+class SwapClusterRegistry {
+ public:
+  /// Creates a fresh (loaded, empty) swap-cluster. Ids start at 1 —
+  /// swap-cluster-0 is the implicit roots cluster and is never registered.
+  SwapClusterId Create();
+
+  /// Info lookup; nullptr for unknown ids (including 0).
+  SwapClusterInfo* Find(SwapClusterId id);
+  const SwapClusterInfo* Find(SwapClusterId id) const;
+
+  /// Registers `obj` as a member of `id` and labels the object. The
+  /// cluster must exist and be loaded.
+  Status AddMember(runtime::Heap& heap, runtime::Object* obj,
+                   SwapClusterId id);
+
+  /// Live members of a cluster (pruning cleared weak refs as it goes).
+  std::vector<runtime::Object*> LiveMembers(SwapClusterId id);
+
+  /// Records a boundary crossing into `id` at logical time `seq`.
+  void RecordCrossing(SwapClusterId id, uint64_t seq);
+
+  /// Updates recency only (no crossing count) — e.g. membership changes.
+  void Touch(SwapClusterId id, uint64_t seq);
+
+  /// Loaded, non-empty cluster with the oldest last crossing, excluding ids
+  /// in `exclude`; invalid id if none qualifies.
+  SwapClusterId PickLruVictim(const std::vector<SwapClusterId>& exclude);
+
+  /// All registered ids (ascending).
+  std::vector<SwapClusterId> Ids() const;
+
+  /// Removes a cluster's record entirely (merge absorbs it).
+  void Remove(SwapClusterId id) { clusters_.erase(id); }
+
+  size_t size() const { return clusters_.size(); }
+
+ private:
+  std::unordered_map<SwapClusterId, SwapClusterInfo> clusters_;
+  uint32_t next_id_ = 1;
+};
+
+}  // namespace obiswap::swap

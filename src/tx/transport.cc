@@ -1,0 +1,171 @@
+#include "tx/transport.h"
+
+#include "common/string_util.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace obiswap::tx {
+
+using runtime::Value;
+using runtime::ValueKind;
+
+namespace {
+
+std::string ErrorResponse(StatusCode code, const std::string& message) {
+  auto response = xml::Node::Element("response");
+  response->SetAttr("status", StatusCodeName(code));
+  response->SetAttr("message", message);
+  return xml::Write(*response);
+}
+
+Result<Value> DecodeValue(const xml::Node& set_el) {
+  OBISWAP_ASSIGN_OR_RETURN(std::string kind, set_el.GetAttr("t"));
+  std::string text = set_el.InnerText();
+  if (kind == "nil") return Value::Nil();
+  if (kind == "int") {
+    OBISWAP_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(text));
+    return Value::Int(parsed);
+  }
+  if (kind == "real") {
+    OBISWAP_ASSIGN_OR_RETURN(double parsed, ParseDouble(text));
+    return Value::Real(parsed);
+  }
+  if (kind == "str") return Value::Str(std::move(text));
+  return DataLossError("bad value kind '" + kind + "' in commit envelope");
+}
+
+}  // namespace
+
+std::string EncodeCommitRequest(const WriteSet& write_set) {
+  auto request = xml::Node::Element("request");
+  request->SetAttr("op", "commit");
+  request->SetIntAttr("tx", static_cast<int64_t>(write_set.tx_id));
+  for (const auto& [oid, version] : write_set.validations) {
+    xml::Node* val_el = request->AddElement("val");
+    val_el->SetIntAttr("oid", static_cast<int64_t>(oid.value()));
+    val_el->SetIntAttr("v", static_cast<int64_t>(version));
+  }
+  for (const FieldUpdate& update : write_set.updates) {
+    xml::Node* set_el = request->AddElement("set");
+    set_el->SetIntAttr("oid", static_cast<int64_t>(update.oid.value()));
+    set_el->SetAttr("f", update.field);
+    set_el->SetAttr("t", ValueKindName(update.new_value.kind()));
+    switch (update.new_value.kind()) {
+      case ValueKind::kNil:
+        break;
+      case ValueKind::kInt:
+        set_el->AddText(std::to_string(update.new_value.as_int()));
+        break;
+      case ValueKind::kReal:
+        set_el->AddText(StrFormat("%.17g", update.new_value.as_real()));
+        break;
+      case ValueKind::kStr:
+        set_el->AddText(update.new_value.as_str());
+        break;
+      case ValueKind::kRef:
+        break;  // rejected earlier by TxManager::Write
+    }
+  }
+  return xml::Write(*request);
+}
+
+std::string TxService::Handle(const std::string& request_xml) {
+  auto parsed = xml::Parse(request_xml);
+  if (!parsed.ok())
+    return ErrorResponse(StatusCode::kInvalidArgument,
+                         parsed.status().message());
+  const xml::Node& request = **parsed;
+  const std::string* op = request.FindAttr("op");
+  if (request.name() != "request" || op == nullptr || *op != "commit")
+    return ErrorResponse(StatusCode::kInvalidArgument, "bad commit request");
+
+  WriteSet write_set;
+  write_set.tx_id = static_cast<uint64_t>(
+      request.GetIntAttrOr("tx", 0).ok() ? *request.GetIntAttrOr("tx", 0)
+                                         : 0);
+  for (const xml::Node* val_el : request.FindChildren("val")) {
+    auto oid = val_el->GetIntAttr("oid");
+    auto version = val_el->GetIntAttr("v");
+    if (!oid.ok() || !version.ok())
+      return ErrorResponse(StatusCode::kInvalidArgument, "bad <val>");
+    write_set.validations.emplace_back(
+        ObjectId(static_cast<uint64_t>(*oid)),
+        static_cast<uint64_t>(*version));
+  }
+  for (const xml::Node* set_el : request.FindChildren("set")) {
+    auto oid = set_el->GetIntAttr("oid");
+    auto field = set_el->GetAttr("f");
+    if (!oid.ok() || !field.ok())
+      return ErrorResponse(StatusCode::kInvalidArgument, "bad <set>");
+    Result<Value> value = DecodeValue(*set_el);
+    if (!value.ok())
+      return ErrorResponse(value.status().code(), value.status().message());
+    write_set.updates.push_back(FieldUpdate{
+        ObjectId(static_cast<uint64_t>(*oid)), *field, *std::move(value)});
+  }
+
+  Result<CommitResult> outcome = master_.Commit(write_set);
+  if (!outcome.ok())
+    return ErrorResponse(outcome.status().code(), outcome.status().message());
+  auto response = xml::Node::Element("response");
+  response->SetAttr("status", "OK");
+  response->SetIntAttr("committed", outcome->committed ? 1 : 0);
+  for (ObjectId oid : outcome->conflicts) {
+    response->AddElement("conflict")->SetIntAttr(
+        "oid", static_cast<int64_t>(oid.value()));
+  }
+  return xml::Write(*response);
+}
+
+CommitFn NetworkCommit(net::Network& network, DeviceId self,
+                       DeviceId server_device, TxService& service,
+                       int max_attempts) {
+  return [&network, self, server_device, &service,
+          max_attempts](const WriteSet& write_set) -> Result<CommitResult> {
+    std::string request = EncodeCommitRequest(write_set);
+    Status last = UnavailableError("no attempt made");
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      Result<uint64_t> out =
+          network.Transfer(self, server_device, request.size());
+      if (!out.ok()) {
+        last = out.status();
+        if (last.code() != StatusCode::kUnavailable) return last;
+        continue;
+      }
+      // NOTE: commits are NOT idempotent like store operations; a real
+      // system would add a tx-id replay cache server-side. The simulated
+      // request channel either delivers or reports loss before dispatch,
+      // so retrying the request leg is safe. A response-leg loss after a
+      // successful apply is surfaced as kUnavailable with the transaction
+      // left open (the tx-id lets the application reconcile).
+      std::string response_xml = service.Handle(request);
+      Result<uint64_t> back =
+          network.Transfer(server_device, self, response_xml.size());
+      if (!back.ok()) {
+        last = back.status();
+        return UnavailableError(
+            "commit outcome unknown: response lost (tx " +
+            std::to_string(write_set.tx_id) + ")");
+      }
+      OBISWAP_ASSIGN_OR_RETURN(auto doc, xml::Parse(response_xml));
+      const std::string* status_name = doc->FindAttr("status");
+      if (status_name == nullptr || *status_name != "OK") {
+        const std::string* message = doc->FindAttr("message");
+        return InternalError(message != nullptr ? *message : "remote error");
+      }
+      CommitResult result;
+      OBISWAP_ASSIGN_OR_RETURN(int64_t committed,
+                               doc->GetIntAttr("committed"));
+      result.committed = committed != 0;
+      for (const xml::Node* conflict_el : doc->FindChildren("conflict")) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t oid, conflict_el->GetIntAttr("oid"));
+        result.conflicts.push_back(ObjectId(static_cast<uint64_t>(oid)));
+      }
+      return result;
+    }
+    return last;
+  };
+}
+
+}  // namespace obiswap::tx

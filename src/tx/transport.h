@@ -1,0 +1,32 @@
+// Transaction commit over the web-service bridge: the device's write-set
+// travels as an XML envelope, like every other OBIWAN interaction.
+#pragma once
+
+#include <string>
+
+#include "net/network.h"
+#include "tx/transaction.h"
+
+namespace obiswap::tx {
+
+/// Server-side dispatcher for commit envelopes.
+class TxService {
+ public:
+  explicit TxService(TxMaster& master) : master_(master) {}
+
+  /// Handles one commit request; errors become response envelopes.
+  std::string Handle(const std::string& request_xml);
+
+ private:
+  TxMaster& master_;
+};
+
+/// Encodes a write-set as a commit request envelope (exposed for tests).
+std::string EncodeCommitRequest(const WriteSet& write_set);
+
+/// Device-side CommitFn that tunnels through the simulated network.
+CommitFn NetworkCommit(net::Network& network, DeviceId self,
+                       DeviceId server_device, TxService& service,
+                       int max_attempts = 3);
+
+}  // namespace obiswap::tx

@@ -1,0 +1,49 @@
+// The paper's micro-benchmark workload (§5): "a list of 10000 64-byte
+// objects" with "simple (quasi-empty) methods", exercised by recursive and
+// iterative traversals. Shared by the benchmark harnesses and examples.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/runtime.h"
+#include "swap/manager.h"
+
+namespace obiswap::workload {
+
+/// Registers the benchmark's Node class:
+///   next              — returns the next-element reference
+///   get_value / set_value
+///   step(depth)       — test A1: recursive traversal, counts depth
+///   probe(remaining)  — test A2's inner recursion: returns a reference to
+///                       the object up to `remaining` ahead (no mutation)
+///   walk(depth)       — test A2's outer recursion: at every step triggers
+///                       probe(10) and discards the returned reference
+const runtime::ClassInfo* RegisterNodeClass(runtime::Runtime& rt);
+
+/// Builds an n-node list (node i holds value i) and publishes the head as
+/// global `global`. With a manager, consecutive `per_cluster` nodes share a
+/// swap-cluster (the paper's 20/50/100 configurations); without one the
+/// graph is raw (the "NO SWAP-CLUSTERS" lower bound). Returns created
+/// swap-cluster ids (empty without a manager).
+std::vector<SwapClusterId> BuildList(runtime::Runtime& rt,
+                                     swap::SwappingManager* manager,
+                                     const runtime::ClassInfo* node_cls,
+                                     int n, int per_cluster,
+                                     const std::string& global);
+
+/// Runs `body` on a thread with a large stack. The paper's tests recurse
+/// 10000 deep; each managed invocation frame costs native stack, so the
+/// default 8 MiB is not enough.
+void RunWithBigStack(const std::function<void()>& body,
+                     size_t stack_bytes = 512 * 1024 * 1024);
+
+/// Milliseconds of wall time spent in `body`.
+double TimeMs(const std::function<void()>& body);
+
+/// Median over `reps` timed runs (each preceded by `setup` if given).
+double MedianTimeMs(int reps, const std::function<void()>& body);
+
+}  // namespace obiswap::workload

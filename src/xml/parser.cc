@@ -1,0 +1,287 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace obiswap::xml {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<std::unique_ptr<Node>> ParseDocument() {
+    SkipProlog();
+    if (AtEnd()) return Error("document has no root element");
+    OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Node> root, ParseElement());
+    SkipMisc();
+    if (!AtEnd()) return Error("trailing content after root element");
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_).substr(0, token.size()) != token) return false;
+    for (size_t i = 0; i < token.size(); ++i) Advance();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek())))
+      Advance();
+  }
+
+  Status Error(const std::string& message) const {
+    return DataLossError("xml parse error at line " + std::to_string(line_) +
+                         ": " + message);
+  }
+
+  Status SkipComment() {
+    // Called with "<!--" already consumed.
+    while (!AtEnd()) {
+      if (Consume("-->")) return OkStatus();
+      Advance();
+    }
+    return Error("unterminated comment");
+  }
+
+  Status SkipPi() {
+    // Called with "<?" already consumed.
+    while (!AtEnd()) {
+      if (Consume("?>")) return OkStatus();
+      Advance();
+    }
+    return Error("unterminated processing instruction");
+  }
+
+  void SkipProlog() {
+    // XML declaration, comments, PIs, DOCTYPE (skipped shallowly).
+    for (;;) {
+      SkipWhitespace();
+      if (Consume("<?")) {
+        if (!SkipPi().ok()) return;
+      } else if (Consume("<!--")) {
+        if (!SkipComment().ok()) return;
+      } else if (Consume("<!DOCTYPE")) {
+        while (!AtEnd() && Peek() != '>') Advance();
+        if (!AtEnd()) Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (Consume("<!--")) {
+        if (!SkipComment().ok()) return;
+      } else if (Consume("<?")) {
+        if (!SkipPi().ok()) return;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> DecodeEntity() {
+    // Called with '&' as current char.
+    Advance();  // '&'
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != ';') {
+      if (pos_ - start > 10) return Error("entity too long");
+      Advance();
+    }
+    if (AtEnd()) return Error("unterminated entity");
+    std::string_view entity = input_.substr(start, pos_ - start);
+    Advance();  // ';'
+    if (entity == "lt") return std::string("<");
+    if (entity == "gt") return std::string(">");
+    if (entity == "amp") return std::string("&");
+    if (entity == "quot") return std::string("\"");
+    if (entity == "apos") return std::string("'");
+    if (!entity.empty() && entity[0] == '#') {
+      int base = 10;
+      std::string_view digits = entity.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      if (digits.empty()) return Error("empty character reference");
+      unsigned long code = 0;
+      for (char c : digits) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          return Error("bad character reference");
+        }
+        code = code * static_cast<unsigned long>(base) +
+               static_cast<unsigned long>(digit);
+        if (code > 0x10FFFF) return Error("character reference out of range");
+      }
+      // Encode as UTF-8.
+      std::string out;
+      if (code < 0x80) {
+        out += static_cast<char>(code);
+      } else if (code < 0x800) {
+        out += static_cast<char>(0xC0 | (code >> 6));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      } else if (code < 0x10000) {
+        out += static_cast<char>(0xE0 | (code >> 12));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      } else {
+        out += static_cast<char>(0xF0 | (code >> 18));
+        out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      }
+      return out;
+    }
+    return Error("unknown entity '&" + std::string(entity) + ";'");
+  }
+
+  Result<std::string> ParseAttrValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\''))
+      return Error("expected quoted attribute value");
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        OBISWAP_ASSIGN_OR_RETURN(std::string decoded, DecodeEntity());
+        value += decoded;
+      } else if (Peek() == '<') {
+        return Error("'<' in attribute value");
+      } else {
+        value += Peek();
+        Advance();
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return value;
+  }
+
+  Result<std::unique_ptr<Node>> ParseElement() {
+    if (!Consume("<")) return Error("expected '<'");
+    OBISWAP_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto node = Node::Element(name);
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag <" + name + ">");
+      if (Consume("/>")) return node;
+      if (Consume(">")) break;
+      OBISWAP_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWhitespace();
+      if (!Consume("=")) return Error("expected '=' after attribute name");
+      SkipWhitespace();
+      OBISWAP_ASSIGN_OR_RETURN(std::string attr_value, ParseAttrValue());
+      if (node->FindAttr(attr_name) != nullptr)
+        return Error("duplicate attribute '" + attr_name + "'");
+      node->SetAttr(attr_name, attr_value);
+    }
+    // Content.
+    std::string text;
+    auto flush_text = [&]() {
+      if (!text.empty()) {
+        node->AddText(std::move(text));
+        text.clear();
+      }
+    };
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element <" + name + ">");
+      if (Peek() == '<') {
+        if (Consume("</")) {
+          flush_text();
+          OBISWAP_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+          if (close_name != name)
+            return Error("mismatched close tag </" + close_name +
+                         "> for <" + name + ">");
+          SkipWhitespace();
+          if (!Consume(">")) return Error("expected '>' in close tag");
+          return node;
+        }
+        if (Consume("<!--")) {
+          OBISWAP_RETURN_IF_ERROR(SkipComment());
+          continue;
+        }
+        if (Consume("<![CDATA[")) {
+          size_t start = pos_;
+          for (;;) {
+            if (AtEnd()) return Error("unterminated CDATA");
+            if (input_.substr(pos_).substr(0, 3) == "]]>") break;
+            Advance();
+          }
+          text += input_.substr(start, pos_ - start);
+          Consume("]]>");
+          continue;
+        }
+        if (PeekAt(1) == '?') {
+          Consume("<?");
+          OBISWAP_RETURN_IF_ERROR(SkipPi());
+          continue;
+        }
+        flush_text();
+        OBISWAP_ASSIGN_OR_RETURN(std::unique_ptr<Node> child, ParseElement());
+        node->AddChild(std::move(child));
+        continue;
+      }
+      if (Peek() == '&') {
+        OBISWAP_ASSIGN_OR_RETURN(std::string decoded, DecodeEntity());
+        text += decoded;
+        continue;
+      }
+      text += Peek();
+      Advance();
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Node>> Parse(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+}  // namespace obiswap::xml

@@ -1,0 +1,21 @@
+// Recursive-descent XML parser.
+//
+// Supports the subset obiswap emits plus what hand-written policy files
+// need: elements, attributes (single or double quoted), text, comments,
+// CDATA sections, processing instructions / XML declaration, and the five
+// predefined entities plus numeric character references.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace obiswap::xml {
+
+/// Parses a complete document: optional prolog followed by exactly one root
+/// element. Errors carry a line number.
+Result<std::unique_ptr<Node>> Parse(std::string_view input);
+
+}  // namespace obiswap::xml

@@ -1,0 +1,28 @@
+// XML serialization: Node tree → text, with escaping.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xml/node.h"
+
+namespace obiswap::xml {
+
+struct WriteOptions {
+  /// Indent children by two spaces per depth level; text nodes inline.
+  bool pretty = false;
+  /// Prepend `<?xml version="1.0" encoding="UTF-8"?>`.
+  bool declaration = false;
+};
+
+/// Escapes `text` for use inside element content (&, <, >).
+std::string EscapeText(std::string_view text);
+
+/// Escapes `text` for use inside a double-quoted attribute value.
+std::string EscapeAttr(std::string_view text);
+
+/// Serializes the node tree. Text nodes are escaped; attribute order and
+/// child order are preserved, so Write(Parse(Write(n))) is stable.
+std::string Write(const Node& node, const WriteOptions& options = {});
+
+}  // namespace obiswap::xml

@@ -1,0 +1,208 @@
+// Tests for the comparison baselines: naive per-object surrogates and
+// in-heap compression.
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace obiswap::baseline {
+namespace {
+
+using runtime::LocalScope;
+using runtime::Object;
+using runtime::ObjectKind;
+using runtime::Value;
+using ::obiswap::testing::RegisterNodeClass;
+using ::obiswap::testing::SumList;
+
+// ------------------------------------------------------------- naive -----
+
+class NaiveFixture : public ::testing::Test {
+ protected:
+  NaiveFixture()
+      : network_(3),
+        discovery_(network_),
+        store_(DeviceId(2), 10 * 1024 * 1024),
+        client_(network_, discovery_, DeviceId(1)),
+        manager_(rt_) {
+    network_.AddDevice(DeviceId(1));
+    network_.AddDevice(DeviceId(2));
+    network_.SetInRange(DeviceId(1), DeviceId(2), true);
+    discovery_.Announce(&store_);
+    manager_.AttachStore(&client_, &discovery_);
+    node_cls_ = RegisterNodeClass(rt_);
+  }
+
+  /// Builds a list with the naive manager's universal mediation.
+  std::vector<Object*> BuildList(int n) {
+    LocalScope scope(rt_.heap());
+    Object** head = scope.Add(nullptr);
+    std::vector<Object*> nodes;
+    for (int i = n - 1; i >= 0; --i) {
+      Object* node = rt_.New(node_cls_);
+      scope.Add(node);
+      nodes.push_back(node);
+      OBISWAP_CHECK(rt_.SetField(node, "value", Value::Int(i)).ok());
+      if (*head != nullptr)
+        OBISWAP_CHECK(rt_.SetField(node, "next", Value::Ref(*head)).ok());
+      *head = node;
+    }
+    OBISWAP_CHECK(rt_.SetGlobal("head", Value::Ref(*head)).ok());
+    return nodes;
+  }
+
+  net::Network network_;
+  net::Discovery discovery_;
+  net::StoreNode store_;
+  net::StoreClient client_;
+  runtime::Runtime rt_;
+  NaiveProxyManager manager_;
+  const runtime::ClassInfo* node_cls_ = nullptr;
+};
+
+TEST_F(NaiveFixture, EveryStoredReferenceGetsASurrogate) {
+  BuildList(10);
+  // One surrogate per referenced object: 9 next-links + the head global.
+  EXPECT_EQ(manager_.stats().proxies_created, 10u);
+  EXPECT_EQ(manager_.LiveProxyCount(), 10u);
+}
+
+TEST_F(NaiveFixture, SurrogatesReusedPerTarget) {
+  LocalScope scope(rt_.heap());
+  Object* a = rt_.New(node_cls_);
+  Object* b = rt_.New(node_cls_);
+  Object* target = rt_.New(node_cls_);
+  scope.Add(a);
+  scope.Add(b);
+  scope.Add(target);
+  ASSERT_TRUE(rt_.SetField(a, "next", Value::Ref(target)).ok());
+  ASSERT_TRUE(rt_.SetField(b, "next", Value::Ref(target)).ok());
+  EXPECT_EQ(rt_.GetFieldAt(a, 0).ref(), rt_.GetFieldAt(b, 0).ref());
+  EXPECT_EQ(manager_.stats().proxies_created, 1u);
+}
+
+TEST_F(NaiveFixture, InvocationIsAlwaysMediated) {
+  BuildList(5);
+  Object* head = rt_.GetGlobal("head")->ref();
+  ASSERT_EQ(head->kind(), ObjectKind::kSwapClusterProxy);
+  auto sum = SumList(rt_, "head");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 10);
+  // Every hop was an indirection (5 get_value + 5 next).
+  EXPECT_GE(manager_.stats().mediated_invocations, 10u);
+}
+
+TEST_F(NaiveFixture, PerObjectSwapRoundTrips) {
+  std::vector<Object*> nodes = BuildList(6);
+  ASSERT_TRUE(manager_.SwapOutObjects(nodes).ok());
+  EXPECT_EQ(manager_.stats().objects_swapped_out, 6u);
+  // One store round trip *per object* — the cost the paper's clustered
+  // design avoids.
+  EXPECT_EQ(manager_.stats().store_round_trips, 6u);
+  EXPECT_EQ(store_.entry_count(), 6u);
+  rt_.heap().Collect();
+  // Surrogates survive the swap ("the proxies would still remain").
+  EXPECT_EQ(manager_.LiveProxyCount(), 6u);
+  auto sum = SumList(rt_, "head");
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(*sum, 15);
+  EXPECT_EQ(manager_.stats().objects_swapped_in, 6u);
+}
+
+TEST_F(NaiveFixture, SwappedObjectsFreeHeapButProxiesRemain) {
+  std::vector<Object*> nodes = BuildList(50);
+  rt_.heap().Collect();
+  size_t objects_before = rt_.heap().live_objects();
+  ASSERT_TRUE(manager_.SwapOutObjects(nodes).ok());
+  rt_.heap().Collect();
+  // 50 payload objects freed, but 50 surrogates remain resident.
+  EXPECT_EQ(rt_.heap().live_objects(), objects_before - 50);
+  EXPECT_EQ(manager_.LiveProxyCount(), 50u);
+}
+
+TEST_F(NaiveFixture, SwapWithoutStoreFails) {
+  std::vector<Object*> nodes = BuildList(2);
+  NaiveProxyManager detached(rt_);  // no store attached
+  EXPECT_EQ(detached.SwapOutObjects(nodes).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------- compression -----
+
+class CompressionFixture : public ::testing::Test {
+ protected:
+  CompressionFixture() : swapper_(rt_, "lz77") {
+    node_cls_ = RegisterNodeClass(rt_);
+  }
+
+  void BuildList(int n, const std::string& name) {
+    LocalScope scope(rt_.heap());
+    Object** head = scope.Add(nullptr);
+    for (int i = n - 1; i >= 0; --i) {
+      Object* node = rt_.New(node_cls_);
+      OBISWAP_CHECK(rt_.SetField(node, "value", Value::Int(i)).ok());
+      if (*head != nullptr)
+        OBISWAP_CHECK(rt_.SetField(node, "next", Value::Ref(*head)).ok());
+      *head = node;
+    }
+    OBISWAP_CHECK(rt_.SetGlobal(name, Value::Ref(*head)).ok());
+  }
+
+  runtime::Runtime rt_;
+  CompressionSwapper swapper_;
+  const runtime::ClassInfo* node_cls_ = nullptr;
+};
+
+TEST_F(CompressionFixture, CompressShrinksHeapButNotToZero) {
+  BuildList(200, "data");
+  rt_.heap().Collect();
+  size_t before = rt_.heap().used_bytes();
+  auto compressed = swapper_.CompressGlobal("data");
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  rt_.heap().Collect();
+  size_t after = rt_.heap().used_bytes();
+  EXPECT_LT(after, before / 2);  // substantial saving
+  EXPECT_GT(after, 0u);          // but the pool still occupies the heap
+  EXPECT_TRUE(swapper_.IsCompressed("data"));
+  EXPECT_FALSE(rt_.HasGlobal("data"));
+}
+
+TEST_F(CompressionFixture, DecompressRestoresTheGraphExactly) {
+  BuildList(100, "data");
+  ASSERT_TRUE(swapper_.CompressGlobal("data").ok());
+  rt_.heap().Collect();
+  ASSERT_TRUE(swapper_.DecompressGlobal("data").ok());
+  EXPECT_FALSE(swapper_.IsCompressed("data"));
+  auto sum = SumList(rt_, "data");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 100 * 99 / 2);
+}
+
+TEST_F(CompressionFixture, RepeatedCycleIsStable) {
+  BuildList(50, "data");
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(swapper_.CompressGlobal("data").ok()) << round;
+    rt_.heap().Collect();
+    ASSERT_TRUE(swapper_.DecompressGlobal("data").ok()) << round;
+  }
+  EXPECT_EQ(*SumList(rt_, "data"), 50 * 49 / 2);
+  EXPECT_EQ(swapper_.stats().compressions, 5u);
+  EXPECT_EQ(swapper_.stats().decompressions, 5u);
+}
+
+TEST_F(CompressionFixture, Errors) {
+  EXPECT_FALSE(swapper_.CompressGlobal("missing").ok());
+  ASSERT_TRUE(rt_.SetGlobal("number", Value::Int(3)).ok());
+  EXPECT_FALSE(swapper_.CompressGlobal("number").ok());
+  EXPECT_FALSE(swapper_.DecompressGlobal("missing").ok());
+}
+
+TEST_F(CompressionFixture, CompressionRatioIsReported) {
+  BuildList(300, "data");
+  ASSERT_TRUE(swapper_.CompressGlobal("data").ok());
+  EXPECT_GT(swapper_.stats().original_bytes,
+            3 * swapper_.stats().compressed_bytes)
+      << "XML of a uniform list should compress > 3x";
+}
+
+}  // namespace
+}  // namespace obiswap::baseline

@@ -1,0 +1,233 @@
+// Chaos property tests: long randomized sequences of application mutations
+// (field writes, re-linking), swapping operations, collections and store
+// connectivity churn, validated against a shadow model after every phase.
+// The invariants under test:
+//   * values and graph structure always match the model, through any
+//     interleaving of swap-outs, faults, and GC;
+//   * the mediation invariant never breaks;
+//   * kUnavailable is the only acceptable deviation, and only while the
+//     needed store is out of range.
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace obiswap {
+namespace {
+
+using runtime::Object;
+using runtime::Value;
+using ::obiswap::testing::CheckMediationInvariant;
+using ::obiswap::testing::MiddlewareWorld;
+
+constexpr int kObjects = 60;
+constexpr int kPerCluster = 10;
+constexpr int kOps = 400;
+
+/// Node class with a re-linking method (mutations must flow through
+/// mediated invocation, like real application code).
+const runtime::ClassInfo* RegisterChaosNode(runtime::Runtime& rt) {
+  return *rt.types().Register(
+      runtime::ClassBuilder("ChaosNode")
+          .Field("next", runtime::ValueKind::kRef)
+          .Field("value", runtime::ValueKind::kInt)
+          .PayloadBytes(64)
+          .Method("get_value",
+                  [](runtime::Runtime& r, Object* self, std::vector<Value>&) {
+                    return Result<Value>(r.GetFieldAt(self, 1));
+                  })
+          .Method("set_value",
+                  [](runtime::Runtime& r, Object* self,
+                     std::vector<Value>& args) -> Result<Value> {
+                    OBISWAP_RETURN_IF_ERROR(r.SetFieldAt(self, 1, args[0]));
+                    return Value::Nil();
+                  })
+          .Method("next",
+                  [](runtime::Runtime& r, Object* self, std::vector<Value>&) {
+                    return Result<Value>(r.GetFieldAt(self, 0));
+                  })
+          .Method("link",
+                  [](runtime::Runtime& r, Object* self,
+                     std::vector<Value>& args) -> Result<Value> {
+                    OBISWAP_RETURN_IF_ERROR(r.SetFieldAt(self, 0, args[0]));
+                    return Value::Nil();
+                  }));
+}
+
+struct Model {
+  std::vector<int64_t> values;
+  std::vector<int> next;  // -1 = nil
+};
+
+class ChaosFixture : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  ChaosFixture() : rng_(GetParam()) {
+    node_cls_ = RegisterChaosNode(world_.rt);
+    store_a_ = world_.AddStore(2, 8 * 1024 * 1024);
+    store_b_ = world_.AddStore(3, 8 * 1024 * 1024);
+    model_.values.resize(kObjects, 0);
+    model_.next.resize(kObjects, -1);
+    // Every object is a root (global) so reachability never depends on the
+    // mutable links; clusters of kPerCluster consecutive objects.
+    int cluster_count = (kObjects + kPerCluster - 1) / kPerCluster;
+    for (int c = 0; c < cluster_count; ++c)
+      clusters_.push_back(world_.manager.NewSwapCluster());
+    for (int i = 0; i < kObjects; ++i) {
+      runtime::LocalScope scope(world_.rt.heap());
+      Object* obj = world_.rt.New(node_cls_);
+      scope.Add(obj);
+      OBISWAP_CHECK(
+          world_.manager.Place(obj, clusters_[i / kPerCluster]).ok());
+      OBISWAP_CHECK(
+          world_.rt.SetGlobal(Global(i), Value::Ref(obj)).ok());
+    }
+  }
+
+  static std::string Global(int index) {
+    return "o" + std::to_string(index);
+  }
+
+  /// The cluster-0 proxy for object i.
+  Object* Handle(int index) {
+    return world_.rt.GetGlobal(Global(index))->ref();
+  }
+
+  bool StoreOfClusterReachable(SwapClusterId id) {
+    const swap::SwapClusterInfo* info = world_.manager.registry().Find(id);
+    if (info->state != swap::SwapState::kSwapped) return true;
+    return world_.network.IsOnline(info->store_device) &&
+           world_.network.InRange(MiddlewareWorld::kDevice,
+                                  info->store_device);
+  }
+
+  /// Verifies object i's value and the value sequence reachable from it
+  /// (bounded walk — links may form cycles).
+  void VerifyFrom(int start) {
+    // Skip verification if any swapped cluster's store is unreachable: the
+    // walk may legitimately fail with kUnavailable then.
+    for (SwapClusterId id : clusters_) {
+      if (!StoreOfClusterReachable(id)) return;
+    }
+    int model_index = start;
+    ASSERT_TRUE(world_.rt
+                    .SetGlobal("cursor", *world_.rt.GetGlobal(Global(start)))
+                    .ok());
+    for (int steps = 0; steps <= kObjects + 2; ++steps) {
+      Value cursor = *world_.rt.GetGlobal("cursor");
+      if (model_index < 0) {
+        ASSERT_TRUE(!cursor.is_ref() || cursor.ref() == nullptr)
+            << "walk longer than model";
+        return;
+      }
+      ASSERT_TRUE(cursor.is_ref() && cursor.ref() != nullptr)
+          << "walk shorter than model at step " << steps;
+      Result<Value> value = world_.rt.Invoke(cursor.ref(), "get_value");
+      ASSERT_TRUE(value.ok()) << value.status().ToString();
+      ASSERT_EQ(value->as_int(), model_.values[model_index])
+          << "value mismatch at step " << steps;
+      Result<Value> next = world_.rt.Invoke(cursor.ref(), "next");
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      ASSERT_TRUE(world_.rt.SetGlobal("cursor", *next).ok());
+      model_index = model_.next[model_index];
+    }
+  }
+
+  MiddlewareWorld world_;
+  const runtime::ClassInfo* node_cls_ = nullptr;
+  net::StoreNode* store_a_ = nullptr;
+  net::StoreNode* store_b_ = nullptr;
+  std::vector<SwapClusterId> clusters_;
+  Model model_;
+  Rng rng_;
+};
+
+TEST_P(ChaosFixture, RandomOperationsMatchShadowModel) {
+  for (int op = 0; op < kOps; ++op) {
+    switch (rng_.NextBelow(10)) {
+      case 0:
+      case 1:
+      case 2: {  // write a value through the mediated handle
+        int i = static_cast<int>(rng_.NextBelow(kObjects));
+        int64_t v = rng_.NextInt(-1000, 1000);
+        SwapClusterId cluster = clusters_[i / kPerCluster];
+        Status status = world_.rt
+                            .Invoke(Handle(i), "set_value", {Value::Int(v)})
+                            .status();
+        if (status.ok()) {
+          model_.values[static_cast<size_t>(i)] = v;
+        } else {
+          ASSERT_EQ(status.code(), StatusCode::kUnavailable);
+          ASSERT_FALSE(StoreOfClusterReachable(cluster));
+        }
+        break;
+      }
+      case 3:
+      case 4: {  // re-link i -> j (possibly cross-cluster, possibly cyclic)
+        int i = static_cast<int>(rng_.NextBelow(kObjects));
+        Value target = Value::Nil();
+        int j = -1;
+        if (rng_.NextBool(0.8)) {
+          j = static_cast<int>(rng_.NextBelow(kObjects));
+          target = *world_.rt.GetGlobal(Global(j));
+        }
+        Status status =
+            world_.rt.Invoke(Handle(i), "link", {target}).status();
+        if (status.ok()) {
+          model_.next[static_cast<size_t>(i)] = j;
+        } else {
+          ASSERT_EQ(status.code(), StatusCode::kUnavailable);
+        }
+        break;
+      }
+      case 5: {  // swap out a random cluster (any failure is acceptable)
+        SwapClusterId id = clusters_[rng_.NextBelow(clusters_.size())];
+        (void)world_.manager.SwapOut(id);
+        break;
+      }
+      case 6: {  // explicit swap-in of a random cluster
+        SwapClusterId id = clusters_[rng_.NextBelow(clusters_.size())];
+        if (world_.manager.StateOf(id) == swap::SwapState::kSwapped &&
+            StoreOfClusterReachable(id)) {
+          ASSERT_TRUE(world_.manager.SwapIn(id).ok());
+        }
+        break;
+      }
+      case 7: {  // collection
+        world_.rt.heap().Collect();
+        break;
+      }
+      case 8: {  // store churn
+        net::StoreNode* store = rng_.NextBool(0.5) ? store_a_ : store_b_;
+        world_.network.SetOnline(store->device(),
+                                 !world_.network.IsOnline(store->device()));
+        break;
+      }
+      case 9: {  // verify a random walk right now
+        VerifyFrom(static_cast<int>(rng_.NextBelow(kObjects)));
+        break;
+      }
+    }
+    std::string violation = CheckMediationInvariant(world_.rt);
+    ASSERT_EQ(violation, "") << "after op " << op;
+  }
+
+  // Final: bring every store back, reload everything, verify all objects.
+  world_.network.SetOnline(store_a_->device(), true);
+  world_.network.SetOnline(store_b_->device(), true);
+  for (SwapClusterId id : clusters_) {
+    if (world_.manager.StateOf(id) == swap::SwapState::kSwapped) {
+      ASSERT_TRUE(world_.manager.SwapIn(id).ok());
+    }
+  }
+  for (int i = 0; i < kObjects; ++i) {
+    VerifyFrom(i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // Stores hold nothing once everything is loaded again.
+  EXPECT_EQ(store_a_->entry_count() + store_b_->entry_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFixture,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace obiswap

@@ -1,0 +1,192 @@
+// Tests for the compression codecs and the self-describing frame format.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "compress/codec.h"
+
+namespace obiswap::compress {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t n) {
+  std::string out(n, '\0');
+  for (char& c : out) c = static_cast<char>(rng.NextBelow(256));
+  return out;
+}
+
+std::string CompressibleText(Rng& rng, size_t n) {
+  // Repetitive XML-ish text, similar to swapped payloads.
+  static const char* kWords[] = {"<object ", "class=\"Node\"", "<f n=\"next\"",
+                                 "</object>", "payload", "0123456789"};
+  std::string out;
+  while (out.size() < n) out += kWords[rng.NextBelow(6)];
+  out.resize(n);
+  return out;
+}
+
+class CodecTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const Codec& codec() const { return *FindCodec(GetParam()); }
+};
+
+TEST_P(CodecTest, EmptyInputRoundTrips) {
+  auto decoded = codec().Decompress(codec().Compress(""));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "");
+}
+
+TEST_P(CodecTest, SingleByteRoundTrips) {
+  auto decoded = codec().Decompress(codec().Compress("x"));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "x");
+}
+
+TEST_P(CodecTest, BinaryDataRoundTrips) {
+  Rng rng(42);
+  for (size_t n : {16u, 1000u, 65536u}) {
+    std::string data = RandomBytes(rng, n);
+    auto decoded = codec().Decompress(codec().Compress(data));
+    ASSERT_TRUE(decoded.ok()) << codec().name() << " n=" << n;
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST_P(CodecTest, RepetitiveTextRoundTrips) {
+  Rng rng(7);
+  std::string data = CompressibleText(rng, 50000);
+  auto decoded = codec().Decompress(codec().Compress(data));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST_P(CodecTest, EmbeddedNulsSurvive) {
+  std::string data("a\0b\0\0c", 6);
+  auto decoded = codec().Decompress(codec().Compress(data));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecTest,
+                         ::testing::Values("identity", "rle", "lz77"));
+
+TEST(RleTest, LongRunsShrink) {
+  RleCodec rle;
+  std::string runs(10000, 'a');
+  EXPECT_LT(rle.Compress(runs).size(), 20u);
+}
+
+TEST(RleTest, TruncatedStreamFails) {
+  RleCodec rle;
+  std::string compressed = rle.Compress("aaaabbbb");
+  compressed.resize(compressed.size() - 1);
+  EXPECT_FALSE(rle.Decompress(compressed).ok());
+}
+
+TEST(Lz77Test, RepetitiveTextCompressesWell) {
+  Rng rng(3);
+  Lz77Codec lz;
+  std::string data = CompressibleText(rng, 100000);
+  std::string compressed = lz.Compress(data);
+  EXPECT_LT(compressed.size(), data.size() / 3)
+      << "expected >3x on repetitive XML-ish text, got "
+      << data.size() / static_cast<double>(compressed.size()) << "x";
+}
+
+TEST(Lz77Test, RandomDataExpandsOnlySlightly) {
+  Rng rng(5);
+  Lz77Codec lz;
+  std::string data = RandomBytes(rng, 10000);
+  std::string compressed = lz.Compress(data);
+  EXPECT_LT(compressed.size(), data.size() + 64);
+}
+
+TEST(Lz77Test, CorruptTokenTagFails) {
+  Lz77Codec lz;
+  Rng rng(9);
+  std::string compressed = lz.Compress(CompressibleText(rng, 2000));
+  // Flip a byte somewhere past the header.
+  compressed[compressed.size() / 2] = '\x7E';
+  auto decoded = lz.Decompress(compressed);
+  // Either a decode error or (rarely) wrong output caught by frame checksum;
+  // here we only require no crash and no silent success with equal bytes.
+  if (decoded.ok()) {
+    EXPECT_NE(*decoded, CompressibleText(rng, 2000));
+  }
+}
+
+TEST(Lz77Test, MatchAtMaxDistance) {
+  // Pattern, 32 KiB of noise-free filler, then the pattern again.
+  std::string data = "HELLOWORLDHELLO";
+  data += std::string(32 * 1024 - 10, 'x');
+  data += "HELLOWORLDHELLO";
+  Lz77Codec lz;
+  auto decoded = lz.Decompress(lz.Compress(data));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Lz77Test, OverlappingMatchDecodes) {
+  // "abcabcabc..." produces matches with distance < length (overlap copy).
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data += "abc";
+  Lz77Codec lz;
+  auto decoded = lz.Decompress(lz.Compress(data));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+// ----------------------------------------------------------------- frame --
+
+TEST(FrameTest, RoundTripsEveryCodec) {
+  Rng rng(21);
+  std::string payload = CompressibleText(rng, 5000);
+  for (const std::string& name : CodecNames()) {
+    std::string frame = FrameCompress(*FindCodec(name), payload);
+    auto decoded = FrameDecompress(frame);
+    ASSERT_TRUE(decoded.ok()) << name << ": " << decoded.status().ToString();
+    EXPECT_EQ(*decoded, payload);
+  }
+}
+
+TEST(FrameTest, DetectsCorruption) {
+  std::string frame = FrameCompress(*FindCodec("lz77"), "some payload data");
+  // Corrupt the compressed body (last byte).
+  frame.back() = static_cast<char>(frame.back() ^ 0x55);
+  EXPECT_FALSE(FrameDecompress(frame).ok());
+}
+
+TEST(FrameTest, DetectsBadMagic) {
+  std::string frame = FrameCompress(*FindCodec("identity"), "x");
+  frame[0] = 'Z';
+  auto result = FrameDecompress(frame);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameTest, DetectsUnknownCodec) {
+  // Hand-build a frame naming a codec that does not exist.
+  std::string frame = FrameCompress(*FindCodec("identity"), "x");
+  // "identity" begins right after magic + 1-byte varint length (8).
+  frame[5] = 'X';
+  EXPECT_FALSE(FrameDecompress(frame).ok());
+}
+
+TEST(FrameTest, TruncatedFrameFails) {
+  std::string frame = FrameCompress(*FindCodec("rle"), "aaaa");
+  for (size_t cut : {0u, 3u, 6u, 10u}) {
+    if (cut >= frame.size()) continue;
+    EXPECT_FALSE(FrameDecompress(frame.substr(0, cut)).ok()) << cut;
+  }
+}
+
+TEST(CodecRegistryTest, FindCodec) {
+  EXPECT_NE(FindCodec("lz77"), nullptr);
+  EXPECT_NE(FindCodec("rle"), nullptr);
+  EXPECT_NE(FindCodec("identity"), nullptr);
+  EXPECT_EQ(FindCodec("zstd"), nullptr);
+  EXPECT_EQ(CodecNames().size(), 3u);
+}
+
+}  // namespace
+}  // namespace obiswap::compress

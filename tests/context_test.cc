@@ -1,0 +1,201 @@
+// Tests for the event bus, property registry, and the memory/connectivity
+// monitors (Context Management).
+#include <gtest/gtest.h>
+
+#include "context/context.h"
+#include "context/events.h"
+#include "net/bridge.h"
+#include "runtime/runtime.h"
+
+namespace obiswap::context {
+namespace {
+
+// ------------------------------------------------------------------- bus --
+
+TEST(EventBusTest, DeliversToTypeSubscribers) {
+  EventBus bus;
+  int count = 0;
+  bus.Subscribe("ping", [&](const Event&) { ++count; });
+  bus.Publish(Event("ping"));
+  bus.Publish(Event("pong"));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.published_count(), 2u);
+}
+
+TEST(EventBusTest, SubscribeAllSeesEverything) {
+  EventBus bus;
+  int count = 0;
+  bus.SubscribeAll([&](const Event&) { ++count; });
+  bus.Publish(Event("a"));
+  bus.Publish(Event("b"));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventBusTest, UnsubscribeStopsDelivery) {
+  EventBus bus;
+  int count = 0;
+  uint64_t token = bus.Subscribe("x", [&](const Event&) { ++count; });
+  bus.Publish(Event("x"));
+  bus.Unsubscribe(token);
+  bus.Publish(Event("x"));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventBusTest, HandlersRunInSubscriptionOrder) {
+  EventBus bus;
+  std::vector<int> order;
+  bus.Subscribe("x", [&](const Event&) { order.push_back(1); });
+  bus.Subscribe("x", [&](const Event&) { order.push_back(2); });
+  bus.Publish(Event("x"));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(EventBusTest, ReentrantPublishIsDelivered) {
+  EventBus bus;
+  int follow_ups = 0;
+  bus.Subscribe("trigger", [&](const Event&) {
+    bus.Publish(Event("follow-up"));
+  });
+  bus.Subscribe("follow-up", [&](const Event&) { ++follow_ups; });
+  bus.Publish(Event("trigger"));
+  EXPECT_EQ(follow_ups, 1);
+}
+
+TEST(EventBusTest, HandlerMaySubscribeDuringDispatch) {
+  EventBus bus;
+  int late = 0;
+  bus.Subscribe("x", [&](const Event&) {
+    bus.Subscribe("x", [&](const Event&) { ++late; });
+  });
+  bus.Publish(Event("x"));  // must not crash or invoke the new handler
+  EXPECT_EQ(late, 0);
+  bus.Publish(Event("x"));
+  EXPECT_EQ(late, 1);
+}
+
+TEST(EventTest, PropertiesRoundTrip) {
+  Event event("e");
+  event.Set("name", std::string("cluster-2")).Set("count", int64_t{7});
+  EXPECT_EQ(*event.GetString("name"), "cluster-2");
+  EXPECT_EQ(*event.GetInt("count"), 7);
+  EXPECT_EQ(event.GetIntOr("missing", -1), -1);
+  EXPECT_FALSE(event.GetString("missing").ok());
+  EXPECT_FALSE(event.GetInt("missing").ok());
+}
+
+// ------------------------------------------------------------ properties --
+
+TEST(PropertyRegistryTest, TypedAccess) {
+  PropertyRegistry props;
+  props.SetInt("a", 3);
+  props.SetReal("b", 1.5);
+  props.SetString("c", "text");
+  EXPECT_EQ(*props.GetInt("a"), 3);
+  EXPECT_DOUBLE_EQ(*props.GetReal("b"), 1.5);
+  EXPECT_EQ(*props.GetString("c"), "text");
+  EXPECT_FALSE(props.GetInt("b").ok());
+  EXPECT_TRUE(props.Has("a"));
+  EXPECT_FALSE(props.Has("zzz"));
+}
+
+TEST(PropertyRegistryTest, NumericCoercesInts) {
+  PropertyRegistry props;
+  props.SetInt("n", 4);
+  props.SetReal("r", 0.5);
+  EXPECT_DOUBLE_EQ(*props.GetNumeric("n"), 4.0);
+  EXPECT_DOUBLE_EQ(*props.GetNumeric("r"), 0.5);
+  props.SetString("s", "x");
+  EXPECT_FALSE(props.GetNumeric("s").ok());
+}
+
+// -------------------------------------------------------- memory monitor --
+
+TEST(MemoryMonitorTest, EdgeTriggeredPressureAndRelief) {
+  runtime::Runtime rt(1, 100 * 1024);
+  EventBus bus;
+  PropertyRegistry props;
+  MemoryMonitor monitor(rt.heap(), bus, props, 0.80, 0.50);
+  int pressure = 0;
+  int relief = 0;
+  bus.Subscribe(kEventMemoryPressure, [&](const Event&) { ++pressure; });
+  bus.Subscribe(kEventMemoryRelief, [&](const Event&) { ++relief; });
+
+  const runtime::ClassInfo* cls =
+      *rt.types().Register(runtime::ClassBuilder("Pad").PayloadBytes(8192));
+  runtime::LocalScope scope(rt.heap());
+  monitor.Poll();
+  EXPECT_EQ(pressure, 0);
+  EXPECT_FALSE(monitor.under_pressure());
+
+  std::vector<runtime::Object**> pads;
+  while (rt.heap().used_bytes() <
+         static_cast<size_t>(0.85 * 100 * 1024)) {
+    pads.push_back(scope.Add(rt.New(cls)));
+  }
+  monitor.Poll();
+  monitor.Poll();  // edge-triggered: only one event
+  EXPECT_EQ(pressure, 1);
+  EXPECT_TRUE(monitor.under_pressure());
+  EXPECT_GT(*props.GetReal("mem.used_ratio"), 0.8);
+
+  // Drop most pads and collect: relief crossing.
+  for (auto** pad : pads) *pad = nullptr;
+  rt.heap().Collect();
+  monitor.Poll();
+  monitor.Poll();
+  EXPECT_EQ(relief, 1);
+  EXPECT_FALSE(monitor.under_pressure());
+}
+
+TEST(MemoryMonitorTest, UnboundedHeapNeverPressures) {
+  runtime::Runtime rt;  // SIZE_MAX capacity
+  EventBus bus;
+  PropertyRegistry props;
+  MemoryMonitor monitor(rt.heap(), bus, props);
+  int pressure = 0;
+  bus.Subscribe(kEventMemoryPressure, [&](const Event&) { ++pressure; });
+  monitor.Poll();
+  EXPECT_EQ(pressure, 0);
+  EXPECT_DOUBLE_EQ(monitor.used_ratio(), 0.0);
+}
+
+// -------------------------------------------------- connectivity monitor --
+
+TEST(ConnectivityMonitorTest, PublishesOnStoreSetChanges) {
+  net::Network network;
+  net::Discovery discovery(network);
+  EventBus bus;
+  PropertyRegistry props;
+  DeviceId pda(1);
+  DeviceId store_dev(2);
+  network.AddDevice(pda);
+  network.AddDevice(store_dev);
+  ConnectivityMonitor monitor(network, discovery, pda, bus, props);
+  int changes = 0;
+  bus.Subscribe(kEventConnectivityChanged, [&](const Event&) { ++changes; });
+
+  monitor.Poll();  // nothing nearby yet
+  EXPECT_EQ(changes, 0);
+
+  net::StoreNode store(store_dev, 4096);
+  discovery.Announce(&store);
+  network.SetInRange(pda, store_dev, true);
+  monitor.Poll();
+  EXPECT_EQ(changes, 1);
+  EXPECT_EQ(monitor.nearby().size(), 1u);
+  EXPECT_EQ(*props.GetInt("net.nearby_stores"), 1);
+  EXPECT_EQ(*props.GetInt("net.nearby_free_bytes"), 4096);
+
+  monitor.Poll();  // unchanged set: no event
+  EXPECT_EQ(changes, 1);
+
+  network.SetOnline(store_dev, false);  // store wanders off
+  monitor.Poll();
+  EXPECT_EQ(changes, 2);
+  EXPECT_TRUE(monitor.nearby().empty());
+}
+
+}  // namespace
+}  // namespace obiswap::context

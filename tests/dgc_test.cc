@@ -1,0 +1,191 @@
+// Tests for the device<->server reference-listing DGC.
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace obiswap::dgc {
+namespace {
+
+using runtime::LocalScope;
+using runtime::Object;
+using runtime::Value;
+using ::obiswap::testing::MiddlewareWorld;
+using ::obiswap::testing::RegisterNodeClass;
+using ::obiswap::testing::SumList;
+
+class DgcFixture : public ::testing::Test {
+ protected:
+  DgcFixture()
+      : server_rt_(9),
+        server_(server_rt_, /*cluster_size=*/5),
+        dgc_server_(server_),
+        link_(server_) {
+    server_cls_ = RegisterNodeClass(server_rt_);
+    world_.AddStore(2, 10 * 1024 * 1024);
+    RegisterNodeClass(world_.rt);
+    endpoint_ = std::make_unique<replication::DeviceEndpoint>(
+        world_.rt, link_, MiddlewareWorld::kDevice, &world_.bus);
+    client_ = std::make_unique<DgcClient>(world_.rt, *endpoint_,
+                                          &world_.manager,
+                                          DirectRelease(server_));
+  }
+
+  Object* PublishList(int n) {
+    LocalScope scope(server_rt_.heap());
+    Object** head = scope.Add(nullptr);
+    for (int i = n - 1; i >= 0; --i) {
+      Object* node = server_rt_.New(server_cls_);
+      OBISWAP_CHECK(server_rt_.SetField(node, "value", Value::Int(i)).ok());
+      if (*head != nullptr)
+        OBISWAP_CHECK(
+            server_rt_.SetField(node, "next", Value::Ref(*head)).ok());
+      *head = node;
+    }
+    OBISWAP_CHECK(server_.PublishRoot("list", *head).ok());
+    return *head;
+  }
+
+  void ReplicateAll() {
+    Object* root = *endpoint_->FetchRoot("list");
+    OBISWAP_CHECK(world_.rt.SetGlobal("list", Value::Ref(root)).ok());
+    OBISWAP_CHECK(SumList(world_.rt, "list").ok());
+  }
+
+  runtime::Runtime server_rt_;
+  replication::ReplicationServer server_;
+  DgcServer dgc_server_;
+  replication::DirectLink link_;
+  MiddlewareWorld world_;
+  std::unique_ptr<replication::DeviceEndpoint> endpoint_;
+  std::unique_ptr<DgcClient> client_;
+  const runtime::ClassInfo* server_cls_ = nullptr;
+};
+
+TEST_F(DgcFixture, ShippingCreatesScions) {
+  PublishList(10);
+  ReplicateAll();
+  EXPECT_EQ(dgc_server_.ScionCount(MiddlewareWorld::kDevice), 10u);
+  EXPECT_EQ(dgc_server_.stats().scions_created, 10u);
+}
+
+TEST_F(DgcFixture, ScionsPinMasterObjectsAcrossMasterGc) {
+  Object* head = PublishList(5);
+  ReplicateAll();
+  // Unpublish on the master: without scions the list would die.
+  server_rt_.RemoveGlobal("__obiwan_root_list");
+  server_rt_.heap().Collect();
+  EXPECT_EQ(server_rt_.heap().live_objects(), 5u);
+  EXPECT_TRUE(dgc_server_.HasScion(MiddlewareWorld::kDevice, head->oid()));
+}
+
+TEST_F(DgcFixture, DeviceReleaseFreesMasterObjects) {
+  PublishList(5);
+  ReplicateAll();
+  server_rt_.RemoveGlobal("__obiwan_root_list");
+  // Device drops its whole replica graph.
+  world_.rt.RemoveGlobal("list");
+  auto released = client_->RunCycle();
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(*released, 5u);
+  EXPECT_EQ(dgc_server_.TotalScions(), 0u);
+  server_rt_.heap().Collect();
+  EXPECT_EQ(server_rt_.heap().live_objects(), 0u);
+}
+
+TEST_F(DgcFixture, CycleWithNoChangesReleasesNothing) {
+  PublishList(5);
+  ReplicateAll();
+  ASSERT_TRUE(client_->RunCycle().ok());  // baseline snapshot
+  auto released = client_->RunCycle();
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(*released, 0u);
+  EXPECT_EQ(dgc_server_.ScionCount(MiddlewareWorld::kDevice), 5u);
+}
+
+TEST_F(DgcFixture, SwappedOutClustersAreStillHeld) {
+  PublishList(10);
+  ReplicateAll();
+  ASSERT_TRUE(client_->RunCycle().ok());
+  // Swap out every swap-cluster formed from the replicated list.
+  size_t swapped = 0;
+  for (SwapClusterId id : world_.manager.registry().Ids()) {
+    if (world_.manager.SwapOut(id).ok()) ++swapped;
+  }
+  ASSERT_GT(swapped, 0u);
+  // The replicas are gone from the heap, but they live on the store — the
+  // DGC cycle must NOT release them.
+  auto released = client_->RunCycle();
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(*released, 0u);
+  EXPECT_EQ(dgc_server_.ScionCount(MiddlewareWorld::kDevice), 10u);
+  // And the data is still recoverable.
+  auto sum = SumList(world_.rt, "list");
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(*sum, 45);
+}
+
+TEST_F(DgcFixture, DroppedSwappedClusterIsReleased) {
+  PublishList(10);
+  ReplicateAll();
+  ASSERT_TRUE(client_->RunCycle().ok());
+  for (SwapClusterId id : world_.manager.registry().Ids()) {
+    ASSERT_TRUE(world_.manager.SwapOut(id).ok());
+  }
+  // Drop the application's only reference: replacement objects die, the
+  // stored XML is discarded, and the next DGC cycle releases the oids.
+  world_.rt.RemoveGlobal("list");
+  world_.rt.heap().Collect();
+  world_.rt.heap().Collect();
+  auto released = client_->RunCycle();
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(*released, 10u);
+  EXPECT_EQ(dgc_server_.TotalScions(), 0u);
+}
+
+TEST_F(DgcFixture, PartialReleaseKeepsRemainingScions) {
+  PublishList(10);  // clusters of 5 -> 2 swap-clusters on the device
+  ReplicateAll();
+  ASSERT_TRUE(client_->RunCycle().ok());
+  // Cut the list after the 5th node (drop the tail swap-cluster), keeping
+  // the head cluster alive through the global.
+  Object* head_proxy = world_.rt.GetGlobal("list")->ref();
+  Object* cursor = head_proxy;
+  for (int i = 0; i < 4; ++i) {
+    cursor = world_.rt.Invoke(cursor, "next")->ref();
+  }
+  ASSERT_TRUE(world_.rt.SetGlobal("cursor4", Value::Ref(cursor)).ok());
+  ASSERT_TRUE(
+      world_.rt.Invoke(cursor, "set_value", {Value::Int(4)}).ok());
+  // Sever: node4.next = nil (through the mediated cursor).
+  Object* raw4 = swap::ProxyTarget(world_.rt.GetGlobal("cursor4")->ref());
+  ASSERT_TRUE(world_.rt.SetField(raw4, "next", Value::Nil()).ok());
+  auto released = client_->RunCycle();
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(*released, 5u);
+  EXPECT_EQ(dgc_server_.ScionCount(MiddlewareWorld::kDevice), 5u);
+}
+
+TEST_F(DgcFixture, TwoDevicesHoldIndependentScions) {
+  Object* head = PublishList(5);
+  ReplicateAll();
+  // A second device replicates the same list.
+  runtime::Runtime rt2(2);
+  RegisterNodeClass(rt2);
+  replication::DeviceEndpoint endpoint2(rt2, link_, DeviceId(2), nullptr);
+  Object* root2 = *endpoint2.FetchRoot("list");
+  ASSERT_TRUE(rt2.SetGlobal("list", Value::Ref(root2)).ok());
+  ASSERT_TRUE(SumList(rt2, "list").ok());
+  EXPECT_EQ(dgc_server_.ScionCount(DeviceId(2)), 5u);
+
+  // Device 1 releases; device 2's scions keep the masters alive.
+  world_.rt.RemoveGlobal("list");
+  ASSERT_TRUE(client_->RunCycle().ok());
+  EXPECT_EQ(dgc_server_.ScionCount(MiddlewareWorld::kDevice), 0u);
+  server_rt_.RemoveGlobal("__obiwan_root_list");
+  server_rt_.heap().Collect();
+  EXPECT_EQ(server_rt_.heap().live_objects(), 5u);
+  EXPECT_TRUE(dgc_server_.HasScion(DeviceId(2), head->oid()));
+}
+
+}  // namespace
+}  // namespace obiswap::dgc

@@ -1,0 +1,206 @@
+// End-to-end integration: the paper's Figure-2 scenario. A PDA replicates a
+// large object graph from a server over the simulated wireless network,
+// hits its heap capacity, and the policy engine swaps least-recently-used
+// swap-clusters to nearby store devices; traversal transparently faults
+// clusters back in; DGC releases what the device no longer holds; store
+// devices wander in and out of range.
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace obiswap {
+namespace {
+
+using runtime::LocalScope;
+using runtime::Object;
+using runtime::Value;
+using ::obiswap::testing::CheckMediationInvariant;
+using ::obiswap::testing::MiddlewareWorld;
+using ::obiswap::testing::RegisterNodeClass;
+using ::obiswap::testing::SumList;
+
+class FullStackFixture : public ::testing::Test {
+ protected:
+  static constexpr int kListSize = 400;
+  static constexpr size_t kHeapCapacity = 96 * 1024;
+
+  FullStackFixture()
+      : server_rt_(9),
+        server_(server_rt_, /*cluster_size=*/25),
+        dgc_server_(server_),
+        world_(MakeOptions(), kHeapCapacity),
+        link_(server_),
+        endpoint_(world_.rt, link_, MiddlewareWorld::kDevice, &world_.bus),
+        dgc_client_(world_.rt, endpoint_, &world_.manager,
+                    dgc::DirectRelease(server_)),
+        engine_(world_.bus, props_),
+        memory_(world_.rt.heap(), world_.bus, props_, 0.85, 0.60),
+        connectivity_(world_.network, world_.discovery,
+                      MiddlewareWorld::kDevice, world_.bus, props_) {
+    RegisterNodeClass(server_rt_);
+    RegisterNodeClass(world_.rt);
+    world_.AddStore(2, 10 * 1024 * 1024);
+    world_.AddStore(3, 10 * 1024 * 1024);
+    world_.manager.InstallPressureHandler();
+
+    OBISWAP_CHECK(
+        policy::RegisterSwapActions(engine_, world_.rt, world_.manager).ok());
+    OBISWAP_CHECK(engine_
+                      .LoadXml(R"(
+      <policies>
+        <policy name="relieve-pressure" on="memory-pressure" priority="10"
+                when="net.nearby_stores gt 0">
+          <action name="swap-out-victim"/>
+        </policy>
+      </policies>)")
+                      .ok());
+    connectivity_.Poll();
+
+    // Publish the server-side list.
+    LocalScope scope(server_rt_.heap());
+    Object** head = scope.Add(nullptr);
+    const runtime::ClassInfo* cls = server_rt_.types().Find("Node");
+    for (int i = kListSize - 1; i >= 0; --i) {
+      Object* node = server_rt_.New(cls);
+      OBISWAP_CHECK(server_rt_.SetField(node, "value", Value::Int(i)).ok());
+      if (*head != nullptr)
+        OBISWAP_CHECK(
+            server_rt_.SetField(node, "next", Value::Ref(*head)).ok());
+      *head = node;
+    }
+    OBISWAP_CHECK(server_.PublishRoot("list", *head).ok());
+  }
+
+  static swap::SwappingManager::Options MakeOptions() {
+    swap::SwappingManager::Options options;
+    options.clusters_per_swap_cluster = 2;  // 50 objects per swap-cluster
+    options.codec = "lz77";
+    return options;
+  }
+
+  runtime::Runtime server_rt_;
+  replication::ReplicationServer server_;
+  dgc::DgcServer dgc_server_;
+  MiddlewareWorld world_;
+  replication::DirectLink link_;
+  replication::DeviceEndpoint endpoint_;
+  dgc::DgcClient dgc_client_;
+  context::PropertyRegistry props_;
+  policy::PolicyEngine engine_;
+  context::MemoryMonitor memory_;
+  context::ConnectivityMonitor connectivity_;
+};
+
+TEST_F(FullStackFixture, ReplicateTraverseUnderMemoryPressure) {
+  // The full list occupies well over the device's 180 KiB heap; replicating
+  // and traversing it end-to-end requires pressure-driven swap-outs.
+  Object* root = *endpoint_.FetchRoot("list");
+  ASSERT_TRUE(world_.rt.SetGlobal("list", Value::Ref(root)).ok());
+
+  auto sum = SumList(world_.rt, "list");
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(*sum, kListSize * (kListSize - 1) / 2);
+  EXPECT_EQ(endpoint_.stats().objects_replicated,
+            static_cast<uint64_t>(kListSize));
+  EXPECT_GT(world_.manager.stats().swap_outs, 0u);
+  EXPECT_EQ(CheckMediationInvariant(world_.rt), "");
+  // The device heap stayed within its budget (plus middleware overcommit).
+  EXPECT_LE(world_.rt.heap().used_bytes(), kHeapCapacity + 64 * 1024);
+}
+
+TEST_F(FullStackFixture, RepeatedTraversalsThrashCorrectly) {
+  Object* root = *endpoint_.FetchRoot("list");
+  ASSERT_TRUE(world_.rt.SetGlobal("list", Value::Ref(root)).ok());
+  const int64_t expected = kListSize * (kListSize - 1) / 2;
+  for (int round = 0; round < 3; ++round) {
+    auto sum = SumList(world_.rt, "list");
+    ASSERT_TRUE(sum.ok()) << "round " << round << ": "
+                          << sum.status().ToString();
+    EXPECT_EQ(*sum, expected) << "round " << round;
+  }
+  // Re-traversals force swap-ins of previously evicted clusters.
+  EXPECT_GT(world_.manager.stats().swap_ins, 0u);
+}
+
+TEST_F(FullStackFixture, MutationsSurviveSwapCycles) {
+  Object* root = *endpoint_.FetchRoot("list");
+  ASSERT_TRUE(world_.rt.SetGlobal("list", Value::Ref(root)).ok());
+  // Write i*2 into every node (mediated traversal), with pressure swapping
+  // underneath.
+  {
+    Value cursor = *world_.rt.GetGlobal("list");
+    int i = 0;
+    while (cursor.is_ref() && cursor.ref() != nullptr) {
+      ASSERT_TRUE(world_.rt
+                      .Invoke(cursor.ref(), "set_value",
+                              {Value::Int(int64_t{2} * i)})
+                      .ok());
+      cursor = *world_.rt.Invoke(cursor.ref(), "next");
+      ++i;
+    }
+    ASSERT_EQ(i, kListSize);
+  }
+  auto sum = SumList(world_.rt, "list");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, int64_t{kListSize} * (kListSize - 1));
+}
+
+TEST_F(FullStackFixture, StoreDeviceChurnIsTolerated) {
+  Object* root = *endpoint_.FetchRoot("list");
+  ASSERT_TRUE(world_.rt.SetGlobal("list", Value::Ref(root)).ok());
+  ASSERT_TRUE(SumList(world_.rt, "list").ok());
+
+  // One store leaves; swapped clusters on the other remain reachable, and
+  // swap-ins needing the departed store fail cleanly until it returns.
+  DeviceId leaver = world_.stores[0]->device();
+  world_.network.SetOnline(leaver, false);
+  connectivity_.Poll();
+  auto sum = SumList(world_.rt, "list");
+  if (!sum.ok()) {
+    EXPECT_EQ(sum.status().code(), StatusCode::kUnavailable);
+    world_.network.SetOnline(leaver, true);
+    connectivity_.Poll();
+    sum = SumList(world_.rt, "list");
+  }
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(*sum, kListSize * (kListSize - 1) / 2);
+}
+
+TEST_F(FullStackFixture, DgcReleasesDroppedGraph) {
+  Object* root = *endpoint_.FetchRoot("list");
+  ASSERT_TRUE(world_.rt.SetGlobal("list", Value::Ref(root)).ok());
+  ASSERT_TRUE(SumList(world_.rt, "list").ok());
+  ASSERT_TRUE(dgc_client_.RunCycle().ok());
+  EXPECT_EQ(dgc_server_.ScionCount(MiddlewareWorld::kDevice),
+            static_cast<size_t>(kListSize));
+
+  // Drop the device's graph entirely: every scion must be released and the
+  // stores must end up empty (replacement finalizers drop swapped XML).
+  world_.rt.RemoveGlobal("list");
+  world_.rt.heap().Collect();
+  world_.rt.heap().Collect();
+  auto released = dgc_client_.RunCycle();
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(dgc_server_.ScionCount(MiddlewareWorld::kDevice), 0u);
+  size_t store_entries = 0;
+  for (const auto& store : world_.stores) {
+    store_entries += store->entry_count();
+  }
+  EXPECT_EQ(store_entries, 0u);
+}
+
+TEST_F(FullStackFixture, VirtualTimeReflectsLinkCosts) {
+  Object* root = *endpoint_.FetchRoot("list");
+  ASSERT_TRUE(world_.rt.SetGlobal("list", Value::Ref(root)).ok());
+  ASSERT_TRUE(SumList(world_.rt, "list").ok());
+  uint64_t moved = world_.network.stats().bytes_moved;
+  EXPECT_GT(moved, 0u);
+  // At 700 Kbps, moving those bytes must have consumed at least the
+  // corresponding virtual time.
+  double min_seconds = static_cast<double>(moved) * 8.0 / 700'000.0;
+  EXPECT_GE(world_.network.clock().now_us(),
+            static_cast<uint64_t>(min_seconds * 1e6));
+}
+
+}  // namespace
+}  // namespace obiswap

@@ -1,0 +1,188 @@
+// Multi-device scenarios: several PDAs sharing the same store devices and
+// the same replication master, and swapping interacting with still-lazy
+// (unreplicated) graph regions.
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace obiswap {
+namespace {
+
+using runtime::LocalScope;
+using runtime::Object;
+using runtime::ObjectKind;
+using runtime::Value;
+using ::obiswap::testing::BuildClusteredList;
+using ::obiswap::testing::RegisterNodeClass;
+using ::obiswap::testing::SumList;
+
+/// One device stack sharing an external network/discovery.
+struct Device {
+  Device(net::Network& network, net::Discovery& discovery, uint32_t id)
+      : device(id),
+        rt(static_cast<uint16_t>(id)),
+        client(network, discovery, device),
+        manager(rt) {
+    network.AddDevice(device);
+    manager.AttachStore(&client, &discovery);
+  }
+
+  DeviceId device;
+  runtime::Runtime rt;
+  net::StoreClient client;
+  swap::SwappingManager manager;
+};
+
+TEST(MultiDeviceTest, TwoDevicesShareOneStoreWithoutKeyCollisions) {
+  net::Network network;
+  net::Discovery discovery(network);
+  DeviceId shelf(99);
+  network.AddDevice(shelf);
+  net::StoreNode store(shelf, 8 * 1024 * 1024);
+  discovery.Announce(&store);
+
+  Device a(network, discovery, 1);
+  Device b(network, discovery, 2);
+  network.SetInRange(a.device, shelf, true);
+  network.SetInRange(b.device, shelf, true);
+
+  const runtime::ClassInfo* cls_a = RegisterNodeClass(a.rt);
+  const runtime::ClassInfo* cls_b = RegisterNodeClass(b.rt);
+  auto clusters_a = BuildClusteredList(a.rt, a.manager, cls_a, 30, 10, "la");
+  auto clusters_b = BuildClusteredList(b.rt, b.manager, cls_b, 30, 10, "lb");
+
+  // Interleaved swap-outs from both devices to the same shelf.
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(a.manager.SwapOut(clusters_a[i]).ok());
+    ASSERT_TRUE(b.manager.SwapOut(clusters_b[i]).ok());
+  }
+  EXPECT_EQ(store.entry_count(), 6u);
+
+  // Both reload everything, in opposite orders.
+  auto sum_a = SumList(a.rt, "la");
+  ASSERT_TRUE(sum_a.ok()) << sum_a.status().ToString();
+  EXPECT_EQ(*sum_a, 435);
+  auto sum_b = SumList(b.rt, "lb");
+  ASSERT_TRUE(sum_b.ok()) << sum_b.status().ToString();
+  EXPECT_EQ(*sum_b, 435);
+  EXPECT_EQ(store.entry_count(), 0u);
+}
+
+TEST(MultiDeviceTest, StoreCapacitySharedFairlyEnough) {
+  net::Network network;
+  net::Discovery discovery(network);
+  DeviceId shelf(99);
+  network.AddDevice(shelf);
+  // Tiny store: fits ~2 swapped clusters.
+  net::StoreNode store(shelf, 6000);
+  discovery.Announce(&store);
+  Device a(network, discovery, 1);
+  network.SetInRange(a.device, shelf, true);
+  const runtime::ClassInfo* cls = RegisterNodeClass(a.rt);
+  auto clusters = BuildClusteredList(a.rt, a.manager, cls, 60, 20, "l");
+  int succeeded = 0;
+  for (SwapClusterId id : clusters) {
+    if (a.manager.SwapOut(id).ok()) ++succeeded;
+  }
+  EXPECT_GT(succeeded, 0);
+  EXPECT_LT(succeeded, 3);  // the store filled up
+  // Discovery's capacity filter rejects the later clusters before any
+  // transfer happens (the store itself never sees an oversized request).
+  EXPECT_GT(a.manager.stats().swap_out_failures, 0u);
+  // Everything still traverses (loaded + reloadable clusters).
+  auto sum = SumList(a.rt, "l");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 60 * 59 / 2);
+}
+
+TEST(MultiDeviceTest, SwappedClusterWithUnreplicatedTailReloadsAndFaults) {
+  // A partially replicated list: the replicated prefix is swapped out with
+  // an outbound replication proxy inside the replacement-object; swap-in
+  // restores it and traversal then faults the unreplicated tail.
+  runtime::Runtime server_rt(9);
+  const runtime::ClassInfo* server_cls = RegisterNodeClass(server_rt);
+  replication::ReplicationServer server(server_rt, /*cluster_size=*/10);
+  {
+    LocalScope scope(server_rt.heap());
+    Object** head = scope.Add(nullptr);
+    for (int i = 29; i >= 0; --i) {
+      Object* node = server_rt.New(server_cls);
+      OBISWAP_CHECK(server_rt.SetField(node, "value", Value::Int(i)).ok());
+      if (*head != nullptr)
+        OBISWAP_CHECK(
+            server_rt.SetField(node, "next", Value::Ref(*head)).ok());
+      *head = node;
+    }
+    OBISWAP_CHECK(server.PublishRoot("list", *head).ok());
+  }
+
+  ::obiswap::testing::MiddlewareWorld world;
+  RegisterNodeClass(world.rt);
+  world.AddStore(2, 8 * 1024 * 1024);
+  replication::DirectLink link(server);
+  replication::DeviceEndpoint endpoint(
+      world.rt, link, ::obiswap::testing::MiddlewareWorld::kDevice,
+      &world.bus);
+
+  // Replicate only the first cluster (touch the head once).
+  Object* root = *endpoint.FetchRoot("list");
+  ASSERT_TRUE(world.rt.SetGlobal("list", Value::Ref(root)).ok());
+  ASSERT_TRUE(
+      world.rt.Invoke(world.rt.GetGlobal("list")->ref(), "get_value").ok());
+  EXPECT_EQ(endpoint.stats().clusters_replicated, 1u);
+
+  // The single swap-cluster holds the replicated prefix, whose last node
+  // references a replication proxy for the unreplicated tail.
+  ASSERT_EQ(world.manager.registry().size(), 1u);
+  SwapClusterId prefix = world.manager.registry().Ids()[0];
+  ASSERT_TRUE(world.manager.SwapOut(prefix).ok());
+  world.rt.heap().Collect();
+  EXPECT_EQ(world.manager.StateOf(prefix), swap::SwapState::kSwapped);
+
+  // Full traversal: swap-in the prefix, then fault the tail from the
+  // server, cluster by cluster.
+  auto sum = SumList(world.rt, "list");
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(*sum, 30 * 29 / 2);
+  EXPECT_EQ(endpoint.stats().clusters_replicated, 3u);
+  EXPECT_EQ(::obiswap::testing::CheckMediationInvariant(world.rt), "");
+}
+
+TEST(MultiDeviceTest, TwoDevicesReplicateIndependentlyFromOneMaster) {
+  runtime::Runtime server_rt(9);
+  const runtime::ClassInfo* server_cls = RegisterNodeClass(server_rt);
+  replication::ReplicationServer server(server_rt, 5);
+  {
+    LocalScope scope(server_rt.heap());
+    Object** head = scope.Add(nullptr);
+    for (int i = 9; i >= 0; --i) {
+      Object* node = server_rt.New(server_cls);
+      OBISWAP_CHECK(server_rt.SetField(node, "value", Value::Int(i)).ok());
+      if (*head != nullptr)
+        OBISWAP_CHECK(
+            server_rt.SetField(node, "next", Value::Ref(*head)).ok());
+      *head = node;
+    }
+    OBISWAP_CHECK(server.PublishRoot("list", *head).ok());
+  }
+  replication::DirectLink link(server);
+
+  runtime::Runtime rt1(1), rt2(2);
+  RegisterNodeClass(rt1);
+  RegisterNodeClass(rt2);
+  replication::DeviceEndpoint e1(rt1, link, DeviceId(1), nullptr);
+  replication::DeviceEndpoint e2(rt2, link, DeviceId(2), nullptr);
+  Object* r1 = *e1.FetchRoot("list");
+  Object* r2 = *e2.FetchRoot("list");
+  ASSERT_TRUE(rt1.SetGlobal("list", Value::Ref(r1)).ok());
+  ASSERT_TRUE(rt2.SetGlobal("list", Value::Ref(r2)).ok());
+  EXPECT_EQ(*SumList(rt1, "list"), 45);
+  EXPECT_EQ(*SumList(rt2, "list"), 45);
+  EXPECT_EQ(server.SentCount(DeviceId(1)), 10u);
+  EXPECT_EQ(server.SentCount(DeviceId(2)), 10u);
+  EXPECT_EQ(e1.stats().objects_replicated, 10u);
+  EXPECT_EQ(e2.stats().objects_replicated, 10u);
+}
+
+}  // namespace
+}  // namespace obiswap

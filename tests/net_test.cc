@@ -1,0 +1,272 @@
+// Tests for the simulated wireless neighbourhood: links, store nodes,
+// discovery, and the XML web-service bridge.
+#include <gtest/gtest.h>
+
+#include "net/bridge.h"
+#include "net/network.h"
+#include "net/store_node.h"
+
+namespace obiswap::net {
+namespace {
+
+constexpr DeviceId kPda(1);
+constexpr DeviceId kStoreA(2);
+constexpr DeviceId kStoreB(3);
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture() {
+    network_.AddDevice(kPda);
+    network_.AddDevice(kStoreA);
+    network_.SetInRange(kPda, kStoreA, true);
+  }
+  Network network_;
+};
+
+// --------------------------------------------------------------- network --
+
+TEST_F(NetworkFixture, TransferAdvancesVirtualTime) {
+  uint64_t before = network_.clock().now_us();
+  auto elapsed = network_.Transfer(kPda, kStoreA, 700'000 / 8);  // 1s payload
+  ASSERT_TRUE(elapsed.ok());
+  // latency (30ms) + 87500B * 8 / 700kbps = 30ms + 1s
+  EXPECT_EQ(*elapsed, 30'000u + 1'000'000u);
+  EXPECT_EQ(network_.clock().now_us(), before + *elapsed);
+}
+
+TEST_F(NetworkFixture, DefaultLinkIsPaperBluetooth) {
+  LinkParams link = network_.GetLinkParams(kPda, kStoreA);
+  EXPECT_DOUBLE_EQ(link.bandwidth_bps, 700'000.0);
+}
+
+TEST_F(NetworkFixture, OutOfRangeFails) {
+  network_.AddDevice(kStoreB);
+  auto result = network_.Transfer(kPda, kStoreB, 10);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NetworkFixture, OfflineDeviceFails) {
+  network_.SetOnline(kStoreA, false);
+  EXPECT_FALSE(network_.Transfer(kPda, kStoreA, 10).ok());
+  network_.SetOnline(kStoreA, true);
+  EXPECT_TRUE(network_.Transfer(kPda, kStoreA, 10).ok());
+}
+
+TEST_F(NetworkFixture, RangeIsSymmetric) {
+  EXPECT_TRUE(network_.InRange(kStoreA, kPda));
+  network_.SetInRange(kStoreA, kPda, false);
+  EXPECT_FALSE(network_.InRange(kPda, kStoreA));
+}
+
+TEST_F(NetworkFixture, PerPairLinkOverride) {
+  LinkParams fast;
+  fast.bandwidth_bps = 7'000'000.0;
+  fast.latency_us = 0;
+  network_.SetLinkParams(kPda, kStoreA, fast);
+  auto elapsed = network_.Transfer(kPda, kStoreA, 875);  // 1ms at 7Mbps
+  ASSERT_TRUE(elapsed.ok());
+  EXPECT_EQ(*elapsed, 1000u);
+}
+
+TEST_F(NetworkFixture, LossyLinkFailsSometimes) {
+  LinkParams lossy;
+  lossy.loss_rate = 0.5;
+  network_.SetLinkParams(kPda, kStoreA, lossy);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!network_.Transfer(kPda, kStoreA, 1).ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 150);
+  EXPECT_EQ(network_.stats().transfer_failures,
+            static_cast<uint64_t>(failures));
+}
+
+TEST_F(NetworkFixture, ReachableListsOnlineInRangeDevices) {
+  network_.AddDevice(kStoreB);
+  EXPECT_EQ(network_.Reachable(kPda).size(), 1u);
+  network_.SetInRange(kPda, kStoreB, true);
+  EXPECT_EQ(network_.Reachable(kPda).size(), 2u);
+  network_.SetOnline(kStoreA, false);
+  auto reachable = network_.Reachable(kPda);
+  ASSERT_EQ(reachable.size(), 1u);
+  EXPECT_EQ(reachable[0], kStoreB);
+}
+
+TEST_F(NetworkFixture, RemoveDeviceClearsLinks) {
+  network_.RemoveDevice(kStoreA);
+  EXPECT_FALSE(network_.HasDevice(kStoreA));
+  EXPECT_FALSE(network_.InRange(kPda, kStoreA));
+}
+
+TEST_F(NetworkFixture, StatsAccumulate) {
+  ASSERT_TRUE(network_.Transfer(kPda, kStoreA, 100).ok());
+  ASSERT_TRUE(network_.Transfer(kStoreA, kPda, 50).ok());
+  EXPECT_EQ(network_.stats().transfers, 2u);
+  EXPECT_EQ(network_.stats().bytes_moved, 150u);
+}
+
+// ------------------------------------------------------------ store node --
+
+TEST(StoreNodeTest, StoreFetchDrop) {
+  StoreNode store(kStoreA, 1024);
+  ASSERT_TRUE(store.Store(SwapKey(1), "<xml/>").ok());
+  EXPECT_TRUE(store.Contains(SwapKey(1)));
+  EXPECT_EQ(store.used_bytes(), 6u);
+  auto fetched = store.Fetch(SwapKey(1));
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*fetched, "<xml/>");
+  ASSERT_TRUE(store.Drop(SwapKey(1)).ok());
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_FALSE(store.Contains(SwapKey(1)));
+}
+
+TEST(StoreNodeTest, DuplicateKeyRejected) {
+  StoreNode store(kStoreA, 1024);
+  ASSERT_TRUE(store.Store(SwapKey(1), "a").ok());
+  EXPECT_EQ(store.Store(SwapKey(1), "b").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StoreNodeTest, CapacityEnforced) {
+  StoreNode store(kStoreA, 10);
+  EXPECT_TRUE(store.Store(SwapKey(1), "12345").ok());
+  EXPECT_EQ(store.Store(SwapKey(2), "123456").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(store.Store(SwapKey(2), "12345").ok());
+  EXPECT_EQ(store.free_bytes(), 0u);
+  EXPECT_EQ(store.stats().rejected_full, 1u);
+}
+
+TEST(StoreNodeTest, UnknownKeyErrors) {
+  StoreNode store(kStoreA, 10);
+  EXPECT_EQ(store.Fetch(SwapKey(9)).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Drop(SwapKey(9)).code(), StatusCode::kNotFound);
+}
+
+TEST(StoreNodeTest, KeysLists) {
+  StoreNode store(kStoreA, 100);
+  ASSERT_TRUE(store.Store(SwapKey(1), "a").ok());
+  ASSERT_TRUE(store.Store(SwapKey(2), "b").ok());
+  EXPECT_EQ(store.Keys().size(), 2u);
+  EXPECT_EQ(store.entry_count(), 2u);
+}
+
+// ---------------------------------------------------------- bridge stack --
+
+class BridgeFixture : public NetworkFixture {
+ protected:
+  BridgeFixture()
+      : store_a_(kStoreA, 64 * 1024),
+        store_b_(kStoreB, 64 * 1024),
+        discovery_(network_),
+        client_(network_, discovery_, kPda) {
+    network_.AddDevice(kStoreB);
+    discovery_.Announce(&store_a_);
+  }
+
+  StoreNode store_a_;
+  StoreNode store_b_;
+  Discovery discovery_;
+  StoreClient client_;
+};
+
+TEST_F(BridgeFixture, StoreFetchDropThroughBridge) {
+  std::string payload = "<swap-cluster id=\"2\">payload</swap-cluster>";
+  ASSERT_TRUE(client_.Store(kStoreA, SwapKey(7), payload).ok());
+  EXPECT_EQ(store_a_.entry_count(), 1u);
+  auto fetched = client_.Fetch(kStoreA, SwapKey(7));
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*fetched, payload);
+  ASSERT_TRUE(client_.Drop(kStoreA, SwapKey(7)).ok());
+  EXPECT_EQ(store_a_.entry_count(), 0u);
+}
+
+TEST_F(BridgeFixture, PayloadWithMarkupSurvivesEnvelope) {
+  std::string payload = "<a x=\"1\">&amp; <b/> ]]></a>";
+  ASSERT_TRUE(client_.Store(kStoreA, SwapKey(1), payload).ok());
+  EXPECT_EQ(*client_.Fetch(kStoreA, SwapKey(1)), payload);
+}
+
+TEST_F(BridgeFixture, RemoteErrorsPropagateAsStatusCodes) {
+  EXPECT_EQ(client_.Fetch(kStoreA, SwapKey(404)).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(client_.Store(kStoreA, SwapKey(1), "x").ok());
+  EXPECT_EQ(client_.Store(kStoreA, SwapKey(1), "y").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(BridgeFixture, UnannouncedDeviceIsNotFound) {
+  EXPECT_EQ(client_.Store(kStoreB, SwapKey(1), "x").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BridgeFixture, OutOfRangeIsUnavailable) {
+  discovery_.Announce(&store_b_);  // announced but not in range
+  EXPECT_EQ(client_.Store(kStoreB, SwapKey(1), "x").code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(BridgeFixture, RetriesOvercomeLoss) {
+  LinkParams lossy;
+  lossy.loss_rate = 0.3;
+  network_.SetLinkParams(kPda, kStoreA, lossy);
+  int ok = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (client_.Store(kStoreA, SwapKey(100 + i), "data").ok()) ++ok;
+  }
+  // 3 attempts at 30% loss per direction: >90% success expected.
+  EXPECT_GT(ok, 40);
+  EXPECT_GT(client_.stats().retries, 0u);
+}
+
+TEST_F(BridgeFixture, CallsCostTwoTransfers) {
+  uint64_t before = network_.stats().transfers;
+  ASSERT_TRUE(client_.Store(kStoreA, SwapKey(1), "x").ok());
+  EXPECT_EQ(network_.stats().transfers, before + 2);
+}
+
+TEST_F(BridgeFixture, ServiceRejectsMalformedRequests) {
+  StoreService* service = discovery_.ServiceFor(kStoreA);
+  ASSERT_NE(service, nullptr);
+  EXPECT_NE(service->Handle("not xml").find("INVALID_ARGUMENT"),
+            std::string::npos);
+  EXPECT_NE(service->Handle("<request/>").find("INVALID_ARGUMENT"),
+            std::string::npos);
+  EXPECT_NE(service->Handle("<request op=\"zap\" key=\"1\"/>")
+                .find("INVALID_ARGUMENT"),
+            std::string::npos);
+  EXPECT_NE(service->Handle("<request op=\"store\" key=\"1\"/>")
+                .find("missing payload"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- discovery --
+
+TEST_F(BridgeFixture, NearbyStoresFiltersByRangeAndCapacity) {
+  discovery_.Announce(&store_b_);
+  EXPECT_EQ(discovery_.NearbyStores(kPda).size(), 1u);  // B out of range
+  network_.SetInRange(kPda, kStoreB, true);
+  EXPECT_EQ(discovery_.NearbyStores(kPda).size(), 2u);
+  // Capacity filter.
+  EXPECT_EQ(discovery_.NearbyStores(kPda, 128 * 1024).size(), 0u);
+  // Fill A: B (more free) should sort first.
+  ASSERT_TRUE(store_a_.Store(SwapKey(1), std::string(1000, 'x')).ok());
+  auto stores = discovery_.NearbyStores(kPda);
+  ASSERT_EQ(stores.size(), 2u);
+  EXPECT_EQ(stores[0]->device(), kStoreB);
+}
+
+TEST_F(BridgeFixture, WithdrawRemovesStore) {
+  discovery_.Withdraw(kStoreA);
+  EXPECT_TRUE(discovery_.NearbyStores(kPda).empty());
+  EXPECT_EQ(discovery_.ServiceFor(kStoreA), nullptr);
+}
+
+TEST_F(BridgeFixture, OfflineStoreDisappearsFromDiscovery) {
+  network_.SetOnline(kStoreA, false);
+  EXPECT_TRUE(discovery_.NearbyStores(kPda).empty());
+}
+
+}  // namespace
+}  // namespace obiswap::net

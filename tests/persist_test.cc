@@ -1,0 +1,237 @@
+// Tests for local persistence: FlashStore, the swapping manager's local
+// fallback, and the runtime's extended weak references.
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace obiswap {
+namespace {
+
+using persist::FlashParams;
+using persist::FlashStore;
+using runtime::LocalScope;
+using runtime::Object;
+using runtime::Value;
+using ::obiswap::testing::BuildClusteredList;
+using ::obiswap::testing::MiddlewareWorld;
+using ::obiswap::testing::RegisterNodeClass;
+using ::obiswap::testing::SumList;
+
+// ------------------------------------------------------------ FlashStore --
+
+TEST(FlashStoreTest, StoreFetchDrop) {
+  net::SimClock clock;
+  FlashStore flash(DeviceId(1), 4096, clock);
+  ASSERT_TRUE(flash.Store(SwapKey(1), "payload").ok());
+  EXPECT_TRUE(flash.Contains(SwapKey(1)));
+  EXPECT_EQ(*flash.Fetch(SwapKey(1)), "payload");
+  ASSERT_TRUE(flash.Drop(SwapKey(1)).ok());
+  EXPECT_FALSE(flash.Contains(SwapKey(1)));
+  EXPECT_EQ(flash.used_bytes(), 0u);
+}
+
+TEST(FlashStoreTest, CapacityAndDuplicates) {
+  net::SimClock clock;
+  FlashStore flash(DeviceId(1), 10, clock);
+  ASSERT_TRUE(flash.Store(SwapKey(1), "12345").ok());
+  EXPECT_EQ(flash.Store(SwapKey(2), "123456").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(flash.Store(SwapKey(1), "12345").ok());  // idempotent
+  EXPECT_EQ(flash.Store(SwapKey(1), "other").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(flash.Fetch(SwapKey(9)).ok());
+  EXPECT_FALSE(flash.Drop(SwapKey(9)).ok());
+}
+
+TEST(FlashStoreTest, AsymmetricAccessCosts) {
+  net::SimClock clock;
+  FlashParams params;
+  params.op_latency_us = 0;
+  params.read_us_per_kib = 100;
+  params.write_us_per_kib = 1000;
+  FlashStore flash(DeviceId(1), 1 << 20, clock, params);
+  std::string blob(10 * 1024, 'x');
+  uint64_t t0 = clock.now_us();
+  ASSERT_TRUE(flash.Store(SwapKey(1), blob).ok());
+  uint64_t write_cost = clock.now_us() - t0;
+  t0 = clock.now_us();
+  ASSERT_TRUE(flash.Fetch(SwapKey(1)).ok());
+  uint64_t read_cost = clock.now_us() - t0;
+  EXPECT_EQ(write_cost, 10u * 1000);
+  EXPECT_EQ(read_cost, 10u * 100);
+  EXPECT_EQ(flash.stats().bytes_written, blob.size());
+}
+
+// --------------------------------------------------- local swap fallback --
+
+TEST(LocalFallbackTest, SwapsLocallyWhenNoDeviceNearby) {
+  MiddlewareWorld world;  // NO stores added
+  const runtime::ClassInfo* node_cls = RegisterNodeClass(world.rt);
+  FlashStore flash(MiddlewareWorld::kDevice, 1 << 20,
+                   world.network.clock());
+  world.manager.AttachLocalStore(&flash);
+  auto clusters =
+      BuildClusteredList(world.rt, world.manager, node_cls, 20, 10, "head");
+  ASSERT_TRUE(world.manager.SwapOut(clusters[0]).ok());
+  EXPECT_EQ(flash.entry_count(), 1u);
+  EXPECT_EQ(world.manager.stats().local_swap_outs, 1u);
+  // Transparent reload from flash.
+  auto sum = SumList(world.rt, "head");
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(*sum, 190);
+  EXPECT_EQ(flash.entry_count(), 0u);  // dropped after swap-in
+}
+
+TEST(LocalFallbackTest, RemoteStorePreferredOverFlash) {
+  MiddlewareWorld world;
+  const runtime::ClassInfo* node_cls = RegisterNodeClass(world.rt);
+  net::StoreNode* remote = world.AddStore(2, 1 << 20);
+  FlashStore flash(MiddlewareWorld::kDevice, 1 << 20,
+                   world.network.clock());
+  world.manager.AttachLocalStore(&flash);
+  auto clusters =
+      BuildClusteredList(world.rt, world.manager, node_cls, 10, 10, "head");
+  ASSERT_TRUE(world.manager.SwapOut(clusters[0]).ok());
+  EXPECT_EQ(remote->entry_count(), 1u);
+  EXPECT_EQ(flash.entry_count(), 0u);
+  EXPECT_EQ(world.manager.stats().local_swap_outs, 0u);
+}
+
+TEST(LocalFallbackTest, FlashTakesOverWhenStoresWanderOff) {
+  MiddlewareWorld world;
+  const runtime::ClassInfo* node_cls = RegisterNodeClass(world.rt);
+  net::StoreNode* remote = world.AddStore(2, 1 << 20);
+  FlashStore flash(MiddlewareWorld::kDevice, 1 << 20,
+                   world.network.clock());
+  world.manager.AttachLocalStore(&flash);
+  auto clusters =
+      BuildClusteredList(world.rt, world.manager, node_cls, 20, 10, "head");
+  ASSERT_TRUE(world.manager.SwapOut(clusters[0]).ok());  // -> remote
+  world.network.SetOnline(remote->device(), false);
+  ASSERT_TRUE(world.manager.SwapOut(clusters[1]).ok());  // -> flash
+  EXPECT_EQ(flash.entry_count(), 1u);
+  EXPECT_EQ(world.manager.stats().local_swap_outs, 1u);
+  // Cluster 0 is unreachable on the offline remote; cluster 1 reloads from
+  // flash regardless of connectivity.
+  const swap::SwapClusterInfo* info1 =
+      world.manager.registry().Find(clusters[1]);
+  EXPECT_EQ(info1->store_device, MiddlewareWorld::kDevice);
+  ASSERT_TRUE(world.manager.SwapIn(clusters[1]).ok());
+  auto blocked = world.manager.SwapIn(clusters[0]);
+  EXPECT_EQ(blocked.code(), StatusCode::kUnavailable);
+}
+
+TEST(LocalFallbackTest, DropPathReachesFlash) {
+  MiddlewareWorld world;
+  const runtime::ClassInfo* node_cls = RegisterNodeClass(world.rt);
+  FlashStore flash(MiddlewareWorld::kDevice, 1 << 20,
+                   world.network.clock());
+  world.manager.AttachLocalStore(&flash);
+  auto clusters =
+      BuildClusteredList(world.rt, world.manager, node_cls, 10, 10, "head");
+  ASSERT_TRUE(world.manager.SwapOut(clusters[0]).ok());
+  world.rt.RemoveGlobal("head");
+  world.rt.heap().Collect();
+  world.rt.heap().Collect();
+  EXPECT_EQ(flash.entry_count(), 0u);
+  EXPECT_EQ(world.manager.StateOf(clusters[0]), swap::SwapState::kDropped);
+}
+
+TEST(LocalFallbackTest, FullFlashAndNoStoresFailsCleanly) {
+  MiddlewareWorld world;
+  const runtime::ClassInfo* node_cls = RegisterNodeClass(world.rt);
+  FlashStore flash(MiddlewareWorld::kDevice, 16, world.network.clock());
+  world.manager.AttachLocalStore(&flash);
+  auto clusters =
+      BuildClusteredList(world.rt, world.manager, node_cls, 10, 10, "head");
+  auto key = world.manager.SwapOut(clusters[0]);
+  ASSERT_FALSE(key.ok());
+  EXPECT_EQ(key.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(world.manager.StateOf(clusters[0]), swap::SwapState::kLoaded);
+}
+
+// ------------------------------------------------ extended weak references --
+
+TEST(ExtendedWeakRefTest, PersistRunsOnceBeforeReclamation) {
+  runtime::Runtime rt;
+  const runtime::ClassInfo* cls = RegisterNodeClass(rt);
+  int persisted = 0;
+  int64_t seen_value = -1;
+  runtime::WeakRef cell;
+  {
+    LocalScope scope(rt.heap());
+    Object* obj = rt.New(cls);
+    scope.Add(obj);
+    ASSERT_TRUE(rt.SetField(obj, "value", Value::Int(42)).ok());
+    cell = rt.heap().NewExtendedWeakRef(obj, [&](Object* dying) {
+      ++persisted;
+      seen_value = dying->RawSlot(1).as_int();  // object still intact
+    });
+    rt.heap().Collect();
+    EXPECT_EQ(persisted, 0);  // still rooted
+  }
+  rt.heap().Collect();
+  EXPECT_EQ(persisted, 1);
+  EXPECT_EQ(seen_value, 42);
+  EXPECT_TRUE(cell->cleared());
+  rt.heap().Collect();
+  EXPECT_EQ(persisted, 1);  // never again
+  EXPECT_EQ(rt.heap().stats().extended_persists, 1u);
+}
+
+TEST(ExtendedWeakRefTest, DroppedHolderSkipsPersist) {
+  runtime::Runtime rt;
+  const runtime::ClassInfo* cls = RegisterNodeClass(rt);
+  int persisted = 0;
+  {
+    runtime::WeakRef cell = rt.heap().NewExtendedWeakRef(
+        rt.New(cls), [&](Object*) { ++persisted; });
+    // Holder drops the extended reference before the object dies.
+  }
+  rt.heap().Collect();
+  EXPECT_EQ(persisted, 0);
+}
+
+TEST(ExtendedWeakRefTest, PersistToFlashRoundTrip) {
+  // The related-work use case end-to-end: persist a dying object's XML to
+  // flash, then restore it.
+  runtime::Runtime rt;
+  const runtime::ClassInfo* cls = RegisterNodeClass(rt);
+  net::SimClock clock;
+  FlashStore flash(DeviceId(1), 1 << 20, clock);
+  std::string saved_xml;
+  runtime::WeakRef cell;  // the holder must keep the extended reference
+  {
+    LocalScope scope(rt.heap());
+    Object* obj = rt.New(cls);
+    scope.Add(obj);
+    ASSERT_TRUE(rt.SetField(obj, "value", Value::Int(1234)).ok());
+    cell = rt.heap().NewExtendedWeakRef(obj, [&](Object* dying) {
+      auto describe =
+          [](Object*) -> Result<serialization::ExternalRef> {
+        return InternalError("self-contained");
+      };
+      auto doc = serialization::SerializeCluster(rt, 0, {dying}, describe);
+      OBISWAP_CHECK(doc.ok());
+      saved_xml = doc->xml;
+    });
+  }
+  rt.heap().Collect();
+  ASSERT_FALSE(saved_xml.empty());
+  ASSERT_TRUE(flash.Store(SwapKey(1), saved_xml).ok());
+
+  // Restore.
+  auto resolve = [](const serialization::ExternalRef&) -> Result<Object*> {
+    return InternalError("self-contained");
+  };
+  serialization::DeserializeOptions options;
+  options.expected_id = 0;
+  auto members =
+      serialization::DeserializeCluster(rt, *flash.Fetch(SwapKey(1)),
+                                        options, resolve);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ((*members)[0]->RawSlot(1).as_int(), 1234);
+}
+
+}  // namespace
+}  // namespace obiswap

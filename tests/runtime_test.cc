@@ -1,0 +1,527 @@
+// Tests for the managed runtime: type registry, heap/GC, weak refs,
+// finalizers, handle scopes, capacity pressure, fields, globals, invocation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace obiswap::runtime {
+namespace {
+
+class RuntimeFixture : public ::testing::Test {
+ protected:
+  RuntimeFixture() {
+    node_cls_ = *rt_.types().Register(
+        ClassBuilder("Node")
+            .Field("next", ValueKind::kRef)
+            .Field("value", ValueKind::kInt)
+            .Field("name", ValueKind::kStr)
+            .PayloadBytes(64)
+            .Method("get_value",
+                    [](Runtime& rt, Object* self, std::vector<Value>&) {
+                      return Result<Value>(rt.GetFieldAt(self, 1));
+                    })
+            .Method("next",
+                    [](Runtime& rt, Object* self, std::vector<Value>&) {
+                      return Result<Value>(rt.GetFieldAt(self, 0));
+                    })
+            .Method("add",
+                    [](Runtime&, Object*, std::vector<Value>& args) {
+                      return Result<Value>(Value::Int(args[0].as_int() +
+                                                      args[1].as_int()));
+                    }));
+  }
+
+  /// Builds a rooted linked list of `n` nodes; returns the head.
+  Object* MakeList(int n, const char* global_name = "head") {
+    LocalScope scope(rt_.heap());
+    Object* head = nullptr;
+    for (int i = n - 1; i >= 0; --i) {
+      Object** guard = scope.Add(head);  // keep previous head alive
+      Object* node = rt_.New(node_cls_);
+      OBISWAP_CHECK(rt_.SetField(node, "value", Value::Int(i)).ok());
+      if (head != nullptr) {
+        OBISWAP_CHECK(rt_.SetField(node, "next", Value::Ref(*guard)).ok());
+      }
+      head = node;
+    }
+    OBISWAP_CHECK(rt_.SetGlobal(global_name, Value::Ref(head)).ok());
+    return head;
+  }
+
+  Runtime rt_;
+  const ClassInfo* node_cls_ = nullptr;
+};
+
+// --------------------------------------------------------------- classes --
+
+TEST_F(RuntimeFixture, ClassRegistration) {
+  EXPECT_EQ(rt_.types().Find("Node"), node_cls_);
+  EXPECT_EQ(rt_.types().Find("Missing"), nullptr);
+  EXPECT_EQ(rt_.types().Find(node_cls_->id()), node_cls_);
+  EXPECT_EQ(node_cls_->fields().size(), 3u);
+  EXPECT_EQ(node_cls_->FieldIndex("value"), 1u);
+  EXPECT_EQ(node_cls_->FieldIndex("nope"), ClassInfo::kNpos);
+  EXPECT_NE(node_cls_->FindMethod("add"), nullptr);
+  EXPECT_EQ(node_cls_->FindMethod("nope"), nullptr);
+}
+
+TEST_F(RuntimeFixture, DuplicateClassNameRejected) {
+  auto result = rt_.types().Register(ClassBuilder("Node"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(RuntimeFixture, ObjectIdsAreUniqueAndNamespaced) {
+  Object* a = rt_.New(node_cls_);
+  Object* b = rt_.New(node_cls_);
+  EXPECT_NE(a->oid(), b->oid());
+  EXPECT_EQ(a->oid().value() >> 48, 1u);  // process id 1
+  Runtime other(7);
+  const ClassInfo* cls = *other.types().Register(ClassBuilder("X"));
+  EXPECT_EQ(other.New(cls)->oid().value() >> 48, 7u);
+}
+
+// ---------------------------------------------------------------- fields --
+
+TEST_F(RuntimeFixture, FieldRoundTrip) {
+  LocalScope scope(rt_.heap());
+  Object* node = rt_.New(node_cls_);
+  scope.Add(node);
+  ASSERT_TRUE(rt_.SetField(node, "value", Value::Int(9)).ok());
+  ASSERT_TRUE(rt_.SetField(node, "name", Value::Str("n9")).ok());
+  EXPECT_EQ(rt_.GetField(node, "value")->as_int(), 9);
+  EXPECT_EQ(rt_.GetField(node, "name")->as_str(), "n9");
+  EXPECT_TRUE(rt_.GetField(node, "next")->is_nil());
+}
+
+TEST_F(RuntimeFixture, FieldTypeEnforced) {
+  Object* node = rt_.New(node_cls_);
+  EXPECT_FALSE(rt_.SetField(node, "value", Value::Str("oops")).ok());
+  EXPECT_TRUE(rt_.SetField(node, "value", Value::Nil()).ok());  // nil allowed
+}
+
+TEST_F(RuntimeFixture, UnknownFieldErrors) {
+  Object* node = rt_.New(node_cls_);
+  EXPECT_EQ(rt_.GetField(node, "zap").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(rt_.SetField(node, "zap", Value::Int(1)).code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(rt_.SetFieldAt(node, 99, Value::Int(1)).ok());
+}
+
+TEST_F(RuntimeFixture, NullObjectErrors) {
+  EXPECT_FALSE(rt_.GetField(nullptr, "x").ok());
+  EXPECT_FALSE(rt_.SetField(nullptr, "x", Value::Nil()).ok());
+  EXPECT_FALSE(rt_.Invoke(nullptr, "m").ok());
+}
+
+TEST_F(RuntimeFixture, StringFieldAdjustsAccounting) {
+  LocalScope scope(rt_.heap());
+  Object* node = rt_.New(node_cls_);
+  scope.Add(node);
+  size_t before = rt_.heap().used_bytes();
+  ASSERT_TRUE(
+      rt_.SetField(node, "name", Value::Str(std::string(10000, 'x'))).ok());
+  EXPECT_GT(rt_.heap().used_bytes(), before + 9000);
+  ASSERT_TRUE(rt_.SetField(node, "name", Value::Str("")).ok());
+  EXPECT_LT(rt_.heap().used_bytes(), before + 1000);
+}
+
+// --------------------------------------------------------------- globals --
+
+TEST_F(RuntimeFixture, GlobalsRoundTrip) {
+  ASSERT_TRUE(rt_.SetGlobal("counter", Value::Int(3)).ok());
+  EXPECT_EQ(rt_.GetGlobal("counter")->as_int(), 3);
+  EXPECT_TRUE(rt_.HasGlobal("counter"));
+  rt_.RemoveGlobal("counter");
+  EXPECT_FALSE(rt_.HasGlobal("counter"));
+  EXPECT_FALSE(rt_.GetGlobal("counter").ok());
+}
+
+TEST_F(RuntimeFixture, GlobalsAreGcRoots) {
+  MakeList(10);
+  rt_.heap().Collect();
+  EXPECT_GE(rt_.heap().live_objects(), 10u);
+  rt_.RemoveGlobal("head");
+  rt_.heap().Collect();
+  EXPECT_EQ(rt_.heap().live_objects(), 0u);
+}
+
+// ------------------------------------------------------------ invocation --
+
+TEST_F(RuntimeFixture, DirectInvocation) {
+  LocalScope scope(rt_.heap());
+  Object* node = rt_.New(node_cls_);
+  scope.Add(node);
+  ASSERT_TRUE(rt_.SetField(node, "value", Value::Int(5)).ok());
+  auto result = rt_.Invoke(node, "get_value");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->as_int(), 5);
+  EXPECT_EQ(rt_.stats().direct_invocations, 1u);
+}
+
+TEST_F(RuntimeFixture, InvocationWithArgs) {
+  Object* node = rt_.New(node_cls_);
+  auto result = rt_.Invoke(node, "add", {Value::Int(2), Value::Int(40)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->as_int(), 42);
+}
+
+TEST_F(RuntimeFixture, UnknownMethodErrors) {
+  Object* node = rt_.New(node_cls_);
+  EXPECT_EQ(rt_.Invoke(node, "fly").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RuntimeFixture, CurrentSwapClusterTracksReceiver) {
+  const ClassInfo* probe = *rt_.types().Register(ClassBuilder("Probe").Method(
+      "whoami", [](Runtime& rt, Object*, std::vector<Value>&) {
+        return Result<Value>(
+            Value::Int(static_cast<int64_t>(rt.CurrentSwapCluster().value())));
+      }));
+  LocalScope scope(rt_.heap());
+  Object* obj = rt_.New(probe);
+  scope.Add(obj);
+  obj->set_swap_cluster(SwapClusterId(5));
+  EXPECT_EQ(rt_.CurrentSwapCluster(), kSwapCluster0);
+  EXPECT_EQ(rt_.Invoke(obj, "whoami")->as_int(), 5);
+  EXPECT_EQ(rt_.CurrentSwapCluster(), kSwapCluster0);
+}
+
+TEST_F(RuntimeFixture, NewObjectsInheritCreatorsSwapCluster) {
+  const ClassInfo* node_cls = node_cls_;
+  const ClassInfo* factory = *rt_.types().Register(
+      ClassBuilder("Factory").Method(
+          "make", [node_cls](Runtime& rt, Object*, std::vector<Value>&) {
+            return Result<Value>(Value::Ref(rt.New(node_cls)));
+          }));
+  LocalScope scope(rt_.heap());
+  Object* obj = rt_.New(factory);
+  scope.Add(obj);
+  obj->set_swap_cluster(SwapClusterId(9));
+  auto result = rt_.Invoke(obj, "make");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ref()->swap_cluster(), SwapClusterId(9));
+}
+
+// --------------------------------------------------------------- heap/GC --
+
+TEST_F(RuntimeFixture, UnreachableObjectsAreCollected) {
+  for (int i = 0; i < 100; ++i) rt_.New(node_cls_);
+  rt_.heap().Collect();
+  EXPECT_EQ(rt_.heap().live_objects(), 0u);
+  EXPECT_EQ(rt_.heap().stats().objects_freed, 100u);
+}
+
+TEST_F(RuntimeFixture, ReachableChainSurvives) {
+  MakeList(50);
+  rt_.heap().Collect();
+  EXPECT_EQ(rt_.heap().live_objects(), 50u);
+}
+
+TEST_F(RuntimeFixture, LocalScopeRootsProtect) {
+  LocalScope outer(rt_.heap());
+  Object* kept = rt_.New(node_cls_);
+  outer.Add(kept);
+  {
+    LocalScope inner(rt_.heap());
+    inner.Add(rt_.New(node_cls_));
+    rt_.heap().Collect();
+    EXPECT_EQ(rt_.heap().live_objects(), 2u);
+  }
+  rt_.heap().Collect();
+  EXPECT_EQ(rt_.heap().live_objects(), 1u);
+}
+
+TEST_F(RuntimeFixture, CyclesAreCollected) {
+  {
+    LocalScope scope(rt_.heap());
+    Object* a = rt_.New(node_cls_);
+    scope.Add(a);
+    Object* b = rt_.New(node_cls_);
+    ASSERT_TRUE(rt_.SetField(a, "next", Value::Ref(b)).ok());
+    ASSERT_TRUE(rt_.SetField(b, "next", Value::Ref(a)).ok());
+  }
+  rt_.heap().Collect();
+  EXPECT_EQ(rt_.heap().live_objects(), 0u);
+}
+
+TEST_F(RuntimeFixture, UsedBytesTracksAllocAndFree) {
+  EXPECT_EQ(rt_.heap().used_bytes(), 0u);
+  MakeList(10);
+  size_t with_list = rt_.heap().used_bytes();
+  EXPECT_GT(with_list, 10 * 64u);  // at least the payload bytes
+  rt_.RemoveGlobal("head");
+  rt_.heap().Collect();
+  EXPECT_EQ(rt_.heap().used_bytes(), 0u);
+}
+
+TEST_F(RuntimeFixture, ScheduledGcBoundsFloatingGarbage) {
+  // Allocate ~10 MiB of garbage; scheduled collections must keep the live
+  // set bounded well below that.
+  for (int i = 0; i < 100000; ++i) rt_.New(node_cls_);
+  EXPECT_GT(rt_.heap().stats().collections, 0u);
+  EXPECT_LT(rt_.heap().used_bytes(), 8u * 1024 * 1024);
+}
+
+// -------------------------------------------------------------- weakrefs --
+
+TEST_F(RuntimeFixture, WeakRefClearsOnCollect) {
+  WeakRef weak;
+  {
+    LocalScope scope(rt_.heap());
+    Object* obj = rt_.New(node_cls_);
+    scope.Add(obj);
+    weak = rt_.heap().NewWeakRef(obj);
+    rt_.heap().Collect();
+    EXPECT_EQ(weak->get(), obj);  // still rooted
+  }
+  rt_.heap().Collect();
+  EXPECT_EQ(weak->get(), nullptr);
+  EXPECT_TRUE(weak->cleared());
+  EXPECT_EQ(rt_.heap().stats().weakrefs_cleared, 1u);
+}
+
+TEST_F(RuntimeFixture, WeakRefDoesNotKeepAlive) {
+  WeakRef weak = rt_.heap().NewWeakRef(rt_.New(node_cls_));
+  rt_.heap().Collect();
+  EXPECT_EQ(rt_.heap().live_objects(), 0u);
+  EXPECT_TRUE(weak->cleared());
+}
+
+TEST_F(RuntimeFixture, DroppedWeakRefsArePruned) {
+  for (int i = 0; i < 10; ++i) {
+    WeakRef weak = rt_.heap().NewWeakRef(rt_.New(node_cls_));
+    // dropped immediately
+  }
+  rt_.heap().Collect();
+  // No crash and no stale growth: allocate again and collect again.
+  rt_.New(node_cls_);
+  rt_.heap().Collect();
+  SUCCEED();
+}
+
+// ------------------------------------------------------------ finalizers --
+
+TEST_F(RuntimeFixture, FinalizerRunsOnceOnDeath) {
+  int runs = 0;
+  const ClassInfo* fin_cls = *rt_.types().Register(
+      ClassBuilder("Fin").OnFinalize([&runs](Object*) { ++runs; }));
+  {
+    LocalScope scope(rt_.heap());
+    scope.Add(rt_.New(fin_cls));
+    rt_.heap().Collect();
+    EXPECT_EQ(runs, 0);  // still alive
+  }
+  rt_.heap().Collect();
+  EXPECT_EQ(runs, 1);
+  rt_.heap().Collect();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(rt_.heap().stats().finalizers_run, 1u);
+}
+
+TEST_F(RuntimeFixture, FinalizerSeesObjectFields) {
+  int64_t seen = 0;
+  const ClassInfo* fin_cls = *rt_.types().Register(
+      ClassBuilder("Fin2")
+          .Field("tag", ValueKind::kInt)
+          .OnFinalize([&seen](Object* obj) { seen = obj->RawSlot(0).as_int(); }));
+  Object* obj = rt_.New(fin_cls);
+  ASSERT_TRUE(rt_.SetField(obj, "tag", Value::Int(77)).ok());
+  rt_.heap().Collect();
+  EXPECT_EQ(seen, 77);
+}
+
+// ------------------------------------------------------ capacity/pressure --
+
+TEST(HeapCapacityTest, AllocationFailsWhenFull) {
+  Runtime rt(1, /*capacity_bytes=*/16 * 1024);
+  const ClassInfo* cls =
+      *rt.types().Register(ClassBuilder("Big").PayloadBytes(4096));
+  LocalScope scope(rt.heap());
+  // Fill the heap with rooted objects until exhaustion.
+  Status last = OkStatus();
+  int allocated = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto result = rt.TryNew(cls);
+    if (!result.ok()) {
+      last = result.status();
+      break;
+    }
+    scope.Add(*result);
+    ++allocated;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(allocated, 1);
+  EXPECT_LT(allocated, 5);
+}
+
+TEST(HeapCapacityTest, CollectionMakesRoomForGarbage) {
+  Runtime rt(1, /*capacity_bytes=*/64 * 1024);
+  const ClassInfo* cls =
+      *rt.types().Register(ClassBuilder("Big").PayloadBytes(4096));
+  // Unrooted garbage: the capacity-triggered GC must reclaim it, so far more
+  // than capacity/object_size allocations succeed.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(rt.TryNew(cls).ok()) << i;
+  }
+  EXPECT_GT(rt.heap().stats().collections, 0u);
+}
+
+TEST(HeapCapacityTest, PressureHandlerIsCalledAndCanFreeMemory) {
+  Runtime rt(1, /*capacity_bytes=*/64 * 1024);
+  const ClassInfo* cls =
+      *rt.types().Register(ClassBuilder("Big").PayloadBytes(8 * 1024));
+  LocalScope scope(rt.heap());
+  std::vector<Object**> pinned;
+  for (;;) {
+    auto result = rt.TryNew(cls);
+    if (!result.ok()) break;
+    pinned.push_back(scope.Add(*result));
+  }
+  // Handler releases one pinned object per call ("swap-out" stand-in).
+  int pressure_calls = 0;
+  rt.heap().SetPressureHandler([&](size_t) {
+    ++pressure_calls;
+    if (pinned.empty()) return false;
+    *pinned.back() = nullptr;
+    pinned.pop_back();
+    return true;
+  });
+  auto result = rt.TryNew(cls);
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(pressure_calls, 0);
+  EXPECT_GT(rt.heap().stats().pressure_events, 0u);
+}
+
+TEST(HeapCapacityTest, PressureHandlerGivingUpYieldsExhausted) {
+  Runtime rt(1, /*capacity_bytes=*/32 * 1024);
+  const ClassInfo* cls =
+      *rt.types().Register(ClassBuilder("Big").PayloadBytes(8 * 1024));
+  LocalScope scope(rt.heap());
+  for (;;) {
+    auto result = rt.TryNew(cls);
+    if (!result.ok()) break;
+    scope.Add(*result);
+  }
+  int calls = 0;
+  rt.heap().SetPressureHandler([&](size_t) {
+    ++calls;
+    return false;
+  });
+  auto result = rt.TryNew(cls);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------------------- values --
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value::Nil().is_nil());
+  EXPECT_TRUE(Value::Int(1).is_int());
+  EXPECT_TRUE(Value::Real(1.5).is_real());
+  EXPECT_TRUE(Value::Str("s").is_str());
+  EXPECT_EQ(Value::Int(1).as_int(), 1);
+  EXPECT_DOUBLE_EQ(Value::Real(1.5).as_real(), 1.5);
+  EXPECT_EQ(Value::Str("s").as_str(), "s");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Nil(), Value::Nil());
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Int(4));
+  EXPECT_FALSE(Value::Int(3) == Value::Real(3.0));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+}
+
+// --------------------------------------------------------- middleware bits --
+
+TEST_F(RuntimeFixture, AppendedSlotsAreTracedByGc) {
+  // Replacement-objects hold outbound references in appended slots; those
+  // must keep their targets alive.
+  const ClassInfo* holder_cls =
+      *rt_.types().Register(ClassBuilder("Holder"));
+  LocalScope scope(rt_.heap());
+  Object* holder = rt_.New(holder_cls);
+  scope.Add(holder);
+  Object* kept = rt_.New(node_cls_);
+  holder->AppendSlot(Value::Ref(kept));
+  rt_.heap().RefreshAccounting(holder);
+  rt_.heap().Collect();
+  EXPECT_EQ(rt_.heap().live_objects(), 2u);
+  holder->RawSlotMutable(0).set_ref(nullptr);
+  holder->RawSlotMutable(0) = Value::Nil();
+  rt_.heap().Collect();
+  EXPECT_EQ(rt_.heap().live_objects(), 1u);
+}
+
+TEST(MiddlewareAllocTest, OvercommitsPastCapacityWithoutPressure) {
+  runtime::Runtime rt(1, /*capacity_bytes=*/8 * 1024);
+  const ClassInfo* cls =
+      *rt.types().Register(ClassBuilder("Big").PayloadBytes(4096));
+  LocalScope scope(rt.heap());
+  // Fill to capacity with application objects.
+  for (;;) {
+    auto result = rt.TryNew(cls);
+    if (!result.ok()) break;
+    scope.Add(*result);
+  }
+  int pressure_calls = 0;
+  rt.heap().SetPressureHandler([&](size_t) {
+    ++pressure_calls;
+    return false;
+  });
+  // Application allocation fails (after consulting the handler)...
+  EXPECT_FALSE(rt.TryNew(cls).ok());
+  EXPECT_EQ(pressure_calls, 1);
+  // ...but middleware allocation overcommits and never re-enters pressure.
+  auto proxyish = rt.TryNewMiddleware(cls);
+  EXPECT_TRUE(proxyish.ok());
+  EXPECT_EQ(pressure_calls, 1);
+  EXPECT_GT(rt.heap().used_bytes(), rt.heap().capacity_bytes());
+}
+
+TEST_F(RuntimeFixture, GlobalRefsSnapshotsOnlyReferences) {
+  LocalScope scope(rt_.heap());
+  Object* a = rt_.New(node_cls_);
+  scope.Add(a);
+  ASSERT_TRUE(rt_.SetGlobal("obj", Value::Ref(a)).ok());
+  ASSERT_TRUE(rt_.SetGlobal("num", Value::Int(3)).ok());
+  auto refs = rt_.GlobalRefs();
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].first, "obj");
+  EXPECT_EQ(refs[0].second, a);
+}
+
+TEST_F(RuntimeFixture, InterceptorMissingIsFailedPrecondition) {
+  const ClassInfo* proxyish = *rt_.types().Register(
+      ClassBuilder("Proxyish").Kind(runtime::ObjectKind::kSwapClusterProxy));
+  LocalScope scope(rt_.heap());
+  Object* obj = rt_.New(proxyish);
+  scope.Add(obj);
+  auto result = rt_.Invoke(obj, "anything");
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RuntimeFixture, SameObjectDefaultsToPointerIdentity) {
+  LocalScope scope(rt_.heap());
+  Object* a = rt_.New(node_cls_);
+  Object* b = rt_.New(node_cls_);
+  scope.Add(a);
+  scope.Add(b);
+  EXPECT_TRUE(rt_.SameObject(a, a));
+  EXPECT_FALSE(rt_.SameObject(a, b));
+  EXPECT_FALSE(rt_.SameObject(a, nullptr));
+  EXPECT_TRUE(rt_.SameObject(nullptr, nullptr));
+}
+
+TEST(ValueTest, KindNamesAreStable) {
+  EXPECT_STREQ(ValueKindName(ValueKind::kNil), "nil");
+  EXPECT_STREQ(ValueKindName(ValueKind::kRef), "ref");
+  EXPECT_STREQ(ValueKindName(ValueKind::kInt), "int");
+  EXPECT_STREQ(ValueKindName(ValueKind::kReal), "real");
+  EXPECT_STREQ(ValueKindName(ValueKind::kStr), "str");
+}
+
+}  // namespace
+}  // namespace obiswap::runtime

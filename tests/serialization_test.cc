@@ -1,0 +1,320 @@
+// Tests for object-graph <-> XML serialization.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serialization/graph_xml.h"
+#include "xml/parser.h"
+
+namespace obiswap::serialization {
+namespace {
+
+using runtime::ClassBuilder;
+using runtime::ClassInfo;
+using runtime::LocalScope;
+using runtime::Object;
+using runtime::Runtime;
+using runtime::Value;
+using runtime::ValueKind;
+
+class SerializationFixture : public ::testing::Test {
+ protected:
+  SerializationFixture() {
+    cls_ = *rt_.types().Register(ClassBuilder("Item")
+                                     .Field("next", ValueKind::kRef)
+                                     .Field("count", ValueKind::kInt)
+                                     .Field("weight", ValueKind::kReal)
+                                     .Field("label", ValueKind::kStr)
+                                     .Field("extra"));
+    ext_cls_ = *rt_.types().Register(
+        ClassBuilder("Ext").Kind(runtime::ObjectKind::kReplicationProxy));
+  }
+
+  Object* NewItem(LocalScope& scope, int64_t count) {
+    Object* obj = rt_.New(cls_);
+    scope.Add(obj);
+    OBISWAP_CHECK(rt_.SetField(obj, "count", Value::Int(count)).ok());
+    return obj;
+  }
+
+  static Result<ExternalRef> NoExternals(Object*) {
+    return InternalError("unexpected external ref");
+  }
+  static Result<Object*> ResolveNone(const ExternalRef&) {
+    return InternalError("unexpected external ref");
+  }
+
+  Runtime rt_;
+  const ClassInfo* cls_ = nullptr;
+  const ClassInfo* ext_cls_ = nullptr;
+};
+
+TEST_F(SerializationFixture, RoundTripsAllValueKinds) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 42);
+  ASSERT_TRUE(rt_.SetField(a, "weight", Value::Real(2.5)).ok());
+  ASSERT_TRUE(rt_.SetField(a, "label", Value::Str("hello <&> world")).ok());
+  // "extra" stays nil.
+  auto serialized = SerializeCluster(rt_, 3, {a}, NoExternals);
+  ASSERT_TRUE(serialized.ok()) << serialized.status().ToString();
+
+  Runtime rt2;
+  *rt2.types().Register(ClassBuilder("Item")
+                            .Field("next", ValueKind::kRef)
+                            .Field("count", ValueKind::kInt)
+                            .Field("weight", ValueKind::kReal)
+                            .Field("label", ValueKind::kStr)
+                            .Field("extra"));
+  DeserializeOptions options;
+  options.expected_id = 3;
+  auto members = DeserializeCluster(rt2, serialized->xml, options,
+                                    ResolveNone);
+  ASSERT_TRUE(members.ok()) << members.status().ToString();
+  ASSERT_EQ(members->size(), 1u);
+  Object* b = (*members)[0];
+  EXPECT_EQ(b->oid(), a->oid());
+  EXPECT_EQ(b->RawSlot(1).as_int(), 42);
+  EXPECT_DOUBLE_EQ(b->RawSlot(2).as_real(), 2.5);
+  EXPECT_EQ(b->RawSlot(3).as_str(), "hello <&> world");
+  EXPECT_TRUE(b->RawSlot(4).is_nil());
+}
+
+TEST_F(SerializationFixture, IntraClusterRefsResolveLocally) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 1);
+  Object* b = NewItem(scope, 2);
+  Object* c = NewItem(scope, 3);
+  ASSERT_TRUE(rt_.SetField(a, "next", Value::Ref(b)).ok());
+  ASSERT_TRUE(rt_.SetField(b, "next", Value::Ref(c)).ok());
+  ASSERT_TRUE(rt_.SetField(c, "next", Value::Ref(a)).ok());  // cycle
+
+  auto serialized = SerializeCluster(rt_, 1, {a, b, c}, NoExternals);
+  ASSERT_TRUE(serialized.ok());
+  DeserializeOptions options;
+  options.expected_id = 1;
+  auto members =
+      DeserializeCluster(rt_, serialized->xml, options, ResolveNone);
+  ASSERT_TRUE(members.ok()) << members.status().ToString();
+  ASSERT_EQ(members->size(), 3u);
+  EXPECT_EQ((*members)[0]->RawSlot(0).ref(), (*members)[1]);
+  EXPECT_EQ((*members)[1]->RawSlot(0).ref(), (*members)[2]);
+  EXPECT_EQ((*members)[2]->RawSlot(0).ref(), (*members)[0]);
+}
+
+TEST_F(SerializationFixture, ExternalRefsGoThroughCallbacks) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 1);
+  Object* b = NewItem(scope, 2);
+  Object* external = rt_.New(ext_cls_);
+  scope.Add(external);
+  a->RawSlotMutable(0) = Value::Ref(external);
+  b->RawSlotMutable(4) = Value::Ref(external);  // same target twice
+
+  int describes = 0;
+  auto describe = [&](Object* target) -> Result<ExternalRef> {
+    ++describes;
+    ExternalRef ref;
+    ref.oid = target->oid();
+    ref.class_name = target->cls().name();
+    return ref;
+  };
+  auto serialized = SerializeCluster(rt_, 9, {a, b}, describe);
+  ASSERT_TRUE(serialized.ok());
+  // Same external target appears once in the outbound list.
+  EXPECT_EQ(serialized->outbound.size(), 1u);
+  EXPECT_EQ(serialized->outbound[0], external);
+
+  Object* replacement_target = rt_.New(ext_cls_);
+  scope.Add(replacement_target);
+  int resolves = 0;
+  auto resolve = [&](const ExternalRef& ref) -> Result<Object*> {
+    ++resolves;
+    EXPECT_EQ(ref.index, 0u);
+    EXPECT_EQ(ref.class_name, "Ext");
+    return replacement_target;
+  };
+  DeserializeOptions options;
+  options.expected_id = 9;
+  auto members = DeserializeCluster(rt_, serialized->xml, options, resolve);
+  ASSERT_TRUE(members.ok()) << members.status().ToString();
+  EXPECT_EQ(resolves, 2);
+  EXPECT_EQ((*members)[0]->RawSlot(0).ref(), replacement_target);
+  EXPECT_EQ((*members)[1]->RawSlot(4).ref(), replacement_target);
+}
+
+TEST_F(SerializationFixture, DescribeErrorAbortsSerialization) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 1);
+  Object* stranger = NewItem(scope, 2);
+  a->RawSlotMutable(0) = Value::Ref(stranger);  // not a member
+  auto serialized = SerializeCluster(rt_, 1, {a}, NoExternals);
+  EXPECT_FALSE(serialized.ok());
+  EXPECT_EQ(serialized.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(SerializationFixture, DuplicateMemberRejected) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 1);
+  auto serialized = SerializeCluster(rt_, 1, {a, a}, NoExternals);
+  EXPECT_FALSE(serialized.ok());
+}
+
+TEST_F(SerializationFixture, SwapClusterLabelAssigned) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 5);
+  auto serialized = SerializeCluster(rt_, 4, {a}, NoExternals);
+  ASSERT_TRUE(serialized.ok());
+  DeserializeOptions options;
+  options.expected_id = 4;
+  options.assign_swap_cluster = SwapClusterId(4);
+  auto members =
+      DeserializeCluster(rt_, serialized->xml, options, ResolveNone);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ((*members)[0]->swap_cluster(), SwapClusterId(4));
+}
+
+TEST_F(SerializationFixture, IdMismatchRejected) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 1);
+  auto serialized = SerializeCluster(rt_, 7, {a}, NoExternals);
+  ASSERT_TRUE(serialized.ok());
+  DeserializeOptions options;
+  options.expected_id = 8;
+  auto members =
+      DeserializeCluster(rt_, serialized->xml, options, ResolveNone);
+  ASSERT_FALSE(members.ok());
+  EXPECT_EQ(members.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SerializationFixture, ChecksumDetectsTampering) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 1234);
+  ASSERT_TRUE(rt_.SetField(a, "label", Value::Str("payload")).ok());
+  auto serialized = SerializeCluster(rt_, 1, {a}, NoExternals);
+  ASSERT_TRUE(serialized.ok());
+  // Tamper with the int payload in the text.
+  std::string tampered = serialized->xml;
+  size_t pos = tampered.find("1234");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 4, "4321");
+  DeserializeOptions options;
+  options.expected_id = 1;
+  auto members = DeserializeCluster(rt_, tampered, options, ResolveNone);
+  ASSERT_FALSE(members.ok());
+  EXPECT_EQ(members.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(members.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SerializationFixture, ChecksumCanBeSkipped) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 1234);
+  auto serialized = SerializeCluster(rt_, 1, {a}, NoExternals);
+  std::string tampered = serialized->xml;
+  size_t pos = tampered.find("1234");
+  tampered.replace(pos, 4, "4321");
+  DeserializeOptions options;
+  options.expected_id = 1;
+  options.verify_checksum = false;
+  auto members = DeserializeCluster(rt_, tampered, options, ResolveNone);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ((*members)[0]->RawSlot(1).as_int(), 4321);
+}
+
+TEST_F(SerializationFixture, UnknownClassRejected) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 1);
+  auto serialized = SerializeCluster(rt_, 1, {a}, NoExternals);
+  Runtime empty_rt;  // Item not registered here
+  DeserializeOptions options;
+  options.expected_id = 1;
+  auto members =
+      DeserializeCluster(empty_rt, serialized->xml, options, ResolveNone);
+  ASSERT_FALSE(members.ok());
+  EXPECT_NE(members.status().message().find("unknown class"),
+            std::string::npos);
+}
+
+TEST_F(SerializationFixture, GarbageInputRejected) {
+  DeserializeOptions options;
+  EXPECT_FALSE(DeserializeCluster(rt_, "", options, ResolveNone).ok());
+  EXPECT_FALSE(DeserializeCluster(rt_, "<wrong/>", options,
+                                  ResolveNone).ok());
+  EXPECT_FALSE(DeserializeCluster(rt_, "<swap-cluster id=\"1\"/>", options,
+                                  ResolveNone).ok());
+}
+
+TEST_F(SerializationFixture, PreservesReplicationClusterLabels) {
+  LocalScope scope(rt_.heap());
+  Object* a = NewItem(scope, 1);
+  a->set_cluster(ClusterId(12));
+  auto serialized = SerializeCluster(rt_, 1, {a}, NoExternals);
+  ASSERT_TRUE(serialized.ok());
+  DeserializeOptions options;
+  options.expected_id = 1;
+  auto members =
+      DeserializeCluster(rt_, serialized->xml, options, ResolveNone);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ((*members)[0]->cluster(), ClusterId(12));
+}
+
+// Property: random graphs round-trip exactly (structure + payloads).
+class SerializationPropertyTest : public SerializationFixture,
+                                  public ::testing::WithParamInterface<int> {
+};
+
+TEST_P(SerializationPropertyTest, RandomGraphRoundTrips) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  LocalScope scope(rt_.heap());
+  int n = 2 + static_cast<int>(rng.NextBelow(30));
+  std::vector<Object*> members;
+  for (int i = 0; i < n; ++i) {
+    Object* obj = NewItem(scope, rng.NextInt(-1000, 1000));
+    ASSERT_TRUE(
+        rt_.SetField(obj, "weight", Value::Real(rng.NextDouble())).ok());
+    if (rng.NextBool(0.5)) {
+      ASSERT_TRUE(rt_.SetField(obj, "label",
+                               Value::Str(std::string(rng.NextBelow(64),
+                                                      'x')))
+                      .ok());
+    }
+    members.push_back(obj);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.7)) {
+      members[i]->RawSlotMutable(0) =
+          Value::Ref(members[rng.NextBelow(static_cast<uint64_t>(n))]);
+    }
+  }
+  auto serialized = SerializeCluster(rt_, 2, members, NoExternals);
+  ASSERT_TRUE(serialized.ok());
+  DeserializeOptions options;
+  options.expected_id = 2;
+  auto restored =
+      DeserializeCluster(rt_, serialized->xml, options, ResolveNone);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    Object* original = members[i];
+    Object* copy = (*restored)[i];
+    EXPECT_EQ(copy->oid(), original->oid());
+    EXPECT_EQ(copy->RawSlot(1).as_int(), original->RawSlot(1).as_int());
+    EXPECT_DOUBLE_EQ(copy->RawSlot(2).as_real(),
+                     original->RawSlot(2).as_real());
+    EXPECT_EQ(copy->RawSlot(3).as_str(), original->RawSlot(3).as_str());
+    // Ref structure: same member index.
+    const Value& orig_ref = original->RawSlot(0);
+    const Value& copy_ref = copy->RawSlot(0);
+    ASSERT_EQ(orig_ref.is_ref(), copy_ref.is_ref());
+    if (orig_ref.is_ref()) {
+      size_t orig_index =
+          std::find(members.begin(), members.end(), orig_ref.ref()) -
+          members.begin();
+      EXPECT_EQ(copy_ref.ref(), (*restored)[orig_index]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationPropertyTest,
+                         ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace obiswap::serialization

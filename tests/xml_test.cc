@@ -1,0 +1,298 @@
+// Tests for the XML document model, writer and parser.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace obiswap::xml {
+namespace {
+
+// ------------------------------------------------------------------ node --
+
+TEST(XmlNodeTest, ElementBasics) {
+  auto node = Node::Element("swap-cluster");
+  EXPECT_FALSE(node->is_text());
+  EXPECT_EQ(node->name(), "swap-cluster");
+  EXPECT_TRUE(node->children().empty());
+}
+
+TEST(XmlNodeTest, SetAndFindAttr) {
+  auto node = Node::Element("object");
+  node->SetAttr("class", "Node");
+  node->SetIntAttr("oid", 42);
+  ASSERT_NE(node->FindAttr("class"), nullptr);
+  EXPECT_EQ(*node->FindAttr("class"), "Node");
+  EXPECT_EQ(*node->GetIntAttr("oid"), 42);
+  EXPECT_EQ(node->FindAttr("missing"), nullptr);
+}
+
+TEST(XmlNodeTest, SetAttrReplacesExisting) {
+  auto node = Node::Element("x");
+  node->SetAttr("k", "1");
+  node->SetAttr("k", "2");
+  EXPECT_EQ(node->attrs().size(), 1u);
+  EXPECT_EQ(*node->FindAttr("k"), "2");
+}
+
+TEST(XmlNodeTest, GetAttrErrors) {
+  auto node = Node::Element("x");
+  EXPECT_FALSE(node->GetAttr("absent").ok());
+  node->SetAttr("n", "abc");
+  EXPECT_FALSE(node->GetIntAttr("n").ok());
+  EXPECT_EQ(*node->GetIntAttrOr("absent", 9), 9);
+}
+
+TEST(XmlNodeTest, ChildrenAndInnerText) {
+  auto root = Node::Element("root");
+  root->AddElement("a");
+  root->AddText("hello ");
+  root->AddElement("b")->SetAttr("x", "1");
+  root->AddText("world");
+  EXPECT_EQ(root->InnerText(), "hello world");
+  EXPECT_NE(root->FindChild("a"), nullptr);
+  EXPECT_NE(root->FindChild("b"), nullptr);
+  EXPECT_EQ(root->FindChild("c"), nullptr);
+  EXPECT_EQ(root->FindChildren("a").size(), 1u);
+  EXPECT_EQ(root->SubtreeSize(), 5u);
+}
+
+// ---------------------------------------------------------------- writer --
+
+TEST(XmlWriterTest, EmptyElement) {
+  auto node = Node::Element("empty");
+  EXPECT_EQ(Write(*node), "<empty/>");
+}
+
+TEST(XmlWriterTest, AttributesAndText) {
+  auto node = Node::Element("f");
+  node->SetAttr("n", "next");
+  node->AddText("12");
+  EXPECT_EQ(Write(*node), "<f n=\"next\">12</f>");
+}
+
+TEST(XmlWriterTest, EscapesTextAndAttrs) {
+  auto node = Node::Element("e");
+  node->SetAttr("a", "x<y&\"z'");
+  node->AddText("1<2 & 3>2");
+  std::string out = Write(*node);
+  EXPECT_EQ(out,
+            "<e a=\"x&lt;y&amp;&quot;z&apos;\">1&lt;2 &amp; 3&gt;2</e>");
+}
+
+TEST(XmlWriterTest, Declaration) {
+  auto node = Node::Element("r");
+  WriteOptions options;
+  options.declaration = true;
+  std::string out = Write(*node, options);
+  EXPECT_TRUE(out.find("<?xml") == 0);
+}
+
+TEST(XmlWriterTest, PrettyNests) {
+  auto root = Node::Element("a");
+  root->AddElement("b")->AddElement("c");
+  WriteOptions options;
+  options.pretty = true;
+  std::string out = Write(*root, options);
+  EXPECT_NE(out.find("  <b>"), std::string::npos);
+  EXPECT_NE(out.find("    <c/>"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- parser --
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto result = Parse("<root/>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->name(), "root");
+}
+
+TEST(XmlParserTest, AttributesBothQuoteStyles) {
+  auto result = Parse("<o class=\"Node\" oid='7'/>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*(*result)->FindAttr("class"), "Node");
+  EXPECT_EQ(*(*result)->GetIntAttr("oid"), 7);
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  auto result = Parse("<a><b>hi</b><c x=\"1\"/>tail</a>");
+  ASSERT_TRUE(result.ok());
+  const Node& root = **result;
+  ASSERT_NE(root.FindChild("b"), nullptr);
+  EXPECT_EQ(root.FindChild("b")->InnerText(), "hi");
+  EXPECT_EQ(root.InnerText(), "tail");
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  auto result = Parse("<t a=\"&lt;&amp;&gt;\">&quot;&apos;&#65;&#x42;</t>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*(*result)->FindAttr("a"), "<&>");
+  EXPECT_EQ((*result)->InnerText(), "\"'AB");
+}
+
+TEST(XmlParserTest, NumericEntityUtf8) {
+  auto result = Parse("<t>&#233;&#x20AC;</t>");  // é €
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->InnerText(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(XmlParserTest, CommentsSkipped) {
+  auto result = Parse("<!-- head --><a><!-- in -->x<!-- out --></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->InnerText(), "x");
+}
+
+TEST(XmlParserTest, CdataPreserved) {
+  auto result = Parse("<a><![CDATA[1<2&3]]></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->InnerText(), "1<2&3");
+}
+
+TEST(XmlParserTest, DeclarationAndDoctypeSkipped) {
+  auto result = Parse(
+      "<?xml version=\"1.0\"?><!DOCTYPE policies><policies/>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->name(), "policies");
+}
+
+TEST(XmlParserTest, WhitespaceInTags) {
+  auto result = Parse("<a  x = \"1\"   y='2' ></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*(*result)->FindAttr("x"), "1");
+  EXPECT_EQ(*(*result)->FindAttr("y"), "2");
+}
+
+struct BadInput {
+  const char* label;
+  const char* text;
+};
+
+class XmlParserErrorTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(XmlParserErrorTest, RejectsMalformedInput) {
+  auto result = Parse(GetParam().text);
+  EXPECT_FALSE(result.ok()) << GetParam().label;
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XmlParserErrorTest,
+    ::testing::Values(
+        BadInput{"empty", ""},
+        BadInput{"text_only", "just text"},
+        BadInput{"unterminated_tag", "<a"},
+        BadInput{"unterminated_element", "<a><b></b>"},
+        BadInput{"mismatched_close", "<a></b>"},
+        BadInput{"trailing_garbage", "<a/><b/>"},
+        BadInput{"bad_entity", "<a>&nope;</a>"},
+        BadInput{"unterminated_entity", "<a>&amp</a>"},
+        BadInput{"lt_in_attr", "<a x=\"<\"/>"},
+        BadInput{"unquoted_attr", "<a x=1/>"},
+        BadInput{"duplicate_attr", "<a x=\"1\" x=\"2\"/>"},
+        BadInput{"unterminated_comment", "<a><!-- x</a>"},
+        BadInput{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadInput{"bad_char_ref", "<a>&#xZZ;</a>"},
+        BadInput{"char_ref_out_of_range", "<a>&#x110000;</a>"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.label;
+    });
+
+TEST(XmlParserTest, ErrorsReportLineNumbers) {
+  auto result = Parse("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+}
+
+// ------------------------------------------------------------ round trip --
+
+// Property: Write(Parse(Write(tree))) == Write(tree) for random trees.
+std::unique_ptr<Node> RandomTree(Rng& rng, int depth) {
+  auto node = Node::Element("n" + std::to_string(rng.NextBelow(5)));
+  int attrs = static_cast<int>(rng.NextBelow(3));
+  for (int i = 0; i < attrs; ++i) {
+    node->SetAttr("a" + std::to_string(i),
+                  "v<&\"'" + std::to_string(rng.Next() % 1000));
+  }
+  if (depth < 3) {
+    int children = static_cast<int>(rng.NextBelow(4));
+    for (int i = 0; i < children; ++i) {
+      if (rng.NextBool(0.3)) {
+        node->AddText("text & <stuff> " + std::to_string(rng.NextBelow(100)));
+      } else {
+        node->AddChild(RandomTree(rng, depth + 1));
+      }
+    }
+  }
+  return node;
+}
+
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlRoundTripTest, WriteParseWriteIsStable) {
+  Rng rng(GetParam());
+  auto tree = RandomTree(rng, 0);
+  std::string first = Write(*tree);
+  auto parsed = Parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << first;
+  EXPECT_EQ(Write(**parsed), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// Property: mutated documents never crash the parser — they either parse
+// (the mutation hit text content) or fail cleanly with kDataLoss.
+class XmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlFuzzTest, MutatedDocumentsFailCleanly) {
+  Rng rng(GetParam() * 7919);
+  auto tree = RandomTree(rng, 0);
+  std::string valid = Write(*tree);
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = valid;
+    int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(3)) {
+        case 0:  // flip to a random byte (including NUL and specials)
+          mutated[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        case 1:  // delete a byte
+          mutated.erase(pos, 1);
+          break;
+        case 2:  // duplicate a byte
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+    }
+    auto result = Parse(mutated);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+    } else {
+      // A surviving parse must itself round-trip.
+      std::string rewritten = Write(**result);
+      auto reparsed = Parse(rewritten);
+      ASSERT_TRUE(reparsed.ok()) << rewritten;
+    }
+  }
+}
+
+TEST_P(XmlFuzzTest, TruncationsFailCleanly) {
+  Rng rng(GetParam() * 104729);
+  auto tree = RandomTree(rng, 0);
+  std::string valid = Write(*tree);
+  for (size_t cut = 0; cut < valid.size(); cut += 1 + rng.NextBelow(3)) {
+    auto result = Parse(valid.substr(0, cut));
+    if (result.ok()) {
+      // Only possible when the prefix happens to be a complete document.
+      EXPECT_EQ(Write(**result), valid.substr(0, cut));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace obiswap::xml
