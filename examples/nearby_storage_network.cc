@@ -67,7 +67,8 @@ int main() {
     OBISWAP_CHECK(key.ok());
     const swap::SwapClusterInfo* info = manager.registry().Find(id);
     std::printf("  cluster %u -> device %u (%zu B)\n", id.value(),
-                info->store_device.value(), info->swapped_payload_bytes);
+                info->replicas[0].device.value(),
+                info->swapped_payload_bytes);
   }
   rt.heap().Collect();
   std::printf("placement: frame=%zu printer=%zu kiosk=%zu entries\n",

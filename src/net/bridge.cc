@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checksum.h"
 #include "xml/node.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
@@ -59,7 +60,32 @@ std::string StoreService::Handle(const std::string& request_xml) {
     const xml::Node* payload = request.FindChild("payload");
     if (payload == nullptr)
       return ErrorResponse(StatusCode::kInvalidArgument, "missing payload");
-    Status status = node_.Store(key, payload->InnerText());
+    std::string text = payload->InnerText();
+    // The envelope carries an Adler-32 of the content. It guards the
+    // payload in transit and — crucially — makes retried stores
+    // idempotent: when the store executed but the response envelope was
+    // lost, the retry hits kAlreadyExists on the dumb node; an existing
+    // entry with the same content checksum means the payload is already
+    // durably stored, so the retry reports success.
+    bool has_checksum = request.FindAttr("checksum") != nullptr;
+    int64_t checksum = 0;
+    if (has_checksum) {
+      auto checksum_attr = request.GetIntAttr("checksum");
+      if (!checksum_attr.ok())
+        return ErrorResponse(StatusCode::kInvalidArgument, "bad checksum");
+      checksum = *checksum_attr;
+      if (static_cast<int64_t>(Adler32(text)) != checksum)
+        return ErrorResponse(StatusCode::kDataLoss,
+                             "store payload corrupted in transit");
+    }
+    Status status = node_.Store(key, std::move(text));
+    if (status.code() == StatusCode::kAlreadyExists && has_checksum) {
+      const std::string* existing = node_.Peek(key);
+      if (existing != nullptr &&
+          static_cast<int64_t>(Adler32(*existing)) == checksum) {
+        return OkResponse();  // identical content: retried store succeeded
+      }
+    }
     if (!status.ok()) return ErrorResponse(status.code(), status.message());
     return OkResponse();
   }
@@ -94,6 +120,14 @@ StoreService* Discovery::ServiceFor(DeviceId device) {
   return it == services_.end() ? nullptr : &it->second;
 }
 
+std::vector<DeviceId> Discovery::AnnouncedDevices() const {
+  std::vector<DeviceId> out;
+  out.reserve(announced_.size());
+  for (const auto& [device, node] : announced_) out.push_back(device);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<StoreNode*> Discovery::NearbyStores(DeviceId from,
                                                 size_t min_free_bytes) const {
   std::vector<StoreNode*> out;
@@ -120,7 +154,16 @@ Result<std::string> StoreClient::Call(DeviceId device,
   ++stats_.calls;
   Status last = UnavailableError("no attempt made");
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
-    if (attempt > 0) ++stats_.retries;
+    if (attempt > 0) {
+      ++stats_.retries;
+      if (backoff_base_us_ > 0) {
+        // Exponential backoff in virtual time: 1x, 2x, 4x, ... so lossy
+        // links charge an honest retransmission delay to the clock.
+        uint64_t wait = backoff_base_us_ << (attempt - 1);
+        network_.clock().Advance(wait);
+        stats_.backoff_us += wait;
+      }
+    }
     Result<uint64_t> out = network_.Transfer(self_, device,
                                              request_xml.size());
     if (!out.ok()) {
@@ -170,6 +213,9 @@ Status StoreClient::Store(DeviceId device, SwapKey key,
   auto request = xml::Node::Element("request");
   request->SetAttr("op", "store");
   request->SetIntAttr("key", static_cast<int64_t>(key.value()));
+  // Content checksum: transit integrity + retry idempotency (see
+  // StoreService::Handle).
+  request->SetIntAttr("checksum", static_cast<int64_t>(Adler32(text)));
   request->AddElement("payload")->AddText(text);
   OBISWAP_ASSIGN_OR_RETURN(std::string response,
                            Call(device, xml::Write(*request)));

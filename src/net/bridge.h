@@ -52,6 +52,13 @@ class Discovery {
   std::vector<StoreNode*> NearbyStores(DeviceId from,
                                        size_t min_free_bytes = 0) const;
 
+  /// All announced devices, reachable or not (ascending). The durability
+  /// monitor diffs this set across polls to spot permanent departures.
+  std::vector<DeviceId> AnnouncedDevices() const;
+  bool IsAnnounced(DeviceId device) const {
+    return announced_.count(device) > 0;
+  }
+
  private:
   Network& network_;
   std::unordered_map<DeviceId, StoreNode*> announced_;
@@ -67,6 +74,7 @@ class StoreClient {
     uint64_t retries = 0;
     uint64_t bytes_sent = 0;
     uint64_t bytes_received = 0;
+    uint64_t backoff_us = 0;  ///< virtual time spent waiting between retries
   };
 
   StoreClient(Network& network, Discovery& discovery, DeviceId self,
@@ -83,6 +91,11 @@ class StoreClient {
   const Stats& stats() const { return stats_; }
   DeviceId self() const { return self_; }
 
+  /// First retry waits this long (virtual time), doubling per attempt.
+  /// Zero disables backoff (the original back-to-back behavior).
+  void set_retry_backoff_us(uint64_t base_us) { backoff_base_us_ = base_us; }
+  uint64_t retry_backoff_us() const { return backoff_base_us_; }
+
  private:
   Result<std::string> Call(DeviceId device, const std::string& request_xml);
 
@@ -90,6 +103,9 @@ class StoreClient {
   Discovery& discovery_;
   DeviceId self_;
   int max_attempts_;
+  /// Default ≈ one Bluetooth latency window; exponential so lossy-link
+  /// benches pay an honest clock cost for retransmissions.
+  uint64_t backoff_base_us_ = 30'000;
   Stats stats_;
 };
 

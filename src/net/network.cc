@@ -16,6 +16,7 @@ void Network::AddDevice(DeviceId device) { devices_.emplace(device, true); }
 
 void Network::RemoveDevice(DeviceId device) {
   devices_.erase(device);
+  outages_.erase(device);
   for (auto it = in_range_.begin(); it != in_range_.end();) {
     uint32_t lo = static_cast<uint32_t>(*it & 0xFFFFFFFF);
     uint32_t hi = static_cast<uint32_t>(*it >> 32);
@@ -38,7 +39,32 @@ void Network::SetOnline(DeviceId device, bool online) {
 
 bool Network::IsOnline(DeviceId device) const {
   auto it = devices_.find(device);
-  return it != devices_.end() && it->second;
+  return it != devices_.end() && it->second && !InOutage(device);
+}
+
+void Network::AddOutage(DeviceId device, uint64_t start_us, uint64_t end_us) {
+  if (end_us <= start_us) return;
+  outages_[device].emplace_back(start_us, end_us);
+}
+
+void Network::FlapDevice(DeviceId device, uint64_t first_down_us,
+                         uint64_t down_us, uint64_t period_us, int count) {
+  for (int i = 0; i < count; ++i) {
+    uint64_t start = first_down_us + static_cast<uint64_t>(i) * period_us;
+    AddOutage(device, start, start + down_us);
+  }
+}
+
+void Network::ClearOutages(DeviceId device) { outages_.erase(device); }
+
+bool Network::InOutage(DeviceId device) const {
+  auto it = outages_.find(device);
+  if (it == outages_.end()) return false;
+  uint64_t now = clock_.now_us();
+  for (const auto& [start, end] : it->second) {
+    if (now >= start && now < end) return true;
+  }
+  return false;
 }
 
 void Network::SetInRange(DeviceId a, DeviceId b, bool in_range) {

@@ -54,6 +54,21 @@ class Network {
   void SetInRange(DeviceId a, DeviceId b, bool in_range);
   bool InRange(DeviceId a, DeviceId b) const;
 
+  // --- deterministic churn scripting ---------------------------------------
+  /// Schedules a virtual-time window [start_us, end_us) during which
+  /// `device` counts as offline regardless of SetOnline. Windows are
+  /// evaluated against clock().now_us(), so churn benches and chaos tests
+  /// can script store flapping ahead of time and stay deterministic.
+  void AddOutage(DeviceId device, uint64_t start_us, uint64_t end_us);
+
+  /// Convenience: `count` periodic outages of `down_us` each, the first
+  /// starting at `first_down_us`, one every `period_us`.
+  void FlapDevice(DeviceId device, uint64_t first_down_us, uint64_t down_us,
+                  uint64_t period_us, int count);
+
+  void ClearOutages(DeviceId device);
+  bool InOutage(DeviceId device) const;
+
   /// Overrides link parameters for one pair (symmetric). Pairs without an
   /// override use the default link.
   void SetLinkParams(DeviceId a, DeviceId b, LinkParams params);
@@ -77,6 +92,9 @@ class Network {
   Rng rng_;
   LinkParams default_link_;
   std::unordered_map<DeviceId, bool> devices_;  // id -> online
+  /// Scheduled offline windows per device, as [start_us, end_us) pairs.
+  std::unordered_map<DeviceId, std::vector<std::pair<uint64_t, uint64_t>>>
+      outages_;
   std::unordered_set<uint64_t> in_range_;
   std::unordered_map<uint64_t, LinkParams> link_params_;
   Stats stats_;

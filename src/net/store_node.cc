@@ -2,11 +2,37 @@
 
 namespace obiswap::net {
 
+namespace {
+/// Deterministic single-bit flip: middle byte, lowest bit.
+void FlipOneBit(std::string& text) {
+  if (text.empty()) return;
+  text[text.size() / 2] ^= 0x01;
+}
+}  // namespace
+
+Status StoreNode::CheckAlive() {
+  if (!crashed_ && faults_.crash_after_ops >= 0) {
+    if (faults_.crash_after_ops == 0) {
+      crashed_ = true;
+      if (faults_.crash_loses_data) {
+        entries_.clear();
+        used_bytes_ = 0;
+      }
+    } else {
+      --faults_.crash_after_ops;
+    }
+  }
+  if (crashed_) {
+    ++stats_.faulted_ops;
+    return UnavailableError("store device " + device_.ToString() +
+                            " crashed");
+  }
+  return OkStatus();
+}
+
 Status StoreNode::Store(SwapKey key, std::string text) {
-  if (auto it = entries_.find(key); it != entries_.end()) {
-    // Idempotent re-store: the bridge retries when a response envelope is
-    // lost, so an identical (key, content) pair must succeed.
-    if (it->second == text) return OkStatus();
+  OBISWAP_RETURN_IF_ERROR(CheckAlive());
+  if (entries_.count(key) > 0) {
     return AlreadyExistsError("key " + key.ToString() + " already stored");
   }
   if (used_bytes_ + text.size() > capacity_bytes_) {
@@ -21,14 +47,21 @@ Status StoreNode::Store(SwapKey key, std::string text) {
 }
 
 Result<std::string> StoreNode::Fetch(SwapKey key) {
+  OBISWAP_RETURN_IF_ERROR(CheckAlive());
   auto it = entries_.find(key);
   if (it == entries_.end())
     return NotFoundError("key " + key.ToString() + " not stored");
   ++stats_.fetches;
-  return it->second;
+  std::string text = it->second;
+  if (faults_.corrupt_fetches) {
+    FlipOneBit(text);
+    ++stats_.corrupted_fetches;
+  }
+  return text;
 }
 
 Status StoreNode::Drop(SwapKey key) {
+  OBISWAP_RETURN_IF_ERROR(CheckAlive());
   auto it = entries_.find(key);
   if (it == entries_.end())
     return NotFoundError("key " + key.ToString() + " not stored");
@@ -36,6 +69,24 @@ Status StoreNode::Drop(SwapKey key) {
   entries_.erase(it);
   ++stats_.drops;
   return OkStatus();
+}
+
+const std::string* StoreNode::Peek(SwapKey key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status StoreNode::CorruptStoredPayload(SwapKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    return NotFoundError("key " + key.ToString() + " not stored");
+  FlipOneBit(it->second);
+  return OkStatus();
+}
+
+void StoreNode::Restart() {
+  crashed_ = false;
+  faults_.crash_after_ops = -1;
 }
 
 std::vector<SwapKey> StoreNode::Keys() const {

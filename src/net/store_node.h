@@ -5,6 +5,12 @@
 // return a textual representation of the serialized objects" (§3). A
 // StoreNode does exactly three things — store, fetch, drop — on XML text
 // keyed by a unique id, within a storage capacity.
+//
+// Because these devices are unreliable by design (they wander off, run out
+// of battery, and hold data on commodity flash), a StoreNode also carries a
+// deterministic fault-injection surface: payload bit-corruption (at rest or
+// on fetch) and crash-on-nth-operation, so every durability path in the
+// middleware is testable without randomness.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +30,22 @@ class StoreNode {
     uint64_t fetches = 0;
     uint64_t drops = 0;
     uint64_t rejected_full = 0;
+    uint64_t faulted_ops = 0;      ///< ops refused because the node crashed
+    uint64_t corrupted_fetches = 0;  ///< fetches served with flipped bits
+  };
+
+  /// Deterministic fault plan (all knobs off by default).
+  struct FaultPlan {
+    /// Every Fetch returns the payload with one bit flipped (the stored
+    /// copy stays intact — a flaky reader/link on the store side).
+    bool corrupt_fetches = false;
+    /// After this many further operations (store/fetch/drop) the node
+    /// crashes: every later op fails kUnavailable until Restart().
+    /// Negative = never.
+    int crash_after_ops = -1;
+    /// A crash wipes the stored entries (battery pulled mid-life) instead
+    /// of preserving them across Restart().
+    bool crash_loses_data = false;
   };
 
   StoreNode(DeviceId device, size_t capacity_bytes)
@@ -36,8 +58,10 @@ class StoreNode {
   size_t entry_count() const { return entries_.size(); }
   const Stats& stats() const { return stats_; }
 
-  /// Stores `text` under `key`. kAlreadyExists if the key is taken,
-  /// kResourceExhausted if it does not fit.
+  /// Stores `text` under `key`. kAlreadyExists if the key is taken (the
+  /// node is dumb: retry idempotency is the service layer's job, decided by
+  /// the content checksum in the request envelope), kResourceExhausted if
+  /// it does not fit.
   Status Store(SwapKey key, std::string text);
 
   /// Returns the stored text. kNotFound if unknown.
@@ -49,15 +73,40 @@ class StoreNode {
 
   bool Contains(SwapKey key) const { return entries_.count(key) > 0; }
 
+  /// The stored text without the side effects of Fetch (no stats, no fault
+  /// accounting); nullptr if unknown. Used by the service layer to compare
+  /// content checksums on retried stores.
+  const std::string* Peek(SwapKey key) const;
+
   /// All stored keys (diagnostics / GC audits), unordered.
   std::vector<SwapKey> Keys() const;
 
+  // --- fault injection -----------------------------------------------------
+  void InjectFaults(const FaultPlan& plan) { faults_ = plan; }
+  const FaultPlan& fault_plan() const { return faults_; }
+
+  /// Flips one bit of the payload stored under `key` (at-rest corruption —
+  /// the store device's flash went bad). kNotFound if unknown.
+  Status CorruptStoredPayload(SwapKey key);
+
+  /// True once crash_after_ops has elapsed; every op fails until Restart().
+  bool crashed() const { return crashed_; }
+
+  /// Brings a crashed node back (entries survive unless crash_loses_data).
+  /// Clears the crash countdown but keeps the other fault knobs.
+  void Restart();
+
  private:
+  /// Counts one operation against the crash countdown; error if crashed.
+  Status CheckAlive();
+
   DeviceId device_;
   size_t capacity_bytes_;
   size_t used_bytes_ = 0;
   std::unordered_map<SwapKey, std::string> entries_;
   Stats stats_;
+  FaultPlan faults_;
+  bool crashed_ = false;
 };
 
 }  // namespace obiswap::net

@@ -28,6 +28,7 @@
 #include "runtime/runtime.h"            // managed heap, LGC, invocation
 #include "serialization/graph_xml.h"    // object graph <-> XML
 #include "serialization/schema_xml.h"   // class schemas as XML
+#include "swap/durability.h"            // replica upkeep under store churn
 #include "swap/manager.h"               // THE contribution: object-swapping
 #include "swap/proxy.h"
 #include "swap/swap_cluster.h"

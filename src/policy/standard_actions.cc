@@ -41,6 +41,16 @@ Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
         rt.heap().Collect();
         return OkStatus();
       }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-replication-factor",
+      [&manager](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t factor,
+                                 RequiredIntParam(params, "factor"));
+        if (factor <= 0)
+          return InvalidArgumentError("factor must be positive");
+        manager.set_replication_factor(static_cast<size_t>(factor));
+        return OkStatus();
+      }));
   return OkStatus();
 }
 

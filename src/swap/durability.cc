@@ -1,0 +1,133 @@
+#include "swap/durability.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace obiswap::swap {
+
+DurabilityMonitor::DurabilityMonitor(SwappingManager& manager,
+                                     net::Discovery& discovery, DeviceId self,
+                                     context::EventBus& bus,
+                                     context::PropertyRegistry* props,
+                                     Options options)
+    : manager_(manager),
+      discovery_(discovery),
+      self_(self),
+      bus_(bus),
+      props_(props),
+      options_(options) {}
+
+void DurabilityMonitor::Poll() {
+  ++stats_.polls;
+
+  std::vector<DeviceId> announced = discovery_.AnnouncedDevices();
+  std::unordered_set<DeviceId> reachable;
+  for (net::StoreNode* node : discovery_.NearbyStores(self_, 0))
+    reachable.insert(node->device());
+
+  // A withdrawn announcement is an explicit departure.
+  for (DeviceId device : last_announced_) {
+    if (!std::binary_search(announced.begin(), announced.end(), device))
+      HandleDeparture(device);
+  }
+
+  // Announced but silent: after miss_threshold consecutive unreachable
+  // polls the store is presumed gone (fires once per silence streak — the
+  // counter keeps climbing past the threshold without re-firing, and
+  // resets the moment the store is heard from again).
+  for (DeviceId device : announced) {
+    if (device == self_) continue;
+    if (reachable.count(device) > 0) {
+      misses_.erase(device);
+      continue;
+    }
+    int count = ++misses_[device];
+    if (count == options_.miss_threshold) HandleDeparture(device);
+  }
+  for (auto it = misses_.begin(); it != misses_.end();) {
+    if (std::binary_search(announced.begin(), announced.end(), it->first))
+      ++it;
+    else
+      it = misses_.erase(it);
+  }
+
+  ReReplicationSweep();
+
+  stats_.drops_drained += manager_.FlushPendingDrops();
+
+  if (props_ != nullptr) {
+    size_t want = manager_.options().replication_factor;
+    if (want == 0) want = 1;
+    int64_t under = 0;
+    for (SwapClusterId id : manager_.registry().Ids()) {
+      const SwapClusterInfo* info = manager_.registry().Find(id);
+      if (info != nullptr && info->state == SwapState::kSwapped &&
+          info->replicas.size() < want) {
+        ++under;
+      }
+    }
+    props_->SetInt("swap.store_churn",
+                   static_cast<int64_t>(stats_.stores_departed));
+    props_->SetInt("swap.under_replicated", under);
+    props_->SetInt("swap.pending_drops",
+                   static_cast<int64_t>(manager_.pending_drop_count()));
+  }
+
+  last_announced_ = std::move(announced);
+}
+
+void DurabilityMonitor::HandleDeparture(DeviceId device) {
+  ++stats_.stores_departed;
+  // Refresh the churn gauge before publishing so policy rules triggered by
+  // this very event ("store-departed" → raise K) see the current count.
+  if (props_ != nullptr) {
+    props_->SetInt("swap.store_churn",
+                   static_cast<int64_t>(stats_.stores_departed));
+  }
+  bus_.Publish(context::Event(context::kEventStoreDeparted)
+                   .Set("device", static_cast<int64_t>(device.value())));
+  for (SwapClusterId id : manager_.registry().Ids()) {
+    const SwapClusterInfo* info = manager_.registry().Find(id);
+    if (info == nullptr || info->state != SwapState::kSwapped) continue;
+    if (!info->HasReplicaOn(device)) continue;
+    size_t forgotten = manager_.ForgetReplica(id, device);
+    if (forgotten == 0) continue;
+    stats_.replicas_lost += forgotten;
+    bus_.Publish(context::Event(context::kEventReplicaLost)
+                     .Set("swap_cluster", static_cast<int64_t>(id.value()))
+                     .Set("device", static_cast<int64_t>(device.value()))
+                     .Set("survivors",
+                          static_cast<int64_t>(info->replicas.size())));
+  }
+}
+
+void DurabilityMonitor::ReReplicationSweep() {
+  size_t want = manager_.options().replication_factor;
+  if (want == 0) want = 1;
+  for (SwapClusterId id : manager_.registry().Ids()) {
+    const SwapClusterInfo* info = manager_.registry().Find(id);
+    if (info == nullptr || info->state != SwapState::kSwapped) continue;
+    if (info->replicas.size() >= want) continue;
+    uint64_t bytes_before = manager_.stats().bytes_re_replicated;
+    Result<size_t> added = manager_.ReReplicate(id);
+    if (!added.ok() || *added == 0) continue;  // retried next poll
+    ++stats_.clusters_re_replicated;
+    stats_.replicas_re_replicated += *added;
+    bus_.Publish(
+        context::Event(context::kEventReReplicated)
+            .Set("swap_cluster", static_cast<int64_t>(id.value()))
+            .Set("new_replicas", static_cast<int64_t>(*added))
+            .Set("bytes", static_cast<int64_t>(
+                              manager_.stats().bytes_re_replicated -
+                              bytes_before))
+            .Set("replicas", static_cast<int64_t>(info->replicas.size())));
+  }
+}
+
+Result<size_t> DurabilityMonitor::OnStoreWithdrawing(DeviceId device) {
+  OBISWAP_ASSIGN_OR_RETURN(size_t moved, manager_.EvacuateReplicas(device));
+  stats_.evacuated_replicas += moved;
+  return moved;
+}
+
+}  // namespace obiswap::swap

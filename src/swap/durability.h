@@ -1,0 +1,86 @@
+// DurabilityMonitor: keeps swapped clusters alive under store churn.
+//
+// The paper's store devices are "any nearby device with wireless
+// connectivity and available storage" — exactly the devices most likely to
+// wander off. The monitor closes the durability loop around the
+// SwappingManager's K-replica placement: it polls the discovery directory
+// (mirroring ConnectivityMonitor's Poll idiom), treats a withdrawn
+// announcement — or a store unreachable for `miss_threshold` consecutive
+// polls — as a permanent departure, forgets the replicas that died with it
+// (publishing "replica-lost"), and tops under-replicated clusters back up
+// to K from a surviving copy (publishing "re-replicated"). A store that
+// announces a *graceful* withdrawal can instead be evacuated proactively
+// while it is still reachable. Each poll also drains the manager's
+// deferred-drop queue and refreshes policy-visible gauges
+// ("swap.store_churn", "swap.under_replicated", "swap.pending_drops") so
+// rules can, e.g., raise the replication factor when churn is high.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "context/context.h"
+#include "context/events.h"
+#include "net/bridge.h"
+#include "swap/manager.h"
+
+namespace obiswap::swap {
+
+class DurabilityMonitor {
+ public:
+  struct Options {
+    /// Consecutive polls a store may stay announced-but-unreachable before
+    /// it is presumed departed (radio silence = departure, eventually).
+    int miss_threshold = 3;
+  };
+
+  struct Stats {
+    uint64_t polls = 0;
+    uint64_t stores_departed = 0;
+    uint64_t replicas_lost = 0;          ///< replica records forgotten
+    uint64_t clusters_re_replicated = 0;  ///< clusters topped back up to K
+    uint64_t replicas_re_replicated = 0;  ///< replicas placed by the sweeps
+    uint64_t evacuated_replicas = 0;
+    uint64_t drops_drained = 0;
+  };
+
+  DurabilityMonitor(SwappingManager& manager, net::Discovery& discovery,
+                    DeviceId self, context::EventBus& bus,
+                    context::PropertyRegistry* props, Options options);
+  DurabilityMonitor(SwappingManager& manager, net::Discovery& discovery,
+                    DeviceId self, context::EventBus& bus,
+                    context::PropertyRegistry* props = nullptr)
+      : DurabilityMonitor(manager, discovery, self, bus, props, Options()) {}
+
+  /// One maintenance round: departure detection, replica-loss bookkeeping,
+  /// re-replication sweep, deferred-drop drain, gauge refresh.
+  void Poll();
+
+  /// Graceful-withdrawal path: the store told us it is leaving while still
+  /// reachable, so its replicas are copied off before they are lost.
+  /// Returns the number of replicas moved.
+  Result<size_t> OnStoreWithdrawing(DeviceId device);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void HandleDeparture(DeviceId device);
+  void ReReplicationSweep();
+
+  SwappingManager& manager_;
+  net::Discovery& discovery_;
+  DeviceId self_;
+  context::EventBus& bus_;
+  context::PropertyRegistry* props_;
+  Options options_;
+
+  std::vector<DeviceId> last_announced_;
+  /// device → consecutive polls spent announced-but-unreachable.
+  std::unordered_map<DeviceId, int> misses_;
+  Stats stats_;
+};
+
+}  // namespace obiswap::swap

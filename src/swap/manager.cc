@@ -51,8 +51,7 @@ SwappingManager::SwappingManager(runtime::Runtime& rt, Options options)
         ClassBuilder(kReplacementClassName)
             .Kind(ObjectKind::kReplacement)
             .Field("cluster", ValueKind::kInt)
-            .Field("key", ValueKind::kInt)
-            .Field("device", ValueKind::kInt)
+            .Field("epoch", ValueKind::kInt)
             .OnFinalize(replacement_finalizer));
   }
 
@@ -68,7 +67,10 @@ SwappingManager::~SwappingManager() {
   rt_.SetInterceptor(ObjectKind::kReplacement, nullptr);
   rt_.SetStoreMediator(nullptr);
   rt_.SetIdentityHook(nullptr);
-  if (bus_ != nullptr) bus_->Unsubscribe(bus_token_);
+  if (bus_ != nullptr) {
+    bus_->Unsubscribe(bus_token_);
+    bus_->Unsubscribe(conn_token_);
+  }
 }
 
 void SwappingManager::AttachStore(net::StoreClient* client,
@@ -82,6 +84,11 @@ void SwappingManager::AttachBus(context::EventBus* bus) {
   bus_token_ = bus_->Subscribe(
       context::kEventClusterReplicated,
       [this](const context::Event& event) { OnClusterReplicated(event); });
+  // Reconnection is the moment to deliver drop notifications that failed
+  // while their store was out of range.
+  conn_token_ = bus_->Subscribe(
+      context::kEventConnectivityChanged,
+      [this](const context::Event&) { FlushPendingDrops(); });
 }
 
 void SwappingManager::InstallPressureHandler() {
@@ -626,56 +633,66 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   const compress::Codec* codec = compress::FindCodec(options_.codec);
   std::string payload = compress::FrameCompress(*codec, serialized.xml);
 
-  // Pick a nearby store with room ("stores the swapped objects in any
-  // nearby device with wireless connectivity and available storage");
-  // fall back to the local flash when nothing suitable is in range.
+  // Place the payload on up to `replication_factor` nearby stores, each on
+  // a distinct device under its own key ("stores the swapped objects in any
+  // nearby device with wireless connectivity and available storage"). The
+  // first placement is mandatory; extra replicas are best-effort durability
+  // against store departure. The local flash is last resort only — it is
+  // part of the device's own scarce resources.
   size_t need = payload.size();
   if (need < options_.store_min_free_bytes)
     need = options_.store_min_free_bytes;
-  SwapKey key = NextKey();
+  size_t want = options_.replication_factor > 0 ? options_.replication_factor
+                                                : size_t{1};
+  std::vector<ReplicaLocation> placed;
   Status stored = UnavailableError("no nearby store device with " +
                                    FormatBytes(need) + " free");
-  DeviceId chosen;
   if (store_ != nullptr && discovery_ != nullptr) {
     for (net::StoreNode* candidate :
          discovery_->NearbyStores(store_->self(), need)) {
-      stored = store_->Store(candidate->device(), key, payload);
-      if (stored.ok()) {
-        chosen = candidate->device();
-        break;
+      if (placed.size() >= want) break;
+      SwapKey key = NextKey();
+      Status attempt = store_->Store(candidate->device(), key, payload);
+      if (attempt.ok()) {
+        placed.push_back(ReplicaLocation{candidate->device(), key});
+      } else {
+        stored = attempt;
       }
     }
   }
-  if (!stored.ok() && local_ != nullptr &&
+  if (placed.empty() && local_ != nullptr &&
       local_->free_bytes() >= payload.size()) {
+    SwapKey key = NextKey();
     stored = local_->Store(key, payload);
     if (stored.ok()) {
-      chosen = local_->device();
+      placed.push_back(ReplicaLocation{local_->device(), key});
       ++stats_.local_swap_outs;
     }
   }
-  if (!stored.ok()) {
+  if (placed.empty()) {
     ++stats_.swap_out_failures;
     return stored;
   }
+  stats_.replicas_placed += placed.size();
+  if (placed.size() < want) ++stats_.under_replicated_outs;
 
   // Build the replacement-object: "simply an array of references ... filled
   // with references to every swap-cluster-proxy referenced by" the cluster.
   Result<Object*> replacement_or = rt_.TryNewMiddleware(replacement_cls_);
   if (!replacement_or.ok()) {
-    // Roll back the store entry; the cluster stays loaded.
-    (void)DropAt(chosen, key);
+    // Roll back the store entries; the cluster stays loaded.
+    for (const ReplicaLocation& replica : placed)
+      (void)DropAt(replica.device, replica.key);
     ++stats_.swap_out_failures;
     return replacement_or.status();
   }
   Object* replacement = *replacement_or;
   scope.Add(replacement);
+  ++info->swap_epoch;
   replacement->RawSlotMutable(kReplSlotCluster) =
       Value::Int(static_cast<int64_t>(id.value()));
-  replacement->RawSlotMutable(kReplSlotKey) =
-      Value::Int(static_cast<int64_t>(key.value()));
-  replacement->RawSlotMutable(kReplSlotDevice) =
-      Value::Int(static_cast<int64_t>(chosen.value()));
+  replacement->RawSlotMutable(kReplSlotEpoch) =
+      Value::Int(static_cast<int64_t>(info->swap_epoch));
   for (Object* outbound : serialized.outbound) {
     replacement->AppendSlot(Value::Ref(outbound));
   }
@@ -697,8 +714,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   inbound.resize(write);
 
   info->state = SwapState::kSwapped;
-  info->key = key;
-  info->store_device = chosen;
+  info->replicas = placed;
   info->replacement = rt_.heap().NewWeakRef(replacement);
   info->swapped_object_count = members.size();
   info->swapped_payload_bytes = payload.size();
@@ -714,11 +730,13 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
                       .Set("swap_cluster", static_cast<int64_t>(id.value()))
                       .Set("objects", static_cast<int64_t>(members.size()))
                       .Set("bytes", static_cast<int64_t>(payload.size()))
-                      .Set("device", static_cast<int64_t>(chosen.value())));
+                      .Set("device",
+                           static_cast<int64_t>(placed.front().device.value()))
+                      .Set("replicas", static_cast<int64_t>(placed.size())));
   }
   // The members are now detached from the application graph; the next
   // collection reclaims them (the LocalScope roots die with this frame).
-  return key;
+  return placed.front().key;
 }
 
 Result<SwapClusterId> SwappingManager::SwapOutVictim() {
@@ -729,6 +747,12 @@ Result<SwapClusterId> SwappingManager::SwapOutVictim() {
       return FailedPreconditionError("no eligible swap-out victim");
     Result<SwapKey> key = SwapOut(victim);
     if (key.ok()) return victim;
+    // No placement target at all means every further victim would pay the
+    // serialize+compress cost only to hit the same dead network; fail fast.
+    if (key.status().code() == StatusCode::kUnavailable &&
+        !AnyStoreReachable()) {
+      return key.status();
+    }
     // This victim failed (e.g. store full for its payload); try the next.
     exclude.push_back(victim);
     if (key.status().code() == StatusCode::kFailedPrecondition ||
@@ -753,11 +777,6 @@ Status SwappingManager::SwapIn(SwapClusterId id) {
   LocalScope scope(rt_.heap());
   scope.Add(replacement);
 
-  OBISWAP_ASSIGN_OR_RETURN(std::string payload,
-                           FetchFrom(info->store_device, info->key));
-  OBISWAP_ASSIGN_OR_RETURN(std::string xml_text,
-                           compress::FrameDecompress(payload));
-
   // Outbound proxies were kept alive by the replacement; they resolve the
   // document's external references by index.
   auto resolve = [replacement](const serialization::ExternalRef& ref)
@@ -773,9 +792,51 @@ Status SwappingManager::SwapIn(SwapClusterId id) {
   serialization::DeserializeOptions options;
   options.expected_id = static_cast<int64_t>(id.value());
   options.assign_swap_cluster = id;
-  OBISWAP_ASSIGN_OR_RETURN(
-      std::vector<Object*> members,
-      serialization::DeserializeCluster(rt_, xml_text, options, resolve));
+
+  // Failover fetch: try each replica (reachable ones first) until one
+  // yields a payload that survives the frame checksum AND deserializes. A
+  // partially-deserialized attempt leaves only unrooted objects behind —
+  // the next collection reclaims them.
+  const std::vector<ReplicaLocation> order = ReplicaFetchOrder(*info);
+  Status last = UnavailableError("swap-cluster " + id.ToString() +
+                                 " has no replicas to fetch from");
+  std::string payload;
+  std::vector<Object*> members;
+  bool restored = false;
+  for (size_t attempt = 0; attempt < order.size() && !restored; ++attempt) {
+    const ReplicaLocation& replica = order[attempt];
+    Status failure = OkStatus();
+    Result<std::string> fetched = FetchFrom(replica.device, replica.key);
+    if (!fetched.ok()) {
+      failure = fetched.status();
+    } else {
+      Result<std::string> xml_text = compress::FrameDecompress(*fetched);
+      if (!xml_text.ok()) {
+        failure = xml_text.status();
+      } else {
+        Result<std::vector<Object*>> members_or =
+            serialization::DeserializeCluster(rt_, *xml_text, options,
+                                              resolve);
+        if (!members_or.ok()) {
+          failure = members_or.status();
+        } else {
+          payload = std::move(*fetched);
+          members = std::move(*members_or);
+          restored = true;
+          if (attempt > 0) ++stats_.failover_fetches;
+        }
+      }
+    }
+    if (!restored) {
+      if (failure.code() == StatusCode::kDataLoss)
+        ++stats_.data_loss_failovers;
+      OBISWAP_LOG(kWarn) << "replica of swap-cluster " << id.ToString()
+                         << " on device " << replica.device.value()
+                         << " unusable: " << failure.ToString();
+      last = failure;
+    }
+  }
+  if (!restored) return last;
   for (Object* member : members) scope.Add(member);
 
   // Rebuild membership and the oid → object map for proxy patching.
@@ -805,16 +866,13 @@ Status SwappingManager::SwapIn(SwapClusterId id) {
   }
   inbound.resize(write);
 
-  // The store copy is stale the moment the cluster is writable again.
-  Status dropped = DropAt(info->store_device, info->key);
-  if (!dropped.ok()) {
-    ++stats_.drop_failures;
-    OBISWAP_LOG(kWarn) << "drop after swap-in failed: " << dropped.ToString();
-  }
+  // Every store copy is stale the moment the cluster is writable again:
+  // broadcast the drop to all replicas (unreachable ones are queued for
+  // retry on reconnection).
+  ReleaseReplicas(info->replicas, /*count_as_drop=*/false);
 
   info->state = SwapState::kLoaded;
-  info->key = SwapKey();
-  info->store_device = DeviceId();
+  info->replicas.clear();
   info->replacement = runtime::WeakRef();
   info->swapped_oids.clear();
   ++info->swap_in_count;
@@ -830,6 +888,234 @@ Status SwappingManager::SwapIn(SwapClusterId id) {
   // The replacement-object is now unreferenced: "as it is no longer needed,
   // [it] becomes eligible for local reclamation."
   return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Replica durability (churn maintenance; driven by the DurabilityMonitor)
+// ---------------------------------------------------------------------------
+
+void SwappingManager::set_replication_factor(size_t k) {
+  options_.replication_factor = k > 0 ? k : size_t{1};
+}
+
+bool SwappingManager::AnyStoreReachable() const {
+  if (store_ != nullptr && discovery_ != nullptr &&
+      !discovery_->NearbyStores(store_->self(), options_.store_min_free_bytes)
+           .empty()) {
+    return true;
+  }
+  return local_ != nullptr && local_->free_bytes() > 0;
+}
+
+std::vector<ReplicaLocation> SwappingManager::ReplicaFetchOrder(
+    const SwapClusterInfo& info) const {
+  std::unordered_set<uint64_t> reachable;
+  if (store_ != nullptr && discovery_ != nullptr) {
+    for (net::StoreNode* node : discovery_->NearbyStores(store_->self(), 0))
+      reachable.insert(node->device().value());
+  }
+  auto in_reach = [&](const ReplicaLocation& replica) {
+    return IsLocalDevice(replica.device) ||
+           reachable.count(replica.device.value()) > 0;
+  };
+  std::vector<ReplicaLocation> order;
+  order.reserve(info.replicas.size());
+  for (const ReplicaLocation& replica : info.replicas)
+    if (in_reach(replica)) order.push_back(replica);
+  // Unreachable replicas still get a try at the end — discovery lags the
+  // radio, and a doomed fetch only costs a fast kUnavailable.
+  for (const ReplicaLocation& replica : info.replicas)
+    if (!in_reach(replica)) order.push_back(replica);
+  return order;
+}
+
+Result<std::string> SwappingManager::FetchVerifiedPayload(
+    const SwapClusterInfo& info) {
+  Status last = UnavailableError("no fetchable replica for swap-cluster " +
+                                 info.id.ToString());
+  for (const ReplicaLocation& replica : ReplicaFetchOrder(info)) {
+    Result<std::string> fetched = FetchFrom(replica.device, replica.key);
+    if (!fetched.ok()) {
+      last = fetched.status();
+      continue;
+    }
+    // Never copy a corrupted payload onto fresh replicas: the frame
+    // checksum must hold before this copy is allowed to propagate.
+    Result<std::string> verified = compress::FrameDecompress(*fetched);
+    if (verified.ok()) return std::move(*fetched);
+    ++stats_.data_loss_failovers;
+    last = verified.status();
+  }
+  return last;
+}
+
+Result<ReplicaLocation> SwappingManager::PlaceReplica(
+    const std::string& payload, const std::vector<ReplicaLocation>& existing,
+    DeviceId exclude) {
+  size_t need = payload.size();
+  if (need < options_.store_min_free_bytes)
+    need = options_.store_min_free_bytes;
+  Status last = UnavailableError("no nearby store device with " +
+                                 FormatBytes(need) + " free");
+  if (store_ == nullptr || discovery_ == nullptr) return last;
+  for (net::StoreNode* candidate :
+       discovery_->NearbyStores(store_->self(), need)) {
+    DeviceId device = candidate->device();
+    if (device == exclude) continue;
+    bool taken = false;
+    for (const ReplicaLocation& replica : existing) {
+      if (replica.device == device) {
+        taken = true;
+        break;
+      }
+    }
+    if (taken) continue;
+    SwapKey key = NextKey();
+    Status stored = store_->Store(device, key, payload);
+    if (stored.ok()) return ReplicaLocation{device, key};
+    last = stored;
+  }
+  return last;
+}
+
+void SwappingManager::ReleaseReplicas(
+    const std::vector<ReplicaLocation>& replicas, bool count_as_drop) {
+  for (const ReplicaLocation& replica : replicas) {
+    Status dropped = DropAt(replica.device, replica.key);
+    if (dropped.ok()) {
+      if (count_as_drop) ++stats_.drops;
+      continue;
+    }
+    if (dropped.code() == StatusCode::kNotFound) continue;  // already gone
+    ++stats_.drop_failures;
+    if (dropped.code() == StatusCode::kUnavailable) {
+      // Store out of range right now: park the obligation; the queue is
+      // drained on the next connectivity change.
+      pending_drops_.push_back(PendingDrop{replica.device, replica.key});
+      ++stats_.drops_deferred;
+    } else {
+      OBISWAP_LOG(kWarn) << "store drop failed: " << dropped.ToString();
+    }
+  }
+}
+
+size_t SwappingManager::ForgetReplica(SwapClusterId id, DeviceId device) {
+  SwapClusterInfo* info = registry_.Find(id);
+  if (info == nullptr || info->state != SwapState::kSwapped) return 0;
+  size_t forgotten = 0;
+  size_t write = 0;
+  for (size_t read = 0; read < info->replicas.size(); ++read) {
+    if (info->replicas[read].device == device) {
+      // Should the store ever return, its now-orphaned payload must still
+      // be reclaimed — keep the drop obligation alive.
+      pending_drops_.push_back(
+          PendingDrop{device, info->replicas[read].key});
+      ++forgotten;
+      continue;
+    }
+    info->replicas[write++] = info->replicas[read];
+  }
+  info->replicas.resize(write);
+  stats_.replicas_forgotten += forgotten;
+  return forgotten;
+}
+
+Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
+  SwapClusterInfo* info = registry_.Find(id);
+  if (info == nullptr)
+    return NotFoundError("no swap-cluster " + id.ToString());
+  if (info->state != SwapState::kSwapped)
+    return FailedPreconditionError("swap-cluster " + id.ToString() + " is " +
+                                   SwapStateName(info->state));
+  size_t want = options_.replication_factor > 0 ? options_.replication_factor
+                                                : size_t{1};
+  if (info->replicas.size() >= want) return size_t{0};
+  if (info->replicas.empty())
+    return DataLossError("swap-cluster " + id.ToString() +
+                         " has no surviving replica");
+  OBISWAP_ASSIGN_OR_RETURN(std::string payload, FetchVerifiedPayload(*info));
+  size_t added = 0;
+  while (info->replicas.size() < want) {
+    Result<ReplicaLocation> fresh =
+        PlaceReplica(payload, info->replicas, DeviceId());
+    if (!fresh.ok()) {
+      if (added > 0) break;  // partial top-up still counts as progress
+      return fresh.status();
+    }
+    info->replicas.push_back(*fresh);
+    ++added;
+    ++stats_.re_replications;
+    stats_.bytes_re_replicated += payload.size();
+  }
+  return added;
+}
+
+Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
+  size_t moved = 0;
+  for (SwapClusterId id : registry_.Ids()) {
+    SwapClusterInfo* info = registry_.Find(id);
+    if (info == nullptr || info->state != SwapState::kSwapped) continue;
+    if (!info->HasReplicaOn(leaving)) continue;
+    size_t at = 0;
+    while (at < info->replicas.size() &&
+           !(info->replicas[at].device == leaving)) {
+      ++at;
+    }
+    const ReplicaLocation old = info->replicas[at];
+    // Prefer copying straight off the withdrawing store — a graceful
+    // withdrawal means it is still reachable; fall back to any replica.
+    Result<std::string> payload = FetchFrom(old.device, old.key);
+    if (payload.ok()) {
+      Result<std::string> verified = compress::FrameDecompress(*payload);
+      if (!verified.ok()) payload = verified.status();
+    }
+    if (!payload.ok()) payload = FetchVerifiedPayload(*info);
+    if (!payload.ok()) {
+      OBISWAP_LOG(kWarn) << "cannot evacuate swap-cluster " << id.ToString()
+                         << ": " << payload.status().ToString();
+      continue;
+    }
+    Result<ReplicaLocation> fresh =
+        PlaceReplica(*payload, info->replicas, leaving);
+    if (!fresh.ok()) {
+      OBISWAP_LOG(kWarn) << "no evacuation target for swap-cluster "
+                         << id.ToString() << ": "
+                         << fresh.status().ToString();
+      continue;
+    }
+    Status dropped = DropAt(old.device, old.key);
+    if (!dropped.ok() && dropped.code() != StatusCode::kNotFound) {
+      pending_drops_.push_back(PendingDrop{old.device, old.key});
+      ++stats_.drops_deferred;
+    }
+    info->replicas[at] = *fresh;
+    ++moved;
+    ++stats_.evacuated_replicas;
+  }
+  return moved;
+}
+
+size_t SwappingManager::FlushPendingDrops() {
+  if (pending_drops_.empty()) return 0;
+  size_t drained = 0;
+  size_t write = 0;
+  for (size_t read = 0; read < pending_drops_.size(); ++read) {
+    const PendingDrop pending = pending_drops_[read];
+    Status dropped = DropAt(pending.device, pending.key);
+    if (dropped.ok() || dropped.code() == StatusCode::kNotFound) {
+      ++drained;
+      ++stats_.drops_drained;
+      continue;
+    }
+    if (dropped.code() == StatusCode::kUnavailable) {
+      pending_drops_[write++] = pending;  // still out of range; keep waiting
+      continue;
+    }
+    OBISWAP_LOG(kWarn) << "deferred drop failed permanently: "
+                       << dropped.ToString();
+  }
+  pending_drops_.resize(write);
+  return drained;
 }
 
 // ---------------------------------------------------------------------------
@@ -851,24 +1137,18 @@ void SwappingManager::OnReplacementFinalized(Object* replacement) {
   // object replicas enclosed in it are already unreachable ... the swapping
   // device may be instructed to discard the XML text."
   SwapClusterId id = ReplacementCluster(replacement);
-  SwapKey key = ReplacementKey(replacement);
-  DeviceId device = ReplacementDevice(replacement);
+  uint64_t epoch = ReplacementEpoch(replacement);
   SwapClusterInfo* info = registry_.Find(id);
   if (info == nullptr || info->state != SwapState::kSwapped ||
-      !(info->key == key)) {
-    return;  // already swapped back in (or re-swapped under a new key)
+      info->swap_epoch != epoch) {
+    return;  // already swapped back in (or re-swapped in a newer epoch)
   }
   info->state = SwapState::kDropped;
   info->replacement = runtime::WeakRef();
   if (store_ != nullptr || local_ != nullptr) {
-    Status dropped = DropAt(device, key);
-    if (dropped.ok()) {
-      ++stats_.drops;
-    } else {
-      ++stats_.drop_failures;
-      OBISWAP_LOG(kWarn) << "store drop failed: " << dropped.ToString();
-    }
+    ReleaseReplicas(info->replicas, /*count_as_drop=*/true);
   }
+  info->replicas.clear();
   if (bus_ != nullptr) {
     bus_->Publish(context::Event(context::kEventClusterDropped)
                       .Set("swap_cluster", static_cast<int64_t>(id.value())));

@@ -55,6 +55,14 @@ class SwappingManager final : public runtime::Interceptor,
     std::string codec = "identity";
     /// Free bytes a store must advertise before being chosen.
     size_t store_min_free_bytes = 0;
+    /// Stores a swap-out places the payload on (K, distinct devices).
+    /// Nearby stores wander off permanently, so K > 1 buys durability at
+    /// the cost of K transfers per swap-out. The first placement must
+    /// succeed; further replicas are best-effort (the durability monitor
+    /// tops up under-replicated clusters later). Adaptable at runtime —
+    /// the "set-replication-factor" policy action raises it when store
+    /// churn is high.
+    size_t replication_factor = 1;
   };
 
   struct Stats {
@@ -74,6 +82,17 @@ class SwappingManager final : public runtime::Interceptor,
     uint64_t local_swap_outs = 0;  ///< clusters parked on the local flash
     uint64_t merges = 0;
     uint64_t splits = 0;
+    // --- durability layer ---------------------------------------------------
+    uint64_t replicas_placed = 0;      ///< store placements, incl. primaries
+    uint64_t under_replicated_outs = 0;  ///< swap-outs that got < K replicas
+    uint64_t failover_fetches = 0;   ///< swap-ins that skipped ≥1 replica
+    uint64_t data_loss_failovers = 0;  ///< replicas skipped: checksum mismatch
+    uint64_t replicas_forgotten = 0;   ///< replica records lost to departure
+    uint64_t re_replications = 0;      ///< replicas placed to restore K
+    uint64_t bytes_re_replicated = 0;
+    uint64_t evacuated_replicas = 0;   ///< replicas moved off a leaving store
+    uint64_t drops_deferred = 0;       ///< drop ops parked in the retry queue
+    uint64_t drops_drained = 0;        ///< deferred drops completed later
   };
 
   /// Installs the mediation hooks on `rt` and registers the proxy and
@@ -112,9 +131,11 @@ class SwappingManager final : public runtime::Interceptor,
   const SwapClusterRegistry& registry() const { return registry_; }
 
   // --- swapping ----------------------------------------------------------------
-  /// Detaches swap-cluster `id`, ships its XML to a nearby store, installs
-  /// the replacement-object and patches inbound proxies. Returns the store
-  /// key. The freed memory is reclaimed by the next collection.
+  /// Detaches swap-cluster `id`, ships its XML to up to
+  /// `replication_factor` nearby stores (distinct devices, local flash only
+  /// as last resort), installs the replacement-object and patches inbound
+  /// proxies. Returns the primary replica's store key. The freed memory is
+  /// reclaimed by the next collection.
   Result<SwapKey> SwapOut(SwapClusterId id);
 
   /// Swap-out the least-recently-crossed eligible cluster (not executing,
@@ -123,6 +144,10 @@ class SwappingManager final : public runtime::Interceptor,
 
   /// Fetches a swapped cluster back, re-creates its objects, patches every
   /// inbound proxy to the fresh replicas and retires the replacement.
+  /// Failover fetch: replicas are tried in nearness order; an unreachable
+  /// store or a corrupted payload (checksum mismatch → kDataLoss, counted)
+  /// falls through to the next replica. Fails only when no replica yields
+  /// an intact payload.
   Status SwapIn(SwapClusterId id);
 
   /// The assign() iteration optimization (§4): marks a swap-cluster-proxy
@@ -150,6 +175,40 @@ class SwappingManager final : public runtime::Interceptor,
   void SetVictimFilter(VictimFilter filter) {
     victim_filter_ = std::move(filter);
   }
+
+  // --- durability (replica maintenance under store churn) ------------------
+  /// Adapts the replication factor at runtime (policy action target).
+  /// Existing swapped clusters are topped up lazily by ReReplicate.
+  void set_replication_factor(size_t k);
+
+  /// Discards the replica records `id` holds on `device` (the store is
+  /// gone). The orphaned store entries are queued as pending drops, so if
+  /// the device ever returns its stale payloads are reclaimed. Returns the
+  /// number of records forgotten.
+  size_t ForgetReplica(SwapClusterId id, DeviceId device);
+
+  /// Restores up to `replication_factor` replicas for a swapped cluster by
+  /// copying the payload from a surviving replica to additional nearby
+  /// stores. Returns the number of new replicas placed (0 if already at
+  /// K or no eligible store is in range); fails only when the payload
+  /// cannot be read back from any replica.
+  Result<size_t> ReReplicate(SwapClusterId id);
+
+  /// Proactive evacuation: moves every replica held by `leaving` (which
+  /// announced its withdrawal and is still reachable) onto other nearby
+  /// stores. Returns the number of replicas moved; clusters whose payload
+  /// could not be re-homed keep their replica on `leaving`.
+  Result<size_t> EvacuateReplicas(DeviceId leaving);
+
+  /// Retries queued drop notifications (stores that were unreachable when
+  /// their entry became stale). Returns the number drained; entries whose
+  /// store is still unreachable stay queued.
+  size_t FlushPendingDrops();
+  size_t pending_drop_count() const { return pending_drops_.size(); }
+
+  /// True if any placement target (nearby store with ≥1 free byte, or the
+  /// local flash) is currently available.
+  bool AnyStoreReachable() const;
 
   // --- runtime hooks ---------------------------------------------------------
   Result<runtime::Value> Invoke(runtime::Runtime& rt,
@@ -230,11 +289,40 @@ class SwappingManager final : public runtime::Interceptor,
     return local_ != nullptr && local_->device() == device;
   }
 
+  /// Replica try order for fetches: reachable stores first (placement order
+  /// within each group) — the failover path and re-replication share it.
+  std::vector<ReplicaLocation> ReplicaFetchOrder(
+      const SwapClusterInfo& info) const;
+  /// Fetches the swapped payload from any replica, verifying frame
+  /// integrity; used by re-replication and evacuation (swap-in has its own
+  /// loop so it can also fail over on deserialization errors).
+  Result<std::string> FetchVerifiedPayload(const SwapClusterInfo& info);
+  /// Stores `payload` on one nearby store not in `exclude_devices` under a
+  /// fresh key. kUnavailable if no eligible store accepts it.
+  Result<ReplicaLocation> PlaceReplica(
+      const std::string& payload,
+      const std::vector<ReplicaLocation>& existing, DeviceId exclude);
+  /// Drop notification to every replica; failures against unreachable
+  /// stores are parked in the retry queue. `count_as_drop` selects whether
+  /// successful ops bump stats_.drops (GC path) or not (swap-in path).
+  void ReleaseReplicas(const std::vector<ReplicaLocation>& replicas,
+                       bool count_as_drop);
+
+  struct PendingDrop {
+    DeviceId device;
+    SwapKey key;
+  };
+
   net::StoreClient* store_ = nullptr;
   net::Discovery* discovery_ = nullptr;
   persist::FlashStore* local_ = nullptr;
   context::EventBus* bus_ = nullptr;
   uint64_t bus_token_ = 0;
+  uint64_t conn_token_ = 0;
+
+  /// Drop notifications that could not be delivered (store unreachable);
+  /// drained on reconnection.
+  std::vector<PendingDrop> pending_drops_;
 
   /// (source swap-cluster, target oid) → proxy, for stored-reference reuse.
   std::unordered_map<ReuseKey, runtime::WeakRef, ReuseKeyHash> reuse_;

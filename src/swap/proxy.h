@@ -8,9 +8,13 @@
 // cluster is loaded, and at the cluster's replacement-object while swapped.
 //
 // A replacement-object "is simply an array of references" (§3): a fixed
-// header (cluster id, store key, store device) plus one appended slot per
-// outbound proxy of the swapped cluster — keeping downstream clusters
-// reachable (Figure 4's 2→4 proxies survive through ReplacementObject-2).
+// header (cluster id, swap epoch) plus one appended slot per outbound proxy
+// of the swapped cluster — keeping downstream clusters reachable (Figure
+// 4's 2→4 proxies survive through ReplacementObject-2). The store locations
+// themselves live in the registry's replica list: a swapped cluster may be
+// re-replicated to different devices while the replacement stands in, so
+// the replacement records only *which incarnation* of the swap it belongs
+// to (the epoch), letting a stale finalizer recognize itself.
 #pragma once
 
 #include <cstdint>
@@ -32,9 +36,8 @@ inline constexpr size_t kProxySlotAssigned = 4;   ///< int: assign() flag (§4)
 
 // --- Replacement slot layout ------------------------------------------------
 inline constexpr size_t kReplSlotCluster = 0;        ///< int: swap-cluster id
-inline constexpr size_t kReplSlotKey = 1;            ///< int: store key
-inline constexpr size_t kReplSlotDevice = 2;         ///< int: store device
-inline constexpr size_t kReplSlotFirstOutbound = 3;  ///< refs appended from here
+inline constexpr size_t kReplSlotEpoch = 1;          ///< int: swap incarnation
+inline constexpr size_t kReplSlotFirstOutbound = 2;  ///< refs appended from here
 
 // --- typed accessors ---------------------------------------------------------
 
@@ -69,12 +72,8 @@ inline SwapClusterId ReplacementCluster(const runtime::Object* repl) {
   return SwapClusterId(
       static_cast<uint32_t>(repl->RawSlot(kReplSlotCluster).as_int()));
 }
-inline SwapKey ReplacementKey(const runtime::Object* repl) {
-  return SwapKey(static_cast<uint64_t>(repl->RawSlot(kReplSlotKey).as_int()));
-}
-inline DeviceId ReplacementDevice(const runtime::Object* repl) {
-  return DeviceId(
-      static_cast<uint32_t>(repl->RawSlot(kReplSlotDevice).as_int()));
+inline uint64_t ReplacementEpoch(const runtime::Object* repl) {
+  return static_cast<uint64_t>(repl->RawSlot(kReplSlotEpoch).as_int());
 }
 
 }  // namespace obiswap::swap

@@ -28,6 +28,18 @@ enum class SwapState : uint8_t {
 
 const char* SwapStateName(SwapState state);
 
+/// One placement of a swapped cluster's payload. A swapped cluster holds up
+/// to Options::replication_factor of these, on distinct devices, each under
+/// its own store key; the first is the primary (placed first, tried first).
+struct ReplicaLocation {
+  DeviceId device;
+  SwapKey key;
+
+  bool operator==(const ReplicaLocation& other) const {
+    return device == other.device && key == other.key;
+  }
+};
+
 struct SwapClusterInfo {
   SwapClusterId id;
   SwapState state = SwapState::kLoaded;
@@ -45,8 +57,14 @@ struct SwapClusterInfo {
   uint64_t last_crossing_seq = 0;  ///< logical time of last crossing
 
   // --- swapped state -------------------------------------------------------
-  SwapKey key;
-  DeviceId store_device;
+  /// Where the payload lives while swapped: one entry per replica, in
+  /// placement order (first = primary). Empty while loaded. Departure and
+  /// re-replication mutate this list while the cluster stays swapped.
+  std::vector<ReplicaLocation> replicas;
+  /// Monotonic swap incarnation: bumped by every swap-out, recorded in the
+  /// replacement-object, so a stale replacement finalizer (from a previous
+  /// swap of the same cluster) never drops the current replicas.
+  uint64_t swap_epoch = 0;
   runtime::WeakRef replacement;       ///< the stand-in, while swapped
   size_t swapped_object_count = 0;
   size_t swapped_payload_bytes = 0;
@@ -57,6 +75,13 @@ struct SwapClusterInfo {
 
   uint64_t swap_out_count = 0;
   uint64_t swap_in_count = 0;
+
+  bool HasReplicaOn(DeviceId device) const {
+    for (const ReplicaLocation& replica : replicas) {
+      if (replica.device == device) return true;
+    }
+    return false;
+  }
 };
 
 class SwapClusterRegistry {

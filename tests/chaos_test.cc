@@ -94,9 +94,13 @@ class ChaosFixture : public ::testing::TestWithParam<uint64_t> {
   bool StoreOfClusterReachable(SwapClusterId id) {
     const swap::SwapClusterInfo* info = world_.manager.registry().Find(id);
     if (info->state != swap::SwapState::kSwapped) return true;
-    return world_.network.IsOnline(info->store_device) &&
-           world_.network.InRange(MiddlewareWorld::kDevice,
-                                  info->store_device);
+    for (const swap::ReplicaLocation& replica : info->replicas) {
+      if (world_.network.IsOnline(replica.device) &&
+          world_.network.InRange(MiddlewareWorld::kDevice, replica.device)) {
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Verifies object i's value and the value sequence reachable from it
@@ -228,6 +232,147 @@ TEST_P(ChaosFixture, RandomOperationsMatchShadowModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFixture,
                          ::testing::Range<uint64_t>(1, 13));
+
+// Lossy links + store churn + one permanent departure, with K = 2.
+// Stores flap on a fixed schedule (one at a time), every message can be
+// lost, and halfway through one store leaves for good. The durability
+// monitor runs alongside; at the end every cluster must still be loadable
+// from a survivor and every value must match the shadow model — replication
+// must turn churn into latency, never into data loss. (Store emptiness is
+// NOT asserted: a store op whose response is lost through all retries can
+// legitimately orphan one entry until the deferred-drop queue drains.)
+TEST(ChurnChaosTest, LossyLinksAndChurningStoresLoseNoDataWithTwoReplicas) {
+  swap::SwappingManager::Options options;
+  options.replication_factor = 2;
+  MiddlewareWorld world(options);
+  net::LinkParams lossy;
+  lossy.loss_rate = 0.08;
+  world.network.SetDefaultLinkParams(lossy);
+  const runtime::ClassInfo* node_cls = RegisterChaosNode(world.rt);
+  std::vector<net::StoreNode*> stores = {world.AddStore(2, 8 * 1024 * 1024),
+                                         world.AddStore(3, 8 * 1024 * 1024),
+                                         world.AddStore(4, 8 * 1024 * 1024)};
+  swap::DurabilityMonitor monitor(world.manager, world.discovery,
+                                  MiddlewareWorld::kDevice, world.bus);
+
+  Model model;
+  model.values.resize(kObjects, 0);
+  model.next.resize(kObjects, -1);
+  std::vector<SwapClusterId> clusters;
+  int cluster_count = (kObjects + kPerCluster - 1) / kPerCluster;
+  for (int c = 0; c < cluster_count; ++c)
+    clusters.push_back(world.manager.NewSwapCluster());
+  auto global = [](int i) { return "o" + std::to_string(i); };
+  for (int i = 0; i < kObjects; ++i) {
+    runtime::LocalScope scope(world.rt.heap());
+    Object* obj = world.rt.New(node_cls);
+    scope.Add(obj);
+    ASSERT_TRUE(world.manager.Place(obj, clusters[i / kPerCluster]).ok());
+    ASSERT_TRUE(world.rt.SetGlobal(global(i), Value::Ref(obj)).ok());
+  }
+
+  Rng rng(99);
+  DeviceId departed;  // invalid until the permanent departure happens
+  for (int op = 0; op < kOps; ++op) {
+    // Scripted churn, one store at a time: store (op/40 mod 3) is offline
+    // for the second half of every 40-op window.
+    for (size_t s = 0; s < stores.size(); ++s) {
+      DeviceId device = stores[s]->device();
+      if (device == departed) continue;
+      bool down = (op / 40) % stores.size() == s && op % 40 >= 20;
+      world.network.SetOnline(device, !down);
+    }
+    if (op == kOps / 2) {
+      // Permanent, unannounced departure of whatever store currently
+      // holds the most replicas.
+      departed = stores[0]->device();
+      world.network.RemoveDevice(departed);
+    }
+    if (op % 10 == 0) monitor.Poll();
+
+    switch (rng.NextBelow(8)) {
+      case 0:
+      case 1:
+      case 2: {  // write through the mediated handle
+        int i = static_cast<int>(rng.NextBelow(kObjects));
+        int64_t v = rng.NextInt(-1000, 1000);
+        Object* handle = world.rt.GetGlobal(global(i))->ref();
+        Status status =
+            world.rt.Invoke(handle, "set_value", {Value::Int(v)}).status();
+        if (status.ok()) {
+          model.values[static_cast<size_t>(i)] = v;
+        } else {
+          // Loss or unreachable replicas: the write did not land.
+          ASSERT_EQ(status.code(), StatusCode::kUnavailable);
+        }
+        break;
+      }
+      case 3: {  // re-link
+        int i = static_cast<int>(rng.NextBelow(kObjects));
+        Value target = Value::Nil();
+        int j = -1;
+        if (rng.NextBool(0.8)) {
+          j = static_cast<int>(rng.NextBelow(kObjects));
+          target = *world.rt.GetGlobal(global(j));
+        }
+        Object* handle = world.rt.GetGlobal(global(i))->ref();
+        Status status = world.rt.Invoke(handle, "link", {target}).status();
+        if (status.ok()) {
+          model.next[static_cast<size_t>(i)] = j;
+        } else {
+          ASSERT_EQ(status.code(), StatusCode::kUnavailable);
+        }
+        break;
+      }
+      case 4:
+      case 5: {  // swap a random cluster out (any failure tolerated)
+        (void)world.manager.SwapOut(clusters[rng.NextBelow(clusters.size())]);
+        break;
+      }
+      case 6: {  // swap a random cluster in (kUnavailable tolerated)
+        SwapClusterId id = clusters[rng.NextBelow(clusters.size())];
+        if (world.manager.StateOf(id) == swap::SwapState::kSwapped) {
+          Status status = world.manager.SwapIn(id);
+          if (!status.ok())
+            ASSERT_EQ(status.code(), StatusCode::kUnavailable);
+        }
+        break;
+      }
+      case 7: {
+        world.rt.heap().Collect();
+        break;
+      }
+    }
+    std::string violation = CheckMediationInvariant(world.rt);
+    ASSERT_EQ(violation, "") << "after op " << op;
+  }
+
+  // Settle: survivors online, links clean, monitor finishes recovery.
+  for (net::StoreNode* store : stores) {
+    if (store->device() != departed)
+      world.network.SetOnline(store->device(), true);
+  }
+  world.network.SetDefaultLinkParams(net::LinkParams());
+  for (int i = 0; i < 5; ++i) monitor.Poll();
+
+  // No data loss: every swapped cluster still has a fetchable replica on a
+  // surviving store, and every value matches the shadow model.
+  for (SwapClusterId id : clusters) {
+    const swap::SwapClusterInfo* info = world.manager.registry().Find(id);
+    if (info->state != swap::SwapState::kSwapped) continue;
+    ASSERT_FALSE(info->replicas.empty()) << "cluster " << id.ToString();
+    ASSERT_TRUE(world.manager.SwapIn(id).ok()) << "cluster " << id.ToString();
+  }
+  for (int i = 0; i < kObjects; ++i) {
+    Object* handle = world.rt.GetGlobal(global(i))->ref();
+    Result<Value> value = world.rt.Invoke(handle, "get_value");
+    ASSERT_TRUE(value.ok()) << value.status().ToString();
+    EXPECT_EQ(value->as_int(), model.values[static_cast<size_t>(i)])
+        << "object " << i;
+  }
+  EXPECT_GT(world.manager.stats().replicas_placed,
+            world.manager.stats().swap_outs);
+}
 
 }  // namespace
 }  // namespace obiswap

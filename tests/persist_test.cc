@@ -115,7 +115,8 @@ TEST(LocalFallbackTest, FlashTakesOverWhenStoresWanderOff) {
   // flash regardless of connectivity.
   const swap::SwapClusterInfo* info1 =
       world.manager.registry().Find(clusters[1]);
-  EXPECT_EQ(info1->store_device, MiddlewareWorld::kDevice);
+  ASSERT_EQ(info1->replicas.size(), 1u);
+  EXPECT_EQ(info1->replicas[0].device, MiddlewareWorld::kDevice);
   ASSERT_TRUE(world.manager.SwapIn(clusters[1]).ok());
   auto blocked = world.manager.SwapIn(clusters[0]);
   EXPECT_EQ(blocked.code(), StatusCode::kUnavailable);
