@@ -1,0 +1,98 @@
+// Tiny JSON emitter for the benchmark harnesses: every bench can dump its
+// result table as {"rows":[{...},...]} next to its human-readable stdout,
+// so CI and the experiment scripts diff numbers instead of scraping text.
+// Deliberately minimal — flat rows of string/integer/double fields only.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace obiswap::benchjson {
+
+class JsonWriter {
+ public:
+  void BeginRow() {
+    rows_.emplace_back();
+    first_field_ = true;
+  }
+  void Add(const std::string& key, int64_t value) {
+    Field(key, std::to_string(value));
+  }
+  void Add(const std::string& key, uint64_t value) {
+    Field(key, std::to_string(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    Field(key, buf);
+  }
+  void Add(const std::string& key, const std::string& value) {
+    Field(key, "\"" + Escape(value) + "\"");
+  }
+
+  std::string ToString() const {
+    std::string out = "{\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{" + rows_[i] + "}";
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::string text = ToString();
+    size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return written == text.size();
+  }
+
+ private:
+  static std::string Escape(const std::string& raw) {
+    std::string out;
+    for (char c : raw) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  void Field(const std::string& key, const std::string& rendered) {
+    if (rows_.empty()) BeginRow();
+    if (!first_field_) rows_.back() += ",";
+    first_field_ = false;
+    rows_.back() += "\"" + Escape(key) + "\":" + rendered;
+  }
+
+  std::vector<std::string> rows_;
+  bool first_field_ = true;
+};
+
+/// The conventional CLI contract: `bench --json [path]` writes `writer` to
+/// `path` (default `default_path`) after the human-readable run. Returns
+/// true if a --json flag was present (and handled).
+inline bool MaybeWriteJson(int argc, char** argv, const JsonWriter& writer,
+                           const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--json") continue;
+    std::string path =
+        (i + 1 < argc && argv[i + 1][0] != '-') ? argv[i + 1] : default_path;
+    if (writer.WriteFile(path)) {
+      std::printf("\njson written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace obiswap::benchjson

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.h"
 #include "obiswap/obiswap.h"
 #include "workload/list_workload.h"
 
@@ -137,7 +138,8 @@ RunResult RunChurn(size_t replication_factor, uint64_t churn_period_us) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchjson::JsonWriter json;
   std::printf(
       "Churn recovery: %d store departures, %d-store pool, %d clusters "
       "(poll every %.0f virtual ms, %d-poll miss threshold)\n\n",
@@ -153,6 +155,13 @@ int main() {
                   period_us / 1e6, (unsigned long long)run.replicas_lost,
                   run.re_replicated_bytes / 1024.0, run.mean_recovery_ms,
                   run.clusters_lost);
+      json.BeginRow();
+      json.Add("replication_factor", static_cast<int64_t>(k));
+      json.Add("churn_period_s", period_us / 1e6);
+      json.Add("replicas_lost", run.replicas_lost);
+      json.Add("re_replicated_bytes", run.re_replicated_bytes);
+      json.Add("mean_recovery_ms", run.mean_recovery_ms);
+      json.Add("clusters_lost", static_cast<int64_t>(run.clusters_lost));
     }
   }
   std::printf(
@@ -161,5 +170,6 @@ int main() {
       "re-replication bytes above, and in exchange\nevery departure becomes "
       "bounded recovery latency (detection window + one store-to-store\n"
       "copy per lost replica) instead of data loss.\n");
+  benchjson::MaybeWriteJson(argc, argv, json, "BENCH_churn_recovery.json");
   return 0;
 }

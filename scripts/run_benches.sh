@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary, passing --json so benches that support the
+# machine-readable contract drop their BENCH_<name>.json next to the repo
+# root. CI diffs those files; humans read the transcript.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+: > bench_output.txt
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+  # --json is ignored by benches that have not adopted the contract yet.
+  "$b" --json 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "json artifacts:"
+ls -1 BENCH_*.json 2>/dev/null || echo "  (none)"

@@ -1,5 +1,6 @@
 #include "compress/codec.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -32,7 +33,10 @@ Result<std::string> RleCodec::Decompress(std::string_view input) const {
   std::string_view rest = input;
   OBISWAP_ASSIGN_OR_RETURN(uint64_t total, GetVarint64(&rest));
   std::string out;
-  out.reserve(total);
+  // `total` comes off the wire: cap the upfront reservation so a corrupt
+  // header cannot make reserve() itself throw. Growth past the cap is
+  // amortized as usual (and bounded by the run-length checks below).
+  out.reserve(static_cast<size_t>(std::min<uint64_t>(total, 1 << 20)));
   while (out.size() < total) {
     if (rest.empty()) return DataLossError("rle: truncated stream");
     char byte = rest[0];
@@ -142,7 +146,9 @@ Result<std::string> Lz77Codec::Decompress(std::string_view input) const {
   std::string_view rest = input;
   OBISWAP_ASSIGN_OR_RETURN(uint64_t total, GetVarint64(&rest));
   std::string out;
-  out.reserve(total);
+  // Same wire-sourced-size caution as RLE: never let a corrupt total make
+  // reserve() throw.
+  out.reserve(static_cast<size_t>(std::min<uint64_t>(total, 1 << 20)));
   while (out.size() < total) {
     if (rest.empty()) return DataLossError("lz77: truncated stream");
     uint8_t tag = static_cast<uint8_t>(rest[0]);
@@ -159,8 +165,19 @@ Result<std::string> Lz77Codec::Decompress(std::string_view input) const {
       if (dist == 0 || dist > out.size() || len < kMinMatch ||
           out.size() + len > total)
         return DataLossError("lz77: bad match token");
-      size_t start = out.size() - dist;
-      for (uint64_t k = 0; k < len; ++k) out.push_back(out[start + k]);
+      const size_t start = out.size() - dist;
+      const size_t old_size = out.size();
+      out.resize(old_size + len);
+      if (dist >= len) {
+        // Source and destination cannot overlap: one bulk copy. Pointers
+        // are taken after the resize — it may reallocate.
+        std::memcpy(out.data() + old_size, out.data() + start, len);
+      } else {
+        // Overlapping match (dist < len): the copy must read bytes it
+        // itself produced, byte order is semantic (e.g. dist=1 replicates
+        // the previous byte len times).
+        for (uint64_t k = 0; k < len; ++k) out[old_size + k] = out[start + k];
+      }
     } else {
       return DataLossError("lz77: unknown token tag");
     }

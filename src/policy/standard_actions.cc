@@ -51,6 +51,16 @@ Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
         manager.set_replication_factor(static_cast<size_t>(factor));
         return OkStatus();
       }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-swap-cache-bytes",
+      [&manager](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t bytes,
+                                 RequiredIntParam(params, "bytes"));
+        if (bytes < 0)
+          return InvalidArgumentError("bytes must be non-negative");
+        manager.set_swap_in_cache_bytes(static_cast<size_t>(bytes));
+        return OkStatus();
+      }));
   return OkStatus();
 }
 

@@ -46,6 +46,15 @@ class StoreMediator {
  public:
   virtual ~StoreMediator() = default;
   virtual Object* MediateStore(Runtime& rt, Object* holder, Object* value) = 0;
+
+  /// Write-barrier notification: a field of `holder` is about to change
+  /// (any value kind — MediateStore alone only sees reference stores). The
+  /// swapping layer uses this to mark the holder's swap-cluster dirty.
+  /// Must not allocate on `rt`'s heap. Default: no-op.
+  virtual void ObserveFieldWrite(Runtime& rt, Object* holder) {
+    (void)rt;
+    (void)holder;
+  }
 };
 
 /// Decides reference identity when proxies are involved (paper §4

@@ -51,6 +51,10 @@ void DurabilityMonitor::Poll() {
       it = misses_.erase(it);
   }
 
+  // Clean images whose members all died back garbage: release them before
+  // the sweep so the re-replication budget is not spent on dead payloads.
+  stats_.clean_images_reaped += manager_.ReapDeadCleanImages();
+
   ReReplicationSweep();
 
   stats_.drops_drained += manager_.FlushPendingDrops();
@@ -61,10 +65,9 @@ void DurabilityMonitor::Poll() {
     int64_t under = 0;
     for (SwapClusterId id : manager_.registry().Ids()) {
       const SwapClusterInfo* info = manager_.registry().Find(id);
-      if (info != nullptr && info->state == SwapState::kSwapped &&
-          info->replicas.size() < want) {
-        ++under;
-      }
+      if (info == nullptr) continue;
+      const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
+      if (active != nullptr && active->size() < want) ++under;
     }
     props_->SetInt("swap.store_churn",
                    static_cast<int64_t>(stats_.stores_departed));
@@ -88,16 +91,19 @@ void DurabilityMonitor::HandleDeparture(DeviceId device) {
                    .Set("device", static_cast<int64_t>(device.value())));
   for (SwapClusterId id : manager_.registry().Ids()) {
     const SwapClusterInfo* info = manager_.registry().Find(id);
-    if (info == nullptr || info->state != SwapState::kSwapped) continue;
-    if (!info->HasReplicaOn(device)) continue;
+    // Both swapped payloads and retained clean images hold store replicas;
+    // HasReplicaOn / ForgetReplica cover whichever list is active.
+    if (info == nullptr || !info->HasReplicaOn(device)) continue;
     size_t forgotten = manager_.ForgetReplica(id, device);
     if (forgotten == 0) continue;
     stats_.replicas_lost += forgotten;
+    const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
     bus_.Publish(context::Event(context::kEventReplicaLost)
                      .Set("swap_cluster", static_cast<int64_t>(id.value()))
                      .Set("device", static_cast<int64_t>(device.value()))
                      .Set("survivors",
-                          static_cast<int64_t>(info->replicas.size())));
+                          static_cast<int64_t>(
+                              active != nullptr ? active->size() : 0)));
   }
 }
 
@@ -106,13 +112,15 @@ void DurabilityMonitor::ReReplicationSweep() {
   if (want == 0) want = 1;
   for (SwapClusterId id : manager_.registry().Ids()) {
     const SwapClusterInfo* info = manager_.registry().Find(id);
-    if (info == nullptr || info->state != SwapState::kSwapped) continue;
-    if (info->replicas.size() >= want) continue;
+    if (info == nullptr) continue;
+    const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
+    if (active == nullptr || active->size() >= want) continue;
     uint64_t bytes_before = manager_.stats().bytes_re_replicated;
     Result<size_t> added = manager_.ReReplicate(id);
     if (!added.ok() || *added == 0) continue;  // retried next poll
     ++stats_.clusters_re_replicated;
     stats_.replicas_re_replicated += *added;
+    active = info->ActiveReplicas();
     bus_.Publish(
         context::Event(context::kEventReReplicated)
             .Set("swap_cluster", static_cast<int64_t>(id.value()))
@@ -120,7 +128,9 @@ void DurabilityMonitor::ReReplicationSweep() {
             .Set("bytes", static_cast<int64_t>(
                               manager_.stats().bytes_re_replicated -
                               bytes_before))
-            .Set("replicas", static_cast<int64_t>(info->replicas.size())));
+            .Set("replicas",
+                 static_cast<int64_t>(active != nullptr ? active->size()
+                                                        : 0)));
   }
 }
 

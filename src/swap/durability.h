@@ -45,6 +45,7 @@ class DurabilityMonitor {
     uint64_t replicas_re_replicated = 0;  ///< replicas placed by the sweeps
     uint64_t evacuated_replicas = 0;
     uint64_t drops_drained = 0;
+    uint64_t clean_images_reaped = 0;  ///< dead retained images released
   };
 
   DurabilityMonitor(SwappingManager& manager, net::Discovery& discovery,

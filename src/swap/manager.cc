@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "compress/codec.h"
@@ -20,6 +21,7 @@ using runtime::ValueKind;
 SwappingManager::SwappingManager(runtime::Runtime& rt, Options options)
     : rt_(rt),
       options_(std::move(options)),
+      cache_(options_.swap_in_cache_bytes),
       alive_(std::make_shared<SwappingManager*>(this)) {
   OBISWAP_CHECK(options_.clusters_per_swap_cluster > 0);
   OBISWAP_CHECK(compress::FindCodec(options_.codec) != nullptr);
@@ -109,7 +111,64 @@ void SwappingManager::InstallPressureHandler() {
 Status SwappingManager::Place(Object* obj, SwapClusterId id) {
   OBISWAP_RETURN_IF_ERROR(registry_.AddMember(rt_.heap(), obj, id));
   registry_.Touch(id, ++crossing_seq_);
+  // A membership change is a mutation: any retained image lacks `obj`.
+  MarkDirty(id);
   return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Clean-image tracking
+// ---------------------------------------------------------------------------
+
+void SwappingManager::MarkDirty(SwapClusterId id) {
+  SwapClusterInfo* info = registry_.Find(id);
+  // Writes can only hit resident objects; a swapped cluster cannot dirty.
+  if (info == nullptr || info->state != SwapState::kLoaded) return;
+  info->dirty = true;
+  if (info->clean_image.has_value()) {
+    // First write since the round-trip: the store copies no longer mirror
+    // the resident state. Stale, not garbage — not counted as GC drops.
+    InvalidateCleanImage(info, /*count_as_drop=*/false);
+  }
+}
+
+void SwappingManager::ObserveFieldWrite(runtime::Runtime& rt,
+                                        Object* holder) {
+  (void)rt;
+  if (holder == nullptr || holder->kind() != ObjectKind::kRegular) return;
+  MarkDirty(holder->swap_cluster());
+}
+
+void SwappingManager::InvalidateCleanImage(SwapClusterInfo* info,
+                                           bool count_as_drop) {
+  if (!info->clean_image.has_value()) return;
+  if (store_ != nullptr || local_ != nullptr) {
+    ReleaseReplicas(info->clean_image->replicas, count_as_drop);
+  }
+  info->clean_image.reset();
+  cache_.Invalidate(info->id);
+  ++stats_.clean_image_invalidations;
+}
+
+size_t SwappingManager::ReapDeadCleanImages() {
+  size_t reaped = 0;
+  for (SwapClusterId id : registry_.Ids()) {
+    SwapClusterInfo* info = registry_.Find(id);
+    if (info == nullptr || info->state != SwapState::kLoaded) continue;
+    if (!info->clean_image.has_value()) continue;
+    if (!registry_.LiveMembers(id).empty()) continue;
+    // Every member died while loaded: the image backs garbage. This is the
+    // GC analogue of the replacement-finalizer drop, so it counts as one.
+    InvalidateCleanImage(info, /*count_as_drop=*/true);
+    ++stats_.clean_images_reaped;
+    ++reaped;
+  }
+  return reaped;
+}
+
+void SwappingManager::set_swap_in_cache_bytes(size_t bytes) {
+  options_.swap_in_cache_bytes = bytes;
+  cache_.set_budget_bytes(bytes);
 }
 
 SwapState SwappingManager::StateOf(SwapClusterId id) const {
@@ -228,6 +287,9 @@ Object* SwappingManager::MediateStore(runtime::Runtime& rt, Object* holder,
   SwapClusterId context =
       holder == nullptr ? kSwapCluster0 : holder->swap_cluster();
   if (!context.valid()) context = kSwapCluster0;
+  // A reference store mutates the holder's cluster (belt to the write
+  // barrier's braces — SetGlobal, for one, never raises the barrier).
+  MarkDirty(context);
   Result<Object*> mediated = ResolveForContext(context, value);
   if (!mediated.ok()) {
     // Allocation of the mediating proxy failed; store the raw reference —
@@ -288,6 +350,11 @@ Status SwappingManager::MergeSwapClusters(SwapClusterId into,
   }
   if (victim_filter_ && (victim_filter_(into) || victim_filter_(from)))
     return FailedPreconditionError("merge of a pinned swap-cluster");
+
+  // A merge changes both memberships: neither retained image survives.
+  MarkDirty(into);
+  MarkDirty(from);
+  cache_.Invalidate(from);
 
   // 1. Relabel every object of `from` (registered or method-created) and
   //    fold membership into `into`.
@@ -378,6 +445,10 @@ Result<SwapClusterId> SwappingManager::SplitSwapCluster(
     moving.insert(member);
     moving_oids.insert(member->oid().value());
   }
+
+  // Members leave `id`: its retained image (if any) is stale. The fresh
+  // cluster is born dirty (default), as it has never been serialized.
+  MarkDirty(id);
 
   SwapClusterId fresh = registry_.Create();
   SwapClusterInfo* fresh_info = registry_.Find(fresh);
@@ -588,6 +659,17 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   if (members.empty())
     return FailedPreconditionError("swap-cluster " + id.ToString() +
                                    " has no live members");
+
+  // Zero-transfer fast path: a cluster untouched since its last swap-in
+  // whose store copies still exist reuses them — no serialize, no compress,
+  // no bytes on the radio.
+  if (info->LoadedClean()) {
+    if (std::optional<Result<SwapKey>> fast = TryCleanSwapOut(info))
+      return *std::move(fast);
+    // The image was unusable (dead outbound proxy or every replica lost)
+    // and has been invalidated; fall through to a full serialize+ship.
+  }
+
   // Objects allocated inside a member's methods inherit the cluster label
   // without explicit registration; fold every same-cluster object reachable
   // from the registered members into the swap unit.
@@ -648,15 +730,31 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   Status stored = UnavailableError("no nearby store device with " +
                                    FormatBytes(need) + " free");
   if (store_ != nullptr && discovery_ != nullptr) {
+    // A key minted for a failed store attempt is reused for the next
+    // candidate (the failed store never recorded it) — the key space is not
+    // burned by flaky placements. A run of consecutive failures aborts the
+    // loop: every candidate failing in a row means the network is sick, and
+    // retrying down a long discovery list only stalls the caller.
+    SwapKey key;
+    bool key_minted = false;
+    size_t consecutive_failures = 0;
     for (net::StoreNode* candidate :
          discovery_->NearbyStores(store_->self(), need)) {
       if (placed.size() >= want) break;
-      SwapKey key = NextKey();
+      if (consecutive_failures >= options_.max_consecutive_store_failures)
+        break;
+      if (!key_minted) {
+        key = NextKey();
+        key_minted = true;
+      }
       Status attempt = store_->Store(candidate->device(), key, payload);
       if (attempt.ok()) {
         placed.push_back(ReplicaLocation{candidate->device(), key});
+        key_minted = false;
+        consecutive_failures = 0;
       } else {
         stored = attempt;
+        ++consecutive_failures;
       }
     }
   }
@@ -721,10 +819,14 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   info->swapped_oids.clear();
   info->swapped_oids.reserve(members.size());
   for (Object* member : members) info->swapped_oids.push_back(member->oid());
+  info->payload_epoch = info->swap_epoch;
+  info->payload_checksum = Adler32(serialized.xml);
   ++info->swap_out_count;
 
   ++stats_.swap_outs;
   stats_.bytes_swapped_out += payload.size();
+  // The decompressed payload just shipped is the likeliest next swap-in.
+  cache_.Put(id, info->payload_epoch, std::move(serialized.xml));
   if (bus_ != nullptr) {
     bus_->Publish(context::Event(context::kEventClusterSwappedOut)
                       .Set("swap_cluster", static_cast<int64_t>(id.value()))
@@ -737,6 +839,129 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   // The members are now detached from the application graph; the next
   // collection reclaims them (the LocalScope roots die with this frame).
   return placed.front().key;
+}
+
+std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
+    SwapClusterInfo* info) {
+  const SwapClusterId id = info->id;
+  CleanImage& image = *info->clean_image;
+
+  // The retained payload resolves its external references by index through
+  // the outbound proxies recorded at serialization time; if any has been
+  // collected, the image can no longer back a replacement.
+  LocalScope scope(rt_.heap());
+  std::vector<Object*> outbound;
+  outbound.reserve(image.outbound.size());
+  for (const runtime::WeakRef& weak : image.outbound) {
+    Object* proxy = weak->get();
+    if (proxy == nullptr) {
+      InvalidateCleanImage(info, /*count_as_drop=*/false);
+      return std::nullopt;
+    }
+    scope.Add(proxy);
+    outbound.push_back(proxy);
+  }
+
+  // Revalidate the store entries: churn since the swap-in may have eaten
+  // them without a departure event reaching us. A replica that cannot be
+  // confirmed keeps its drop obligation (the store may merely be out of
+  // range) but is not trusted to serve a fetch.
+  std::unordered_map<uint64_t, net::StoreNode*> nearby;
+  if (store_ != nullptr && discovery_ != nullptr) {
+    for (net::StoreNode* node : discovery_->NearbyStores(store_->self(), 0))
+      nearby.emplace(node->device().value(), node);
+  }
+  std::vector<ReplicaLocation> live;
+  for (const ReplicaLocation& replica : image.replicas) {
+    bool confirmed = false;
+    if (IsLocalDevice(replica.device)) {
+      confirmed = local_ != nullptr && local_->Contains(replica.key);
+    } else {
+      auto it = nearby.find(replica.device.value());
+      confirmed = it != nearby.end() && !it->second->crashed() &&
+                  it->second->Contains(replica.key);
+    }
+    if (confirmed) {
+      live.push_back(replica);
+    } else {
+      pending_drops_.push_back(PendingDrop{replica.device, replica.key});
+      ++stats_.drops_deferred;
+    }
+  }
+  if (live.empty()) {
+    // Every replica is gone or unconfirmable; the obligations were queued
+    // above, so clear the list before invalidating to avoid double drops.
+    image.replicas.clear();
+    InvalidateCleanImage(info, /*count_as_drop=*/false);
+    return std::nullopt;
+  }
+  image.replicas = std::move(live);
+
+  // From here the image is usable: failures are real swap-out failures,
+  // not fall-through-to-full-path conditions (the cluster stays loaded and
+  // keeps its image).
+  Result<Object*> replacement_or = rt_.TryNewMiddleware(replacement_cls_);
+  if (!replacement_or.ok()) {
+    ++stats_.swap_out_failures;
+    return Result<SwapKey>(replacement_or.status());
+  }
+  Object* replacement = *replacement_or;
+  scope.Add(replacement);
+  // Fresh swap incarnation (stale replacement finalizers stay harmless),
+  // same payload epoch: the store bytes and the cache entry still serve.
+  ++info->swap_epoch;
+  replacement->RawSlotMutable(kReplSlotCluster) =
+      Value::Int(static_cast<int64_t>(id.value()));
+  replacement->RawSlotMutable(kReplSlotEpoch) =
+      Value::Int(static_cast<int64_t>(info->swap_epoch));
+  for (Object* proxy : outbound) replacement->AppendSlot(Value::Ref(proxy));
+  rt_.heap().RefreshAccounting(replacement);
+
+  auto& inbound = inbound_[id];
+  size_t write = 0;
+  for (size_t read = 0; read < inbound.size(); ++read) {
+    Object* proxy = inbound[read]->get();
+    if (proxy == nullptr) continue;
+    if (ProxyTargetSc(proxy) == id) {
+      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(replacement);
+    }
+    inbound[write++] = inbound[read];
+  }
+  inbound.resize(write);
+
+  info->state = SwapState::kSwapped;
+  info->replicas = std::move(image.replicas);
+  info->replacement = rt_.heap().NewWeakRef(replacement);
+  info->swapped_object_count = image.object_count;
+  info->swapped_payload_bytes = image.payload_bytes;
+  info->swapped_oids = std::move(image.oids);
+  info->payload_epoch = image.payload_epoch;
+  info->payload_checksum = image.payload_checksum;
+  ++info->swap_out_count;
+  info->clean_image.reset();  // `image` is dead from here
+  info->dirty = true;
+
+  size_t want = options_.replication_factor > 0 ? options_.replication_factor
+                                                : size_t{1};
+  if (info->replicas.size() < want) ++stats_.under_replicated_outs;
+  ++stats_.swap_outs;
+  ++stats_.clean_swap_outs;
+  // Every replica the full path would have re-shipped stayed put.
+  stats_.bytes_swap_transfer_saved +=
+      info->swapped_payload_bytes * info->replicas.size();
+  if (bus_ != nullptr) {
+    bus_->Publish(
+        context::Event(context::kEventClusterSwappedOut)
+            .Set("swap_cluster", static_cast<int64_t>(id.value()))
+            .Set("objects",
+                 static_cast<int64_t>(info->swapped_object_count))
+            .Set("bytes", int64_t{0})
+            .Set("device",
+                 static_cast<int64_t>(info->replicas.front().device.value()))
+            .Set("replicas", static_cast<int64_t>(info->replicas.size()))
+            .Set("clean", int64_t{1}));
+  }
+  return Result<SwapKey>(info->replicas.front().key);
 }
 
 Result<SwapClusterId> SwappingManager::SwapOutVictim() {
@@ -793,16 +1018,37 @@ Status SwappingManager::SwapIn(SwapClusterId id) {
   options.expected_id = static_cast<int64_t>(id.value());
   options.assign_swap_cluster = id;
 
+  Status last = UnavailableError("swap-cluster " + id.ToString() +
+                                 " has no replicas to fetch from");
+  std::vector<Object*> members;
+  std::string decompressed;   // kept to feed the cache on the fetch path
+  size_t fetched_bytes = 0;   // compressed bytes actually transferred
+  bool restored = false;
+  bool from_cache = false;
+
+  // Swap-in payload cache: a retained decompressed payload for this exact
+  // (cluster, payload epoch) skips both the radio and the codec. The
+  // checksum must still match — a stale or damaged copy falls through to
+  // the fetch path below.
+  if (const std::string* cached = cache_.Get(id, info->payload_epoch)) {
+    if (Adler32(*cached) == info->payload_checksum) {
+      Result<std::vector<Object*>> members_or =
+          serialization::DeserializeCluster(rt_, *cached, options, resolve);
+      if (members_or.ok()) {
+        members = std::move(*members_or);
+        restored = true;
+        from_cache = true;
+      }
+    }
+    if (!from_cache) cache_.Invalidate(id);
+  }
+
   // Failover fetch: try each replica (reachable ones first) until one
   // yields a payload that survives the frame checksum AND deserializes. A
   // partially-deserialized attempt leaves only unrooted objects behind —
   // the next collection reclaims them.
-  const std::vector<ReplicaLocation> order = ReplicaFetchOrder(*info);
-  Status last = UnavailableError("swap-cluster " + id.ToString() +
-                                 " has no replicas to fetch from");
-  std::string payload;
-  std::vector<Object*> members;
-  bool restored = false;
+  const std::vector<ReplicaLocation> order =
+      ReplicaFetchOrder(info->replicas);
   for (size_t attempt = 0; attempt < order.size() && !restored; ++attempt) {
     const ReplicaLocation& replica = order[attempt];
     Status failure = OkStatus();
@@ -820,7 +1066,8 @@ Status SwappingManager::SwapIn(SwapClusterId id) {
         if (!members_or.ok()) {
           failure = members_or.status();
         } else {
-          payload = std::move(*fetched);
+          fetched_bytes = fetched->size();
+          decompressed = std::move(*xml_text);
           members = std::move(*members_or);
           restored = true;
           if (attempt > 0) ++stats_.failover_fetches;
@@ -839,37 +1086,77 @@ Status SwappingManager::SwapIn(SwapClusterId id) {
   if (!restored) return last;
   for (Object* member : members) scope.Add(member);
 
-  // Rebuild membership and the oid → object map for proxy patching.
-  info->members.clear();
   std::unordered_map<uint64_t, Object*> by_oid;
-  for (Object* member : members) {
-    info->members.push_back(rt_.heap().NewWeakRef(member));
-    by_oid[member->oid().value()] = member;
+  for (Object* member : members) by_oid[member->oid().value()] = member;
+
+  // All-or-nothing: every live inbound proxy must resolve against the
+  // restored payload BEFORE anything is mutated. Bailing out mid-patch
+  // would leave the cluster torn — membership clobbered, some proxies
+  // pointing at fresh replicas, others still at the replacement. The
+  // restored objects are unrooted past this frame; the collector reclaims
+  // them on failure.
+  auto& inbound = inbound_[id];
+  for (const runtime::WeakRef& weak : inbound) {
+    Object* proxy = weak->get();
+    if (proxy == nullptr || ProxyTargetSc(proxy) != id) continue;
+    if (by_oid.count(ProxyTargetOid(proxy).value()) == 0) {
+      return InternalError(
+          "inbound proxy targets an oid missing from the swapped payload");
+    }
   }
 
-  // Patch all inbound proxies back to the fresh replicas ("their internal
-  // references are patched in order to target the corresponding object
-  // replicas being swapped-in").
-  auto& inbound = inbound_[id];
+  // Rebuild membership, then patch all inbound proxies back to the fresh
+  // replicas ("their internal references are patched in order to target
+  // the corresponding object replicas being swapped-in").
+  info->members.clear();
+  for (Object* member : members)
+    info->members.push_back(rt_.heap().NewWeakRef(member));
   size_t write = 0;
   for (size_t read = 0; read < inbound.size(); ++read) {
     Object* proxy = inbound[read]->get();
     if (proxy == nullptr) continue;
     if (ProxyTargetSc(proxy) == id) {
-      auto it = by_oid.find(ProxyTargetOid(proxy).value());
-      if (it == by_oid.end())
-        return InternalError(
-            "inbound proxy targets an oid missing from the swapped payload");
-      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(it->second);
+      proxy->RawSlotMutable(kProxySlotTarget) =
+          Value::Ref(by_oid.find(ProxyTargetOid(proxy).value())->second);
     }
     inbound[write++] = inbound[read];
   }
   inbound.resize(write);
 
-  // Every store copy is stale the moment the cluster is writable again:
-  // broadcast the drop to all replicas (unreachable ones are queued for
-  // retry on reconnection).
-  ReleaseReplicas(info->replicas, /*count_as_drop=*/false);
+  // Clean-image retention: the store copies are byte-identical to the
+  // resident objects until the first write, so keep them (plus what is
+  // needed to rebuild a replacement) instead of dropping them. An untouched
+  // cluster then re-swaps-out without shipping a single byte. The
+  // DurabilityMonitor keeps maintaining the retained replicas.
+  bool retain = true;
+  std::vector<runtime::WeakRef> outbound_refs;
+  outbound_refs.reserve(replacement->slot_count() - kReplSlotFirstOutbound);
+  for (size_t slot = kReplSlotFirstOutbound;
+       slot < replacement->slot_count(); ++slot) {
+    Object* out_proxy = replacement->RawSlot(slot).ref();
+    if (out_proxy == nullptr) {
+      retain = false;  // index-resolution would break; do not retain
+      break;
+    }
+    outbound_refs.push_back(rt_.heap().NewWeakRef(out_proxy));
+  }
+  if (retain) {
+    CleanImage image;
+    image.replicas = std::move(info->replicas);
+    image.payload_epoch = info->payload_epoch;
+    image.payload_checksum = info->payload_checksum;
+    image.payload_bytes = info->swapped_payload_bytes;
+    image.object_count = info->swapped_object_count;
+    image.oids = std::move(info->swapped_oids);
+    image.outbound = std::move(outbound_refs);
+    info->clean_image = std::move(image);
+    info->dirty = false;
+  } else {
+    // Every store copy is stale with no image to account for it: broadcast
+    // the drop to all replicas (unreachable ones are queued for retry).
+    ReleaseReplicas(info->replicas, /*count_as_drop=*/false);
+    info->dirty = true;
+  }
 
   info->state = SwapState::kLoaded;
   info->replicas.clear();
@@ -879,7 +1166,14 @@ Status SwappingManager::SwapIn(SwapClusterId id) {
   registry_.RecordCrossing(id, ++crossing_seq_);
 
   ++stats_.swap_ins;
-  stats_.bytes_swapped_in += payload.size();
+  if (from_cache) {
+    ++stats_.cache_hits;
+    // The compressed payload would otherwise have crossed the radio.
+    stats_.bytes_swap_transfer_saved += info->swapped_payload_bytes;
+  } else {
+    stats_.bytes_swapped_in += fetched_bytes;
+    cache_.Put(id, info->payload_epoch, std::move(decompressed));
+  }
   if (bus_ != nullptr) {
     bus_->Publish(context::Event(context::kEventClusterSwappedIn)
                       .Set("swap_cluster", static_cast<int64_t>(id.value()))
@@ -908,7 +1202,7 @@ bool SwappingManager::AnyStoreReachable() const {
 }
 
 std::vector<ReplicaLocation> SwappingManager::ReplicaFetchOrder(
-    const SwapClusterInfo& info) const {
+    const std::vector<ReplicaLocation>& replicas) const {
   std::unordered_set<uint64_t> reachable;
   if (store_ != nullptr && discovery_ != nullptr) {
     for (net::StoreNode* node : discovery_->NearbyStores(store_->self(), 0))
@@ -919,21 +1213,21 @@ std::vector<ReplicaLocation> SwappingManager::ReplicaFetchOrder(
            reachable.count(replica.device.value()) > 0;
   };
   std::vector<ReplicaLocation> order;
-  order.reserve(info.replicas.size());
-  for (const ReplicaLocation& replica : info.replicas)
+  order.reserve(replicas.size());
+  for (const ReplicaLocation& replica : replicas)
     if (in_reach(replica)) order.push_back(replica);
   // Unreachable replicas still get a try at the end — discovery lags the
   // radio, and a doomed fetch only costs a fast kUnavailable.
-  for (const ReplicaLocation& replica : info.replicas)
+  for (const ReplicaLocation& replica : replicas)
     if (!in_reach(replica)) order.push_back(replica);
   return order;
 }
 
 Result<std::string> SwappingManager::FetchVerifiedPayload(
-    const SwapClusterInfo& info) {
+    SwapClusterId id, const std::vector<ReplicaLocation>& replicas) {
   Status last = UnavailableError("no fetchable replica for swap-cluster " +
-                                 info.id.ToString());
-  for (const ReplicaLocation& replica : ReplicaFetchOrder(info)) {
+                                 id.ToString());
+  for (const ReplicaLocation& replica : ReplicaFetchOrder(replicas)) {
     Result<std::string> fetched = FetchFrom(replica.device, replica.key);
     if (!fetched.ok()) {
       last = fetched.status();
@@ -1001,22 +1295,38 @@ void SwappingManager::ReleaseReplicas(
 
 size_t SwappingManager::ForgetReplica(SwapClusterId id, DeviceId device) {
   SwapClusterInfo* info = registry_.Find(id);
-  if (info == nullptr || info->state != SwapState::kSwapped) return 0;
+  if (info == nullptr) return 0;
+  std::vector<ReplicaLocation>* replicas = nullptr;
+  bool image_backed = false;
+  if (info->state == SwapState::kSwapped) {
+    replicas = &info->replicas;
+  } else if (info->state == SwapState::kLoaded &&
+             info->clean_image.has_value()) {
+    replicas = &info->clean_image->replicas;
+    image_backed = true;
+  } else {
+    return 0;
+  }
   size_t forgotten = 0;
   size_t write = 0;
-  for (size_t read = 0; read < info->replicas.size(); ++read) {
-    if (info->replicas[read].device == device) {
+  for (size_t read = 0; read < replicas->size(); ++read) {
+    if ((*replicas)[read].device == device) {
       // Should the store ever return, its now-orphaned payload must still
       // be reclaimed — keep the drop obligation alive.
-      pending_drops_.push_back(
-          PendingDrop{device, info->replicas[read].key});
+      pending_drops_.push_back(PendingDrop{device, (*replicas)[read].key});
       ++forgotten;
       continue;
     }
-    info->replicas[write++] = info->replicas[read];
+    (*replicas)[write++] = (*replicas)[read];
   }
-  info->replicas.resize(write);
+  replicas->resize(write);
   stats_.replicas_forgotten += forgotten;
+  if (image_backed && replicas->empty()) {
+    // Not a single backing store entry left: the image can no longer serve
+    // a zero-transfer re-swap-out. (Releasing the now-empty list is a
+    // no-op; the drop obligations were queued above.)
+    InvalidateCleanImage(info, /*count_as_drop=*/false);
+  }
   return forgotten;
 }
 
@@ -1024,25 +1334,35 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
   SwapClusterInfo* info = registry_.Find(id);
   if (info == nullptr)
     return NotFoundError("no swap-cluster " + id.ToString());
-  if (info->state != SwapState::kSwapped)
-    return FailedPreconditionError("swap-cluster " + id.ToString() + " is " +
-                                   SwapStateName(info->state));
+  std::vector<ReplicaLocation>* replicas = nullptr;
+  if (info->state == SwapState::kSwapped) {
+    replicas = &info->replicas;
+  } else if (info->LoadedClean()) {
+    // Retained clean images get the same durability maintenance as swapped
+    // payloads — a re-swap-out must find enough surviving replicas.
+    replicas = &info->clean_image->replicas;
+  } else {
+    return FailedPreconditionError("swap-cluster " + id.ToString() +
+                                   " holds no store replicas (" +
+                                   SwapStateName(info->state) + ")");
+  }
   size_t want = options_.replication_factor > 0 ? options_.replication_factor
                                                 : size_t{1};
-  if (info->replicas.size() >= want) return size_t{0};
-  if (info->replicas.empty())
+  if (replicas->size() >= want) return size_t{0};
+  if (replicas->empty())
     return DataLossError("swap-cluster " + id.ToString() +
                          " has no surviving replica");
-  OBISWAP_ASSIGN_OR_RETURN(std::string payload, FetchVerifiedPayload(*info));
+  OBISWAP_ASSIGN_OR_RETURN(std::string payload,
+                           FetchVerifiedPayload(id, *replicas));
   size_t added = 0;
-  while (info->replicas.size() < want) {
+  while (replicas->size() < want) {
     Result<ReplicaLocation> fresh =
-        PlaceReplica(payload, info->replicas, DeviceId());
+        PlaceReplica(payload, *replicas, DeviceId());
     if (!fresh.ok()) {
       if (added > 0) break;  // partial top-up still counts as progress
       return fresh.status();
     }
-    info->replicas.push_back(*fresh);
+    replicas->push_back(*fresh);
     ++added;
     ++stats_.re_replications;
     stats_.bytes_re_replicated += payload.size();
@@ -1054,14 +1374,21 @@ Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
   size_t moved = 0;
   for (SwapClusterId id : registry_.Ids()) {
     SwapClusterInfo* info = registry_.Find(id);
-    if (info == nullptr || info->state != SwapState::kSwapped) continue;
+    if (info == nullptr) continue;
+    std::vector<ReplicaLocation>* replicas = nullptr;
+    if (info->state == SwapState::kSwapped) {
+      replicas = &info->replicas;
+    } else if (info->LoadedClean()) {
+      replicas = &info->clean_image->replicas;
+    } else {
+      continue;
+    }
     if (!info->HasReplicaOn(leaving)) continue;
     size_t at = 0;
-    while (at < info->replicas.size() &&
-           !(info->replicas[at].device == leaving)) {
+    while (at < replicas->size() && !((*replicas)[at].device == leaving)) {
       ++at;
     }
-    const ReplicaLocation old = info->replicas[at];
+    const ReplicaLocation old = (*replicas)[at];
     // Prefer copying straight off the withdrawing store — a graceful
     // withdrawal means it is still reachable; fall back to any replica.
     Result<std::string> payload = FetchFrom(old.device, old.key);
@@ -1069,14 +1396,14 @@ Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
       Result<std::string> verified = compress::FrameDecompress(*payload);
       if (!verified.ok()) payload = verified.status();
     }
-    if (!payload.ok()) payload = FetchVerifiedPayload(*info);
+    if (!payload.ok()) payload = FetchVerifiedPayload(id, *replicas);
     if (!payload.ok()) {
       OBISWAP_LOG(kWarn) << "cannot evacuate swap-cluster " << id.ToString()
                          << ": " << payload.status().ToString();
       continue;
     }
     Result<ReplicaLocation> fresh =
-        PlaceReplica(*payload, info->replicas, leaving);
+        PlaceReplica(*payload, *replicas, leaving);
     if (!fresh.ok()) {
       OBISWAP_LOG(kWarn) << "no evacuation target for swap-cluster "
                          << id.ToString() << ": "
@@ -1088,7 +1415,7 @@ Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
       pending_drops_.push_back(PendingDrop{old.device, old.key});
       ++stats_.drops_deferred;
     }
-    info->replicas[at] = *fresh;
+    (*replicas)[at] = *fresh;
     ++moved;
     ++stats_.evacuated_replicas;
   }
@@ -1149,6 +1476,7 @@ void SwappingManager::OnReplacementFinalized(Object* replacement) {
     ReleaseReplicas(info->replicas, /*count_as_drop=*/true);
   }
   info->replicas.clear();
+  cache_.Invalidate(id);
   if (bus_ != nullptr) {
     bus_->Publish(context::Event(context::kEventClusterDropped)
                       .Set("swap_cluster", static_cast<int64_t>(id.value())));

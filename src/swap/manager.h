@@ -29,6 +29,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "net/bridge.h"
 #include "persist/flash_store.h"
 #include "runtime/runtime.h"
+#include "swap/payload_cache.h"
 #include "swap/proxy.h"
 #include "swap/swap_cluster.h"
 
@@ -63,6 +65,17 @@ class SwappingManager final : public runtime::Interceptor,
     /// the "set-replication-factor" policy action raises it when store
     /// churn is high.
     size_t replication_factor = 1;
+    /// Byte budget of the swap-in payload cache (decompressed XML kept in
+    /// device memory so a quick fault-in after an eviction skips fetch and
+    /// decompress). 0 disables — the cache competes with the application
+    /// heap. Adaptable via the "set-swap-cache-bytes" policy action.
+    size_t swap_in_cache_bytes = 0;
+    /// Swap-out placement gives up after this many consecutive failed
+    /// store attempts (stores that advertise space but fail the write —
+    /// crashed, racing another device, flaky link). Successes reset the
+    /// count. Guards against walking an arbitrarily long candidate list
+    /// when the neighborhood is sick.
+    size_t max_consecutive_store_failures = 4;
   };
 
   struct Stats {
@@ -93,6 +106,13 @@ class SwappingManager final : public runtime::Interceptor,
     uint64_t evacuated_replicas = 0;   ///< replicas moved off a leaving store
     uint64_t drops_deferred = 0;       ///< drop ops parked in the retry queue
     uint64_t drops_drained = 0;        ///< deferred drops completed later
+    // --- clean-image swap cache ---------------------------------------------
+    uint64_t clean_swap_outs = 0;  ///< swap-outs served by a retained image
+    uint64_t clean_image_invalidations = 0;  ///< images released (write,
+                                             ///< churn, merge/split, GC)
+    uint64_t clean_images_reaped = 0;  ///< images of fully-dead clusters
+    uint64_t cache_hits = 0;       ///< swap-ins served from the payload cache
+    uint64_t bytes_swap_transfer_saved = 0;  ///< link bytes those avoided
   };
 
   /// Installs the mediation hooks on `rt` and registers the proxy and
@@ -147,7 +167,9 @@ class SwappingManager final : public runtime::Interceptor,
   /// Failover fetch: replicas are tried in nearness order; an unreachable
   /// store or a corrupted payload (checksum mismatch → kDataLoss, counted)
   /// falls through to the next replica. Fails only when no replica yields
-  /// an intact payload.
+  /// an intact payload. The store copies are NOT dropped: they are retained
+  /// as a clean image until the first member write, so an untouched cluster
+  /// re-swaps out with zero transfer (see SwapClusterInfo::clean_image).
   Status SwapIn(SwapClusterId id);
 
   /// The assign() iteration optimization (§4): marks a swap-cluster-proxy
@@ -176,15 +198,33 @@ class SwappingManager final : public runtime::Interceptor,
     victim_filter_ = std::move(filter);
   }
 
+  // --- clean-image tracking -------------------------------------------------
+  /// Marks a loaded cluster dirty, invalidating (and releasing) any
+  /// retained clean image. Driven by the runtime's write barrier; exposed
+  /// for layers that mutate members behind the runtime's back.
+  void MarkDirty(SwapClusterId id);
+
+  /// Releases the clean images of loaded clusters whose members have all
+  /// died (the GC analogue of the replacement-finalizer drop: the image
+  /// backs garbage). Swept by the DurabilityMonitor. Returns images reaped.
+  size_t ReapDeadCleanImages();
+
+  /// Resizes the swap-in payload cache at runtime (0 disables; policy
+  /// action "set-swap-cache-bytes").
+  void set_swap_in_cache_bytes(size_t bytes);
+  const PayloadCache& payload_cache() const { return cache_; }
+
   // --- durability (replica maintenance under store churn) ------------------
   /// Adapts the replication factor at runtime (policy action target).
   /// Existing swapped clusters are topped up lazily by ReReplicate.
   void set_replication_factor(size_t k);
 
   /// Discards the replica records `id` holds on `device` (the store is
-  /// gone). The orphaned store entries are queued as pending drops, so if
-  /// the device ever returns its stale payloads are reclaimed. Returns the
-  /// number of records forgotten.
+  /// gone) — swapped-state replicas and retained clean-image replicas
+  /// alike. The orphaned store entries are queued as pending drops, so if
+  /// the device ever returns its stale payloads are reclaimed. A clean
+  /// image that loses its last replica is invalidated (the next swap-out
+  /// re-serializes — never a stale fetch). Returns records forgotten.
   size_t ForgetReplica(SwapClusterId id, DeviceId device);
 
   /// Restores up to `replication_factor` replicas for a swapped cluster by
@@ -217,6 +257,8 @@ class SwappingManager final : public runtime::Interceptor,
                                 std::vector<runtime::Value>& args) override;
   runtime::Object* MediateStore(runtime::Runtime& rt, runtime::Object* holder,
                                 runtime::Object* value) override;
+  void ObserveFieldWrite(runtime::Runtime& rt,
+                         runtime::Object* holder) override;
   bool SameObject(const runtime::Object* a,
                   const runtime::Object* b) override;
 
@@ -292,11 +334,13 @@ class SwappingManager final : public runtime::Interceptor,
   /// Replica try order for fetches: reachable stores first (placement order
   /// within each group) — the failover path and re-replication share it.
   std::vector<ReplicaLocation> ReplicaFetchOrder(
-      const SwapClusterInfo& info) const;
-  /// Fetches the swapped payload from any replica, verifying frame
+      const std::vector<ReplicaLocation>& replicas) const;
+  /// Fetches the payload from any of `replicas`, verifying frame
   /// integrity; used by re-replication and evacuation (swap-in has its own
-  /// loop so it can also fail over on deserialization errors).
-  Result<std::string> FetchVerifiedPayload(const SwapClusterInfo& info);
+  /// loop so it can also fail over on deserialization errors). Works for
+  /// swapped replicas and retained clean-image replicas alike.
+  Result<std::string> FetchVerifiedPayload(
+      SwapClusterId id, const std::vector<ReplicaLocation>& replicas);
   /// Stores `payload` on one nearby store not in `exclude_devices` under a
   /// fresh key. kUnavailable if no eligible store accepts it.
   Result<ReplicaLocation> PlaceReplica(
@@ -307,6 +351,15 @@ class SwappingManager final : public runtime::Interceptor,
   /// successful ops bump stats_.drops (GC path) or not (swap-in path).
   void ReleaseReplicas(const std::vector<ReplicaLocation>& replicas,
                        bool count_as_drop);
+
+  /// Drops a clean image: releases its store replicas (`count_as_drop`
+  /// follows the GC-vs-staleness distinction above) and evicts the cached
+  /// payload. No-op without an image.
+  void InvalidateCleanImage(SwapClusterInfo* info, bool count_as_drop);
+  /// The zero-transfer swap-out fast path. nullopt = image unusable
+  /// (invalidated; caller falls through to the full serialize+ship path);
+  /// otherwise the definitive swap-out result.
+  std::optional<Result<SwapKey>> TryCleanSwapOut(SwapClusterInfo* info);
 
   struct PendingDrop {
     DeviceId device;
@@ -336,6 +389,7 @@ class SwappingManager final : public runtime::Interceptor,
   uint64_t crossing_seq_ = 0;
   uint64_t next_key_ = 1;
   VictimFilter victim_filter_;
+  PayloadCache cache_;
   Stats stats_;
 
   /// Finalizers capture this handle; the destructor nulls it so a GC after

@@ -1,0 +1,51 @@
+#include "swap/payload_cache.h"
+
+namespace obiswap::swap {
+
+void PayloadCache::set_budget_bytes(size_t bytes) {
+  budget_ = bytes;
+  EvictToBudget();
+}
+
+void PayloadCache::Put(SwapClusterId id, uint64_t epoch,
+                       std::string payload) {
+  Invalidate(id);  // at most one epoch per cluster is ever current
+  if (budget_ == 0 || payload.size() > budget_) return;
+  bytes_ += payload.size();
+  lru_.push_front(Entry{id, epoch, std::move(payload)});
+  index_[id] = lru_.begin();
+  ++stats_.insertions;
+  EvictToBudget();
+}
+
+const std::string* PayloadCache::Get(SwapClusterId id, uint64_t epoch) {
+  auto it = index_.find(id);
+  if (it == index_.end() || it->second->epoch != epoch) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return &lru_.front().payload;
+}
+
+void PayloadCache::Invalidate(SwapClusterId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  bytes_ -= it->second->payload.size();
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++stats_.invalidations;
+}
+
+void PayloadCache::EvictToBudget() {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.payload.size();
+    index_.erase(victim.id);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace obiswap::swap

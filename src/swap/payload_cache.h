@@ -1,0 +1,73 @@
+// Bounded LRU cache of decompressed swap payloads.
+//
+// A fault-in that happens shortly after an eviction (thrash under heap
+// pressure) pays the full fetch + decompress cost even though the bytes
+// just left the device. The swapping manager inserts the decompressed XML
+// text here at swap-out (and at swap-in, on the fetch path), keyed by
+// (swap-cluster, payload epoch); a later SwapIn of the same epoch skips the
+// radio and the codec entirely. The budget is a hard byte cap — the cache
+// competes with the application heap for the device's scarce memory, so it
+// defaults to 0 (disabled) and is adapted at runtime through the
+// "set-swap-cache-bytes" policy action.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+
+namespace obiswap::swap {
+
+class PayloadCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;      ///< entries pushed out by the byte budget
+    uint64_t invalidations = 0;  ///< entries dropped because stale
+  };
+
+  explicit PayloadCache(size_t budget_bytes = 0) : budget_(budget_bytes) {}
+
+  /// Shrinking the budget evicts LRU entries immediately; 0 empties and
+  /// disables the cache.
+  void set_budget_bytes(size_t bytes);
+  size_t budget_bytes() const { return budget_; }
+  size_t bytes() const { return bytes_; }
+  size_t entry_count() const { return lru_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// Caches `payload` for (`id`, `epoch`), replacing any older epoch of the
+  /// same cluster (only one serialization per cluster is ever current).
+  /// No-op when disabled or when the payload alone exceeds the budget.
+  void Put(SwapClusterId id, uint64_t epoch, std::string payload);
+
+  /// The cached payload for exactly (`id`, `epoch`), or nullptr. A hit
+  /// refreshes recency. The pointer is valid until the next mutating call.
+  const std::string* Get(SwapClusterId id, uint64_t epoch);
+
+  /// Drops whatever is cached for `id` (image invalidated, cluster dropped
+  /// or re-serialized under a new epoch).
+  void Invalidate(SwapClusterId id);
+
+ private:
+  struct Entry {
+    SwapClusterId id;
+    uint64_t epoch;
+    std::string payload;
+  };
+
+  void EvictToBudget();
+
+  size_t budget_;
+  size_t bytes_ = 0;
+  /// Front = most recently used. One entry per cluster.
+  std::list<Entry> lru_;
+  std::unordered_map<SwapClusterId, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace obiswap::swap

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +41,33 @@ struct ReplicaLocation {
   }
 };
 
+/// The retained store image of a cluster that swapped back in and has not
+/// been written since (the loaded-clean facet). While it exists, the store
+/// copies listed in `replicas` are byte-identical to the resident objects,
+/// so the next swap-out can reuse them instead of serializing, compressing
+/// and shipping the cluster again. Invalidated (and the replicas released)
+/// by the first member write, by merge/split, or when every member dies.
+struct CleanImage {
+  /// The store entries still holding the payload, placement order.
+  std::vector<ReplicaLocation> replicas;
+  /// swap_epoch under which the payload was serialized — the epoch the
+  /// store keys and the payload-cache entry belong to. A zero-transfer
+  /// re-swap-out bumps the cluster's swap_epoch (replacement finalizers
+  /// stay guarded) but keeps serving this payload epoch.
+  uint64_t payload_epoch = 0;
+  /// Adler-32 of the decompressed payload (the frame checksum): lets a
+  /// cached copy be verified without refetching.
+  uint32_t payload_checksum = 0;
+  size_t payload_bytes = 0;  ///< compressed size on the store
+  size_t object_count = 0;
+  /// Identity of the serialized members, document order.
+  std::vector<ObjectId> oids;
+  /// The outbound swap-cluster-proxies of the serialized document, in
+  /// external-ref index order (the payload resolves references by index).
+  /// Weak: if any dies, the image can no longer back a replacement.
+  std::vector<runtime::WeakRef> outbound;
+};
+
 struct SwapClusterInfo {
   SwapClusterId id;
   SwapState state = SwapState::kLoaded;
@@ -65,6 +93,11 @@ struct SwapClusterInfo {
   /// replacement-object, so a stale replacement finalizer (from a previous
   /// swap of the same cluster) never drops the current replicas.
   uint64_t swap_epoch = 0;
+  /// Epoch under which the on-store payload was serialized (≤ swap_epoch:
+  /// a clean re-swap-out bumps swap_epoch but reuses the payload).
+  uint64_t payload_epoch = 0;
+  /// Frame checksum (Adler-32 of the decompressed payload) of that payload.
+  uint32_t payload_checksum = 0;
   runtime::WeakRef replacement;       ///< the stand-in, while swapped
   size_t swapped_object_count = 0;
   size_t swapped_payload_bytes = 0;
@@ -76,8 +109,34 @@ struct SwapClusterInfo {
   uint64_t swap_out_count = 0;
   uint64_t swap_in_count = 0;
 
+  // --- clean-image facet ---------------------------------------------------
+  /// Set by the first member write since the last swap round-trip (the
+  /// runtime's write barrier reports every SetField/SetFieldAt); a dirty
+  /// cluster must re-serialize on its next swap-out.
+  bool dirty = true;
+  /// Present between a swap-in and the first write (or churn/GC
+  /// invalidation): the store copies that still mirror the resident state.
+  std::optional<CleanImage> clean_image;
+
+  /// The loaded-clean facet: resident, untouched, image still live.
+  bool LoadedClean() const {
+    return state == SwapState::kLoaded && !dirty && clean_image.has_value();
+  }
+
+  /// Replica list currently backed by store entries: the swapped-state list
+  /// while kSwapped, the retained clean image's while loaded; else null.
+  /// The durability layer maintains both the same way.
+  const std::vector<ReplicaLocation>* ActiveReplicas() const {
+    if (state == SwapState::kSwapped) return &replicas;
+    if (state == SwapState::kLoaded && clean_image.has_value())
+      return &clean_image->replicas;
+    return nullptr;
+  }
+
   bool HasReplicaOn(DeviceId device) const {
-    for (const ReplicaLocation& replica : replicas) {
+    const std::vector<ReplicaLocation>* active = ActiveReplicas();
+    if (active == nullptr) return false;
+    for (const ReplicaLocation& replica : *active) {
       if (replica.device == device) return true;
     }
     return false;

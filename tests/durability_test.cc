@@ -51,11 +51,16 @@ TEST(ReplicationTest, SwapOutPlacesKReplicasOnDistinctDevices) {
   EXPECT_EQ(world.manager.stats().replicas_placed, 2u);
   EXPECT_EQ(world.manager.stats().under_replicated_outs, 0u);
 
-  // Swap-in broadcasts the drop to every replica: both stores drain.
+  // Swap-in retains both replicas as the cluster's clean image; the first
+  // write invalidates it and broadcasts the drop to every replica.
   ASSERT_TRUE(world.manager.SwapIn(clusters[0]).ok());
+  EXPECT_EQ(store_a->entry_count() + store_b->entry_count(), 2u);
+  ASSERT_NE(info->ActiveReplicas(), nullptr);
+  EXPECT_EQ(info->ActiveReplicas()->size(), 2u);
+  EXPECT_EQ(*SumList(world.rt, "head"), kListSum);  // walk reads, no writes
+  world.manager.MarkDirty(clusters[0]);
   EXPECT_EQ(store_a->entry_count() + store_b->entry_count(), 0u);
   EXPECT_EQ(world.manager.pending_drop_count(), 0u);
-  EXPECT_EQ(*SumList(world.rt, "head"), kListSum);
 }
 
 TEST(ReplicationTest, SwapInSurvivesPermanentPrimaryDeparture) {
@@ -75,8 +80,12 @@ TEST(ReplicationTest, SwapInSurvivesPermanentPrimaryDeparture) {
 
   ASSERT_TRUE(world.manager.SwapIn(clusters[0]).ok());
   EXPECT_EQ(*SumList(world.rt, "head"), kListSum);
+  // Both replicas are retained as the clean image (the primary's copy is
+  // out of range, not gone). The first write invalidates the image: the
+  // survivor's copy drops immediately, the departed primary's is parked.
+  EXPECT_EQ(NodeFor(world, survivor)->entry_count(), 1u);
+  world.manager.MarkDirty(clusters[0]);
   EXPECT_EQ(NodeFor(world, survivor)->entry_count(), 0u);
-  // The drop aimed at the departed primary is parked for retry...
   EXPECT_EQ(world.manager.pending_drop_count(), 1u);
   EXPECT_EQ(world.manager.stats().drops_deferred, 1u);
   EXPECT_EQ(NodeFor(world, primary)->entry_count(), 1u);
@@ -259,6 +268,81 @@ TEST(DurabilityMonitorTest, GracefulWithdrawalEvacuatesReplicas) {
   world.discovery.Withdraw(leaving);
   world.network.RemoveDevice(leaving);
   ASSERT_TRUE(world.manager.SwapIn(clusters[0]).ok());
+  EXPECT_EQ(*SumList(world.rt, "head"), kListSum);
+}
+
+TEST(DurabilityMonitorTest, CleanImageReplicaLossIsReReplicated) {
+  // A loaded-but-clean cluster's retained store copies are maintained like
+  // swapped replicas: losing one to churn tops the image back up to K, so
+  // the zero-transfer re-swap-out keeps working.
+  MiddlewareWorld world(TwoReplicaOptions());
+  const runtime::ClassInfo* node_cls = RegisterNodeClass(world.rt);
+  world.AddStore(2, 1 << 20);
+  world.AddStore(3, 1 << 20);
+  world.AddStore(4, 1 << 20);
+  auto clusters = BuildClusteredList(world.rt, world.manager, node_cls,
+                                     kListLength, kListLength, "head");
+  ASSERT_TRUE(world.manager.SwapOut(clusters[0]).ok());
+  ASSERT_TRUE(world.manager.SwapIn(clusters[0]).ok());
+  const swap::SwapClusterInfo* info =
+      world.manager.registry().Find(clusters[0]);
+  ASSERT_NE(info->ActiveReplicas(), nullptr);
+  ASSERT_EQ(info->ActiveReplicas()->size(), 2u);
+  DeviceId lost = (*info->ActiveReplicas())[0].device;
+
+  swap::DurabilityMonitor monitor(world.manager, world.discovery,
+                                  MiddlewareWorld::kDevice, world.bus);
+  monitor.Poll();
+  world.discovery.Withdraw(lost);
+  monitor.Poll();  // forget the image replica, then top back up to K
+
+  ASSERT_NE(info->ActiveReplicas(), nullptr);
+  EXPECT_EQ(info->ActiveReplicas()->size(), 2u);
+  EXPECT_FALSE(info->HasReplicaOn(lost));
+  EXPECT_EQ(world.manager.stats().replicas_forgotten, 1u);
+  EXPECT_EQ(world.manager.stats().re_replications, 1u);
+
+  // The refreshed image still powers a zero-transfer re-swap-out.
+  uint64_t shipped = world.manager.stats().bytes_swapped_out;
+  ASSERT_TRUE(world.manager.SwapOut(clusters[0]).ok());
+  EXPECT_EQ(world.manager.stats().clean_swap_outs, 1u);
+  EXPECT_EQ(world.manager.stats().bytes_swapped_out, shipped);
+  EXPECT_EQ(*SumList(world.rt, "head"), kListSum);
+}
+
+TEST(DurabilityMonitorTest, CleanImageLosingAllReplicasIsInvalidated) {
+  // When churn eats the image's last replica there is nothing to reuse:
+  // the image must be invalidated — the next swap-out re-serializes.
+  // Never a stale fetch.
+  MiddlewareWorld world;  // K = 1: the image holds exactly one replica
+  const runtime::ClassInfo* node_cls = RegisterNodeClass(world.rt);
+  world.AddStore(2, 1 << 20);
+  world.AddStore(3, 1 << 20);
+  auto clusters = BuildClusteredList(world.rt, world.manager, node_cls,
+                                     kListLength, kListLength, "head");
+  ASSERT_TRUE(world.manager.SwapOut(clusters[0]).ok());
+  ASSERT_TRUE(world.manager.SwapIn(clusters[0]).ok());
+  const swap::SwapClusterInfo* info =
+      world.manager.registry().Find(clusters[0]);
+  ASSERT_NE(info->ActiveReplicas(), nullptr);
+  ASSERT_EQ(info->ActiveReplicas()->size(), 1u);
+  DeviceId lost = (*info->ActiveReplicas())[0].device;
+
+  swap::DurabilityMonitor monitor(world.manager, world.discovery,
+                                  MiddlewareWorld::kDevice, world.bus);
+  monitor.Poll();
+  world.discovery.Withdraw(lost);
+  monitor.Poll();
+
+  EXPECT_EQ(info->ActiveReplicas(), nullptr);
+  EXPECT_FALSE(info->clean_image.has_value());
+  EXPECT_GE(world.manager.stats().clean_image_invalidations, 1u);
+
+  uint64_t shipped = world.manager.stats().bytes_swapped_out;
+  ASSERT_TRUE(world.manager.SwapOut(clusters[0]).ok());
+  EXPECT_EQ(world.manager.stats().clean_swap_outs, 0u);
+  EXPECT_GT(world.manager.stats().bytes_swapped_out, shipped);
+  EXPECT_FALSE(info->HasReplicaOn(lost));
   EXPECT_EQ(*SumList(world.rt, "head"), kListSum);
 }
 

@@ -65,6 +65,13 @@ TEST(MultiDeviceTest, TwoDevicesShareOneStoreWithoutKeyCollisions) {
   auto sum_b = SumList(b.rt, "lb");
   ASSERT_TRUE(sum_b.ok()) << sum_b.status().ToString();
   EXPECT_EQ(*sum_b, 435);
+  // Reloaded-but-unwritten clusters retain their shelf entries as clean
+  // images; dirtying every cluster releases all six without collisions.
+  EXPECT_EQ(store.entry_count(), 6u);
+  for (size_t i = 0; i < 3; ++i) {
+    a.manager.MarkDirty(clusters_a[i]);
+    b.manager.MarkDirty(clusters_b[i]);
+  }
   EXPECT_EQ(store.entry_count(), 0u);
 }
 

@@ -75,11 +75,14 @@ TEST(LocalFallbackTest, SwapsLocallyWhenNoDeviceNearby) {
   ASSERT_TRUE(world.manager.SwapOut(clusters[0]).ok());
   EXPECT_EQ(flash.entry_count(), 1u);
   EXPECT_EQ(world.manager.stats().local_swap_outs, 1u);
-  // Transparent reload from flash.
+  // Transparent reload from flash. The flash entry is retained as a clean
+  // image until the cluster is written.
   auto sum = SumList(world.rt, "head");
   ASSERT_TRUE(sum.ok()) << sum.status().ToString();
   EXPECT_EQ(*sum, 190);
-  EXPECT_EQ(flash.entry_count(), 0u);  // dropped after swap-in
+  EXPECT_EQ(flash.entry_count(), 1u);
+  world.manager.MarkDirty(clusters[0]);
+  EXPECT_EQ(flash.entry_count(), 0u);  // image invalidated, entry dropped
 }
 
 TEST(LocalFallbackTest, RemoteStorePreferredOverFlash) {

@@ -308,6 +308,26 @@ TEST(PolicyIntegrationTest, ExplicitSwapActionsWork) {
   EXPECT_EQ(world.manager.StateOf(clusters[0]), swap::SwapState::kSwapped);
 }
 
+TEST(PolicyIntegrationTest, SwapCacheBytesAction) {
+  MiddlewareWorld world;
+  context::PropertyRegistry props;
+  PolicyEngine engine(world.bus, props);
+  ASSERT_TRUE(RegisterSwapActions(engine, world.rt, world.manager).ok());
+  ASSERT_EQ(world.manager.payload_cache().budget_bytes(), 0u);
+  auto added = engine.LoadXml(R"(
+    <policies>
+      <policy name="warm-cache" on="app-idle">
+        <action name="set-swap-cache-bytes">
+          <param name="bytes" value="262144"/>
+        </action>
+      </policy>
+    </policies>)");
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  world.bus.Publish(context::Event("app-idle"));
+  EXPECT_EQ(world.manager.payload_cache().budget_bytes(), 262144u);
+  EXPECT_EQ(world.manager.options().swap_in_cache_bytes, 262144u);
+}
+
 TEST(PolicyIntegrationTest, ReplicationClusterSizeAction) {
   runtime::Runtime server_rt(9);
   replication::ReplicationServer server(server_rt, 4);

@@ -255,8 +255,19 @@ TEST_F(SwapFixture, TransparentSwapInOnInvocation) {
   EXPECT_EQ(value->as_int(), 0);
   EXPECT_EQ(world_.manager.StateOf(clusters[0]), SwapState::kLoaded);
   EXPECT_EQ(world_.manager.stats().swap_ins, 1u);
-  // The store entry was dropped after reload.
+  // The store entry is retained as a clean image (the cluster has not been
+  // written since the reload) so a re-swap-out can reuse it.
+  EXPECT_EQ(world_.stores[0]->entry_count(), 1u);
+  // The first write invalidates the image and releases the store copy.
+  auto cursor = world_.rt.Invoke(HeadRef(), "probe", {Value::Int(3)});
+  ASSERT_TRUE(cursor.ok());
+  ASSERT_TRUE(world_.rt.SetGlobal("cursor", *cursor).ok());
+  ASSERT_TRUE(world_.rt
+                  .Invoke(world_.rt.GetGlobal("cursor")->ref(), "set_value",
+                          {Value::Int(9)})
+                  .ok());
   EXPECT_EQ(world_.stores[0]->entry_count(), 0u);
+  EXPECT_EQ(world_.manager.stats().clean_image_invalidations, 1u);
   EXPECT_EQ(CheckMediationInvariant(world_.rt), "");
 }
 
@@ -307,16 +318,225 @@ TEST_F(SwapFixture, ReplacementKeepsDownstreamClustersAlive) {
   EXPECT_EQ(*sum, 30 * 29 / 2);
 }
 
-TEST_F(SwapFixture, ReswapUsesAFreshKey) {
+TEST_F(SwapFixture, CleanReswapReusesKeyDirtyReswapMintsFresh) {
   auto clusters = BuildClusteredList(world_.rt, world_.manager, node_cls_,
                                      10, 10, "head");
   auto key1 = world_.manager.SwapOut(clusters[0]);
   ASSERT_TRUE(key1.ok());
   ASSERT_TRUE(world_.manager.SwapIn(clusters[0]).ok());
+  // Untouched since the swap-in: the re-swap-out reuses the retained store
+  // entry under the same key, shipping nothing.
   auto key2 = world_.manager.SwapOut(clusters[0]);
   ASSERT_TRUE(key2.ok());
-  EXPECT_NE(key1->value(), key2->value());
+  EXPECT_EQ(key1->value(), key2->value());
+  EXPECT_EQ(world_.manager.stats().clean_swap_outs, 1u);
   EXPECT_EQ(world_.stores[0]->entry_count(), 1u);
+  // A write after the next swap-in dirties the cluster; the following
+  // swap-out serializes afresh under a fresh key.
+  ASSERT_TRUE(world_.manager.SwapIn(clusters[0]).ok());
+  auto cursor = world_.rt.Invoke(HeadRef(), "probe", {Value::Int(2)});
+  ASSERT_TRUE(cursor.ok());
+  ASSERT_TRUE(world_.rt.SetGlobal("cursor", *cursor).ok());
+  ASSERT_TRUE(world_.rt
+                  .Invoke(world_.rt.GetGlobal("cursor")->ref(), "set_value",
+                          {Value::Int(5)})
+                  .ok());
+  auto key3 = world_.manager.SwapOut(clusters[0]);
+  ASSERT_TRUE(key3.ok());
+  EXPECT_NE(key2->value(), key3->value());
+  EXPECT_EQ(world_.manager.stats().clean_swap_outs, 1u);
+  EXPECT_EQ(world_.stores[0]->entry_count(), 1u);
+}
+
+// ----------------------------------------------- clean-image swap cache --
+
+TEST_F(SwapFixture, SwapThrashShipsBytesOnlyOnce) {
+  auto clusters = BuildClusteredList(world_.rt, world_.manager, node_cls_,
+                                     20, 10, "head");
+  ASSERT_TRUE(world_.manager.SwapOut(clusters[0]).ok());
+  const uint64_t shipped_once = world_.manager.stats().bytes_swapped_out;
+  ASSERT_GT(shipped_once, 0u);
+  // Thrash: the untouched cluster bounces in and out. Only the first
+  // swap-out moved payload bytes; every later one reuses the store copy.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(world_.manager.SwapIn(clusters[0]).ok());
+    ASSERT_TRUE(world_.manager.SwapOut(clusters[0]).ok());
+  }
+  EXPECT_EQ(world_.manager.stats().bytes_swapped_out, shipped_once);
+  EXPECT_EQ(world_.manager.stats().clean_swap_outs, 3u);
+  EXPECT_GT(world_.manager.stats().bytes_swap_transfer_saved, 0u);
+  EXPECT_EQ(world_.stores[0]->entry_count(), 1u);
+  // A single field write forces the next swap-out back onto the full
+  // serialize-and-ship path.
+  ASSERT_TRUE(world_.manager.SwapIn(clusters[0]).ok());
+  auto cursor = world_.rt.Invoke(HeadRef(), "probe", {Value::Int(1)});
+  ASSERT_TRUE(cursor.ok());
+  ASSERT_TRUE(world_.rt.SetGlobal("cursor", *cursor).ok());
+  ASSERT_TRUE(world_.rt
+                  .Invoke(world_.rt.GetGlobal("cursor")->ref(), "set_value",
+                          {Value::Int(100)})
+                  .ok());
+  ASSERT_TRUE(world_.manager.SwapOut(clusters[0]).ok());
+  EXPECT_GT(world_.manager.stats().bytes_swapped_out, shipped_once);
+  EXPECT_EQ(world_.manager.stats().clean_swap_outs, 3u);
+  // Data survives the thrash (node 1's value is now 100: 190 - 1 + 100).
+  EXPECT_EQ(*SumList(world_.rt, "head"), 289);
+}
+
+TEST_F(SwapFixture, PayloadCacheServesRepeatSwapInWithoutFetch) {
+  world_.manager.set_swap_in_cache_bytes(1 << 20);
+  auto clusters = BuildClusteredList(world_.rt, world_.manager, node_cls_,
+                                     20, 10, "head");
+  ASSERT_TRUE(world_.manager.SwapOut(clusters[0]).ok());
+  // Swap-out seeded the cache: the swap-in decodes from device memory and
+  // never touches the radio.
+  ASSERT_TRUE(world_.manager.SwapIn(clusters[0]).ok());
+  EXPECT_EQ(world_.manager.stats().cache_hits, 1u);
+  EXPECT_EQ(world_.manager.stats().bytes_swapped_in, 0u);
+  EXPECT_EQ(world_.manager.payload_cache().stats().hits, 1u);
+  EXPECT_GT(world_.manager.stats().bytes_swap_transfer_saved, 0u);
+  EXPECT_EQ(*SumList(world_.rt, "head"), 190);  // reads only
+  // A clean re-swap-out keeps the payload epoch, so the entry stays valid.
+  ASSERT_TRUE(world_.manager.SwapOut(clusters[0]).ok());
+  ASSERT_TRUE(world_.manager.SwapIn(clusters[0]).ok());
+  EXPECT_EQ(world_.manager.stats().cache_hits, 2u);
+  EXPECT_EQ(world_.manager.stats().bytes_swapped_in, 0u);
+}
+
+TEST_F(SwapFixture, SwapInWithStrayInboundProxyFailsAtomically) {
+  // Regression: an inbound proxy whose target oid is missing from the
+  // swapped payload used to abort SwapIn *mid-patch*, leaving some proxies
+  // retargeted at fresh objects while the cluster stayed kSwapped. The
+  // validation must run before any mutation.
+  auto clusters = BuildClusteredList(world_.rt, world_.manager, node_cls_,
+                                     20, 10, "head");
+  LocalScope scope(world_.rt.heap());
+  Object* holder = world_.rt.New(node_cls_);
+  scope.Add(holder);
+  ASSERT_TRUE(world_.manager.Place(holder, clusters[0]).ok());
+  // An object labeled into clusters[1] behind the registry's back: it is
+  // never a registered member, so the serializer will not include it — but
+  // storing it from clusters[0] mints a real inbound proxy.
+  Object* bogus = world_.rt.New(node_cls_);
+  scope.Add(bogus);
+  bogus->set_swap_cluster(clusters[1]);
+  ASSERT_TRUE(world_.rt.SetField(holder, "next", Value::Ref(bogus)).ok());
+  ASSERT_TRUE(IsSwapProxy(world_.rt.GetFieldAt(holder, 0).ref()));
+
+  ASSERT_TRUE(world_.manager.SwapOut(clusters[1]).ok());
+  Status torn = world_.manager.SwapIn(clusters[1]);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.code(), StatusCode::kInternal);
+  // All-or-nothing: the cluster is still swapped and the legitimate
+  // boundary proxy (node9 -> node10) still targets the replacement.
+  EXPECT_EQ(world_.manager.StateOf(clusters[1]), SwapState::kSwapped);
+  Object* cursor = ProxyTarget(HeadRef());
+  for (int i = 0; i < 9; ++i) cursor = world_.rt.GetFieldAt(cursor, 0).ref();
+  Object* boundary = world_.rt.GetFieldAt(cursor, 0).ref();
+  ASSERT_TRUE(IsSwapProxy(boundary));
+  EXPECT_TRUE(IsReplacement(ProxyTarget(boundary)));
+
+  // Once the stray proxy dies, the same swap-in succeeds and the data is
+  // intact.
+  ASSERT_TRUE(world_.rt.SetFieldAt(holder, 0, Value::Nil()).ok());
+  world_.rt.heap().Collect();
+  ASSERT_TRUE(world_.manager.SwapIn(clusters[1]).ok());
+  EXPECT_EQ(*SumList(world_.rt, "head"), 190);
+  EXPECT_EQ(CheckMediationInvariant(world_.rt), "");
+}
+
+TEST_F(SwapFixture, FailedStoreAttemptReusesTheMintedKey) {
+  // Regression: every failed store attempt used to burn a fresh SwapKey.
+  // A crashed store still announces itself — and with the most free space
+  // it sorts first, so the healthy fixture store is tried second.
+  net::StoreNode* dead = world_.AddStore(3, 20 * 1024 * 1024);
+  net::StoreNode::FaultPlan plan;
+  plan.crash_after_ops = 0;  // the very next operation kills it
+  dead->InjectFaults(plan);
+  auto clusters = BuildClusteredList(world_.rt, world_.manager, node_cls_,
+                                     10, 10, "head");
+  auto key = world_.manager.SwapOut(clusters[0]);
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  EXPECT_GE(dead->stats().faulted_ops, 1u);  // the dead store went first
+  EXPECT_EQ(world_.stores[0]->entry_count(), 1u);
+  // The key refused by the dead store was reused on the healthy one: it is
+  // still the very first key this manager ever minted.
+  EXPECT_EQ(key->value() & 0xffffffffu, 1u);
+}
+
+TEST(SwapPlacementTest, SwapOutGivesUpAfterBoundedStoreFailures) {
+  // Regression: placement used to walk the entire candidate list however
+  // long, retrying forever against a sick neighborhood.
+  swap::SwappingManager::Options options;
+  options.max_consecutive_store_failures = 2;
+  MiddlewareWorld world{options};
+  const runtime::ClassInfo* node_cls = RegisterNodeClass(world.rt);
+  std::vector<net::StoreNode*> dead;
+  for (uint32_t device = 2; device <= 6; ++device) {
+    net::StoreNode* node = world.AddStore(device, 1 << 20);
+    net::StoreNode::FaultPlan plan;
+    plan.crash_after_ops = 0;
+    node->InjectFaults(plan);
+    dead.push_back(node);
+  }
+  auto clusters =
+      BuildClusteredList(world.rt, world.manager, node_cls, 10, 10, "head");
+  auto key = world.manager.SwapOut(clusters[0]);
+  ASSERT_FALSE(key.ok());
+  EXPECT_EQ(key.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(world.manager.StateOf(clusters[0]), swap::SwapState::kLoaded);
+  EXPECT_EQ(world.manager.stats().swap_out_failures, 1u);
+  int stores_tried = 0;
+  for (net::StoreNode* node : dead) {
+    if (node->stats().faulted_ops > 0) ++stores_tried;
+  }
+  EXPECT_EQ(stores_tried, 2);  // the bound, not all five candidates
+  EXPECT_EQ(*SumList(world.rt, "head"), 45);  // data untouched
+}
+
+// ----------------------------------------------- payload cache (unit) --
+
+TEST(PayloadCacheTest, LruEvictionRespectsByteBudget) {
+  PayloadCache cache(100);
+  cache.Put(SwapClusterId(1), 1, std::string(40, 'a'));
+  cache.Put(SwapClusterId(2), 1, std::string(40, 'b'));
+  EXPECT_EQ(cache.entry_count(), 2u);
+  // Touch cluster 1 so cluster 2 becomes the LRU victim.
+  EXPECT_NE(cache.Get(SwapClusterId(1), 1), nullptr);
+  cache.Put(SwapClusterId(3), 1, std::string(40, 'c'));
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_NE(cache.Get(SwapClusterId(1), 1), nullptr);
+  EXPECT_EQ(cache.Get(SwapClusterId(2), 1), nullptr);
+  EXPECT_NE(cache.Get(SwapClusterId(3), 1), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.bytes(), cache.budget_bytes());
+}
+
+TEST(PayloadCacheTest, EpochMismatchMissesAndPutReplaces) {
+  PayloadCache cache(1 << 10);
+  cache.Put(SwapClusterId(1), 1, "old");
+  EXPECT_EQ(cache.Get(SwapClusterId(1), 2), nullptr);  // stale epoch
+  cache.Put(SwapClusterId(1), 2, "new");
+  EXPECT_EQ(cache.entry_count(), 1u);  // one entry per cluster
+  const std::string* hit = cache.Get(SwapClusterId(1), 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "new");
+  EXPECT_EQ(cache.Get(SwapClusterId(1), 1), nullptr);
+}
+
+TEST(PayloadCacheTest, DisabledAndOversizedPutsAreNoOps) {
+  PayloadCache off(0);
+  off.Put(SwapClusterId(1), 1, "x");
+  EXPECT_EQ(off.entry_count(), 0u);
+  PayloadCache small(4);
+  small.Put(SwapClusterId(1), 1, "toolarge");
+  EXPECT_EQ(small.entry_count(), 0u);
+  small.Put(SwapClusterId(2), 1, "ok");
+  EXPECT_EQ(small.entry_count(), 1u);
+  // Shrinking the budget to zero empties and disables the cache.
+  small.set_budget_bytes(0);
+  EXPECT_EQ(small.entry_count(), 0u);
+  EXPECT_EQ(small.Get(SwapClusterId(2), 1), nullptr);
 }
 
 // ------------------------------------------------------ error conditions --
