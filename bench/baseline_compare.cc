@@ -7,9 +7,12 @@
 // compression burns CPU), virtual network time on the 700 Kbps link,
 // store round-trips, heap bytes actually freed, and host CPU time to bring
 // the data back.
+//
+// `--json [path]` additionally dumps the table to BENCH_baseline_compare.json.
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "obiswap/obiswap.h"
 #include "workload/list_workload.h"
 
@@ -48,11 +51,19 @@ struct Row {
   double restore_network_ms;
 };
 
-void Print(const Row& row) {
+void Print(const Row& row, benchjson::JsonWriter& json) {
   std::printf("%-26s %12.2f %12.1f %8llu %12lld %12.2f %12.1f\n", row.name,
               row.evict_host_ms, row.network_virtual_ms,
               (unsigned long long)row.round_trips, row.bytes_freed,
               row.restore_host_ms, row.restore_network_ms);
+  json.BeginRow();
+  json.Add("design", std::string(row.name));
+  json.Add("evict_host_ms", row.evict_host_ms);
+  json.Add("evict_network_ms", row.network_virtual_ms);
+  json.Add("round_trips", row.round_trips);
+  json.Add("bytes_freed", static_cast<int64_t>(row.bytes_freed));
+  json.Add("restore_host_ms", row.restore_host_ms);
+  json.Add("restore_network_ms", row.restore_network_ms);
 }
 
 int64_t VerifySum(runtime::Runtime& rt, const std::string& global) {
@@ -67,7 +78,8 @@ int64_t VerifySum(runtime::Runtime& rt, const std::string& global) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchjson::JsonWriter json;
   const int64_t expected = int64_t{kListSize} * (kListSize - 1) / 2;
   std::printf(
       "Baseline comparison (§5/§6): evicting a %d-object region "
@@ -107,7 +119,7 @@ int main() {
     });
     uint64_t restore_net = world.network.clock().now_us() - clock0;
     Print(Row{"object-swapping", evict_ms, evict_net / 1000.0, trips, freed,
-              restore_ms, restore_net / 1000.0});
+              restore_ms, restore_net / 1000.0}, json);
   }
 
   // --- object-swapping + lz77 payloads ---------------------------------------
@@ -142,7 +154,7 @@ int main() {
     uint64_t restore_net = world.network.clock().now_us() - clock0;
     Print(Row{"object-swapping + lz77", evict_ms, evict_net / 1000.0,
               manager.stats().swap_outs, freed, restore_ms,
-              restore_net / 1000.0});
+              restore_net / 1000.0}, json);
   }
 
   // --- naive per-object migration ----------------------------------------------
@@ -175,7 +187,7 @@ int main() {
     });
     uint64_t restore_net = world.network.clock().now_us() - clock0;
     Print(Row{"naive per-object migration", evict_ms, evict_net / 1000.0,
-              trips, freed, restore_ms, restore_net / 1000.0});
+              trips, freed, restore_ms, restore_net / 1000.0}, json);
   }
 
   // --- in-heap compression -----------------------------------------------------
@@ -198,7 +210,7 @@ int main() {
       OBISWAP_CHECK(VerifySum(rt, "head") == expected);
     });
     Print(Row{"in-heap compression (lz77)", evict_ms, 0.0, 0, freed,
-              restore_ms, 0.0});
+              restore_ms, 0.0}, json);
   }
 
   std::printf(
@@ -207,5 +219,6 @@ int main() {
       "per OBJECT (latency-bound on Bluetooth) and keeps\nits surrogates; "
       "compression needs no network but burns CPU (energy) and leaves the "
       "compressed\npool resident.\n");
+  benchjson::MaybeWriteJson(argc, argv, json, "BENCH_baseline_compare.json");
   return 0;
 }

@@ -17,10 +17,13 @@
 // Paper values (ms): A1 43/38/36/35, A2 467/398/377/305, B1 339/331/296/36,
 // B2 64/51/49/36 for sizes 20/50/100/none. We reproduce the *shape* — see
 // EXPERIMENTS.md.
+//
+// `--json [path]` additionally dumps the grid to BENCH_fig5_traversal.json.
 #include <cstdio>
 #include <memory>
 #include <optional>
 
+#include "bench_json.h"
 #include "obiswap/obiswap.h"
 #include "workload/list_workload.h"
 
@@ -112,8 +115,9 @@ double RunB(Config& config, bool assign) {
 
 }  // namespace
 
-int main() {
-  workload::RunWithBigStack([] {
+int main(int argc, char** argv) {
+  benchjson::JsonWriter json;
+  workload::RunWithBigStack([&json] {
     std::printf(
         "Figure 5: Performance penalty of Object-Swapping w.r.t. "
         "swap-cluster size and graph transversals\n");
@@ -146,6 +150,17 @@ int main() {
                                  {467, 398, 377, 305},
                                  {339, 331, 296, 36},
                                  {64, 51, 49, 36}};
+
+    for (int row = 0; row < 4; ++row) {
+      for (int col = 0; col < 4; ++col) {
+        json.BeginRow();
+        json.Add("test", std::string(kRowNames[row]));
+        json.Add("cluster_size",
+                 static_cast<int64_t>(kSizes[col].value_or(0)));
+        json.Add("measured_ms", results[row][col]);
+        json.Add("paper_ms", kPaper[row][col]);
+      }
+    }
 
     std::printf("%-6s %10s %10s %10s %16s\n", "test", "20", "50", "100",
                 "NO SWAP-CLUSTERS");
@@ -180,5 +195,6 @@ int main() {
         results[2][0] / results[3][0], results[2][1] / results[3][1],
         results[2][2] / results[3][2]);
   });
+  benchjson::MaybeWriteJson(argc, argv, json, "BENCH_fig5_traversal.json");
   return 0;
 }

@@ -3,8 +3,11 @@
 // quantifies when that wins: flash has no radio latency but slow writes,
 // wears out, and consumes the device's own storage; Bluetooth pays latency
 // + 700 Kbps but the bytes leave the device entirely.
+//
+// `--json [path]` additionally dumps the table to BENCH_local_vs_remote.json.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "obiswap/obiswap.h"
 #include "workload/list_workload.h"
 
@@ -54,7 +57,8 @@ Run Measure(int objects, bool remote) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchjson::JsonWriter json;
   std::printf(
       "Swap destination ablation: nearby store (Bluetooth 700 Kbps) vs "
       "local flash, virtual ms\n\n");
@@ -66,11 +70,20 @@ int main() {
     std::printf("%8d %14.1f %14.1f %14.1f %14.1f %14llu\n", objects,
                 remote.out_ms, remote.in_ms, local.out_ms, local.in_ms,
                 (unsigned long long)local.flash_wear_bytes);
+    json.BeginRow();
+    json.Add("objects", static_cast<int64_t>(objects));
+    json.Add("remote_out_ms", remote.out_ms);
+    json.Add("remote_in_ms", remote.in_ms);
+    json.Add("remote_radio_bytes", remote.radio_bytes);
+    json.Add("flash_out_ms", local.out_ms);
+    json.Add("flash_in_ms", local.in_ms);
+    json.Add("flash_wear_bytes", local.flash_wear_bytes);
   }
   std::printf(
       "\nreading: flash avoids radio latency (wins at small clusters and "
       "slow links) but every\nswap-out wears the medium and occupies the "
       "device's own storage — the paper's vision of\nborrowing *other* "
       "devices' memory avoids both.\n");
+  benchjson::MaybeWriteJson(argc, argv, json, "BENCH_local_vs_remote.json");
   return 0;
 }

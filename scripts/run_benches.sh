@@ -17,10 +17,34 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 for b in "$BUILD_DIR"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "===== $(basename "$b") =====" | tee -a bench_output.txt
-  # --json is ignored by benches that have not adopted the contract yet.
-  "$b" --json 2>&1 | tee -a bench_output.txt
+  # Benches that have not adopted the --json contract either ignore the
+  # flag or (google-benchmark binaries) reject it: retry bare.
+  if ! "$b" --json 2>&1 | tee -a bench_output.txt; then
+    echo "--- $(basename "$b") rejected --json; rerunning without it ---" \
+      | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+  fi
 done
 
 echo
 echo "json artifacts:"
 ls -1 BENCH_*.json 2>/dev/null || echo "  (none)"
+
+# Benches that have adopted the --json contract must actually have produced
+# their artifact; a missing file means the contract regressed.
+expected=(
+  BENCH_fig5_traversal.json
+  BENCH_baseline_compare.json
+  BENCH_swap_latency.json
+  BENCH_local_vs_remote.json
+  BENCH_churn_recovery.json
+  BENCH_prefetch_stall.json
+)
+missing=0
+for f in "${expected[@]}"; do
+  if [ ! -f "$f" ]; then
+    echo "missing expected artifact: $f" >&2
+    missing=1
+  fi
+done
+exit "$missing"

@@ -22,6 +22,9 @@
 #include "persist/flash_store.h"        // local flash fallback
 #include "policy/engine.h"              // declarative XML policies
 #include "policy/standard_actions.h"
+#include "prefetch/fault_history.h"     // predictive prefetch: fault order
+#include "prefetch/predictor.h"
+#include "prefetch/prefetcher.h"        // budgeted background swap-in
 #include "replication/device.h"         // incremental replication, faults
 #include "replication/server.h"
 #include "replication/transport.h"

@@ -12,6 +12,14 @@ Result<int64_t> RequiredIntParam(const ActionParams& params,
     return InvalidArgumentError("missing action param '" + name + "'");
   return ParseInt64(it->second);
 }
+
+Result<std::string> RequiredStringParam(const ActionParams& params,
+                                        const std::string& name) {
+  auto it = params.find(name);
+  if (it == params.end())
+    return InvalidArgumentError("missing action param '" + name + "'");
+  return it->second;
+}
 }  // namespace
 
 Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
@@ -59,6 +67,32 @@ Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
         if (bytes < 0)
           return InvalidArgumentError("bytes must be non-negative");
         manager.set_swap_in_cache_bytes(static_cast<size_t>(bytes));
+        return OkStatus();
+      }));
+  return OkStatus();
+}
+
+Status RegisterPrefetchActions(PolicyEngine& engine,
+                               prefetch::Prefetcher& prefetcher) {
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-prefetch-budget",
+      [&prefetcher](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t budget,
+                                 RequiredIntParam(params, "budget"));
+        if (budget < 0)
+          return InvalidArgumentError("budget must be non-negative");
+        prefetcher.set_budget(static_cast<size_t>(budget));
+        return OkStatus();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-prefetch-mode",
+      [&prefetcher](const context::Event&,
+                    const ActionParams& params) -> Status {
+        OBISWAP_ASSIGN_OR_RETURN(std::string mode_name,
+                                 RequiredStringParam(params, "mode"));
+        OBISWAP_ASSIGN_OR_RETURN(prefetch::PrefetchMode mode,
+                                 prefetch::ParsePrefetchMode(mode_name));
+        prefetcher.set_mode(mode);
         return OkStatus();
       }));
   return OkStatus();

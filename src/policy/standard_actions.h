@@ -7,6 +7,7 @@
 #pragma once
 
 #include "policy/engine.h"
+#include "prefetch/prefetcher.h"
 #include "replication/server.h"
 #include "runtime/runtime.h"
 #include "swap/manager.h"
@@ -27,5 +28,13 @@ Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
 /// (paper §2: clusters have "adaptable size").
 Status RegisterReplicationActions(PolicyEngine& engine,
                                   replication::ReplicationServer& server);
+
+/// Registers:
+///   set-prefetch-budget (param "budget") — max outstanding speculative
+///                                          clusters
+///   set-prefetch-mode   (param "mode")   — "off" | "cache" | "full"
+/// The prefetcher must outlive the engine.
+Status RegisterPrefetchActions(PolicyEngine& engine,
+                               prefetch::Prefetcher& prefetcher);
 
 }  // namespace obiswap::policy

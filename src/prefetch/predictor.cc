@@ -1,0 +1,17 @@
+#include "prefetch/predictor.h"
+
+namespace obiswap::prefetch {
+
+std::vector<SwapClusterId> Predictor::Predict(SwapClusterId from) const {
+  std::vector<SwapClusterId> predicted;
+  if (options_.max_predictions == 0) return predicted;
+  for (const FaultHistoryRecorder::Successor& successor :
+       recorder_.Successors(from)) {
+    if (successor.confidence < options_.confidence_threshold) continue;
+    predicted.push_back(successor.id);
+    if (predicted.size() >= options_.max_predictions) break;
+  }
+  return predicted;
+}
+
+}  // namespace obiswap::prefetch

@@ -1,0 +1,48 @@
+// Predictor: ranks the likely next swap-clusters after a demand fault.
+//
+// A thin policy layer over the FaultHistoryRecorder's transition graph: on
+// each fault the prefetcher asks for the successors of the faulted cluster,
+// and the predictor keeps only those whose confidence (edge share of the
+// source's total outgoing weight) clears a threshold, capped at a small
+// count. The threshold is the precision/recall dial: high values prefetch
+// only near-certain successors (sequential scans), low values also chase
+// branchy access patterns at the cost of wasted transfers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "prefetch/fault_history.h"
+
+namespace obiswap::prefetch {
+
+class Predictor {
+ public:
+  struct Options {
+    /// Minimum successor confidence to predict (0..1].
+    double confidence_threshold = 0.4;
+    /// At most this many predictions per fault.
+    size_t max_predictions = 2;
+  };
+
+  explicit Predictor(const FaultHistoryRecorder& recorder)
+      : Predictor(recorder, Options()) {}
+  Predictor(const FaultHistoryRecorder& recorder, Options options)
+      : recorder_(recorder), options_(options) {}
+
+  /// Clusters likely to be entered after `from`, most likely first.
+  std::vector<SwapClusterId> Predict(SwapClusterId from) const;
+
+  void set_confidence_threshold(double threshold) {
+    options_.confidence_threshold = threshold;
+  }
+  void set_max_predictions(size_t count) { options_.max_predictions = count; }
+  const Options& options() const { return options_; }
+
+ private:
+  const FaultHistoryRecorder& recorder_;
+  Options options_;
+};
+
+}  // namespace obiswap::prefetch

@@ -87,6 +87,16 @@ class Heap {
   size_t used_bytes() const { return used_bytes_; }
   size_t live_objects() const { return live_objects_; }
 
+  /// Fraction of the capacity currently free (0..1). Middleware allocation
+  /// may overcommit slightly, so the used side is clamped to the capacity.
+  /// Speculative work (prefetch) gates on this headroom.
+  double free_fraction() const {
+    if (capacity_bytes_ == 0) return 0.0;
+    size_t used = used_bytes_ < capacity_bytes_ ? used_bytes_ : capacity_bytes_;
+    return static_cast<double>(capacity_bytes_ - used) /
+           static_cast<double>(capacity_bytes_);
+  }
+
   /// Re-computes an object's byte accounting after a slot mutation (string
   /// payloads change an object's footprint).
   void RefreshAccounting(Object* obj);

@@ -417,6 +417,10 @@ Status SwappingManager::MergeSwapClusters(SwapClusterId into,
       from_info->replication_clusters.end());
   registry_.Remove(from);
   inbound_.erase(from);
+  // `from` no longer exists; whatever speculative state it carried is
+  // neither hit nor waste — just gone.
+  staged_.erase(from);
+  speculative_loaded_.erase(from);
   ++stats_.merges;
   return OkStatus();
 }
@@ -529,23 +533,30 @@ Result<Value> SwappingManager::Invoke(runtime::Runtime& rt, Object* receiver,
 Result<Value> SwappingManager::ProxyInvoke(Object* proxy,
                                            std::string_view method,
                                            std::vector<Value>& args) {
-  Object* target = ProxyTarget(proxy);
-  if (target == nullptr)
-    return InternalError("swap-cluster-proxy with null target");
-
-  if (IsReplacement(target)) {
-    // The mediated cluster is swapped out: fault it back in as a whole
-    // ("since one of the objects enclosed ... becomes needed again, there
-    // is a high probability that the others will be as well").
-    OBISWAP_RETURN_IF_ERROR(SwapIn(ReplacementCluster(target)));
-    target = ProxyTarget(proxy);  // patched by SwapIn
-    if (target == nullptr || IsReplacement(target))
-      return InternalError("swap-in did not patch the faulting proxy");
-  }
+  // The mediated cluster may be swapped out: fault it back in as a whole
+  // ("since one of the objects enclosed ... becomes needed again, there
+  // is a high probability that the others will be as well"). A loop, not a
+  // single attempt: the crossing observer below may run prefetch work whose
+  // allocations pressure-swap the very cluster being entered, requiring a
+  // second fault-in.
+  Object* target = nullptr;
+  auto fault_in = [&]() -> Status {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      target = ProxyTarget(proxy);
+      if (target == nullptr)
+        return InternalError("swap-cluster-proxy with null target");
+      if (!IsReplacement(target)) return OkStatus();
+      OBISWAP_RETURN_IF_ERROR(SwapIn(ReplacementCluster(target)));
+    }
+    return InternalError("swap-in did not patch the faulting proxy");
+  };
+  OBISWAP_RETURN_IF_ERROR(fault_in());
 
   SwapClusterId target_sc = ProxyTargetSc(proxy);
   ++stats_.boundary_crossings;
   registry_.RecordCrossing(target_sc, ++crossing_seq_);
+  NoteClusterEntered(target_sc);
+  OBISWAP_RETURN_IF_ERROR(fault_in());  // observer work may have re-swapped it
 
   // Mediate reference arguments into the target's context (the generated
   // proxy code "verifies references being passed as parameters").
@@ -825,6 +836,9 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
 
   ++stats_.swap_outs;
   stats_.bytes_swapped_out += payload.size();
+  // A speculatively loaded cluster evicted before the application touched
+  // it was a wasted guess.
+  NotePrefetchDiscard(id);
   // The decompressed payload just shipped is the likeliest next swap-in.
   cache_.Put(id, info->payload_epoch, std::move(serialized.xml));
   if (bus_ != nullptr) {
@@ -946,6 +960,7 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
   if (info->replicas.size() < want) ++stats_.under_replicated_outs;
   ++stats_.swap_outs;
   ++stats_.clean_swap_outs;
+  NotePrefetchDiscard(id);
   // Every replica the full path would have re-shipped stayed put.
   stats_.bytes_swap_transfer_saved +=
       info->swapped_payload_bytes * info->replicas.size();
@@ -989,7 +1004,8 @@ Result<SwapClusterId> SwappingManager::SwapOutVictim() {
   }
 }
 
-Status SwappingManager::SwapIn(SwapClusterId id) {
+Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
+  const uint64_t begin_us = clock_ != nullptr ? clock_->now_us() : 0;
   SwapClusterInfo* info = registry_.Find(id);
   if (info == nullptr) return NotFoundError("no swap-cluster " + id.ToString());
   if (info->state != SwapState::kSwapped)
@@ -1174,14 +1190,124 @@ Status SwappingManager::SwapIn(SwapClusterId id) {
     stats_.bytes_swapped_in += fetched_bytes;
     cache_.Put(id, info->payload_epoch, std::move(decompressed));
   }
+
+  // Prefetch accounting. A demand fault that finds its payload staged in
+  // the cache consumed the guess (hit); one that misses — the staging was
+  // evicted before use — wasted it. A speculative swap-in of a staged
+  // cluster merely upgrades the guess from "staged" to "loaded".
+  const bool was_staged = staged_.erase(id) > 0;
+  if (prefetch) {
+    ++stats_.prefetched_swap_ins;
+    speculative_loaded_.insert(id);
+    if (clock_ != nullptr)
+      stats_.prefetch_fetch_us += clock_->now_us() - begin_us;
+  } else {
+    if (was_staged) {
+      if (from_cache) {
+        ++stats_.prefetch_hits;
+        PublishPrefetchEvent(context::kEventPrefetchHit, id, "staged");
+      } else {
+        ++stats_.prefetch_wastes;
+        PublishPrefetchEvent(context::kEventPrefetchWaste, id, "staged");
+      }
+    }
+    if (clock_ != nullptr)
+      stats_.demand_fault_stall_us += clock_->now_us() - begin_us;
+  }
+
   if (bus_ != nullptr) {
     bus_->Publish(context::Event(context::kEventClusterSwappedIn)
                       .Set("swap_cluster", static_cast<int64_t>(id.value()))
-                      .Set("objects", static_cast<int64_t>(members.size())));
+                      .Set("objects", static_cast<int64_t>(members.size()))
+                      .Set("prefetch", prefetch ? int64_t{1} : int64_t{0})
+                      .Set("cache", from_cache ? int64_t{1} : int64_t{0}));
   }
   // The replacement-object is now unreferenced: "as it is no longer needed,
   // [it] becomes eligible for local reclamation."
   return OkStatus();
+}
+
+Status SwappingManager::PrefetchStage(SwapClusterId id) {
+  SwapClusterInfo* info = registry_.Find(id);
+  if (info == nullptr) return NotFoundError("no swap-cluster " + id.ToString());
+  if (info->state != SwapState::kSwapped)
+    return FailedPreconditionError("swap-cluster " + id.ToString() + " is " +
+                                   SwapStateName(info->state));
+  if (cache_.budget_bytes() == 0)
+    return FailedPreconditionError(
+        "payload staging requires the swap-in payload cache (see "
+        "set_swap_in_cache_bytes)");
+  // Already resident (e.g. the swap-out just populated it): nothing to
+  // fetch, and not the prefetcher's doing — no staging claimed.
+  if (cache_.Get(id, info->payload_epoch) != nullptr) return OkStatus();
+
+  const uint64_t begin_us = clock_ != nullptr ? clock_->now_us() : 0;
+  Status last = UnavailableError("swap-cluster " + id.ToString() +
+                                 " has no replicas to fetch from");
+  for (const ReplicaLocation& replica : ReplicaFetchOrder(info->replicas)) {
+    Result<std::string> fetched = FetchFrom(replica.device, replica.key);
+    if (!fetched.ok()) {
+      last = fetched.status();
+      continue;
+    }
+    Result<std::string> xml_text = compress::FrameDecompress(*fetched);
+    if (!xml_text.ok()) {
+      ++stats_.data_loss_failovers;
+      last = xml_text.status();
+      continue;
+    }
+    if (Adler32(*xml_text) != info->payload_checksum) {
+      ++stats_.data_loss_failovers;
+      last = DataLossError("staged payload checksum mismatch for "
+                           "swap-cluster " +
+                           id.ToString());
+      continue;
+    }
+    size_t payload_bytes = xml_text->size();
+    cache_.Put(id, info->payload_epoch, std::move(*xml_text));
+    if (cache_.Get(id, info->payload_epoch) == nullptr) {
+      // The cache refused it (payload alone exceeds the budget).
+      return ResourceExhaustedError("staged payload (" +
+                                    FormatBytes(payload_bytes) +
+                                    ") exceeds the cache budget");
+    }
+    staged_.insert(id);
+    ++stats_.prefetch_stages;
+    stats_.prefetch_stage_bytes += payload_bytes;
+    if (clock_ != nullptr)
+      stats_.prefetch_fetch_us += clock_->now_us() - begin_us;
+    return OkStatus();
+  }
+  return last;
+}
+
+void SwappingManager::NoteClusterEntered(SwapClusterId id) {
+  if (speculative_loaded_.erase(id) > 0) {
+    // First application touch of a speculatively loaded cluster: the guess
+    // paid off — the fault this crossing would have taken never happened.
+    ++stats_.prefetch_hits;
+    PublishPrefetchEvent(context::kEventPrefetchHit, id, "loaded");
+  }
+  if (crossing_observer_) crossing_observer_(id);
+}
+
+void SwappingManager::NotePrefetchDiscard(SwapClusterId id) {
+  if (speculative_loaded_.erase(id) > 0) {
+    ++stats_.prefetch_wastes;
+    PublishPrefetchEvent(context::kEventPrefetchWaste, id, "loaded");
+  }
+  if (staged_.erase(id) > 0) {
+    ++stats_.prefetch_wastes;
+    PublishPrefetchEvent(context::kEventPrefetchWaste, id, "staged");
+  }
+}
+
+void SwappingManager::PublishPrefetchEvent(const char* type, SwapClusterId id,
+                                           const char* kind) {
+  if (bus_ == nullptr) return;
+  bus_->Publish(context::Event(type)
+                    .Set("swap_cluster", static_cast<int64_t>(id.value()))
+                    .Set("kind", std::string(kind)));
 }
 
 // ---------------------------------------------------------------------------
@@ -1476,11 +1602,79 @@ void SwappingManager::OnReplacementFinalized(Object* replacement) {
     ReleaseReplicas(info->replicas, /*count_as_drop=*/true);
   }
   info->replicas.clear();
+  NotePrefetchDiscard(id);  // a staged payload for a dropped cluster is waste
   cache_.Invalidate(id);
   if (bus_ != nullptr) {
     bus_->Publish(context::Event(context::kEventClusterDropped)
                       .Set("swap_cluster", static_cast<int64_t>(id.value())));
   }
+}
+
+std::vector<std::pair<std::string, uint64_t>> SwappingManager::StatsSnapshot()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> snapshot = {
+      {"proxies_created", stats_.proxies_created},
+      {"proxies_reused", stats_.proxies_reused},
+      {"proxies_dismantled", stats_.proxies_dismantled},
+      {"proxies_finalized", stats_.proxies_finalized},
+      {"boundary_crossings", stats_.boundary_crossings},
+      {"assigned_patches", stats_.assigned_patches},
+      {"swap_outs", stats_.swap_outs},
+      {"swap_ins", stats_.swap_ins},
+      {"drops", stats_.drops},
+      {"drop_failures", stats_.drop_failures},
+      {"swap_out_failures", stats_.swap_out_failures},
+      {"bytes_swapped_out", stats_.bytes_swapped_out},
+      {"bytes_swapped_in", stats_.bytes_swapped_in},
+      {"local_swap_outs", stats_.local_swap_outs},
+      {"merges", stats_.merges},
+      {"splits", stats_.splits},
+      {"replicas_placed", stats_.replicas_placed},
+      {"under_replicated_outs", stats_.under_replicated_outs},
+      {"failover_fetches", stats_.failover_fetches},
+      {"data_loss_failovers", stats_.data_loss_failovers},
+      {"replicas_forgotten", stats_.replicas_forgotten},
+      {"re_replications", stats_.re_replications},
+      {"bytes_re_replicated", stats_.bytes_re_replicated},
+      {"evacuated_replicas", stats_.evacuated_replicas},
+      {"drops_deferred", stats_.drops_deferred},
+      {"drops_drained", stats_.drops_drained},
+      {"clean_swap_outs", stats_.clean_swap_outs},
+      {"clean_image_invalidations", stats_.clean_image_invalidations},
+      {"clean_images_reaped", stats_.clean_images_reaped},
+      {"cache_hits", stats_.cache_hits},
+      {"bytes_swap_transfer_saved", stats_.bytes_swap_transfer_saved},
+      {"prefetched_swap_ins", stats_.prefetched_swap_ins},
+      {"prefetch_stages", stats_.prefetch_stages},
+      {"prefetch_stage_bytes", stats_.prefetch_stage_bytes},
+      {"prefetch_hits", stats_.prefetch_hits},
+      {"prefetch_wastes", stats_.prefetch_wastes},
+      {"demand_fault_stall_us", stats_.demand_fault_stall_us},
+      {"prefetch_fetch_us", stats_.prefetch_fetch_us},
+  };
+  const PayloadCache::Stats& cache = cache_.stats();
+  snapshot.emplace_back("payload_cache_hits", cache.hits);
+  snapshot.emplace_back("payload_cache_misses", cache.misses);
+  snapshot.emplace_back("payload_cache_insertions", cache.insertions);
+  snapshot.emplace_back("payload_cache_evictions", cache.evictions);
+  snapshot.emplace_back("payload_cache_invalidations", cache.invalidations);
+  snapshot.emplace_back("payload_cache_bytes",
+                        static_cast<uint64_t>(cache_.bytes()));
+  snapshot.emplace_back("payload_cache_entries",
+                        static_cast<uint64_t>(cache_.entry_count()));
+  return snapshot;
+}
+
+std::string SwappingManager::StatsJson() const {
+  std::string json = "{";
+  bool first = true;
+  for (const auto& [name, value] : StatsSnapshot()) {
+    if (!first) json += ",";
+    first = false;
+    json += "\"" + name + "\":" + std::to_string(value);
+  }
+  json += "}";
+  return json;
 }
 
 void SwappingManager::OnClusterReplicated(const context::Event& event) {

@@ -32,12 +32,15 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
 #include "context/events.h"
 #include "net/bridge.h"
+#include "net/sim_clock.h"
 #include "persist/flash_store.h"
 #include "runtime/runtime.h"
 #include "swap/payload_cache.h"
@@ -113,6 +116,14 @@ class SwappingManager final : public runtime::Interceptor,
     uint64_t clean_images_reaped = 0;  ///< images of fully-dead clusters
     uint64_t cache_hits = 0;       ///< swap-ins served from the payload cache
     uint64_t bytes_swap_transfer_saved = 0;  ///< link bytes those avoided
+    // --- predictive prefetch ------------------------------------------------
+    uint64_t prefetched_swap_ins = 0;  ///< swap-ins marked speculative
+    uint64_t prefetch_stages = 0;      ///< payloads staged into the cache
+    uint64_t prefetch_stage_bytes = 0;
+    uint64_t prefetch_hits = 0;    ///< speculative work the app consumed
+    uint64_t prefetch_wastes = 0;  ///< speculative work discarded untouched
+    uint64_t demand_fault_stall_us = 0;  ///< virtual time in demand SwapIns
+    uint64_t prefetch_fetch_us = 0;      ///< virtual time in speculative work
   };
 
   /// Installs the mediation hooks on `rt` and registers the proxy and
@@ -138,6 +149,10 @@ class SwappingManager final : public runtime::Interceptor,
   void AttachBus(context::EventBus* bus);
   /// Makes heap exhaustion swap out LRU victims automatically.
   void InstallPressureHandler();
+  /// Virtual time source for the stall/prefetch timing counters (the same
+  /// clock the simulated network advances). Optional; without it the
+  /// *_us counters stay 0.
+  void AttachClock(const net::SimClock* clock) { clock_ = clock; }
 
   // --- swap-cluster management ----------------------------------------------
   /// Creates a fresh swap-cluster for locally built graphs.
@@ -170,7 +185,35 @@ class SwappingManager final : public runtime::Interceptor,
   /// an intact payload. The store copies are NOT dropped: they are retained
   /// as a clean image until the first member write, so an untouched cluster
   /// re-swaps out with zero transfer (see SwapClusterInfo::clean_image).
-  Status SwapIn(SwapClusterId id);
+  /// With `prefetch` set the swap-in is speculative (the prefetcher's
+  /// doing, not an application touch): it is tracked for hit/waste
+  /// accounting and its cluster-swapped-in event carries "prefetch"=1 so
+  /// listeners can tell it from a demand fault.
+  Status SwapIn(SwapClusterId id, bool prefetch = false);
+
+  /// The cheap prefetch tier: fetches and decompresses a swapped cluster's
+  /// payload into the swap-in payload cache WITHOUT creating any heap
+  /// objects, so the later demand fault skips the radio and the codec.
+  /// Uses the same reachable-first failover fetch as SwapIn. Requires the
+  /// payload cache to be enabled; fails kResourceExhausted if the payload
+  /// does not fit the cache budget.
+  Status PrefetchStage(SwapClusterId id);
+
+  /// Clusters currently carrying un-consumed speculative work (staged
+  /// payloads + speculatively loaded clusters) — the prefetcher's budget
+  /// gate measures this.
+  size_t PrefetchOutstanding() const {
+    return staged_.size() + speculative_loaded_.size();
+  }
+
+  /// Called on every boundary crossing with the entered cluster's id
+  /// (after hit accounting). The prefetch recorder learns fault order from
+  /// this. The observer may trigger swapping; the invocation path
+  /// re-validates its target afterwards.
+  using CrossingObserver = std::function<void(SwapClusterId)>;
+  void SetCrossingObserver(CrossingObserver observer) {
+    crossing_observer_ = std::move(observer);
+  }
 
   /// The assign() iteration optimization (§4): marks a swap-cluster-proxy
   /// whose source is swap-cluster-0 so that boundary-crossing returns patch
@@ -270,6 +313,12 @@ class SwappingManager final : public runtime::Interceptor,
 
   // --- introspection ------------------------------------------------------------
   const Stats& stats() const { return stats_; }
+  /// Every manager counter plus the payload cache's, as ordered
+  /// (name, value) pairs — the single source benches and tests dump
+  /// instead of hand-rolling counter lists.
+  std::vector<std::pair<std::string, uint64_t>> StatsSnapshot() const;
+  /// StatsSnapshot rendered as a flat JSON object.
+  std::string StatsJson() const;
   const Options& options() const { return options_; }
   SwapState StateOf(SwapClusterId id) const;
   /// Live proxies currently targeting cluster `id` (prunes dead entries).
@@ -314,6 +363,15 @@ class SwappingManager final : public runtime::Interceptor,
   void OnClusterReplicated(const context::Event& event);
   void OnProxyFinalized(runtime::Object* proxy);
   void OnReplacementFinalized(runtime::Object* replacement);
+
+  /// Boundary-crossing bookkeeping for prefetch: consumes a speculative
+  /// load as a hit, then notifies the crossing observer.
+  void NoteClusterEntered(SwapClusterId id);
+  /// Un-consumed speculative state of `id` is being thrown away (swap-out,
+  /// drop, merge): count and publish the waste.
+  void NotePrefetchDiscard(SwapClusterId id);
+  void PublishPrefetchEvent(const char* type, SwapClusterId id,
+                            const char* kind);
 
   SwapKey NextKey();
 
@@ -391,6 +449,14 @@ class SwappingManager final : public runtime::Interceptor,
   VictimFilter victim_filter_;
   PayloadCache cache_;
   Stats stats_;
+
+  /// Prefetch bookkeeping: clusters whose payload was staged into the
+  /// cache speculatively, and clusters speculatively swapped in but not
+  /// yet touched by the application.
+  std::unordered_set<SwapClusterId> staged_;
+  std::unordered_set<SwapClusterId> speculative_loaded_;
+  CrossingObserver crossing_observer_;
+  const net::SimClock* clock_ = nullptr;
 
   /// Finalizers capture this handle; the destructor nulls it so a GC after
   /// manager teardown cannot call into a dead manager.

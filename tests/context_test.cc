@@ -75,6 +75,77 @@ TEST(EventBusTest, HandlerMaySubscribeDuringDispatch) {
   EXPECT_EQ(late, 1);
 }
 
+TEST(EventBusTest, HandlerMayUnsubscribeItselfDuringDispatch) {
+  EventBus bus;
+  int calls = 0;
+  uint64_t token = 0;
+  token = bus.Subscribe("x", [&](const Event&) {
+    ++calls;
+    bus.Unsubscribe(token);
+  });
+  bus.Publish(Event("x"));
+  bus.Publish(Event("x"));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventBusTest, UnsubscribingLaterHandlerTakesEffectNextPublish) {
+  // Publish iterates over a *copy* of the handler list, so a handler that
+  // unsubscribes a later handler does not suppress it for the in-flight
+  // dispatch — only for subsequent ones. This pins down the documented
+  // snapshot semantics.
+  EventBus bus;
+  int second_calls = 0;
+  uint64_t second = 0;
+  bus.Subscribe("x", [&](const Event&) { bus.Unsubscribe(second); });
+  second = bus.Subscribe("x", [&](const Event&) { ++second_calls; });
+  bus.Publish(Event("x"));
+  EXPECT_EQ(second_calls, 1);  // still ran this dispatch
+  bus.Publish(Event("x"));
+  EXPECT_EQ(second_calls, 1);  // gone for the next one
+}
+
+TEST(EventBusTest, SubscribeAllHandlerMayUnsubscribeItself) {
+  EventBus bus;
+  int calls = 0;
+  uint64_t token = 0;
+  token = bus.SubscribeAll([&](const Event&) {
+    ++calls;
+    bus.Unsubscribe(token);
+  });
+  bus.Publish(Event("a"));
+  bus.Publish(Event("b"));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventBusTest, PublishFromInsideHandlerSeesConsistentCounts) {
+  // A handler that re-publishes must not disturb delivery of the outer
+  // event to the remaining handlers (copy semantics again), and both
+  // events count toward published_count().
+  EventBus bus;
+  std::vector<std::string> order;
+  bus.Subscribe("outer", [&](const Event&) {
+    order.push_back("outer-1");
+    bus.Publish(Event("inner"));
+  });
+  bus.Subscribe("inner", [&](const Event&) { order.push_back("inner"); });
+  bus.Subscribe("outer", [&](const Event&) { order.push_back("outer-2"); });
+  bus.Publish(Event("outer"));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "outer-1");
+  EXPECT_EQ(order[1], "inner");
+  EXPECT_EQ(order[2], "outer-2");
+  EXPECT_EQ(bus.published_count(), 2u);
+}
+
+TEST(EventTest, GetIntOrFallsBack) {
+  Event event("e");
+  event.Set("present", int64_t{5}).Set("text", std::string("7"));
+  EXPECT_EQ(event.GetIntOr("present", -1), 5);
+  EXPECT_EQ(event.GetIntOr("absent", -1), -1);
+  // A string-typed property is not an int: the fallback wins (no coercion).
+  EXPECT_EQ(event.GetIntOr("text", -1), -1);
+}
+
 TEST(EventTest, PropertiesRoundTrip) {
   Event event("e");
   event.Set("name", std::string("cluster-2")).Set("count", int64_t{7});
