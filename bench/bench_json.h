@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/telemetry.h"
+
 namespace obiswap::benchjson {
 
 class JsonWriter {
@@ -93,6 +95,34 @@ inline bool MaybeWriteJson(int argc, char** argv, const JsonWriter& writer,
     return true;
   }
   return false;
+}
+
+/// The trace half of the CLI contract: `bench --trace=<path>` dumps the
+/// bench's span tracer as Chrome trace_event JSON after the run (load it
+/// at chrome://tracing or ui.perfetto.dev). Empty string = flag absent.
+inline std::string TracePath(int argc, char** argv) {
+  const std::string prefix = "--trace=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+/// Writes `telemetry`'s trace to the `--trace=<path>` target, if given.
+/// Returns false only when the flag was present and the write failed.
+inline bool MaybeWriteTrace(int argc, char** argv,
+                            const telemetry::Telemetry& telemetry) {
+  std::string path = TracePath(argc, argv);
+  if (path.empty()) return true;
+  if (!telemetry.DumpTrace(path).ok()) {
+    std::fprintf(stderr, "failed to write trace to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("trace written to %s (%zu spans, %llu dropped)\n", path.c_str(),
+              telemetry.tracer().completed_count(),
+              static_cast<unsigned long long>(telemetry.tracer().dropped_count()));
+  return true;
 }
 
 }  // namespace obiswap::benchjson

@@ -45,7 +45,8 @@ struct RunResult {
   int clusters_lost = 0;
 };
 
-RunResult RunChurn(size_t replication_factor, uint64_t churn_period_us) {
+RunResult RunChurn(size_t replication_factor, uint64_t churn_period_us,
+                   telemetry::Telemetry* trace) {
   net::Network network(11);
   net::Discovery discovery(network);
   DeviceId pda(1);
@@ -60,6 +61,12 @@ RunResult RunChurn(size_t replication_factor, uint64_t churn_period_us) {
   context::EventBus bus;
   manager.AttachStore(&client, &discovery);
   manager.AttachBus(&bus);
+  trace->tracer().BeginTrack("churn K=" + std::to_string(replication_factor) +
+                             " period_s=" +
+                             std::to_string(churn_period_us / 1000000));
+  trace->AttachClock(&network.clock());
+  manager.AttachTelemetry(trace);
+  client.AttachTelemetry(trace);
   swap::DurabilityMonitor monitor(manager, discovery, pda, bus);
 
   std::vector<std::unique_ptr<net::StoreNode>> stores;
@@ -140,6 +147,9 @@ RunResult RunChurn(size_t replication_factor, uint64_t churn_period_us) {
 
 int main(int argc, char** argv) {
   benchjson::JsonWriter json;
+  telemetry::Telemetry::Options trace_options;
+  trace_options.tracer_capacity = 1 << 16;
+  telemetry::Telemetry trace(trace_options);
   std::printf(
       "Churn recovery: %d store departures, %d-store pool, %d clusters "
       "(poll every %.0f virtual ms, %d-poll miss threshold)\n\n",
@@ -150,7 +160,7 @@ int main(int argc, char** argv) {
               "clusters lost");
   for (uint64_t period_us : {2'000'000ull, 10'000'000ull}) {
     for (size_t k : {1u, 2u, 3u}) {
-      RunResult run = RunChurn(k, period_us);
+      RunResult run = RunChurn(k, period_us, &trace);
       std::printf("%3zu %10.0f %14llu %16.1f %14.1f %14d\n", k,
                   period_us / 1e6, (unsigned long long)run.replicas_lost,
                   run.re_replicated_bytes / 1024.0, run.mean_recovery_ms,
@@ -171,5 +181,6 @@ int main(int argc, char** argv) {
       "bounded recovery latency (detection window + one store-to-store\n"
       "copy per lost replica) instead of data loss.\n");
   benchjson::MaybeWriteJson(argc, argv, json, "BENCH_churn_recovery.json");
+  if (!benchjson::MaybeWriteTrace(argc, argv, trace)) return 1;
   return 0;
 }

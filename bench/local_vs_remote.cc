@@ -22,7 +22,7 @@ struct Run {
   uint64_t radio_bytes;
 };
 
-Run Measure(int objects, bool remote) {
+Run Measure(int objects, bool remote, telemetry::Telemetry* trace) {
   net::Network network;
   net::Discovery discovery(network);
   DeviceId pda(1), shelf(2);
@@ -35,6 +35,11 @@ Run Measure(int objects, bool remote) {
   runtime::Runtime rt(1);
   const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
   swap::SwappingManager manager(rt);
+  trace->tracer().BeginTrack(std::string(remote ? "remote" : "flash") +
+                             " n=" + std::to_string(objects));
+  trace->AttachClock(&network.clock());
+  manager.AttachTelemetry(trace);
+  client.AttachTelemetry(trace);
   if (remote) {
     network.SetInRange(pda, shelf, true);
     discovery.Announce(&store);
@@ -59,14 +64,17 @@ Run Measure(int objects, bool remote) {
 
 int main(int argc, char** argv) {
   benchjson::JsonWriter json;
+  telemetry::Telemetry::Options trace_options;
+  trace_options.tracer_capacity = 1 << 16;
+  telemetry::Telemetry trace(trace_options);
   std::printf(
       "Swap destination ablation: nearby store (Bluetooth 700 Kbps) vs "
       "local flash, virtual ms\n\n");
   std::printf("%8s %14s %14s %14s %14s %14s\n", "objects", "remote out",
               "remote in", "flash out", "flash in", "flash wear B");
   for (int objects : {20, 100, 500}) {
-    Run remote = Measure(objects, /*remote=*/true);
-    Run local = Measure(objects, /*remote=*/false);
+    Run remote = Measure(objects, /*remote=*/true, &trace);
+    Run local = Measure(objects, /*remote=*/false, &trace);
     std::printf("%8d %14.1f %14.1f %14.1f %14.1f %14llu\n", objects,
                 remote.out_ms, remote.in_ms, local.out_ms, local.in_ms,
                 (unsigned long long)local.flash_wear_bytes);
@@ -85,5 +93,6 @@ int main(int argc, char** argv) {
       "device's own storage — the paper's vision of\nborrowing *other* "
       "devices' memory avoids both.\n");
   benchjson::MaybeWriteJson(argc, argv, json, "BENCH_local_vs_remote.json");
+  if (!benchjson::MaybeWriteTrace(argc, argv, trace)) return 1;
   return 0;
 }

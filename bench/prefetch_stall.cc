@@ -91,7 +91,8 @@ struct RowResult {
 
 RowResult RunConfig(const std::string& workload, prefetch::PrefetchMode mode,
                     double confidence, size_t budget,
-                    benchjson::JsonWriter& json) {
+                    benchjson::JsonWriter& json,
+                    telemetry::Telemetry* trace) {
   StoreWorld world;
   runtime::Runtime rt(1);
   const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
@@ -101,6 +102,13 @@ RowResult RunConfig(const std::string& workload, prefetch::PrefetchMode mode,
   swap::SwappingManager manager(rt, mopts);
   manager.AttachStore(&world.client, &world.discovery);
   manager.AttachBus(&bus);
+  trace->tracer().BeginTrack(workload + " mode=" +
+                             std::to_string(static_cast<int>(mode)) +
+                             " conf=" + std::to_string(confidence) +
+                             " budget=" + std::to_string(budget));
+  trace->AttachClock(&world.network.clock());
+  manager.AttachTelemetry(trace);
+  world.client.AttachTelemetry(trace);
   manager.AttachClock(&world.network.clock());
 
   std::vector<SwapClusterId> clusters =
@@ -217,6 +225,9 @@ RowResult RunConfig(const std::string& workload, prefetch::PrefetchMode mode,
 
 int main(int argc, char** argv) {
   benchjson::JsonWriter json;
+  telemetry::Telemetry::Options trace_options;
+  trace_options.tracer_capacity = 1 << 16;
+  telemetry::Telemetry trace(trace_options);
   std::printf(
       "Predictive prefetch: demand faults and stall under confidence x "
       "budget sweep\n(%d nodes, %d per cluster, cache %zu KB, virtual "
@@ -232,13 +243,13 @@ int main(int argc, char** argv) {
   for (const std::string& workload : {std::string("sequential"),
                                       std::string("cyclic")}) {
     RowResult off = RunConfig(workload, prefetch::PrefetchMode::kOff,
-                              /*confidence=*/0.4, /*budget=*/2, json);
+                              /*confidence=*/0.4, /*budget=*/2, json, &trace);
     if (workload == "sequential") seq_off = off;
     for (prefetch::PrefetchMode mode : {prefetch::PrefetchMode::kCacheOnly,
                                         prefetch::PrefetchMode::kFull}) {
       for (double confidence : {0.4, 0.9}) {
         for (size_t budget : {size_t{1}, size_t{2}, size_t{4}}) {
-          RowResult row = RunConfig(workload, mode, confidence, budget, json);
+          RowResult row = RunConfig(workload, mode, confidence, budget, json, &trace);
           if (workload == "sequential" &&
               mode == prefetch::PrefetchMode::kFull && !have_full) {
             seq_full_best = row;  // first full config: conf 0.4, budget 1
@@ -275,5 +286,6 @@ int main(int argc, char** argv) {
       "pressure spiral.\n");
 
   benchjson::MaybeWriteJson(argc, argv, json, "BENCH_prefetch_stall.json");
+  if (!benchjson::MaybeWriteTrace(argc, argv, trace)) return 1;
   return halved ? 0 : 1;
 }

@@ -13,6 +13,10 @@
 // cluster size the clean path must be >=5x faster.
 //
 // `--json [path]` additionally dumps both tables to BENCH_swap_latency.json.
+// `--trace=<path>` dumps every swap/RPC span of the whole run as Chrome
+// trace_event JSON — one track per sweep configuration, virtual-clock
+// timestamps, so the serialize/compress/ship breakdown is inspectable at
+// chrome://tracing.
 #include <cstdio>
 #include <string>
 
@@ -39,7 +43,7 @@ struct StoreWorld {
   net::StoreClient client;
 };
 
-void SizeSweep(benchjson::JsonWriter& json) {
+void SizeSweep(benchjson::JsonWriter& json, telemetry::Telemetry* trace) {
   std::printf("%8s %10s %12s %12s %12s %12s\n", "objects", "codec",
               "payload B", "B/object", "swap-out ms", "swap-in ms");
 
@@ -52,6 +56,13 @@ void SizeSweep(benchjson::JsonWriter& json) {
       options.codec = codec;
       swap::SwappingManager manager(rt, options);
       manager.AttachStore(&world.client, &world.discovery);
+      // Each configuration renders as its own named track; each world has
+      // its own virtual clock, so re-attach per iteration.
+      trace->tracer().BeginTrack("size_sweep " + std::string(codec) + " n=" +
+                                 std::to_string(size));
+      trace->AttachClock(&world.network.clock());
+      manager.AttachTelemetry(trace);
+      world.client.AttachTelemetry(trace);
       // One cluster of exactly `size` objects plus a root holder.
       auto clusters =
           workload::BuildList(rt, &manager, cls, size, size, "head");
@@ -86,7 +97,8 @@ void SizeSweep(benchjson::JsonWriter& json) {
 // One write-ratio configuration: `cycles` swap-out/swap-in rounds of a
 // single cluster sized to ~64 KB of identity XML; `write_pct`% of the
 // reload cycles write one field before the next swap-out.
-void WriteRatioRun(int write_pct, int cycles, benchjson::JsonWriter& json) {
+void WriteRatioRun(int write_pct, int cycles, benchjson::JsonWriter& json,
+                   telemetry::Telemetry* trace) {
   constexpr int kClusterObjects = 580;  // ~64 KB serialized (identity)
   StoreWorld world;
   runtime::Runtime rt(1);
@@ -94,6 +106,11 @@ void WriteRatioRun(int write_pct, int cycles, benchjson::JsonWriter& json) {
   swap::SwappingManager manager(rt, swap::SwappingManager::Options());
   manager.AttachStore(&world.client, &world.discovery);
   manager.set_swap_in_cache_bytes(1 << 20);
+  trace->tracer().BeginTrack("write_ratio " + std::to_string(write_pct) +
+                             "% of " + std::to_string(cycles) + " cycles");
+  trace->AttachClock(&world.network.clock());
+  manager.AttachTelemetry(trace);
+  world.client.AttachTelemetry(trace);
   auto clusters = workload::BuildList(rt, &manager, cls, kClusterObjects,
                                       kClusterObjects, "head");
   OBISWAP_CHECK(clusters.size() == 1);
@@ -158,10 +175,13 @@ void WriteRatioRun(int write_pct, int cycles, benchjson::JsonWriter& json) {
 
 int main(int argc, char** argv) {
   benchjson::JsonWriter json;
+  telemetry::Telemetry::Options trace_options;
+  trace_options.tracer_capacity = 1 << 16;  // the whole run, no drops
+  telemetry::Telemetry trace(trace_options);
   std::printf(
       "Swap-cluster transfer costs over the paper's 700 Kbps Bluetooth "
       "link (virtual time)\n\n");
-  SizeSweep(json);
+  SizeSweep(json, &trace);
   std::printf(
       "\nreading: latency scales linearly with serialized size; lz77 "
       "trades host CPU for ~3-6x\nless link time, which dominates on "
@@ -174,7 +194,7 @@ int main(int argc, char** argv) {
               "dirty", "clean", "dirty ms", "clean ms", "speedup",
               "out bytes", "saved bytes", "hits");
   for (int pct : {0, 25, 50, 75, 100}) {
-    WriteRatioRun(pct, /*cycles=*/12, json);
+    WriteRatioRun(pct, /*cycles=*/12, json, &trace);
   }
   std::printf(
       "\nreading: a clean re-swap-out revalidates the retained store copy "
@@ -183,5 +203,6 @@ int main(int argc, char** argv) {
       "wrote. At 0%% writes only the first swap-out ever transfers.\n");
 
   benchjson::MaybeWriteJson(argc, argv, json, "BENCH_swap_latency.json");
+  if (!benchjson::MaybeWriteTrace(argc, argv, trace)) return 1;
   return 0;
 }

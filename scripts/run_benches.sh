@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs every benchmark binary, passing --json so benches that support the
 # machine-readable contract drop their BENCH_<name>.json next to the repo
-# root. CI diffs those files; humans read the transcript.
+# root, and --trace so the telemetry-instrumented benches additionally dump
+# BENCH_<name>_trace.json (Chrome trace_event format, load at
+# chrome://tracing). CI diffs the json and archives both; humans read the
+# transcript.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,11 +19,13 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 : > bench_output.txt
 for b in "$BUILD_DIR"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
-  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
-  # Benches that have not adopted the --json contract either ignore the
-  # flag or (google-benchmark binaries) reject it: retry bare.
-  if ! "$b" --json 2>&1 | tee -a bench_output.txt; then
-    echo "--- $(basename "$b") rejected --json; rerunning without it ---" \
+  name="$(basename "$b")"
+  echo "===== $name =====" | tee -a bench_output.txt
+  # Benches that have not adopted the --json/--trace contract either ignore
+  # the flags or (google-benchmark binaries) reject them: retry bare.
+  if ! "$b" --json "--trace=BENCH_${name}_trace.json" 2>&1 \
+      | tee -a bench_output.txt; then
+    echo "--- $name rejected --json/--trace; rerunning without them ---" \
       | tee -a bench_output.txt
     "$b" 2>&1 | tee -a bench_output.txt
   fi
@@ -40,11 +45,62 @@ expected=(
   BENCH_churn_recovery.json
   BENCH_prefetch_stall.json
 )
-missing=0
+# Telemetry-instrumented benches must also drop a span trace.
+expected_traces=(
+  BENCH_swap_latency_trace.json
+  BENCH_local_vs_remote_trace.json
+  BENCH_churn_recovery_trace.json
+  BENCH_prefetch_stall_trace.json
+)
+failed=0
 for f in "${expected[@]}"; do
   if [ ! -f "$f" ]; then
-    echo "missing expected artifact: $f" >&2
-    missing=1
+    echo "missing expected artifact: $f (bench $f regressed the --json contract)" >&2
+    failed=1
   fi
 done
-exit "$missing"
+for f in "${expected_traces[@]}"; do
+  if [ ! -f "$f" ]; then
+    echo "missing expected trace: $f (bench regressed the --trace contract)" >&2
+    failed=1
+  fi
+done
+
+# A present-but-malformed artifact is worse than a missing one: CI would
+# diff garbage. Validate every artifact structurally and name the offending
+# bench on failure. Result tables must be valid JSON with a non-empty
+# "rows" array; traces must be valid Chrome trace JSON with a non-empty
+# "traceEvents" array.
+if command -v python3 >/dev/null 2>&1; then
+  for f in BENCH_*.json; do
+    [ -f "$f" ] || continue
+    if ! python3 - "$f" <<'PYEOF'
+import json, sys
+path = sys.argv[1]
+bench = path.replace("BENCH_", "").replace("_trace.json", "").replace(".json", "")
+try:
+    with open(path) as fh:
+        doc = json.load(fh)
+except (OSError, ValueError) as err:
+    sys.exit(f"bench '{bench}': malformed artifact {path}: {err}")
+key = "traceEvents" if path.endswith("_trace.json") else "rows"
+items = doc.get(key)
+if not isinstance(items, list) or not items:
+    sys.exit(f"bench '{bench}': artifact {path} has empty or missing '{key}'")
+PYEOF
+    then
+      failed=1
+    fi
+  done
+else
+  # No python3: at least reject empty files.
+  for f in BENCH_*.json; do
+    [ -f "$f" ] || continue
+    if [ ! -s "$f" ]; then
+      echo "bench '$(basename "$f" .json)': artifact $f is empty" >&2
+      failed=1
+    fi
+  done
+fi
+
+exit "$failed"

@@ -146,8 +146,12 @@ std::vector<StoreNode*> Discovery::NearbyStores(DeviceId from,
   return out;
 }
 
-Result<std::string> StoreClient::Call(DeviceId device,
+Result<std::string> StoreClient::Call(DeviceId device, const char* op,
                                       const std::string& request_xml) {
+  telemetry::ScopedSpan rpc_span(telemetry_, std::string("rpc:") + op, "net",
+                                 telemetry::Hist(telemetry_, "rpc_us"));
+  if (telemetry_ != nullptr)
+    telemetry_->metrics().GetCounter("rpc_calls").Increment();
   StoreService* service = discovery_.ServiceFor(device);
   if (service == nullptr)
     return NotFoundError("device " + device.ToString() + " not announced");
@@ -156,6 +160,8 @@ Result<std::string> StoreClient::Call(DeviceId device,
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
+      if (telemetry_ != nullptr)
+        telemetry_->metrics().GetCounter("rpc_retries").Increment();
       if (backoff_base_us_ > 0) {
         // Exponential backoff in virtual time: 1x, 2x, 4x, ... so lossy
         // links charge an honest retransmission delay to the clock.
@@ -164,6 +170,9 @@ Result<std::string> StoreClient::Call(DeviceId device,
         stats_.backoff_us += wait;
       }
     }
+    // One child span per wire attempt: a traced retry storm shows each
+    // retransmission (and its backoff gap) inside the enclosing rpc span.
+    telemetry::ScopedSpan attempt_span(telemetry_, "rpc_attempt", "net");
     Result<uint64_t> out = network_.Transfer(self_, device,
                                              request_xml.size());
     if (!out.ok()) {
@@ -218,7 +227,7 @@ Status StoreClient::Store(DeviceId device, SwapKey key,
   request->SetIntAttr("checksum", static_cast<int64_t>(Adler32(text)));
   request->AddElement("payload")->AddText(text);
   OBISWAP_ASSIGN_OR_RETURN(std::string response,
-                           Call(device, xml::Write(*request)));
+                           Call(device, "store", xml::Write(*request)));
   OBISWAP_ASSIGN_OR_RETURN(std::string ignored,
                            ParseResponse(response, /*expect_payload=*/false));
   (void)ignored;
@@ -230,7 +239,7 @@ Result<std::string> StoreClient::Fetch(DeviceId device, SwapKey key) {
   request->SetAttr("op", "fetch");
   request->SetIntAttr("key", static_cast<int64_t>(key.value()));
   OBISWAP_ASSIGN_OR_RETURN(std::string response,
-                           Call(device, xml::Write(*request)));
+                           Call(device, "fetch", xml::Write(*request)));
   return ParseResponse(response, /*expect_payload=*/true);
 }
 
@@ -239,7 +248,7 @@ Status StoreClient::Drop(DeviceId device, SwapKey key) {
   request->SetAttr("op", "drop");
   request->SetIntAttr("key", static_cast<int64_t>(key.value()));
   OBISWAP_ASSIGN_OR_RETURN(std::string response,
-                           Call(device, xml::Write(*request)));
+                           Call(device, "drop", xml::Write(*request)));
   OBISWAP_ASSIGN_OR_RETURN(std::string ignored,
                            ParseResponse(response, /*expect_payload=*/false));
   (void)ignored;

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "net/network.h"
 #include "net/store_node.h"
+#include "telemetry/telemetry.h"
 
 namespace obiswap::net {
 
@@ -96,8 +97,14 @@ class StoreClient {
   void set_retry_backoff_us(uint64_t base_us) { backoff_base_us_ = base_us; }
   uint64_t retry_backoff_us() const { return backoff_base_us_; }
 
+  /// Optional shared telemetry bundle: every RPC then records an
+  /// "rpc:<op>" span (one child span per network attempt), the "rpc_us"
+  /// latency histogram, and rpc_calls/rpc_retries counters.
+  void AttachTelemetry(telemetry::Telemetry* t) { telemetry_ = t; }
+
  private:
-  Result<std::string> Call(DeviceId device, const std::string& request_xml);
+  Result<std::string> Call(DeviceId device, const char* op,
+                           const std::string& request_xml);
 
   Network& network_;
   Discovery& discovery_;
@@ -107,6 +114,7 @@ class StoreClient {
   /// benches pay an honest clock cost for retransmissions.
   uint64_t backoff_base_us_ = 30'000;
   Stats stats_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace obiswap::net

@@ -35,6 +35,10 @@
 #include "swap/manager.h"               // THE contribution: object-swapping
 #include "swap/proxy.h"
 #include "swap/swap_cluster.h"
+#include "telemetry/journal.h"          // post-mortem event ring
+#include "telemetry/metrics.h"          // counters / gauges / histograms
+#include "telemetry/telemetry.h"        // the per-instance bundle
+#include "telemetry/tracer.h"           // virtual-clock spans -> Chrome JSON
 #include "tx/transaction.h"             // optimistic replica transactions
 #include "tx/transport.h"
 #include "xml/node.h"

@@ -69,6 +69,21 @@ Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
         manager.set_swap_in_cache_bytes(static_cast<size_t>(bytes));
         return OkStatus();
       }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-telemetry",
+      [&manager](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t enabled,
+                                 RequiredIntParam(params, "enabled"));
+        manager.telemetry().set_enabled(enabled != 0);
+        return OkStatus();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "dump-trace",
+      [&manager](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(std::string path,
+                                 RequiredStringParam(params, "path"));
+        return manager.telemetry().DumpTrace(path);
+      }));
   return OkStatus();
 }
 

@@ -19,6 +19,8 @@ namespace obiswap::policy {
 ///   swap-out   (param "cluster") — SwappingManager::SwapOut
 ///   swap-in    (param "cluster") — SwappingManager::SwapIn
 ///   collect                      — full local collection
+///   set-telemetry (param "enabled", 0/1) — toggles span/journal recording
+///   dump-trace    (param "path")  — writes the Chrome trace JSON to path
 /// All objects must outlive the engine.
 Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
                            swap::SwappingManager& manager);

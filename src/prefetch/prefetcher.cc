@@ -113,7 +113,11 @@ void Prefetcher::Enqueue(SwapClusterId id) {
 
 void Prefetcher::Drain() {
   if (in_drain_) return;
+  // Drain runs on every crossing; don't trace the (common) empty case.
+  if (queue_.empty()) return;
   in_drain_ = true;
+  telemetry::ScopedSpan span(&manager_.telemetry(), "prefetch_drain",
+                             "prefetch");
   while (!queue_.empty()) {
     if (manager_.PrefetchOutstanding() >= options_.budget) {
       ++stats_.budget_deferred;

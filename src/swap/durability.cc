@@ -18,6 +18,9 @@ DurabilityMonitor::DurabilityMonitor(SwappingManager& manager,
       options_(options) {}
 
 void DurabilityMonitor::Poll() {
+  telemetry::ScopedSpan span(
+      &manager_.telemetry(), "durability_poll", "durability",
+      telemetry::Hist(&manager_.telemetry(), "durability_poll_us"));
   ++stats_.polls;
 
   std::vector<DeviceId> announced = discovery_.AnnouncedDevices();

@@ -1,5 +1,6 @@
 #include "swap/manager.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/checksum.h"
@@ -18,9 +19,31 @@ using runtime::ObjectKind;
 using runtime::Value;
 using runtime::ValueKind;
 
+namespace {
+/// Event properties live in unordered maps; the journal renders them with
+/// sorted keys so post-mortem dumps are byte-identical across runs.
+std::string RenderEventDetail(const context::Event& event) {
+  std::vector<std::string> parts;
+  parts.reserve(event.ints().size() + event.strings().size());
+  for (const auto& [key, value] : event.ints())
+    parts.push_back(key + "=" + std::to_string(value));
+  for (const auto& [key, value] : event.strings())
+    parts.push_back(key + "=" + value);
+  std::sort(parts.begin(), parts.end());
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out += " ";
+    out += part;
+  }
+  return out;
+}
+}  // namespace
+
 SwappingManager::SwappingManager(runtime::Runtime& rt, Options options)
     : rt_(rt),
       options_(std::move(options)),
+      own_telemetry_(std::make_unique<telemetry::Telemetry>()),
+      telemetry_(own_telemetry_.get()),
       cache_(options_.swap_in_cache_bytes),
       alive_(std::make_shared<SwappingManager*>(this)) {
   OBISWAP_CHECK(options_.clusters_per_swap_cluster > 0);
@@ -72,6 +95,7 @@ SwappingManager::~SwappingManager() {
   if (bus_ != nullptr) {
     bus_->Unsubscribe(bus_token_);
     bus_->Unsubscribe(conn_token_);
+    bus_->Unsubscribe(journal_token_);
   }
 }
 
@@ -79,6 +103,12 @@ void SwappingManager::AttachStore(net::StoreClient* client,
                                   net::Discovery* discovery) {
   store_ = client;
   discovery_ = discovery;
+}
+
+void SwappingManager::AttachTelemetry(telemetry::Telemetry* t) {
+  if (t == nullptr) return;
+  telemetry_ = t;
+  if (clock_ != nullptr) telemetry_->AttachClock(clock_);
 }
 
 void SwappingManager::AttachBus(context::EventBus* bus) {
@@ -91,6 +121,14 @@ void SwappingManager::AttachBus(context::EventBus* bus) {
   conn_token_ = bus_->Subscribe(
       context::kEventConnectivityChanged,
       [this](const context::Event&) { FlushPendingDrops(); });
+  // Mirror every bus event into the telemetry journal; a post-mortem dump
+  // then interleaves middleware events with the spans around them. Record
+  // only appends to a preallocated ring, so handlers that publish further
+  // events (delivered re-entrantly) are safe.
+  journal_token_ = bus_->SubscribeAll([this](const context::Event& event) {
+    telemetry_->journal().Record("event", event.type(),
+                                 RenderEventDetail(event));
+  });
 }
 
 void SwappingManager::InstallPressureHandler() {
@@ -647,6 +685,8 @@ Status SwappingManager::DropAt(DeviceId device, SwapKey key) {
 }
 
 Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
+  telemetry::ScopedSpan op_span(telemetry_, "swap_out", "swap",
+                                telemetry::Hist(telemetry_, "swap_out_us"));
   SwapClusterInfo* info = registry_.Find(id);
   if (info == nullptr)
     return NotFoundError("no swap-cluster " + id.ToString());
@@ -719,12 +759,24 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     ref.class_name = external->cls().name();
     return ref;
   };
-  OBISWAP_ASSIGN_OR_RETURN(
-      serialization::SerializedCluster serialized,
-      serialization::SerializeCluster(rt_, id.value(), members, describe));
+  serialization::SerializedCluster serialized;
+  {
+    telemetry::ScopedSpan span(
+        telemetry_, "serialize", "swap",
+        telemetry::Hist(telemetry_, "swap_out_serialize_us"));
+    OBISWAP_ASSIGN_OR_RETURN(
+        serialized,
+        serialization::SerializeCluster(rt_, id.value(), members, describe));
+  }
 
-  const compress::Codec* codec = compress::FindCodec(options_.codec);
-  std::string payload = compress::FrameCompress(*codec, serialized.xml);
+  std::string payload;
+  {
+    telemetry::ScopedSpan span(
+        telemetry_, "compress", "swap",
+        telemetry::Hist(telemetry_, "swap_out_compress_us"));
+    const compress::Codec* codec = compress::FindCodec(options_.codec);
+    payload = compress::FrameCompress(*codec, serialized.xml);
+  }
 
   // Place the payload on up to `replication_factor` nearby stores, each on
   // a distinct device under its own key ("stores the swapped objects in any
@@ -740,6 +792,9 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   std::vector<ReplicaLocation> placed;
   Status stored = UnavailableError("no nearby store device with " +
                                    FormatBytes(need) + " free");
+  telemetry::ScopedSpan ship_span(
+      telemetry_, "ship", "swap",
+      telemetry::Hist(telemetry_, "swap_out_ship_us"));
   if (store_ != nullptr && discovery_ != nullptr) {
     // A key minted for a failed store attempt is reused for the next
     // candidate (the failed store never recorded it) — the key space is not
@@ -778,6 +833,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
       ++stats_.local_swap_outs;
     }
   }
+  ship_span.Close();
   if (placed.empty()) {
     ++stats_.swap_out_failures;
     return stored;
@@ -785,6 +841,9 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   stats_.replicas_placed += placed.size();
   if (placed.size() < want) ++stats_.under_replicated_outs;
 
+  telemetry::ScopedSpan patch_span(
+      telemetry_, "patch", "swap",
+      telemetry::Hist(telemetry_, "swap_out_patch_us"));
   // Build the replacement-object: "simply an array of references ... filled
   // with references to every swap-cluster-proxy referenced by" the cluster.
   Result<Object*> replacement_or = rt_.TryNewMiddleware(replacement_cls_);
@@ -821,6 +880,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     inbound[write++] = inbound[read];
   }
   inbound.resize(write);
+  patch_span.Close();
 
   info->state = SwapState::kSwapped;
   info->replicas = placed;
@@ -857,6 +917,9 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
 
 std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
     SwapClusterInfo* info) {
+  telemetry::ScopedSpan span(
+      telemetry_, "clean_swap_out", "swap",
+      telemetry::Hist(telemetry_, "clean_swap_out_us"));
   const SwapClusterId id = info->id;
   CleanImage& image = *info->clean_image;
 
@@ -1006,6 +1069,13 @@ Result<SwapClusterId> SwappingManager::SwapOutVictim() {
 
 Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
   const uint64_t begin_us = clock_ != nullptr ? clock_->now_us() : 0;
+  // Demand faults and speculative loads get distinct categories and
+  // histograms: the trace separates application stall from prefetch work.
+  const char* span_category = prefetch ? "prefetch" : "swap";
+  telemetry::ScopedSpan op_span(
+      telemetry_, "swap_in", span_category,
+      telemetry::Hist(telemetry_, prefetch ? "swap_in_prefetch_us"
+                                           : "swap_in_demand_us"));
   SwapClusterInfo* info = registry_.Find(id);
   if (info == nullptr) return NotFoundError("no swap-cluster " + id.ToString());
   if (info->state != SwapState::kSwapped)
@@ -1048,6 +1118,9 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
   // the fetch path below.
   if (const std::string* cached = cache_.Get(id, info->payload_epoch)) {
     if (Adler32(*cached) == info->payload_checksum) {
+      telemetry::ScopedSpan span(
+          telemetry_, "materialize", span_category,
+          telemetry::Hist(telemetry_, "swap_in_materialize_us"));
       Result<std::vector<Object*>> members_or =
           serialization::DeserializeCluster(rt_, *cached, options, resolve);
       if (members_or.ok()) {
@@ -1067,18 +1140,31 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
       ReplicaFetchOrder(info->replicas);
   for (size_t attempt = 0; attempt < order.size() && !restored; ++attempt) {
     const ReplicaLocation& replica = order[attempt];
+    // The first replica tried is the plain fetch; every further attempt is
+    // a failover (the previous replica was unreachable or corrupt).
+    telemetry::ScopedSpan attempt_span(
+        telemetry_, attempt == 0 ? "fetch" : "failover_fetch", span_category,
+        telemetry::Hist(telemetry_, "swap_in_fetch_us"));
     Status failure = OkStatus();
     Result<std::string> fetched = FetchFrom(replica.device, replica.key);
     if (!fetched.ok()) {
       failure = fetched.status();
     } else {
+      telemetry::ScopedSpan decompress_span(
+          telemetry_, "decompress", span_category,
+          telemetry::Hist(telemetry_, "swap_in_decompress_us"));
       Result<std::string> xml_text = compress::FrameDecompress(*fetched);
+      decompress_span.Close();
       if (!xml_text.ok()) {
         failure = xml_text.status();
       } else {
+        telemetry::ScopedSpan materialize_span(
+            telemetry_, "materialize", span_category,
+            telemetry::Hist(telemetry_, "swap_in_materialize_us"));
         Result<std::vector<Object*>> members_or =
             serialization::DeserializeCluster(rt_, *xml_text, options,
                                               resolve);
+        materialize_span.Close();
         if (!members_or.ok()) {
           failure = members_or.status();
         } else {
@@ -1105,6 +1191,7 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
   std::unordered_map<uint64_t, Object*> by_oid;
   for (Object* member : members) by_oid[member->oid().value()] = member;
 
+  telemetry::ScopedSpan patch_span(telemetry_, "patch", span_category);
   // All-or-nothing: every live inbound proxy must resolve against the
   // restored payload BEFORE anything is mutated. Bailing out mid-patch
   // would leave the cluster torn — membership clobbered, some proxies
@@ -1138,6 +1225,7 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     inbound[write++] = inbound[read];
   }
   inbound.resize(write);
+  patch_span.Close();
 
   // Clean-image retention: the store copies are byte-identical to the
   // resident objects until the first write, so keep them (plus what is
@@ -1228,6 +1316,9 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
 }
 
 Status SwappingManager::PrefetchStage(SwapClusterId id) {
+  telemetry::ScopedSpan op_span(
+      telemetry_, "prefetch_stage", "prefetch",
+      telemetry::Hist(telemetry_, "prefetch_stage_us"));
   SwapClusterInfo* info = registry_.Find(id);
   if (info == nullptr) return NotFoundError("no swap-cluster " + id.ToString());
   if (info->state != SwapState::kSwapped)
@@ -1457,6 +1548,9 @@ size_t SwappingManager::ForgetReplica(SwapClusterId id, DeviceId device) {
 }
 
 Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
+  telemetry::ScopedSpan op_span(
+      telemetry_, "re_replicate", "durability",
+      telemetry::Hist(telemetry_, "re_replicate_us"));
   SwapClusterInfo* info = registry_.Find(id);
   if (info == nullptr)
     return NotFoundError("no swap-cluster " + id.ToString());
@@ -1497,6 +1591,8 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
 }
 
 Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
+  telemetry::ScopedSpan op_span(telemetry_, "evacuate_replicas",
+                                "durability");
   size_t moved = 0;
   for (SwapClusterId id : registry_.Ids()) {
     SwapClusterInfo* info = registry_.Find(id);
@@ -1610,58 +1706,92 @@ void SwappingManager::OnReplacementFinalized(Object* replacement) {
   }
 }
 
+namespace {
+/// The snapshot's key order and spelling are frozen — benches and scripts
+/// parse them — so the list lives in one table mapping each key to its
+/// Stats field.
+struct StatFieldSpec {
+  const char* name;
+  uint64_t SwappingManager::Stats::*field;
+};
+constexpr StatFieldSpec kStatFields[] = {
+    {"proxies_created", &SwappingManager::Stats::proxies_created},
+    {"proxies_reused", &SwappingManager::Stats::proxies_reused},
+    {"proxies_dismantled", &SwappingManager::Stats::proxies_dismantled},
+    {"proxies_finalized", &SwappingManager::Stats::proxies_finalized},
+    {"boundary_crossings", &SwappingManager::Stats::boundary_crossings},
+    {"assigned_patches", &SwappingManager::Stats::assigned_patches},
+    {"swap_outs", &SwappingManager::Stats::swap_outs},
+    {"swap_ins", &SwappingManager::Stats::swap_ins},
+    {"drops", &SwappingManager::Stats::drops},
+    {"drop_failures", &SwappingManager::Stats::drop_failures},
+    {"swap_out_failures", &SwappingManager::Stats::swap_out_failures},
+    {"bytes_swapped_out", &SwappingManager::Stats::bytes_swapped_out},
+    {"bytes_swapped_in", &SwappingManager::Stats::bytes_swapped_in},
+    {"local_swap_outs", &SwappingManager::Stats::local_swap_outs},
+    {"merges", &SwappingManager::Stats::merges},
+    {"splits", &SwappingManager::Stats::splits},
+    {"replicas_placed", &SwappingManager::Stats::replicas_placed},
+    {"under_replicated_outs",
+     &SwappingManager::Stats::under_replicated_outs},
+    {"failover_fetches", &SwappingManager::Stats::failover_fetches},
+    {"data_loss_failovers", &SwappingManager::Stats::data_loss_failovers},
+    {"replicas_forgotten", &SwappingManager::Stats::replicas_forgotten},
+    {"re_replications", &SwappingManager::Stats::re_replications},
+    {"bytes_re_replicated", &SwappingManager::Stats::bytes_re_replicated},
+    {"evacuated_replicas", &SwappingManager::Stats::evacuated_replicas},
+    {"drops_deferred", &SwappingManager::Stats::drops_deferred},
+    {"drops_drained", &SwappingManager::Stats::drops_drained},
+    {"clean_swap_outs", &SwappingManager::Stats::clean_swap_outs},
+    {"clean_image_invalidations",
+     &SwappingManager::Stats::clean_image_invalidations},
+    {"clean_images_reaped", &SwappingManager::Stats::clean_images_reaped},
+    {"cache_hits", &SwappingManager::Stats::cache_hits},
+    {"bytes_swap_transfer_saved",
+     &SwappingManager::Stats::bytes_swap_transfer_saved},
+    {"prefetched_swap_ins", &SwappingManager::Stats::prefetched_swap_ins},
+    {"prefetch_stages", &SwappingManager::Stats::prefetch_stages},
+    {"prefetch_stage_bytes", &SwappingManager::Stats::prefetch_stage_bytes},
+    {"prefetch_hits", &SwappingManager::Stats::prefetch_hits},
+    {"prefetch_wastes", &SwappingManager::Stats::prefetch_wastes},
+    {"demand_fault_stall_us",
+     &SwappingManager::Stats::demand_fault_stall_us},
+    {"prefetch_fetch_us", &SwappingManager::Stats::prefetch_fetch_us},
+};
+}  // namespace
+
 std::vector<std::pair<std::string, uint64_t>> SwappingManager::StatsSnapshot()
     const {
-  std::vector<std::pair<std::string, uint64_t>> snapshot = {
-      {"proxies_created", stats_.proxies_created},
-      {"proxies_reused", stats_.proxies_reused},
-      {"proxies_dismantled", stats_.proxies_dismantled},
-      {"proxies_finalized", stats_.proxies_finalized},
-      {"boundary_crossings", stats_.boundary_crossings},
-      {"assigned_patches", stats_.assigned_patches},
-      {"swap_outs", stats_.swap_outs},
-      {"swap_ins", stats_.swap_ins},
-      {"drops", stats_.drops},
-      {"drop_failures", stats_.drop_failures},
-      {"swap_out_failures", stats_.swap_out_failures},
-      {"bytes_swapped_out", stats_.bytes_swapped_out},
-      {"bytes_swapped_in", stats_.bytes_swapped_in},
-      {"local_swap_outs", stats_.local_swap_outs},
-      {"merges", stats_.merges},
-      {"splits", stats_.splits},
-      {"replicas_placed", stats_.replicas_placed},
-      {"under_replicated_outs", stats_.under_replicated_outs},
-      {"failover_fetches", stats_.failover_fetches},
-      {"data_loss_failovers", stats_.data_loss_failovers},
-      {"replicas_forgotten", stats_.replicas_forgotten},
-      {"re_replications", stats_.re_replications},
-      {"bytes_re_replicated", stats_.bytes_re_replicated},
-      {"evacuated_replicas", stats_.evacuated_replicas},
-      {"drops_deferred", stats_.drops_deferred},
-      {"drops_drained", stats_.drops_drained},
-      {"clean_swap_outs", stats_.clean_swap_outs},
-      {"clean_image_invalidations", stats_.clean_image_invalidations},
-      {"clean_images_reaped", stats_.clean_images_reaped},
-      {"cache_hits", stats_.cache_hits},
-      {"bytes_swap_transfer_saved", stats_.bytes_swap_transfer_saved},
-      {"prefetched_swap_ins", stats_.prefetched_swap_ins},
-      {"prefetch_stages", stats_.prefetch_stages},
-      {"prefetch_stage_bytes", stats_.prefetch_stage_bytes},
-      {"prefetch_hits", stats_.prefetch_hits},
-      {"prefetch_wastes", stats_.prefetch_wastes},
-      {"demand_fault_stall_us", stats_.demand_fault_stall_us},
-      {"prefetch_fetch_us", stats_.prefetch_fetch_us},
-  };
+  // The hot paths bump the plain Stats struct; export time syncs every
+  // field into the registry's named counters, then renders the snapshot
+  // from the registry — so the registry is the single read path while the
+  // keys (spelling and order) stay exactly as before the registry existed.
+  telemetry::MetricsRegistry& metrics = telemetry_->metrics();
+  for (const StatFieldSpec& spec : kStatFields)
+    metrics.GetCounter(spec.name).Set(stats_.*spec.field);
   const PayloadCache::Stats& cache = cache_.stats();
-  snapshot.emplace_back("payload_cache_hits", cache.hits);
-  snapshot.emplace_back("payload_cache_misses", cache.misses);
-  snapshot.emplace_back("payload_cache_insertions", cache.insertions);
-  snapshot.emplace_back("payload_cache_evictions", cache.evictions);
-  snapshot.emplace_back("payload_cache_invalidations", cache.invalidations);
-  snapshot.emplace_back("payload_cache_bytes",
-                        static_cast<uint64_t>(cache_.bytes()));
-  snapshot.emplace_back("payload_cache_entries",
-                        static_cast<uint64_t>(cache_.entry_count()));
+  metrics.GetCounter("payload_cache_hits").Set(cache.hits);
+  metrics.GetCounter("payload_cache_misses").Set(cache.misses);
+  metrics.GetCounter("payload_cache_insertions").Set(cache.insertions);
+  metrics.GetCounter("payload_cache_evictions").Set(cache.evictions);
+  metrics.GetCounter("payload_cache_invalidations").Set(cache.invalidations);
+  metrics.GetCounter("payload_cache_bytes")
+      .Set(static_cast<uint64_t>(cache_.bytes()));
+  metrics.GetCounter("payload_cache_entries")
+      .Set(static_cast<uint64_t>(cache_.entry_count()));
+
+  static constexpr const char* kCacheKeys[] = {
+      "payload_cache_hits",        "payload_cache_misses",
+      "payload_cache_insertions",  "payload_cache_evictions",
+      "payload_cache_invalidations", "payload_cache_bytes",
+      "payload_cache_entries",
+  };
+  std::vector<std::pair<std::string, uint64_t>> snapshot;
+  snapshot.reserve(std::size(kStatFields) + std::size(kCacheKeys));
+  for (const StatFieldSpec& spec : kStatFields)
+    snapshot.emplace_back(spec.name, metrics.GetCounter(spec.name).value());
+  for (const char* key : kCacheKeys)
+    snapshot.emplace_back(key, metrics.GetCounter(key).value());
   return snapshot;
 }
 

@@ -46,6 +46,7 @@
 #include "swap/payload_cache.h"
 #include "swap/proxy.h"
 #include "swap/swap_cluster.h"
+#include "telemetry/telemetry.h"
 
 namespace obiswap::swap {
 
@@ -151,8 +152,16 @@ class SwappingManager final : public runtime::Interceptor,
   void InstallPressureHandler();
   /// Virtual time source for the stall/prefetch timing counters (the same
   /// clock the simulated network advances). Optional; without it the
-  /// *_us counters stay 0.
-  void AttachClock(const net::SimClock* clock) { clock_ = clock; }
+  /// *_us counters stay 0 and telemetry spans are stamped 0.
+  void AttachClock(const net::SimClock* clock) {
+    clock_ = clock;
+    telemetry_->AttachClock(clock);
+  }
+  /// Shares an externally owned telemetry bundle (benches pass one bundle
+  /// to the manager and the store client so RPC spans land in the same
+  /// trace). The manager keeps its own bundle otherwise; attach before
+  /// AttachClock/AttachBus so spans and journal mirroring land in `t`.
+  void AttachTelemetry(telemetry::Telemetry* t);
 
   // --- swap-cluster management ----------------------------------------------
   /// Creates a fresh swap-cluster for locally built graphs.
@@ -313,6 +322,9 @@ class SwappingManager final : public runtime::Interceptor,
 
   // --- introspection ------------------------------------------------------------
   const Stats& stats() const { return stats_; }
+  /// The manager's telemetry bundle (own or attached): metrics registry,
+  /// span tracer, post-mortem event journal. Always valid.
+  telemetry::Telemetry& telemetry() const { return *telemetry_; }
   /// Every manager counter plus the payload cache's, as ordered
   /// (name, value) pairs — the single source benches and tests dump
   /// instead of hand-rolling counter lists.
@@ -430,6 +442,12 @@ class SwappingManager final : public runtime::Interceptor,
   context::EventBus* bus_ = nullptr;
   uint64_t bus_token_ = 0;
   uint64_t conn_token_ = 0;
+  uint64_t journal_token_ = 0;
+
+  /// Owned bundle unless AttachTelemetry() swapped in a shared one.
+  /// Held by pointer so const methods (StatsSnapshot) can sync counters.
+  std::unique_ptr<telemetry::Telemetry> own_telemetry_;
+  telemetry::Telemetry* telemetry_;
 
   /// Drop notifications that could not be delivered (store unreachable);
   /// drained on reconnection.

@@ -1,0 +1,50 @@
+#include "telemetry/journal.h"
+
+namespace obiswap::telemetry {
+
+EventJournal::EventJournal(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.resize(capacity_);
+}
+
+void EventJournal::Record(std::string_view kind, std::string_view what,
+                          std::string_view detail) {
+  if (!enabled_) return;
+  size_t slot;
+  if (size_ < capacity_) {
+    slot = (head_ + size_) % capacity_;
+    ++size_;
+  } else {
+    slot = head_;  // overwrite the oldest
+    head_ = (head_ + 1) % capacity_;
+  }
+  Entry& entry = ring_[slot];
+  entry.seq = ++seq_;
+  entry.ts_us = clock_ == nullptr ? 0 : clock_->now_us();
+  entry.kind.assign(kind.data(), kind.size());
+  entry.what.assign(what.data(), what.size());
+  entry.detail.assign(detail.data(), detail.size());
+}
+
+const EventJournal::Entry& EventJournal::entry(size_t index) const {
+  return ring_[(head_ + index) % capacity_];
+}
+
+std::string EventJournal::Dump() const {
+  std::string out;
+  ForEach([&](const Entry& entry) {
+    out += "#" + std::to_string(entry.seq) + " @" +
+           std::to_string(entry.ts_us) + "us [" + entry.kind + "] " +
+           entry.what;
+    if (!entry.detail.empty()) out += " {" + entry.detail + "}";
+    out += "\n";
+  });
+  return out;
+}
+
+void EventJournal::Clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace obiswap::telemetry

@@ -1,0 +1,76 @@
+// EventJournal: a bounded ring buffer of recent middleware activity for
+// post-mortem dumps.
+//
+// Chaos and churn tests fail long after the interesting moment; the flat
+// counter dump says *what* went wrong, never *in what order*. The journal
+// keeps the last N entries — EventBus traffic mirrored by the swapping
+// manager, completed tracer spans, and anything a layer cares to Record —
+// each stamped from the virtual clock, so a failing test can print an
+// ordered reconstruction of its final seconds.
+//
+// Storage is preallocated: a fixed vector of entries whose strings are
+// reassigned in place after the first lap, so steady-state recording is
+// O(1) per event with no allocation beyond string reuse. Recording from
+// inside an EventBus handler (including one triggered by a journal
+// subscriber publishing further events) is safe — Record only touches the
+// ring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/sim_clock.h"
+
+namespace obiswap::telemetry {
+
+class EventJournal {
+ public:
+  struct Entry {
+    uint64_t seq = 0;    ///< 1-based position in the full recorded stream
+    uint64_t ts_us = 0;  ///< virtual clock at record time (0 without clock)
+    std::string kind;    ///< "event", "span", or a caller-chosen tag
+    std::string what;    ///< event type / span name
+    std::string detail;  ///< rendered properties, sorted keys
+  };
+
+  explicit EventJournal(size_t capacity = 256);
+
+  void AttachClock(const net::SimClock* clock) { clock_ = clock; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void Record(std::string_view kind, std::string_view what,
+              std::string_view detail);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_; }
+  /// Entries ever recorded, including the ones the ring has since dropped.
+  uint64_t total_recorded() const { return seq_; }
+
+  /// Oldest-first access to the retained entries; index < size().
+  const Entry& entry(size_t index) const;
+
+  template <typename Fn>  // Fn(const Entry&), oldest first
+  void ForEach(Fn fn) const {
+    for (size_t i = 0; i < size_; ++i) fn(entry(i));
+  }
+
+  /// Human-readable dump, oldest first, one line per entry:
+  ///   #seq @ts_us [kind] what {detail}
+  std::string Dump() const;
+
+  void Clear();
+
+ private:
+  const net::SimClock* clock_ = nullptr;
+  bool enabled_ = true;
+  size_t capacity_;
+  std::vector<Entry> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace obiswap::telemetry

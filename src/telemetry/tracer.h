@@ -1,0 +1,120 @@
+// SpanTracer: nested spans stamped from the virtual clock, exported as
+// Chrome trace_event JSON.
+//
+// Every swap-out phase, swap-in attempt, store RPC, and re-replication
+// records a span; because timestamps come from the same SimClock the
+// simulated network advances, a bench run traced twice produces the same
+// bytes, and a whole run opens in chrome://tracing or Perfetto with the
+// per-phase latency attribution the paper's §5 tables are built on.
+//
+// Storage is a preallocated ring of completed spans — recording is O(1) and
+// never allocates past the ring's capacity (span names are small strings;
+// slots are reused in place after the first lap). When the ring is full the
+// oldest span is dropped and counted, so the tracer is safe to leave on
+// under an unbounded workload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/sim_clock.h"
+
+namespace obiswap::telemetry {
+
+class SpanTracer {
+ public:
+  /// A closed span. `track` maps to the Chrome trace "tid", so each bench
+  /// configuration can get its own named row (BeginTrack); `depth` is the
+  /// nesting level at open time.
+  struct CompletedSpan {
+    std::string name;
+    std::string category;
+    uint64_t start_us = 0;
+    uint64_t dur_us = 0;
+    uint32_t track = 1;
+    uint32_t depth = 0;
+  };
+
+  /// Handle for End(); 0 is never a live span.
+  using SpanToken = uint64_t;
+  static constexpr SpanToken kInvalidSpan = 0;
+
+  explicit SpanTracer(size_t capacity = 8192);
+
+  /// Virtual time source; without one every span is stamped 0 (the trace
+  /// is still structurally valid, just flat).
+  void AttachClock(const net::SimClock* clock) { clock_ = clock; }
+  uint64_t now_us() const { return clock_ == nullptr ? 0 : clock_->now_us(); }
+
+  /// Disabled: Begin returns kInvalidSpan and nothing records.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Opens a nested span. Spans close in LIFO order; End() of an outer
+  /// token implicitly closes anything still open above it.
+  SpanToken Begin(std::string_view name, std::string_view category);
+  /// Closes `token` (and any spans nested inside it that were left open —
+  /// each counted in unbalanced_closes). A token that is not open (already
+  /// closed, kInvalidSpan, or from a disabled period) is a counted no-op.
+  void End(SpanToken token);
+
+  /// Starts a new trace track: subsequent spans carry a fresh tid, labeled
+  /// `label` via trace metadata. Benches call this per configuration so
+  /// sweeps render as parallel named rows instead of overlapping times.
+  void BeginTrack(std::string_view label);
+
+  size_t capacity() const { return capacity_; }
+  size_t completed_count() const { return size_; }
+  uint64_t dropped_count() const { return dropped_; }
+  uint64_t unbalanced_closes() const { return unbalanced_; }
+  size_t open_depth() const { return open_.size(); }
+  /// Oldest-first access to the retained spans; index < completed_count().
+  const CompletedSpan& completed(size_t index) const;
+
+  /// Mirror for the event journal: called (synchronously) for every span
+  /// that completes, before it enters the ring.
+  using CompletedSink = std::function<void(const CompletedSpan&)>;
+  void SetCompletedSink(CompletedSink sink) { sink_ = std::move(sink); }
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — "M" thread-name
+  /// metadata per track, then one "X" complete event per retained span,
+  /// oldest first. Timestamps are virtual microseconds.
+  std::string ToChromeTraceJson() const;
+  /// Writes ToChromeTraceJson() to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Drops retained and open spans (counters survive).
+  void Clear();
+
+ private:
+  struct OpenSpan {
+    SpanToken token;
+    std::string name;
+    std::string category;
+    uint64_t start_us;
+    uint32_t track;
+    uint32_t depth;
+  };
+
+  void Complete(OpenSpan& span, uint64_t end_us);
+
+  const net::SimClock* clock_ = nullptr;
+  bool enabled_ = true;
+  size_t capacity_;
+  /// Fixed-size ring; ring_[(head_ + i) % capacity_] is the i-th oldest.
+  std::vector<CompletedSpan> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t unbalanced_ = 0;
+  SpanToken next_token_ = 1;
+  std::vector<OpenSpan> open_;
+  std::vector<std::pair<uint32_t, std::string>> tracks_;
+  uint32_t track_ = 1;
+  CompletedSink sink_;
+};
+
+}  // namespace obiswap::telemetry

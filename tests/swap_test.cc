@@ -524,6 +524,35 @@ TEST(PayloadCacheTest, EpochMismatchMissesAndPutReplaces) {
   EXPECT_EQ(cache.Get(SwapClusterId(1), 1), nullptr);
 }
 
+TEST(PayloadCacheTest, SameKeyDifferentSizeOverwriteKeepsBytesExact) {
+  // Regression guard: a Put over an existing key with a different payload
+  // size must account exactly one entry at the NEW size — no stale bytes
+  // from the replaced payload, no double-counting.
+  PayloadCache cache(100);
+  cache.Put(SwapClusterId(1), 1, std::string(40, 'a'));
+  EXPECT_EQ(cache.bytes(), 40u);
+  // Shrink.
+  cache.Put(SwapClusterId(1), 2, std::string(10, 'b'));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.bytes(), 10u);
+  // Grow.
+  cache.Put(SwapClusterId(1), 3, std::string(60, 'c'));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.bytes(), 60u);
+  // The overwrite must also refresh recency: cluster 1 was re-Put last,
+  // so inserting a filler that overflows the budget evicts cluster 2.
+  cache.Put(SwapClusterId(2), 1, std::string(30, 'd'));
+  EXPECT_EQ(cache.bytes(), 90u);
+  cache.Get(SwapClusterId(2), 1);          // 2 is now MRU
+  cache.Put(SwapClusterId(1), 4, std::string(65, 'e'));  // re-Put: 1 is MRU
+  cache.Put(SwapClusterId(3), 1, std::string(30, 'f'));  // overflow
+  EXPECT_EQ(cache.Get(SwapClusterId(2), 1), nullptr);    // LRU evicted
+  EXPECT_NE(cache.Get(SwapClusterId(1), 4), nullptr);
+  EXPECT_NE(cache.Get(SwapClusterId(3), 1), nullptr);
+  EXPECT_EQ(cache.bytes(), 95u);
+  EXPECT_LE(cache.bytes(), cache.budget_bytes());
+}
+
 TEST(PayloadCacheTest, DisabledAndOversizedPutsAreNoOps) {
   PayloadCache off(0);
   off.Put(SwapClusterId(1), 1, "x");
