@@ -1,0 +1,203 @@
+// Crash-consistency costs: what the write-ahead intent journal adds to the
+// swap hot path, and what a restart costs as a function of how much state
+// was swapped out when the process died.
+//
+// Table 1 — journal overhead: the swap_latency size sweep re-run twice per
+// configuration, with and without an intent journal attached. The journal
+// persists its image to local flash at every WAL boundary (begin+intents,
+// commit), so its cost is real virtual flash time on the hot path. The
+// acceptance gate is overhead <= 5% of the unjournaled swap cycle at every
+// size; the binary exits nonzero past the gate so CI fails loudly.
+//
+// Table 2 — recovery cost: N clusters are swapped out, the process "dies"
+// mid-swap-out (injected crash), and SwappingManager::Recover() replays
+// the journal, rolls the torn op back, and re-verifies every swapped
+// replica by checksum. Verification dominates: recovery time scales with
+// the swapped population, not with the journal (which stays a few hundred
+// bytes thanks to compaction).
+//
+// `--json [path]` dumps both tables to BENCH_crash_recovery.json.
+#include <cstdio>
+#include <string>
+
+#include "bench_json.h"
+#include "obiswap/obiswap.h"
+#include "workload/list_workload.h"
+
+namespace {
+
+using namespace obiswap;  // NOLINT
+
+constexpr double kOverheadGatePct = 5.0;
+
+struct BenchWorld {
+  explicit BenchWorld(bool with_journal)
+      : network(1),
+        discovery(network),
+        store_a(DeviceId(2), 256 * 1024 * 1024),
+        store_b(DeviceId(3), 256 * 1024 * 1024),
+        client(network, discovery, DeviceId(1)),
+        flash(DeviceId(1), 64 * 1024 * 1024, network.clock()),
+        journal(&flash),
+        manager(rt, Options()) {
+    network.AddDevice(DeviceId(1));
+    network.AddDevice(DeviceId(2));
+    network.AddDevice(DeviceId(3));
+    network.SetInRange(DeviceId(1), DeviceId(2), true);
+    network.SetInRange(DeviceId(1), DeviceId(3), true);
+    discovery.Announce(&store_a);
+    discovery.Announce(&store_b);
+    manager.AttachStore(&client, &discovery);
+    manager.AttachClock(&network.clock());
+    manager.AttachLocalStore(&flash);
+    if (with_journal) manager.AttachIntentJournal(&journal);
+    faults.AttachClock(&network.clock());
+    manager.AttachFaultInjector(&faults);
+  }
+
+  static swap::SwappingManager::Options Options() {
+    swap::SwappingManager::Options options;
+    options.replication_factor = 2;
+    return options;
+  }
+
+  net::Network network;
+  net::Discovery discovery;
+  net::StoreNode store_a;
+  net::StoreNode store_b;
+  net::StoreClient client;
+  persist::FlashStore flash;
+  swap::IntentJournal journal;
+  swap::FaultInjector faults;
+  runtime::Runtime rt{1};
+  swap::SwappingManager manager;
+};
+
+/// One size configuration: `cycles` dirty swap-out/swap-in rounds of one
+/// cluster. Returns total virtual time of the swap loop in microseconds.
+uint64_t SwapCycleRun(BenchWorld& world, int objects, int cycles) {
+  const runtime::ClassInfo* cls = workload::RegisterNodeClass(world.rt);
+  auto clusters = workload::BuildList(world.rt, &world.manager, cls, objects,
+                                      objects, "head");
+  OBISWAP_CHECK(clusters.size() == 1);
+  uint64_t t0 = world.network.clock().now_us();
+  for (int c = 0; c < cycles; ++c) {
+    OBISWAP_CHECK(world.manager.SwapOut(clusters[0]).ok());
+    OBISWAP_CHECK(world.manager.SwapIn(clusters[0]).ok());
+    world.manager.MarkDirty(clusters[0]);  // force the full path every cycle
+  }
+  return world.network.clock().now_us() - t0;
+}
+
+bool OverheadSweep(benchjson::JsonWriter& json) {
+  constexpr int kCycles = 8;
+  bool within_gate = true;
+  std::printf("%8s %14s %14s %10s %14s\n", "objects", "plain ms",
+              "journaled ms", "overhead", "journal B");
+  for (int objects : {20, 100, 500}) {
+    BenchWorld plain(/*with_journal=*/false);
+    uint64_t plain_us = SwapCycleRun(plain, objects, kCycles);
+    BenchWorld journaled(/*with_journal=*/true);
+    uint64_t journaled_us = SwapCycleRun(journaled, objects, kCycles);
+    double overhead_pct =
+        plain_us > 0
+            ? 100.0 * (static_cast<double>(journaled_us) - plain_us) / plain_us
+            : 0.0;
+    uint64_t journal_bytes = journaled.journal.stats().persisted_bytes;
+    if (overhead_pct > kOverheadGatePct) within_gate = false;
+    std::printf("%8d %14.1f %14.1f %9.2f%% %14llu\n", objects,
+                plain_us / 1000.0, journaled_us / 1000.0, overhead_pct,
+                static_cast<unsigned long long>(journal_bytes));
+    json.BeginRow();
+    json.Add("table", std::string("journal_overhead"));
+    json.Add("objects", static_cast<int64_t>(objects));
+    json.Add("cycles", static_cast<int64_t>(kCycles));
+    json.Add("plain_ms", plain_us / 1000.0);
+    json.Add("journaled_ms", journaled_us / 1000.0);
+    json.Add("overhead_pct", overhead_pct);
+    json.Add("journal_bytes", journal_bytes);
+    json.Add("journal_persists", journaled.journal.stats().persists);
+  }
+  return within_gate;
+}
+
+void RecoverySweep(benchjson::JsonWriter& json) {
+  constexpr int kPerCluster = 10;
+  std::printf("%10s %12s %12s %12s %12s %12s\n", "swapped", "recover ms",
+              "verified", "discarded", "rolled back", "journal B");
+  for (int swapped : {4, 16, 64}) {
+    BenchWorld world(/*with_journal=*/true);
+    const runtime::ClassInfo* cls = workload::RegisterNodeClass(world.rt);
+    // One extra cluster stays loaded so the torn swap-out has a victim.
+    int objects = (swapped + 1) * kPerCluster;
+    auto clusters = workload::BuildList(world.rt, &world.manager, cls,
+                                        objects, kPerCluster, "head");
+    OBISWAP_CHECK(static_cast<int>(clusters.size()) == swapped + 1);
+    for (int i = 1; i <= swapped; ++i)
+      OBISWAP_CHECK(world.manager.SwapOut(clusters[i]).ok());
+
+    // Die mid-swap-out of the remaining cluster, then restart. (Hit
+    // ordinals count from Reset; the population swap-outs above already
+    // traversed this point.)
+    world.faults.Reset();
+    world.faults.Arm("swap_out.ship_replica", swap::FaultKind::kCrash);
+    OBISWAP_CHECK(!world.manager.SwapOut(clusters[0]).ok());
+    OBISWAP_CHECK(world.manager.crashed());
+    uint64_t journal_bytes = world.journal.stats().persisted_bytes;
+    Result<swap::SwappingManager::RecoveryReport> report =
+        world.manager.Recover();
+    OBISWAP_CHECK(report.ok());
+    OBISWAP_CHECK(report->rolled_back == 1);
+    double recover_ms = world.manager.stats().recovery_us / 1000.0;
+    std::printf("%10d %12.1f %12zu %12zu %12zu %12llu\n", swapped, recover_ms,
+                report->replicas_verified, report->replicas_discarded,
+                report->rolled_back,
+                static_cast<unsigned long long>(journal_bytes));
+    json.BeginRow();
+    json.Add("table", std::string("recovery_cost"));
+    json.Add("swapped_clusters", static_cast<int64_t>(swapped));
+    json.Add("recover_ms", recover_ms);
+    json.Add("replicas_verified",
+             static_cast<uint64_t>(report->replicas_verified));
+    json.Add("replicas_discarded",
+             static_cast<uint64_t>(report->replicas_discarded));
+    json.Add("rolled_back", static_cast<uint64_t>(report->rolled_back));
+    json.Add("pending_ops", static_cast<uint64_t>(report->pending_ops));
+    json.Add("journal_bytes", journal_bytes);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchjson::JsonWriter json;
+  std::printf(
+      "Intent-journal overhead on the swap hot path (8 dirty swap "
+      "cycles, virtual time, 2 replicas)\n\n");
+  bool within_gate = OverheadSweep(json);
+  std::printf(
+      "\nreading: every swap-out persists the journal twice "
+      "(begin+intents, commit) to local\nflash; the flash write is tiny "
+      "next to shipping the payload over the 700 Kbps link,\nso the "
+      "journal stays well under the %.0f%% gate and shrinks relatively as "
+      "clusters grow.\n",
+      kOverheadGatePct);
+
+  std::printf(
+      "\nRestart cost vs swapped population (crash mid-swap-out, then "
+      "Recover())\n\n");
+  RecoverySweep(json);
+  std::printf(
+      "\nreading: recovery replays the (compacted, few-hundred-byte) "
+      "journal in one flash read,\nrolls the torn op back, and spends the "
+      "rest re-verifying every swapped replica by\nchecksum fetch — cost "
+      "is linear in swapped state, independent of journal size.\n");
+
+  benchjson::MaybeWriteJson(argc, argv, json, "BENCH_crash_recovery.json");
+  if (!within_gate) {
+    std::fprintf(stderr, "FAIL: journal overhead exceeded %.1f%% gate\n",
+                 kOverheadGatePct);
+    return 1;
+  }
+  return 0;
+}

@@ -44,6 +44,7 @@ expected=(
   BENCH_local_vs_remote.json
   BENCH_churn_recovery.json
   BENCH_prefetch_stall.json
+  BENCH_crash_recovery.json
 )
 # Telemetry-instrumented benches must also drop a span trace.
 expected_traces=(

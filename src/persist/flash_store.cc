@@ -15,20 +15,28 @@ uint64_t FlashStore::AccessCost(size_t bytes, uint64_t per_kib) const {
 }
 
 Status FlashStore::Store(SwapKey key, std::string text) {
-  if (auto it = entries_.find(key); it != entries_.end()) {
-    if (it->second == text) return OkStatus();  // idempotent re-store
-    return AlreadyExistsError("flash key " + key.ToString() +
-                              " already stored");
-  }
-  if (used_bytes_ + text.size() > capacity_bytes_)
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second == text)
+    return OkStatus();  // idempotent re-store: no wear, no time
+  // Overwrite accounting: capacity is charged by the size *delta* (the old
+  // entry's bytes are reclaimed by the same operation), while wear is
+  // charged for every byte actually written — flash rewrites the whole new
+  // payload even when it shrinks.
+  const size_t existing = it != entries_.end() ? it->second.size() : 0;
+  if (used_bytes_ - existing + text.size() > capacity_bytes_)
     return ResourceExhaustedError("flash full");
   uint64_t cost = AccessCost(text.size(), params_.write_us_per_kib);
   clock_.Advance(cost);
   stats_.busy_us += cost;
   ++stats_.writes;
   stats_.bytes_written += text.size();
-  used_bytes_ += text.size();
-  entries_.emplace(key, std::move(text));
+  used_bytes_ = used_bytes_ - existing + text.size();
+  if (it != entries_.end()) {
+    ++stats_.overwrites;
+    it->second = std::move(text);
+  } else {
+    entries_.emplace(key, std::move(text));
+  }
   return OkStatus();
 }
 

@@ -32,6 +32,7 @@ class FlashStore {
     uint64_t writes = 0;
     uint64_t reads = 0;
     uint64_t drops = 0;
+    uint64_t overwrites = 0;     ///< writes that replaced an existing key
     uint64_t bytes_written = 0;  ///< wear proxy
     uint64_t bytes_read = 0;
     uint64_t busy_us = 0;

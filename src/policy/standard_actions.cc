@@ -84,6 +84,35 @@ Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
                                  RequiredStringParam(params, "path"));
         return manager.telemetry().DumpTrace(path);
       }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "inject-fault",
+      [&manager](const context::Event&,
+                 const ActionParams& params) -> Status {
+        swap::FaultInjector* faults = manager.fault_injector();
+        if (faults == nullptr)
+          return FailedPreconditionError(
+              "no fault injector attached to the swapping manager");
+        OBISWAP_ASSIGN_OR_RETURN(std::string point,
+                                 RequiredStringParam(params, "point"));
+        OBISWAP_ASSIGN_OR_RETURN(std::string kind_name,
+                                 RequiredStringParam(params, "kind"));
+        OBISWAP_ASSIGN_OR_RETURN(swap::FaultKind kind,
+                                 swap::ParseFaultKind(kind_name));
+        int64_t nth = 1;
+        if (auto it = params.find("nth"); it != params.end()) {
+          OBISWAP_ASSIGN_OR_RETURN(nth, ParseInt64(it->second));
+        }
+        if (nth <= 0) return InvalidArgumentError("nth must be positive");
+        int64_t delay_us = 0;
+        if (auto it = params.find("delay_us"); it != params.end()) {
+          OBISWAP_ASSIGN_OR_RETURN(delay_us, ParseInt64(it->second));
+        }
+        if (delay_us < 0)
+          return InvalidArgumentError("delay_us must be non-negative");
+        faults->Arm(std::move(point), kind, static_cast<uint64_t>(nth),
+                    static_cast<uint64_t>(delay_us));
+        return OkStatus();
+      }));
   return OkStatus();
 }
 

@@ -18,6 +18,11 @@ DurabilityMonitor::DurabilityMonitor(SwappingManager& manager,
       options_(options) {}
 
 void DurabilityMonitor::Poll() {
+  // A crashed manager must not be driven by maintenance: every repair
+  // action would hit the crash gate anyway, and the poll's own bookkeeping
+  // would drift from the state recovery is about to rebuild.
+  if (manager_.crashed()) return;
+  if (!manager_.CheckFaultPoint("durability.poll").ok()) return;
   telemetry::ScopedSpan span(
       &manager_.telemetry(), "durability_poll", "durability",
       telemetry::Hist(&manager_.telemetry(), "durability_poll_us"));

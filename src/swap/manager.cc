@@ -181,7 +181,7 @@ void SwappingManager::InvalidateCleanImage(SwapClusterInfo* info,
                                            bool count_as_drop) {
   if (!info->clean_image.has_value()) return;
   if (store_ != nullptr || local_ != nullptr) {
-    ReleaseReplicas(info->clean_image->replicas, count_as_drop);
+    JournaledRelease(info->id, info->clean_image->replicas, count_as_drop);
   }
   info->clean_image.reset();
   cache_.Invalidate(info->id);
@@ -684,7 +684,557 @@ Status SwappingManager::DropAt(DeviceId device, SwapKey key) {
   return store_->Drop(device, key);
 }
 
+// ---------------------------------------------------------------------------
+// Crash consistency: fault points + write-ahead intent journaling
+// ---------------------------------------------------------------------------
+
+Status SwappingManager::CheckFaultPoint(const char* point) {
+  if (faults_ == nullptr) return OkStatus();
+  FaultInjector::Outcome outcome = faults_->Hit(point);
+  switch (outcome.action) {
+    case FaultInjector::Action::kError:
+      return UnavailableError(std::string("injected fault at ") + point);
+    case FaultInjector::Action::kCrash:
+      // The operation is abandoned at this instruction boundary: heap,
+      // flash and remote stores keep whatever the op mutated so far, and
+      // every entry point refuses until Recover().
+      crashed_ = true;
+      telemetry_->journal().Record("fault", "crash", point);
+      return InternalError(std::string("simulated crash at ") + point);
+    case FaultInjector::Action::kNone:
+    case FaultInjector::Action::kDelay:
+      break;  // delays already advanced the injector's clock
+  }
+  return OkStatus();
+}
+
+namespace {
+Status CrashedError() {
+  return FailedPreconditionError(
+      "manager crashed mid-operation; Recover() required");
+}
+}  // namespace
+
+std::vector<uint64_t> SwappingManager::LiveInboundProxyOids(SwapClusterId id) {
+  std::vector<uint64_t> oids;
+  auto it = inbound_.find(id);
+  if (it == inbound_.end()) return oids;
+  for (const runtime::WeakRef& weak : it->second) {
+    Object* proxy = weak->get();
+    if (proxy == nullptr || ProxyTargetSc(proxy) != id) continue;
+    oids.push_back(proxy->oid().value());
+  }
+  return oids;
+}
+
+std::vector<Object*> SwappingManager::HeapProxiesTargeting(SwapClusterId id) {
+  std::vector<Object*> proxies;
+  rt_.heap().ForEachObject([&](Object* obj) {
+    if (obj->kind() != ObjectKind::kSwapClusterProxy) return;
+    if (ProxyTargetSc(obj) != id) return;
+    proxies.push_back(obj);
+  });
+  return proxies;
+}
+
+void SwappingManager::JournaledRelease(
+    SwapClusterId id, const std::vector<ReplicaLocation>& replicas,
+    bool count_as_drop) {
+  if (replicas.empty()) return;
+  uint64_t seq = 0;
+  if (journal_ != nullptr) {
+    seq = journal_->BeginOp(IntentOp::kDrop, id, /*swap_epoch=*/0,
+                            /*payload_checksum=*/0, {}, {});
+    for (const ReplicaLocation& replica : replicas)
+      journal_->NoteReplicaIntent(seq, replica.device, replica.key);
+    (void)journal_->Persist();
+  }
+  ReleaseReplicas(replicas, count_as_drop);
+  if (crashed_) return;  // torn mid-release: recovery finishes from the seq
+  if (journal_ != nullptr) (void)journal_->Commit(seq);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery (simulated restart)
+// ---------------------------------------------------------------------------
+
+namespace {
+bool IntentsContain(const std::vector<ReplicaLocation>& intents,
+                    const ReplicaLocation& replica) {
+  for (const ReplicaLocation& intent : intents)
+    if (intent == replica) return true;
+  return false;
+}
+bool IntentsIntersect(const std::vector<ReplicaLocation>& a,
+                      const std::vector<ReplicaLocation>& b) {
+  for (const ReplicaLocation& replica : b)
+    if (IntentsContain(a, replica)) return true;
+  return false;
+}
+}  // namespace
+
+void SwappingManager::EnqueueOrphanDrops(
+    const std::vector<ReplicaLocation>& intents, RecoveryReport* report) {
+  // Recovery never talks to stores beyond read-only verification; orphaned
+  // keys go through the pending-drop queue and drain once the system is
+  // healthy again.
+  for (const ReplicaLocation& intent : intents) {
+    bool queued = false;
+    for (const PendingDrop& pending : pending_drops_) {
+      if (pending.device == intent.device && pending.key == intent.key) {
+        queued = true;
+        break;
+      }
+    }
+    if (queued) continue;
+    pending_drops_.push_back(PendingDrop{intent.device, intent.key});
+    ++stats_.drops_deferred;
+    ++report->orphan_drops_enqueued;
+  }
+}
+
+const char* SwappingManager::RecoverTornSwapOut(
+    const IntentJournal::PendingOp& op, SwapClusterInfo* info,
+    RecoveryReport* report) {
+  if (info == nullptr) {
+    // The cluster record is gone (merged or removed since the journal was
+    // written): only the journaled keys matter — reclaim them.
+    EnqueueOrphanDrops(op.replica_intents, report);
+    ++report->rolled_back;
+    return "rolled_back";
+  }
+  std::unordered_map<uint64_t, Object*> members_by_oid;
+  for (Object* member : registry_.LiveMembers(info->id))
+    members_by_oid[member->oid().value()] = member;
+  std::vector<Object*> proxies = HeapProxiesTargeting(info->id);
+
+  // Roll back only if the heap still holds the whole cluster: every
+  // journaled member alive, and every proxy the torn op patched can be
+  // re-pointed at a live member.
+  bool can_roll_back = true;
+  for (ObjectId oid : op.member_oids) {
+    if (members_by_oid.count(oid.value()) == 0) {
+      can_roll_back = false;
+      break;
+    }
+  }
+  if (can_roll_back) {
+    for (Object* proxy : proxies) {
+      Object* target = ProxyTarget(proxy);
+      if (target != nullptr && IsReplacement(target) &&
+          members_by_oid.count(ProxyTargetOid(proxy).value()) == 0) {
+        can_roll_back = false;
+        break;
+      }
+    }
+  }
+  if (can_roll_back) {
+    for (Object* proxy : proxies) {
+      Object* target = ProxyTarget(proxy);
+      if (target == nullptr || !IsReplacement(target)) continue;
+      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(
+          members_by_oid.find(ProxyTargetOid(proxy).value())->second);
+      ++report->proxies_restored;
+    }
+    info->state = SwapState::kLoaded;
+    info->dirty = true;
+    // The registry may list keys beyond the journaled intents: committed
+    // maintenance ops (re-replication, evacuation) run between the torn
+    // swap-out and the restart. Rolling back retires every one of them.
+    EnqueueOrphanDrops(info->replicas, report);
+    info->replicas.clear();
+    info->swapped_oids.clear();
+    info->replacement = runtime::WeakRef();
+    if (info->clean_image.has_value()) {
+      EnqueueOrphanDrops(info->clean_image->replicas, report);
+      info->clean_image->replicas.clear();
+      info->clean_image.reset();
+      ++stats_.clean_image_invalidations;
+    }
+    cache_.Invalidate(info->id);
+    EnqueueOrphanDrops(op.replica_intents, report);
+    ++report->rolled_back;
+    return "rolled_back";
+  }
+
+  // Roll forward: the heap copy is gone; adopt the journaled replicas —
+  // plus any keys committed maintenance ops added to the registry after
+  // the torn op, which carry the same payload — if one of them verifiably
+  // serves the journaled payload.
+  std::vector<ReplicaLocation> intents;
+  for (const ReplicaLocation& intent : op.replica_intents)
+    if (!IntentsContain(intents, intent)) intents.push_back(intent);
+  for (const ReplicaLocation& replica : info->replicas)
+    if (!IntentsContain(intents, replica)) intents.push_back(replica);
+  size_t verified_bytes = 0;
+  bool verified = false;
+  for (const ReplicaLocation& replica : ReplicaFetchOrder(intents)) {
+    Result<std::string> fetched = FetchFrom(replica.device, replica.key);
+    if (!fetched.ok()) continue;
+    Result<std::string> xml_text = compress::FrameDecompress(*fetched);
+    if (!xml_text.ok() || Adler32(*xml_text) != op.payload_checksum)
+      continue;
+    verified_bytes = fetched->size();
+    verified = true;
+    break;
+  }
+  // The torn op's replacement survives as the heap object labelled with
+  // this cluster id — found by scan, since the crash may have hit before
+  // any proxy was patched to reference it.
+  Object* replacement = nullptr;
+  rt_.heap().ForEachObject([&](Object* obj) {
+    if (replacement == nullptr && IsReplacement(obj) &&
+        ReplacementCluster(obj) == info->id) {
+      replacement = obj;
+    }
+  });
+  if (!verified || replacement == nullptr) {
+    // Either no candidate replica holds a usable copy, or there is no
+    // replacement to carry the outbound references a future swap-in
+    // would need. With the heap copy also gone, the cluster is lost.
+    EnqueueOrphanDrops(intents, report);
+    info->state = SwapState::kDropped;
+    info->replicas.clear();
+    info->swapped_oids.clear();
+    info->replacement = runtime::WeakRef();
+    if (info->clean_image.has_value()) {
+      EnqueueOrphanDrops(info->clean_image->replicas, report);
+      info->clean_image->replicas.clear();
+      info->clean_image.reset();
+      ++stats_.clean_image_invalidations;
+    }
+    cache_.Invalidate(info->id);
+    ++report->clusters_lost;
+    return "lost";
+  }
+  for (Object* proxy : proxies) {
+    Object* target = ProxyTarget(proxy);
+    if (target != nullptr && !IsReplacement(target)) {
+      // Finish the torn patch: un-patched proxies join the swapped state.
+      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(replacement);
+      ++report->proxies_restored;
+    }
+  }
+  info->state = SwapState::kSwapped;
+  info->replicas = std::move(intents);  // the sweep prunes unverifiable ones
+  info->swap_epoch = std::max(info->swap_epoch, op.swap_epoch);
+  if (op.op == IntentOp::kSwapOut) info->payload_epoch = op.swap_epoch;
+  info->payload_checksum = op.payload_checksum;
+  info->swapped_oids = op.member_oids;
+  info->swapped_object_count = op.member_oids.size();
+  info->swapped_payload_bytes = verified_bytes;
+  info->replacement = rt_.heap().NewWeakRef(replacement);
+  replacement->RawSlotMutable(kReplSlotEpoch) =
+      Value::Int(static_cast<int64_t>(info->swap_epoch));
+  if (info->clean_image.has_value()) {
+    // Any image replica not adopted above serves a stale payload now.
+    std::vector<ReplicaLocation> remnants;
+    for (const ReplicaLocation& replica : info->clean_image->replicas)
+      if (!IntentsContain(info->replicas, replica))
+        remnants.push_back(replica);
+    EnqueueOrphanDrops(remnants, report);
+    info->clean_image->replicas.clear();
+    info->clean_image.reset();
+    ++stats_.clean_image_invalidations;
+  }
+  ++report->rolled_forward;
+  return "rolled_forward";
+}
+
+const char* SwappingManager::RecoverTornSwapIn(
+    const IntentJournal::PendingOp& op, SwapClusterInfo* info,
+    RecoveryReport* report) {
+  if (info == nullptr) {
+    EnqueueOrphanDrops(op.replica_intents, report);
+    ++report->rolled_back;
+    return "rolled_back";
+  }
+  if (info->state != SwapState::kSwapped) {
+    // The swap-in finalized before the crash; only the commit (and, when
+    // no image was retained, the stale-replica release) is missing. Any
+    // journaled key the cluster no longer accounts for is an orphan.
+    std::vector<ReplicaLocation> orphans;
+    for (const ReplicaLocation& intent : op.replica_intents) {
+      bool kept = IntentsContain(info->replicas, intent) ||
+                  (info->clean_image.has_value() &&
+                   IntentsContain(info->clean_image->replicas, intent));
+      if (!kept) orphans.push_back(intent);
+    }
+    EnqueueOrphanDrops(orphans, report);
+    ++report->rolled_forward;
+    return "rolled_forward";
+  }
+  std::vector<Object*> proxies = HeapProxiesTargeting(info->id);
+  Object* replacement =
+      info->replacement != nullptr ? info->replacement->get() : nullptr;
+  if (replacement != nullptr) {
+    // Roll back: any proxy already patched to a fresh object returns to
+    // the replacement; the half-materialized objects become garbage.
+    for (Object* proxy : proxies) {
+      Object* target = ProxyTarget(proxy);
+      if (target == nullptr || IsReplacement(target)) continue;
+      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(replacement);
+      ++report->proxies_restored;
+    }
+    ++report->rolled_back;
+    return "rolled_back";
+  }
+  // Replacement dead: every proxy was already patched (a proxy's strong
+  // ref would otherwise keep the replacement alive), so the swap-in went
+  // too far to unwind. Complete it from the heap — the patched proxies
+  // kept the materialized objects alive; members no proxy's graph reaches
+  // were never reachable to the application anyway.
+  info->members.clear();
+  rt_.heap().ForEachObject([&](Object* obj) {
+    if (obj->kind() != ObjectKind::kRegular) return;
+    if (obj->swap_cluster() != info->id) return;
+    info->members.push_back(rt_.heap().NewWeakRef(obj));
+  });
+  std::vector<ReplicaLocation> stale = std::move(info->replicas);
+  info->state = SwapState::kLoaded;
+  info->dirty = true;
+  info->replicas.clear();
+  info->swapped_oids.clear();
+  info->replacement = runtime::WeakRef();
+  EnqueueOrphanDrops(stale, report);
+  cache_.Invalidate(info->id);
+  registry_.RecordCrossing(info->id, ++crossing_seq_);
+  ++report->rolled_forward;
+  return "rolled_forward";
+}
+
+const char* SwappingManager::RecoverTornDrop(
+    const IntentJournal::PendingOp& op, SwapClusterInfo* info,
+    RecoveryReport* report) {
+  // A drop's outcome was decided before its first RPC; finish reclaiming.
+  EnqueueOrphanDrops(op.replica_intents, report);
+  if (info != nullptr) {
+    if (info->clean_image.has_value() &&
+        IntentsIntersect(op.replica_intents, info->clean_image->replicas)) {
+      // Torn image release: the keys are queued above; drop the remnant
+      // without re-releasing.
+      info->clean_image->replicas.clear();
+      info->clean_image.reset();
+      cache_.Invalidate(info->id);
+      ++stats_.clean_image_invalidations;
+    }
+    if (info->state == SwapState::kSwapped &&
+        IntentsIntersect(op.replica_intents, info->replicas)) {
+      // Torn GC drop (the replacement died): finish retiring the cluster.
+      info->state = SwapState::kDropped;
+      info->replicas.clear();
+      info->replacement = runtime::WeakRef();
+      cache_.Invalidate(info->id);
+    } else if (info->state == SwapState::kDropped) {
+      info->replicas.clear();
+    }
+  }
+  ++report->rolled_forward;
+  return "rolled_forward";
+}
+
+const char* SwappingManager::RecoverTornMaintenance(
+    const IntentJournal::PendingOp& op, SwapClusterInfo* info,
+    RecoveryReport* report) {
+  // Keys a replica list adopted before the crash stay; the rest (placed
+  // but never adopted, or evacuated away) are orphans.
+  std::vector<ReplicaLocation> orphans;
+  for (const ReplicaLocation& intent : op.replica_intents) {
+    bool adopted = false;
+    if (info != nullptr) {
+      adopted = IntentsContain(info->replicas, intent) ||
+                (info->clean_image.has_value() &&
+                 IntentsContain(info->clean_image->replicas, intent));
+    }
+    if (!adopted) orphans.push_back(intent);
+  }
+  EnqueueOrphanDrops(orphans, report);
+  ++report->rolled_back;
+  return "rolled_back";
+}
+
+void SwappingManager::RecoverOp(const IntentJournal::PendingOp& op,
+                                RecoveryReport* report) {
+  SwapClusterInfo* info =
+      op.cluster.valid() ? registry_.Find(op.cluster) : nullptr;
+  const char* action = "ignored";
+  switch (op.op) {
+    case IntentOp::kSwapOut:
+    case IntentOp::kCleanSwapOut:
+      action = RecoverTornSwapOut(op, info, report);
+      break;
+    case IntentOp::kSwapIn:
+      action = RecoverTornSwapIn(op, info, report);
+      break;
+    case IntentOp::kDrop:
+      action = RecoverTornDrop(op, info, report);
+      break;
+    case IntentOp::kReplicaMaintenance:
+      action = RecoverTornMaintenance(op, info, report);
+      break;
+  }
+  telemetry_->journal().Record("recovery", IntentOpName(op.op), action);
+  if (bus_ != nullptr) {
+    bus_->Publish(
+        context::Event(context::kEventRecoveryOp)
+            .Set("swap_cluster", static_cast<int64_t>(op.cluster.value()))
+            .Set("op", std::string(IntentOpName(op.op)))
+            .Set("action", std::string(action)));
+  }
+}
+
+void SwappingManager::VerifySwappedClusters(RecoveryReport* report) {
+  for (SwapClusterId id : registry_.Ids()) {
+    SwapClusterInfo* info = registry_.Find(id);
+    if (info == nullptr || info->state != SwapState::kSwapped) continue;
+    std::vector<ReplicaLocation> keep;
+    bool any_unverifiable = false;
+    for (const ReplicaLocation& replica : info->replicas) {
+      Result<std::string> fetched = FetchFrom(replica.device, replica.key);
+      if (!fetched.ok()) {
+        if (fetched.status().code() == StatusCode::kNotFound) {
+          // The store is reachable and the key is gone: forget it.
+          ++report->replicas_discarded;
+        } else {
+          // Out of range (or no client attached): unverifiable — the
+          // benefit of the doubt, like the failover fetch gives it.
+          keep.push_back(replica);
+          any_unverifiable = true;
+        }
+        continue;
+      }
+      Result<std::string> xml_text = compress::FrameDecompress(*fetched);
+      if (xml_text.ok() && Adler32(*xml_text) == info->payload_checksum) {
+        keep.push_back(replica);
+        ++report->replicas_verified;
+      } else {
+        // Corrupt bytes under a live key: reclaim them.
+        ++stats_.data_loss_failovers;
+        ++report->replicas_discarded;
+        pending_drops_.push_back(PendingDrop{replica.device, replica.key});
+        ++stats_.drops_deferred;
+      }
+    }
+    if (keep.empty() && !any_unverifiable && !info->replicas.empty())
+      ++report->clusters_lost;  // every copy gone; the swap-in will fail
+    info->replicas = std::move(keep);
+  }
+}
+
+void SwappingManager::ReconcileCleanImages(RecoveryReport* report) {
+  std::unordered_map<uint64_t, net::StoreNode*> nearby;
+  if (store_ != nullptr && discovery_ != nullptr) {
+    for (net::StoreNode* node : discovery_->NearbyStores(store_->self(), 0))
+      nearby.emplace(node->device().value(), node);
+  }
+  for (SwapClusterId id : registry_.Ids()) {
+    SwapClusterInfo* info = registry_.Find(id);
+    if (info == nullptr || info->state != SwapState::kLoaded) continue;
+    if (!info->clean_image.has_value()) continue;
+    CleanImage& image = *info->clean_image;
+    std::vector<ReplicaLocation> live;
+    for (const ReplicaLocation& replica : image.replicas) {
+      if (IsLocalDevice(replica.device)) {
+        if (local_ != nullptr && local_->Contains(replica.key)) {
+          live.push_back(replica);
+        } else {
+          pending_drops_.push_back(PendingDrop{replica.device, replica.key});
+          ++stats_.drops_deferred;
+        }
+        continue;
+      }
+      auto it = nearby.find(replica.device.value());
+      if (it == nearby.end()) {
+        live.push_back(replica);  // out of range: benefit of the doubt
+        continue;
+      }
+      if (!it->second->crashed() && it->second->Contains(replica.key)) {
+        live.push_back(replica);
+      } else {
+        pending_drops_.push_back(PendingDrop{replica.device, replica.key});
+        ++stats_.drops_deferred;
+      }
+    }
+    image.replicas = std::move(live);
+    if (image.replicas.empty()) {
+      info->clean_image.reset();
+      cache_.Invalidate(id);
+      ++stats_.clean_image_invalidations;
+      ++report->clean_images_dropped;
+    }
+  }
+}
+
+void SwappingManager::ReconcilePayloadCache() {
+  if (cache_.budget_bytes() == 0) return;
+  for (SwapClusterId id : registry_.Ids()) {
+    SwapClusterInfo* info = registry_.Find(id);
+    if (info == nullptr) continue;
+    uint64_t epoch = 0;
+    uint32_t checksum = 0;
+    if (info->state == SwapState::kSwapped) {
+      epoch = info->payload_epoch;
+      checksum = info->payload_checksum;
+    } else if (info->state == SwapState::kLoaded &&
+               info->clean_image.has_value()) {
+      epoch = info->clean_image->payload_epoch;
+      checksum = info->clean_image->payload_checksum;
+    } else {
+      cache_.Invalidate(id);
+      continue;
+    }
+    const std::string* cached = cache_.Get(id, epoch);
+    if (cached != nullptr && Adler32(*cached) != checksum)
+      cache_.Invalidate(id);
+  }
+}
+
+Result<SwappingManager::RecoveryReport> SwappingManager::Recover() {
+  telemetry::ScopedSpan span(telemetry_, "recover", "recovery",
+                             telemetry::Hist(telemetry_, "recovery_us"));
+  const uint64_t begin_us = clock_ != nullptr ? clock_->now_us() : 0;
+  RecoveryReport report;
+
+  std::vector<IntentJournal::PendingOp> pending;
+  if (journal_ != nullptr) {
+    OBISWAP_ASSIGN_OR_RETURN(pending, journal_->LoadForRecovery());
+    report.journal_records_skipped = journal_->stats().records_skipped;
+    report.journal_bad_tail_bytes = journal_->stats().bad_tail_bytes;
+  }
+  report.pending_ops = pending.size();
+  // Newest first: a nested operation (the pressure handler's swap-out
+  // firing inside another op's allocation) must unwind before the op that
+  // triggered it.
+  for (auto it = pending.rbegin(); it != pending.rend(); ++it)
+    RecoverOp(*it, &report);
+
+  VerifySwappedClusters(&report);
+  ReconcileCleanImages(&report);
+  ReconcilePayloadCache();
+
+  if (journal_ != nullptr) OBISWAP_RETURN_IF_ERROR(journal_->Clear());
+  crashed_ = false;
+  ++stats_.recoveries;
+  if (clock_ != nullptr) stats_.recovery_us += clock_->now_us() - begin_us;
+  if (bus_ != nullptr) {
+    bus_->Publish(
+        context::Event(context::kEventRecoveryCompleted)
+            .Set("pending_ops", static_cast<int64_t>(report.pending_ops))
+            .Set("rolled_back", static_cast<int64_t>(report.rolled_back))
+            .Set("rolled_forward",
+                 static_cast<int64_t>(report.rolled_forward))
+            .Set("proxies_restored",
+                 static_cast<int64_t>(report.proxies_restored))
+            .Set("orphan_drops",
+                 static_cast<int64_t>(report.orphan_drops_enqueued))
+            .Set("clusters_lost",
+                 static_cast<int64_t>(report.clusters_lost)));
+  }
+  return report;
+}
+
 Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
+  if (crashed_) return CrashedError();
   telemetry::ScopedSpan op_span(telemetry_, "swap_out", "swap",
                                 telemetry::Hist(telemetry_, "swap_out_us"));
   SwapClusterInfo* info = registry_.Find(id);
@@ -764,6 +1314,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     telemetry::ScopedSpan span(
         telemetry_, "serialize", "swap",
         telemetry::Hist(telemetry_, "swap_out_serialize_us"));
+    OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("swap_out.serialize"));
     OBISWAP_ASSIGN_OR_RETURN(
         serialized,
         serialization::SerializeCluster(rt_, id.value(), members, describe));
@@ -774,8 +1325,31 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     telemetry::ScopedSpan span(
         telemetry_, "compress", "swap",
         telemetry::Hist(telemetry_, "swap_out_compress_us"));
+    OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("swap_out.compress"));
     const compress::Codec* codec = compress::FindCodec(options_.codec);
     payload = compress::FrameCompress(*codec, serialized.xml);
+  }
+  const uint32_t xml_checksum = Adler32(serialized.xml);
+
+  // WAL boundary: the operation's identity (new epoch, checksum, member and
+  // proxy oids) is journaled before any side effect; each replica key is
+  // journaled — and persisted — before its store RPC, so an orphaned store
+  // entry is always reclaimable.
+  uint64_t seq = 0;
+  if (journal_ != nullptr) {
+    std::vector<uint64_t> member_oids;
+    member_oids.reserve(members.size());
+    for (Object* member : members)
+      member_oids.push_back(member->oid().value());
+    seq = journal_->BeginOp(IntentOp::kSwapOut, id, info->swap_epoch + 1,
+                            xml_checksum, std::move(member_oids),
+                            LiveInboundProxyOids(id));
+  }
+  if (Status fault = CheckFaultPoint("swap_out.journal_begin"); !fault.ok()) {
+    // A clean (non-crash) error must seal the op or the dangling begin
+    // record would be persisted by a later operation and replayed.
+    if (!crashed_ && journal_ != nullptr) (void)journal_->Abort(seq);
+    return fault;
   }
 
   // Place the payload on up to `replication_factor` nearby stores, each on
@@ -813,7 +1387,16 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
         key = NextKey();
         key_minted = true;
       }
-      Status attempt = store_->Store(candidate->device(), key, payload);
+      if (journal_ != nullptr) {
+        // Intent before RPC: if the crash lands inside the store call, the
+        // persisted intent is the only record this key ever existed.
+        journal_->NoteReplicaIntent(seq, candidate->device(), key);
+        (void)journal_->Persist();
+      }
+      Status attempt = CheckFaultPoint("swap_out.ship_replica");
+      if (attempt.ok())
+        attempt = store_->Store(candidate->device(), key, payload);
+      if (crashed_) return attempt;
       if (attempt.ok()) {
         placed.push_back(ReplicaLocation{candidate->device(), key});
         key_minted = false;
@@ -827,7 +1410,13 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   if (placed.empty() && local_ != nullptr &&
       local_->free_bytes() >= payload.size()) {
     SwapKey key = NextKey();
-    stored = local_->Store(key, payload);
+    if (journal_ != nullptr) {
+      journal_->NoteReplicaIntent(seq, local_->device(), key);
+      (void)journal_->Persist();
+    }
+    stored = CheckFaultPoint("swap_out.local_store");
+    if (stored.ok()) stored = local_->Store(key, payload);
+    if (crashed_) return stored;
     if (stored.ok()) {
       placed.push_back(ReplicaLocation{local_->device(), key});
       ++stats_.local_swap_outs;
@@ -835,6 +1424,9 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   }
   ship_span.Close();
   if (placed.empty()) {
+    // Clean placement failure: every journaled key is known-unstored (the
+    // failed stores never recorded them); seal the op as unwound.
+    if (journal_ != nullptr) (void)journal_->Abort(seq);
     ++stats_.swap_out_failures;
     return stored;
   }
@@ -846,11 +1438,21 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
       telemetry::Hist(telemetry_, "swap_out_patch_us"));
   // Build the replacement-object: "simply an array of references ... filled
   // with references to every swap-cluster-proxy referenced by" the cluster.
-  Result<Object*> replacement_or = rt_.TryNewMiddleware(replacement_cls_);
+  Result<Object*> replacement_or(nullptr);
+  if (Status fault = CheckFaultPoint("swap_out.build_replacement");
+      !fault.ok()) {
+    if (crashed_) return fault;
+    replacement_or = fault;  // injected allocation failure
+  } else {
+    replacement_or = rt_.TryNewMiddleware(replacement_cls_);
+  }
   if (!replacement_or.ok()) {
-    // Roll back the store entries; the cluster stays loaded.
-    for (const ReplicaLocation& replica : placed)
-      (void)DropAt(replica.device, replica.key);
+    // Roll back the store entries; the cluster stays loaded. Failed drops
+    // (store out of range) are queued for retry — a placed replica must
+    // never leak just because the rollback could not reach its store.
+    ReleaseReplicas(placed, /*count_as_drop=*/false);
+    if (crashed_) return InternalError("simulated crash during rollback");
+    if (journal_ != nullptr) (void)journal_->Abort(seq);
     ++stats_.swap_out_failures;
     return replacement_or.status();
   }
@@ -871,15 +1473,34 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   // will be made to reference ReplacementObject-2 instead").
   auto& inbound = inbound_[id];
   size_t write = 0;
+  std::vector<std::pair<Object*, Object*>> patched;  // (proxy, old target)
+  Status patch_fault = OkStatus();
   for (size_t read = 0; read < inbound.size(); ++read) {
     Object* proxy = inbound[read]->get();
     if (proxy == nullptr) continue;
-    if (ProxyTargetSc(proxy) == id) {
-      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(replacement);
+    if (ProxyTargetSc(proxy) == id && patch_fault.ok()) {
+      patch_fault = CheckFaultPoint("swap_out.patch_proxy");
+      if (patch_fault.ok()) {
+        patched.emplace_back(proxy, proxy->RawSlot(kProxySlotTarget).ref());
+        proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(replacement);
+      }
     }
     inbound[write++] = inbound[read];
   }
   inbound.resize(write);
+  if (patch_fault.ok()) patch_fault = CheckFaultPoint("swap_out.finalize");
+  if (!patch_fault.ok()) {
+    // A crash leaves the patch torn for Recover(); a clean error unwinds
+    // it here — proxies back to their members, placements released.
+    if (crashed_) return patch_fault;
+    for (const auto& [proxy, old_target] : patched)
+      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(old_target);
+    ReleaseReplicas(placed, /*count_as_drop=*/false);
+    if (crashed_) return InternalError("simulated crash during rollback");
+    if (journal_ != nullptr) (void)journal_->Abort(seq);
+    ++stats_.swap_out_failures;
+    return patch_fault;
+  }
   patch_span.Close();
 
   info->state = SwapState::kSwapped;
@@ -891,8 +1512,14 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   info->swapped_oids.reserve(members.size());
   for (Object* member : members) info->swapped_oids.push_back(member->oid());
   info->payload_epoch = info->swap_epoch;
-  info->payload_checksum = Adler32(serialized.xml);
+  info->payload_checksum = xml_checksum;
   ++info->swap_out_count;
+
+  // Commit-last: once this record persists, recovery treats the swap-out
+  // as fully applied. A crash here replays as a torn (uncommitted) op and
+  // rolls forward off the verified replicas.
+  OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("swap_out.journal_commit"));
+  if (journal_ != nullptr) (void)journal_->Commit(seq);
 
   ++stats_.swap_outs;
   stats_.bytes_swapped_out += payload.size();
@@ -922,6 +1549,11 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
       telemetry::Hist(telemetry_, "clean_swap_out_us"));
   const SwapClusterId id = info->id;
   CleanImage& image = *info->clean_image;
+  if (Status fault = CheckFaultPoint("clean_swap_out.revalidate");
+      !fault.ok()) {
+    // Nothing mutated yet: the cluster stays loaded and keeps its image.
+    return Result<SwapKey>(fault);
+  }
 
   // The retained payload resolves its external references by index through
   // the outbound proxies recorded at serialization time; if any has been
@@ -974,11 +1606,35 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
   }
   image.replicas = std::move(live);
 
+  // WAL boundary: a clean swap-out re-uses existing store bytes, so the
+  // journaled intents are the retained image's replicas — a torn op's
+  // recovery must know which keys the cluster was about to re-adopt.
+  uint64_t seq = 0;
+  if (journal_ != nullptr) {
+    std::vector<uint64_t> member_oids;
+    member_oids.reserve(image.oids.size());
+    for (ObjectId oid : image.oids) member_oids.push_back(oid.value());
+    seq = journal_->BeginOp(IntentOp::kCleanSwapOut, id, info->swap_epoch + 1,
+                            image.payload_checksum, std::move(member_oids),
+                            LiveInboundProxyOids(id));
+    for (const ReplicaLocation& replica : image.replicas)
+      journal_->NoteReplicaIntent(seq, replica.device, replica.key);
+    (void)journal_->Persist();
+  }
+
   // From here the image is usable: failures are real swap-out failures,
   // not fall-through-to-full-path conditions (the cluster stays loaded and
   // keeps its image).
-  Result<Object*> replacement_or = rt_.TryNewMiddleware(replacement_cls_);
+  Result<Object*> replacement_or(nullptr);
+  if (Status fault = CheckFaultPoint("clean_swap_out.build_replacement");
+      !fault.ok()) {
+    if (crashed_) return Result<SwapKey>(fault);
+    replacement_or = fault;
+  } else {
+    replacement_or = rt_.TryNewMiddleware(replacement_cls_);
+  }
   if (!replacement_or.ok()) {
+    if (journal_ != nullptr) (void)journal_->Abort(seq);
     ++stats_.swap_out_failures;
     return Result<SwapKey>(replacement_or.status());
   }
@@ -996,15 +1652,31 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
 
   auto& inbound = inbound_[id];
   size_t write = 0;
+  std::vector<std::pair<Object*, Object*>> patched;  // (proxy, old target)
+  Status patch_fault = OkStatus();
   for (size_t read = 0; read < inbound.size(); ++read) {
     Object* proxy = inbound[read]->get();
     if (proxy == nullptr) continue;
-    if (ProxyTargetSc(proxy) == id) {
-      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(replacement);
+    if (ProxyTargetSc(proxy) == id && patch_fault.ok()) {
+      patch_fault = CheckFaultPoint("clean_swap_out.patch_proxy");
+      if (patch_fault.ok()) {
+        patched.emplace_back(proxy, proxy->RawSlot(kProxySlotTarget).ref());
+        proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(replacement);
+      }
     }
     inbound[write++] = inbound[read];
   }
   inbound.resize(write);
+  if (patch_fault.ok())
+    patch_fault = CheckFaultPoint("clean_swap_out.finalize");
+  if (!patch_fault.ok()) {
+    if (crashed_) return Result<SwapKey>(patch_fault);
+    for (const auto& [proxy, old_target] : patched)
+      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(old_target);
+    if (journal_ != nullptr) (void)journal_->Abort(seq);
+    ++stats_.swap_out_failures;
+    return Result<SwapKey>(patch_fault);
+  }
 
   info->state = SwapState::kSwapped;
   info->replicas = std::move(image.replicas);
@@ -1017,6 +1689,12 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
   ++info->swap_out_count;
   info->clean_image.reset();  // `image` is dead from here
   info->dirty = true;
+
+  if (Status fault = CheckFaultPoint("clean_swap_out.journal_commit");
+      !fault.ok()) {
+    return Result<SwapKey>(fault);
+  }
+  if (journal_ != nullptr) (void)journal_->Commit(seq);
 
   size_t want = options_.replication_factor > 0 ? options_.replication_factor
                                                 : size_t{1};
@@ -1043,6 +1721,7 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
 }
 
 Result<SwapClusterId> SwappingManager::SwapOutVictim() {
+  if (crashed_) return CrashedError();
   std::vector<SwapClusterId> exclude = rt_.context_stack();
   for (;;) {
     SwapClusterId victim = registry_.PickLruVictim(exclude);
@@ -1068,6 +1747,7 @@ Result<SwapClusterId> SwappingManager::SwapOutVictim() {
 }
 
 Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
+  if (crashed_) return CrashedError();
   const uint64_t begin_us = clock_ != nullptr ? clock_->now_us() : 0;
   // Demand faults and speculative loads get distinct categories and
   // histograms: the trace separates application stall from prefetch work.
@@ -1121,12 +1801,16 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
       telemetry::ScopedSpan span(
           telemetry_, "materialize", span_category,
           telemetry::Hist(telemetry_, "swap_in_materialize_us"));
-      Result<std::vector<Object*>> members_or =
-          serialization::DeserializeCluster(rt_, *cached, options, resolve);
-      if (members_or.ok()) {
-        members = std::move(*members_or);
-        restored = true;
-        from_cache = true;
+      Status fault = CheckFaultPoint("swap_in.materialize");
+      if (crashed_) return fault;
+      if (fault.ok()) {
+        Result<std::vector<Object*>> members_or =
+            serialization::DeserializeCluster(rt_, *cached, options, resolve);
+        if (members_or.ok()) {
+          members = std::move(*members_or);
+          restored = true;
+          from_cache = true;
+        }
       }
     }
     if (!from_cache) cache_.Invalidate(id);
@@ -1146,14 +1830,26 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
         telemetry_, attempt == 0 ? "fetch" : "failover_fetch", span_category,
         telemetry::Hist(telemetry_, "swap_in_fetch_us"));
     Status failure = OkStatus();
-    Result<std::string> fetched = FetchFrom(replica.device, replica.key);
+    Result<std::string> fetched{std::string()};
+    if (Status fault = CheckFaultPoint("swap_in.fetch"); !fault.ok()) {
+      if (crashed_) return fault;
+      fetched = fault;  // injected fetch failure: fail over like any other
+    } else {
+      fetched = FetchFrom(replica.device, replica.key);
+    }
     if (!fetched.ok()) {
       failure = fetched.status();
     } else {
       telemetry::ScopedSpan decompress_span(
           telemetry_, "decompress", span_category,
           telemetry::Hist(telemetry_, "swap_in_decompress_us"));
-      Result<std::string> xml_text = compress::FrameDecompress(*fetched);
+      Result<std::string> xml_text{std::string()};
+      if (Status fault = CheckFaultPoint("swap_in.decompress"); !fault.ok()) {
+        if (crashed_) return fault;
+        xml_text = fault;
+      } else {
+        xml_text = compress::FrameDecompress(*fetched);
+      }
       decompress_span.Close();
       if (!xml_text.ok()) {
         failure = xml_text.status();
@@ -1161,9 +1857,15 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
         telemetry::ScopedSpan materialize_span(
             telemetry_, "materialize", span_category,
             telemetry::Hist(telemetry_, "swap_in_materialize_us"));
-        Result<std::vector<Object*>> members_or =
-            serialization::DeserializeCluster(rt_, *xml_text, options,
-                                              resolve);
+        Result<std::vector<Object*>> members_or(std::vector<Object*>{});
+        if (Status fault = CheckFaultPoint("swap_in.materialize");
+            !fault.ok()) {
+          if (crashed_) return fault;
+          members_or = fault;
+        } else {
+          members_or = serialization::DeserializeCluster(rt_, *xml_text,
+                                                         options, resolve);
+        }
         materialize_span.Close();
         if (!members_or.ok()) {
           failure = members_or.status();
@@ -1208,23 +1910,66 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     }
   }
 
-  // Rebuild membership, then patch all inbound proxies back to the fresh
-  // replicas ("their internal references are patched in order to target
-  // the corresponding object replicas being swapped-in").
-  info->members.clear();
-  for (Object* member : members)
-    info->members.push_back(rt_.heap().NewWeakRef(member));
+  // WAL boundary: journal the swap-in's identity before the first heap
+  // mutation. The member oids let recovery find the half-materialized
+  // objects (patched proxies keep them alive); the proxy oids are the
+  // patch set to cross-check.
+  uint64_t seq = 0;
+  if (journal_ != nullptr) {
+    std::vector<uint64_t> member_oids;
+    member_oids.reserve(info->swapped_oids.size());
+    for (ObjectId oid : info->swapped_oids)
+      member_oids.push_back(oid.value());
+    seq = journal_->BeginOp(IntentOp::kSwapIn, id, info->swap_epoch,
+                            info->payload_checksum, std::move(member_oids),
+                            LiveInboundProxyOids(id));
+    // The current replicas ride along as intents: if the swap-in ends up
+    // releasing them (no image retained) and crashes first, recovery can
+    // still tell which keys the cluster stopped accounting for.
+    for (const ReplicaLocation& replica : info->replicas)
+      journal_->NoteReplicaIntent(seq, replica.device, replica.key);
+    (void)journal_->Persist();
+  }
+  if (Status fault = CheckFaultPoint("swap_in.journal_begin"); !fault.ok()) {
+    if (!crashed_ && journal_ != nullptr) (void)journal_->Abort(seq);
+    return fault;
+  }
+
+  // Patch all inbound proxies back to the fresh replicas ("their internal
+  // references are patched in order to target the corresponding object
+  // replicas being swapped-in"), then rebuild membership — proxies first,
+  // so a torn patch can always be rolled back to the replacement without
+  // having clobbered the members list.
   size_t write = 0;
+  std::vector<Object*> patched;
+  Status patch_fault = OkStatus();
   for (size_t read = 0; read < inbound.size(); ++read) {
     Object* proxy = inbound[read]->get();
     if (proxy == nullptr) continue;
-    if (ProxyTargetSc(proxy) == id) {
-      proxy->RawSlotMutable(kProxySlotTarget) =
-          Value::Ref(by_oid.find(ProxyTargetOid(proxy).value())->second);
+    if (ProxyTargetSc(proxy) == id && patch_fault.ok()) {
+      patch_fault = CheckFaultPoint("swap_in.patch_proxy");
+      if (patch_fault.ok()) {
+        proxy->RawSlotMutable(kProxySlotTarget) =
+            Value::Ref(by_oid.find(ProxyTargetOid(proxy).value())->second);
+        patched.push_back(proxy);
+      }
     }
     inbound[write++] = inbound[read];
   }
   inbound.resize(write);
+  if (patch_fault.ok()) patch_fault = CheckFaultPoint("swap_in.finalize");
+  if (!patch_fault.ok()) {
+    if (crashed_) return patch_fault;
+    // Clean error: unwind to the replacement; the materialized objects are
+    // unrooted past this frame and die at the next collection.
+    for (Object* proxy : patched)
+      proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(replacement);
+    if (journal_ != nullptr) (void)journal_->Abort(seq);
+    return patch_fault;
+  }
+  info->members.clear();
+  for (Object* member : members)
+    info->members.push_back(rt_.heap().NewWeakRef(member));
   patch_span.Close();
 
   // Clean-image retention: the store copies are byte-identical to the
@@ -1244,6 +1989,7 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     }
     outbound_refs.push_back(rt_.heap().NewWeakRef(out_proxy));
   }
+  std::vector<ReplicaLocation> stale_replicas;
   if (retain) {
     CleanImage image;
     image.replicas = std::move(info->replicas);
@@ -1256,9 +2002,10 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     info->clean_image = std::move(image);
     info->dirty = false;
   } else {
-    // Every store copy is stale with no image to account for it: broadcast
-    // the drop to all replicas (unreachable ones are queued for retry).
-    ReleaseReplicas(info->replicas, /*count_as_drop=*/false);
+    // Every store copy is stale with no image to account for it; the
+    // drops are broadcast after the commit (as their own journaled op) so
+    // a crash mid-release cannot leave half the keys forgotten.
+    stale_replicas = std::move(info->replicas);
     info->dirty = true;
   }
 
@@ -1268,6 +2015,14 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
   info->swapped_oids.clear();
   ++info->swap_in_count;
   registry_.RecordCrossing(id, ++crossing_seq_);
+
+  OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("swap_in.journal_commit"));
+  if (journal_ != nullptr) (void)journal_->Commit(seq);
+  if (!stale_replicas.empty()) {
+    JournaledRelease(id, stale_replicas, /*count_as_drop=*/false);
+    if (crashed_)
+      return InternalError("simulated crash releasing stale replicas");
+  }
 
   ++stats_.swap_ins;
   if (from_cache) {
@@ -1316,6 +2071,7 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
 }
 
 Status SwappingManager::PrefetchStage(SwapClusterId id) {
+  if (crashed_) return CrashedError();
   telemetry::ScopedSpan op_span(
       telemetry_, "prefetch_stage", "prefetch",
       telemetry::Hist(telemetry_, "prefetch_stage_us"));
@@ -1336,12 +2092,25 @@ Status SwappingManager::PrefetchStage(SwapClusterId id) {
   Status last = UnavailableError("swap-cluster " + id.ToString() +
                                  " has no replicas to fetch from");
   for (const ReplicaLocation& replica : ReplicaFetchOrder(info->replicas)) {
-    Result<std::string> fetched = FetchFrom(replica.device, replica.key);
+    Result<std::string> fetched{std::string()};
+    if (Status fault = CheckFaultPoint("prefetch_stage.fetch"); !fault.ok()) {
+      if (crashed_) return fault;
+      fetched = fault;
+    } else {
+      fetched = FetchFrom(replica.device, replica.key);
+    }
     if (!fetched.ok()) {
       last = fetched.status();
       continue;
     }
-    Result<std::string> xml_text = compress::FrameDecompress(*fetched);
+    Result<std::string> xml_text{std::string()};
+    if (Status fault = CheckFaultPoint("prefetch_stage.decompress");
+        !fault.ok()) {
+      if (crashed_) return fault;
+      xml_text = fault;
+    } else {
+      xml_text = compress::FrameDecompress(*fetched);
+    }
     if (!xml_text.ok()) {
       ++stats_.data_loss_failovers;
       last = xml_text.status();
@@ -1354,6 +2123,7 @@ Status SwappingManager::PrefetchStage(SwapClusterId id) {
                            id.ToString());
       continue;
     }
+    OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("prefetch_stage.stage"));
     size_t payload_bytes = xml_text->size();
     cache_.Put(id, info->payload_epoch, std::move(*xml_text));
     if (cache_.Get(id, info->payload_epoch) == nullptr) {
@@ -1462,7 +2232,7 @@ Result<std::string> SwappingManager::FetchVerifiedPayload(
 
 Result<ReplicaLocation> SwappingManager::PlaceReplica(
     const std::string& payload, const std::vector<ReplicaLocation>& existing,
-    DeviceId exclude) {
+    DeviceId exclude, uint64_t journal_seq, const char* fault_point) {
   size_t need = payload.size();
   if (need < options_.store_min_free_bytes)
     need = options_.store_min_free_bytes;
@@ -1482,7 +2252,13 @@ Result<ReplicaLocation> SwappingManager::PlaceReplica(
     }
     if (taken) continue;
     SwapKey key = NextKey();
-    Status stored = store_->Store(device, key, payload);
+    if (journal_ != nullptr && journal_seq != 0) {
+      journal_->NoteReplicaIntent(journal_seq, device, key);
+      (void)journal_->Persist();
+    }
+    Status stored = CheckFaultPoint(fault_point);
+    if (stored.ok()) stored = store_->Store(device, key, payload);
+    if (crashed_) return stored;
     if (stored.ok()) return ReplicaLocation{device, key};
     last = stored;
   }
@@ -1492,7 +2268,9 @@ Result<ReplicaLocation> SwappingManager::PlaceReplica(
 void SwappingManager::ReleaseReplicas(
     const std::vector<ReplicaLocation>& replicas, bool count_as_drop) {
   for (const ReplicaLocation& replica : replicas) {
-    Status dropped = DropAt(replica.device, replica.key);
+    Status dropped = CheckFaultPoint("drop.release_replica");
+    if (crashed_) return;  // abandon mid-release; recovery reclaims the rest
+    if (dropped.ok()) dropped = DropAt(replica.device, replica.key);
     if (dropped.ok()) {
       if (count_as_drop) ++stats_.drops;
       continue;
@@ -1548,6 +2326,7 @@ size_t SwappingManager::ForgetReplica(SwapClusterId id, DeviceId device) {
 }
 
 Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
+  if (crashed_) return CrashedError();
   telemetry::ScopedSpan op_span(
       telemetry_, "re_replicate", "durability",
       telemetry::Hist(telemetry_, "re_replicate_us"));
@@ -1572,14 +2351,26 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
   if (replicas->empty())
     return DataLossError("swap-cluster " + id.ToString() +
                          " has no surviving replica");
+  OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("re_replicate.fetch"));
   OBISWAP_ASSIGN_OR_RETURN(std::string payload,
                            FetchVerifiedPayload(id, *replicas));
+  // Maintenance intents: each fresh key is journaled before its store RPC;
+  // an uncommitted maintenance op's keys that never made it into the
+  // replica list are dropped at recovery.
+  uint64_t seq = 0;
+  if (journal_ != nullptr) {
+    seq = journal_->BeginOp(IntentOp::kReplicaMaintenance, id,
+                            info->swap_epoch, info->payload_checksum, {}, {});
+  }
   size_t added = 0;
   while (replicas->size() < want) {
     Result<ReplicaLocation> fresh =
-        PlaceReplica(payload, *replicas, DeviceId());
+        PlaceReplica(payload, *replicas, DeviceId(), seq,
+                     "re_replicate.place");
+    if (crashed_) return fresh.status();
     if (!fresh.ok()) {
       if (added > 0) break;  // partial top-up still counts as progress
+      if (journal_ != nullptr) (void)journal_->Abort(seq);
       return fresh.status();
     }
     replicas->push_back(*fresh);
@@ -1587,10 +2378,12 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
     ++stats_.re_replications;
     stats_.bytes_re_replicated += payload.size();
   }
+  if (journal_ != nullptr) (void)journal_->Commit(seq);
   return added;
 }
 
 Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
+  if (crashed_) return CrashedError();
   telemetry::ScopedSpan op_span(telemetry_, "evacuate_replicas",
                                 "durability");
   size_t moved = 0;
@@ -1624,20 +2417,36 @@ Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
                          << ": " << payload.status().ToString();
       continue;
     }
+    // One maintenance op per move. The old key is journaled up-front while
+    // it is still in the replica list (recovery keeps listed keys), so
+    // every crash window resolves: before the list update the fresh copy
+    // is the orphan to drop; after it, the old copy is.
+    uint64_t seq = 0;
+    if (journal_ != nullptr) {
+      seq = journal_->BeginOp(IntentOp::kReplicaMaintenance, id,
+                              info->swap_epoch, info->payload_checksum, {},
+                              {});
+      journal_->NoteReplicaIntent(seq, old.device, old.key);
+    }
     Result<ReplicaLocation> fresh =
-        PlaceReplica(*payload, *replicas, leaving);
+        PlaceReplica(*payload, *replicas, leaving, seq, "evacuate.place");
+    if (crashed_) return fresh.status();
     if (!fresh.ok()) {
+      if (journal_ != nullptr) (void)journal_->Abort(seq);
       OBISWAP_LOG(kWarn) << "no evacuation target for swap-cluster "
                          << id.ToString() << ": "
                          << fresh.status().ToString();
       continue;
     }
-    Status dropped = DropAt(old.device, old.key);
+    (*replicas)[at] = *fresh;
+    Status dropped = CheckFaultPoint("evacuate.drop_old");
+    if (crashed_) return dropped;
+    if (dropped.ok()) dropped = DropAt(old.device, old.key);
     if (!dropped.ok() && dropped.code() != StatusCode::kNotFound) {
       pending_drops_.push_back(PendingDrop{old.device, old.key});
       ++stats_.drops_deferred;
     }
-    (*replicas)[at] = *fresh;
+    if (journal_ != nullptr) (void)journal_->Commit(seq);
     ++moved;
     ++stats_.evacuated_replicas;
   }
@@ -1645,6 +2454,7 @@ Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
 }
 
 size_t SwappingManager::FlushPendingDrops() {
+  if (crashed_) return 0;  // no store traffic while torn; Recover() first
   if (pending_drops_.empty()) return 0;
   size_t drained = 0;
   size_t write = 0;
@@ -1695,7 +2505,7 @@ void SwappingManager::OnReplacementFinalized(Object* replacement) {
   info->state = SwapState::kDropped;
   info->replacement = runtime::WeakRef();
   if (store_ != nullptr || local_ != nullptr) {
-    ReleaseReplicas(info->replicas, /*count_as_drop=*/true);
+    JournaledRelease(id, info->replicas, /*count_as_drop=*/true);
   }
   info->replicas.clear();
   NotePrefetchDiscard(id);  // a staged payload for a dropped cluster is waste
@@ -1757,6 +2567,10 @@ constexpr StatFieldSpec kStatFields[] = {
     {"demand_fault_stall_us",
      &SwappingManager::Stats::demand_fault_stall_us},
     {"prefetch_fetch_us", &SwappingManager::Stats::prefetch_fetch_us},
+    {"recoveries", &SwappingManager::Stats::recoveries},
+    {"recovery_us", &SwappingManager::Stats::recovery_us},
+    {"journal_append_us", &SwappingManager::Stats::journal_append_us},
+    {"journal_bytes", &SwappingManager::Stats::journal_bytes},
 };
 }  // namespace
 
@@ -1769,6 +2583,12 @@ std::vector<std::pair<std::string, uint64_t>> SwappingManager::StatsSnapshot()
   telemetry::MetricsRegistry& metrics = telemetry_->metrics();
   for (const StatFieldSpec& spec : kStatFields)
     metrics.GetCounter(spec.name).Set(stats_.*spec.field);
+  if (journal_ != nullptr) {
+    // Journal costs accrue inside the IntentJournal; exported under the
+    // manager's keys so the WAL overhead shows up next to swap latency.
+    metrics.GetCounter("journal_append_us").Set(journal_->stats().append_us);
+    metrics.GetCounter("journal_bytes").Set(journal_->stats().persisted_bytes);
+  }
   const PayloadCache::Stats& cache = cache_.stats();
   metrics.GetCounter("payload_cache_hits").Set(cache.hits);
   metrics.GetCounter("payload_cache_misses").Set(cache.misses);

@@ -43,6 +43,8 @@
 #include "net/sim_clock.h"
 #include "persist/flash_store.h"
 #include "runtime/runtime.h"
+#include "swap/fault_injector.h"
+#include "swap/intent_journal.h"
 #include "swap/payload_cache.h"
 #include "swap/proxy.h"
 #include "swap/swap_cluster.h"
@@ -125,6 +127,26 @@ class SwappingManager final : public runtime::Interceptor,
     uint64_t prefetch_wastes = 0;  ///< speculative work discarded untouched
     uint64_t demand_fault_stall_us = 0;  ///< virtual time in demand SwapIns
     uint64_t prefetch_fetch_us = 0;      ///< virtual time in speculative work
+    // --- crash consistency ----------------------------------------------------
+    uint64_t recoveries = 0;         ///< Recover() completions
+    uint64_t recovery_us = 0;        ///< virtual time spent recovering
+    uint64_t journal_append_us = 0;  ///< flash time persisting the journal
+    uint64_t journal_bytes = 0;      ///< journal bytes written to flash
+  };
+
+  /// What Recover() found and did — the restart post-mortem.
+  struct RecoveryReport {
+    size_t pending_ops = 0;       ///< uncommitted journal operations found
+    size_t rolled_back = 0;       ///< torn ops undone (heap restored)
+    size_t rolled_forward = 0;    ///< torn ops completed from the journal
+    size_t proxies_restored = 0;  ///< proxy targets re-pointed
+    size_t orphan_drops_enqueued = 0;  ///< journaled keys queued for drop
+    size_t replicas_verified = 0;   ///< replicas whose checksum re-verified
+    size_t replicas_discarded = 0;  ///< replicas gone or corrupt at restart
+    size_t clean_images_dropped = 0;  ///< images invalidated by reconcile
+    size_t clusters_lost = 0;  ///< swapped clusters with no usable copy left
+    uint64_t journal_records_skipped = 0;  ///< bad/stale records tolerated
+    uint64_t journal_bad_tail_bytes = 0;   ///< torn tail bytes discarded
   };
 
   /// Installs the mediation hooks on `rt` and registers the proxy and
@@ -302,6 +324,42 @@ class SwappingManager final : public runtime::Interceptor,
   /// local flash) is currently available.
   bool AnyStoreReachable() const;
 
+  // --- crash consistency ----------------------------------------------------
+  /// Write-ahead intent journal: every multi-step pipeline operation logs
+  /// its intents (replica keys before the store RPC, proxy/member oids
+  /// before heap patching) so a crash anywhere leaves a recoverable trail.
+  /// Attach before swapping activity; without one the manager behaves
+  /// exactly as before (no journal writes, no recovery trail).
+  void AttachIntentJournal(IntentJournal* journal) { journal_ = journal; }
+  IntentJournal* intent_journal() const { return journal_; }
+  /// Deterministic fault injection: named points threaded through every
+  /// pipeline stage consult the injector's scripts (crash / error / delay
+  /// at the Nth hit). Scriptable at runtime via the "inject-fault" policy
+  /// action.
+  void AttachFaultInjector(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* fault_injector() const { return faults_; }
+  /// True after an injected crash abandoned an operation mid-flight: the
+  /// heap and stores hold torn state and every swapping entry point
+  /// refuses with kFailedPrecondition until Recover() runs.
+  bool crashed() const { return crashed_; }
+  /// Evaluates the named fault point (free no-op without an injector).
+  /// kCrash marks the manager crashed and returns kInternal — the caller
+  /// must abandon its operation at that instruction boundary. kError
+  /// returns kUnavailable (routed through the stage's normal error path).
+  /// kDelay advances the injector's clock and returns OK. Public so layers
+  /// above the manager (the DurabilityMonitor) share the same scripts.
+  Status CheckFaultPoint(const char* point);
+  /// Simulated-restart recovery: replays the intent journal against the
+  /// store fleet. Torn operations are rolled back when the heap still
+  /// holds a live copy (proxies re-pointed from the journaled list, orphan
+  /// replicas queued for drop) and rolled forward when only the journaled
+  /// replicas survive (checksum-verified). Then every swapped cluster's
+  /// replicas are re-verified against the journal's checksums, clean
+  /// images and the payload cache are reconciled, the journal is cleared
+  /// and the crashed flag drops. Idempotent; safe to call on a clean
+  /// manager (empty report).
+  Result<RecoveryReport> Recover();
+
   // --- runtime hooks ---------------------------------------------------------
   Result<runtime::Value> Invoke(runtime::Runtime& rt,
                                 runtime::Object* receiver,
@@ -412,10 +470,13 @@ class SwappingManager final : public runtime::Interceptor,
   Result<std::string> FetchVerifiedPayload(
       SwapClusterId id, const std::vector<ReplicaLocation>& replicas);
   /// Stores `payload` on one nearby store not in `exclude_devices` under a
-  /// fresh key. kUnavailable if no eligible store accepts it.
+  /// fresh key. kUnavailable if no eligible store accepts it. The minted
+  /// key is journaled under `journal_seq` (0 = unjournaled) before the
+  /// store RPC; `fault_point` is consulted before each attempt.
   Result<ReplicaLocation> PlaceReplica(
       const std::string& payload,
-      const std::vector<ReplicaLocation>& existing, DeviceId exclude);
+      const std::vector<ReplicaLocation>& existing, DeviceId exclude,
+      uint64_t journal_seq, const char* fault_point);
   /// Drop notification to every replica; failures against unreachable
   /// stores are parked in the retry queue. `count_as_drop` selects whether
   /// successful ops bump stats_.drops (GC path) or not (swap-in path).
@@ -426,6 +487,42 @@ class SwappingManager final : public runtime::Interceptor,
   /// follows the GC-vs-staleness distinction above) and evicts the cached
   /// payload. No-op without an image.
   void InvalidateCleanImage(SwapClusterInfo* info, bool count_as_drop);
+
+  // --- crash-consistency internals ------------------------------------------
+  /// Oids of live inbound proxies currently targeting `id` (journaled at
+  /// BeginOp so recovery can cross-check the patched set).
+  std::vector<uint64_t> LiveInboundProxyOids(SwapClusterId id);
+  /// Heap scan for swap-cluster-proxies targeting `id` — recovery trusts
+  /// the heap, not the manager's (possibly torn) maps.
+  std::vector<runtime::Object*> HeapProxiesTargeting(SwapClusterId id);
+  /// ReleaseReplicas wrapped in a journaled kDrop op: the keys are intents
+  /// before the first drop RPC, so a crash mid-release leaves every
+  /// remaining key reclaimable.
+  void JournaledRelease(SwapClusterId id,
+                        const std::vector<ReplicaLocation>& replicas,
+                        bool count_as_drop);
+  void EnqueueOrphanDrops(const std::vector<ReplicaLocation>& intents,
+                          RecoveryReport* report);
+  void RecoverOp(const IntentJournal::PendingOp& op, RecoveryReport* report);
+  const char* RecoverTornSwapOut(const IntentJournal::PendingOp& op,
+                                 SwapClusterInfo* info,
+                                 RecoveryReport* report);
+  const char* RecoverTornSwapIn(const IntentJournal::PendingOp& op,
+                                SwapClusterInfo* info, RecoveryReport* report);
+  const char* RecoverTornDrop(const IntentJournal::PendingOp& op,
+                              SwapClusterInfo* info, RecoveryReport* report);
+  const char* RecoverTornMaintenance(const IntentJournal::PendingOp& op,
+                                     SwapClusterInfo* info,
+                                     RecoveryReport* report);
+  /// Post-replay sweep: fetches and checksums every swapped cluster's
+  /// replicas, pruning dead or corrupt copies (unreachable stores get the
+  /// benefit of the doubt).
+  void VerifySwappedClusters(RecoveryReport* report);
+  /// Confirms retained clean-image replicas still exist; invalidates
+  /// images left with none.
+  void ReconcileCleanImages(RecoveryReport* report);
+  /// Drops cached payloads that no longer match any live epoch/checksum.
+  void ReconcilePayloadCache();
   /// The zero-transfer swap-out fast path. nullopt = image unusable
   /// (invalidated; caller falls through to the full serialize+ship path);
   /// otherwise the definitive swap-out result.
@@ -475,6 +572,12 @@ class SwappingManager final : public runtime::Interceptor,
   std::unordered_set<SwapClusterId> speculative_loaded_;
   CrossingObserver crossing_observer_;
   const net::SimClock* clock_ = nullptr;
+
+  /// Crash-consistency wiring (both optional; null = zero-cost).
+  FaultInjector* faults_ = nullptr;
+  IntentJournal* journal_ = nullptr;
+  /// Set by an injected kCrash; cleared only by Recover().
+  bool crashed_ = false;
 
   /// Finalizers capture this handle; the destructor nulls it so a GC after
   /// manager teardown cannot call into a dead manager.

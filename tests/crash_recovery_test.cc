@@ -1,0 +1,566 @@
+// Crash-consistency tests: the write-ahead intent journal, the fault
+// injector, and SwappingManager::Recover().
+//
+// The centerpiece is the crash-everywhere sweep: a clean run of a scripted
+// pipeline scenario enumerates every (fault point, hit ordinal) actually
+// traversed; then each pair is re-run with a crash armed there, the torn
+// world is recovered, and the full-heap invariants are asserted — the
+// mediation invariant holds, the workload still reads every value, and no
+// store key leaks (every stored entry is accounted for by a replica list).
+// The same sweep runs with error-kind faults (every stage's clean unwind)
+// and the journal image is fuzzed byte-by-byte (truncation + bit flips).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "test_support.h"
+
+namespace obiswap {
+namespace {
+
+using runtime::Object;
+using runtime::Value;
+using swap::FaultInjector;
+using swap::FaultKind;
+using swap::IntentJournal;
+using swap::IntentOp;
+using swap::ReplicaLocation;
+using swap::SwapState;
+using ::obiswap::testing::BuildClusteredList;
+using ::obiswap::testing::CheckMediationInvariant;
+using ::obiswap::testing::MiddlewareWorld;
+using ::obiswap::testing::RegisterNodeClass;
+using ::obiswap::testing::SumList;
+
+constexpr int kNodes = 30;
+constexpr int kPerCluster = 10;
+constexpr int64_t kExpectedSum = kNodes * (kNodes - 1) / 2;
+
+swap::SwappingManager::Options CrashOptions() {
+  swap::SwappingManager::Options options;
+  options.replication_factor = 2;
+  options.swap_in_cache_bytes = 64 * 1024;
+  options.codec = "rle";
+  return options;
+}
+
+/// A MiddlewareWorld wired for crash testing: local flash (shared by the
+/// journal), intent journal, fault injector, durability monitor.
+struct CrashWorld {
+  CrashWorld()
+      : world(CrashOptions()),
+        flash(MiddlewareWorld::kDevice, 1 << 20, world.network.clock()),
+        journal(&flash),
+        monitor(world.manager, world.discovery, MiddlewareWorld::kDevice,
+                world.bus, nullptr) {
+    world.manager.AttachClock(&world.network.clock());
+    world.manager.AttachLocalStore(&flash);
+    world.manager.AttachIntentJournal(&journal);
+    faults.AttachClock(&world.network.clock());
+    world.manager.AttachFaultInjector(&faults);
+    node_cls = RegisterNodeClass(world.rt);
+    world.AddStore(2, 1 << 20);
+    world.AddStore(3, 1 << 20);
+    world.AddStore(4, 1 << 20);
+    clusters = BuildClusteredList(world.rt, world.manager, node_cls, kNodes,
+                                  kPerCluster, "head");
+  }
+
+  MiddlewareWorld world;
+  persist::FlashStore flash;
+  IntentJournal journal;
+  FaultInjector faults;
+  swap::DurabilityMonitor monitor;
+  const runtime::ClassInfo* node_cls = nullptr;
+  std::vector<SwapClusterId> clusters;
+};
+
+/// The scripted pipeline scenario the sweeps replay. Deterministic, and
+/// identical up to the moment an armed fault fires, so any (point, hit)
+/// pair recorded by a clean run fires at the same place in a faulted run.
+/// Each step tolerates failure (error-kind sweeps exercise clean unwinds)
+/// but the script stops at a crash — a crashed manager only recovers.
+void RunScenario(CrashWorld& w) {
+  swap::SwappingManager& m = w.world.manager;
+  const std::vector<SwapClusterId>& c = w.clusters;
+  const auto alive = [&] { return !m.crashed(); };
+  // Full dirty swap-out, demand swap-in, then the clean re-swap-out of the
+  // retained image, and the cache-served swap-in after it.
+  if (alive()) (void)m.SwapOut(c[1]);
+  if (alive()) (void)m.SwapIn(c[1]);
+  if (alive()) (void)m.SwapOut(c[1]);
+  if (alive()) (void)m.SwapIn(c[1]);
+  // First write since the round-trip: releases the clean image's replicas
+  // through the journaled drop path.
+  if (alive()) m.MarkDirty(c[1]);
+  // Speculative pipeline: stage a swapped payload, then prefetch it in.
+  if (alive()) (void)m.SwapOut(c[2]);
+  if (alive()) (void)m.PrefetchStage(c[2]);
+  if (alive()) (void)m.SwapIn(c[2], /*prefetch=*/true);
+  // Replica maintenance: lose one of c0's replicas, let the durability
+  // poll re-replicate, then evacuate a store wholesale.
+  if (alive()) (void)m.SwapOut(c[0]);
+  if (alive()) (void)m.ForgetReplica(c[0], DeviceId(2));
+  if (alive()) w.monitor.Poll();
+  if (alive()) (void)m.EvacuateReplicas(DeviceId(3));
+}
+
+size_t TotalActiveReplicas(swap::SwappingManager& m) {
+  size_t total = 0;
+  for (SwapClusterId id : m.registry().Ids()) {
+    const swap::SwapClusterInfo* info = m.registry().Find(id);
+    if (info == nullptr) continue;
+    const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
+    if (active != nullptr) total += active->size();
+  }
+  return total;
+}
+
+size_t TotalStoredEntries(CrashWorld& w) {
+  size_t total = 0;
+  for (const auto& store : w.world.stores) total += store->entry_count();
+  total += w.flash.entry_count();
+  if (w.flash.Contains(w.journal.flash_key())) --total;  // the journal itself
+  return total;
+}
+
+/// The post-recovery acceptance bar, applied after every chaos run: the
+/// mediation invariant holds, every value is still readable through the
+/// mediated path, and — once deferred drops drain — the stores hold
+/// exactly the keys the replica lists account for.
+void ExpectWorldIntact(CrashWorld& w, const std::string& label) {
+  EXPECT_EQ(CheckMediationInvariant(w.world.rt), "") << label;
+  Result<int64_t> sum = SumList(w.world.rt, "head");
+  ASSERT_TRUE(sum.ok()) << label << ": " << sum.status().ToString();
+  EXPECT_EQ(*sum, kExpectedSum) << label;
+  w.world.manager.FlushPendingDrops();
+  EXPECT_EQ(w.world.manager.pending_drop_count(), 0u) << label;
+  EXPECT_EQ(TotalStoredEntries(w), TotalActiveReplicas(w.world.manager))
+      << label << ": leaked or lost store keys";
+}
+
+// ------------------------------------------------- crash-everywhere sweep --
+
+TEST(CrashSweepTest, EveryFaultPointCrashRecoversWithFullInvariants) {
+  // Clean run: enumerate the traversed (point, hits) universe.
+  std::vector<std::pair<std::string, uint64_t>> universe;
+  {
+    CrashWorld clean;
+    RunScenario(clean);
+    ASSERT_FALSE(clean.world.manager.crashed());
+    // Snapshot the universe before the invariant check: its verification
+    // traversal faults clusters back in, which would count hits the
+    // faulted runs (which stop at RunScenario) never reach.
+    for (const auto& [point, hits] : clean.faults.hit_counts())
+      universe.emplace_back(point, hits);
+    ASSERT_GE(universe.size(), 20u)
+        << "scenario no longer covers the pipeline";
+    ExpectWorldIntact(clean, "clean run");
+  }
+
+  for (const auto& [point, hits] : universe) {
+    for (uint64_t nth = 1; nth <= hits; ++nth) {
+      const std::string label =
+          "crash at " + point + " hit " + std::to_string(nth);
+      CrashWorld w;
+      w.faults.Arm(point, FaultKind::kCrash, nth);
+      RunScenario(w);
+      ASSERT_EQ(w.faults.stats().crashes, 1u) << label;
+      ASSERT_TRUE(w.world.manager.crashed()) << label;
+      Result<swap::SwappingManager::RecoveryReport> report =
+          w.world.manager.Recover();
+      ASSERT_TRUE(report.ok()) << label << ": "
+                               << report.status().ToString();
+      EXPECT_FALSE(w.world.manager.crashed()) << label;
+      // Immediate recovery never loses data: the heap copy survives any
+      // torn op, so every cluster is either rolled back or rolled forward
+      // onto verified replicas.
+      EXPECT_EQ(report->clusters_lost, 0u) << label;
+      ExpectWorldIntact(w, label);
+    }
+  }
+}
+
+TEST(CrashSweepTest, EveryFaultPointErrorUnwindsCleanlyAndJournalStaysTight) {
+  std::vector<std::pair<std::string, uint64_t>> universe;
+  {
+    CrashWorld clean;
+    RunScenario(clean);  // hit counts snapshotted before any verification
+    for (const auto& [point, hits] : clean.faults.hit_counts())
+      universe.emplace_back(point, hits);
+  }
+
+  for (const auto& [point, hits] : universe) {
+    for (uint64_t nth = 1; nth <= hits; ++nth) {
+      const std::string label =
+          "error at " + point + " hit " + std::to_string(nth);
+      CrashWorld w;
+      w.faults.Arm(point, FaultKind::kError, nth);
+      RunScenario(w);
+      ASSERT_EQ(w.faults.stats().errors, 1u) << label;
+      ASSERT_FALSE(w.world.manager.crashed()) << label;
+      // A clean error path must leave no dangling begin record: every op
+      // the pipeline opened was committed or aborted before returning. The
+      // one modeled exception is a failed commit *write* — the op is fully
+      // applied and recovery rolls it to a consistent state.
+      Result<swap::SwappingManager::RecoveryReport> report =
+          w.world.manager.Recover();
+      ASSERT_TRUE(report.ok()) << label;
+      if (point.find("journal_commit") == std::string::npos) {
+        EXPECT_EQ(report->pending_ops, 0u) << label;
+      }
+      ExpectWorldIntact(w, label);
+    }
+  }
+}
+
+TEST(CrashSweepTest, DelayFaultsOnlyCostVirtualTime) {
+  CrashWorld w;
+  const uint64_t before = w.world.network.clock().now_us();
+  w.faults.Arm("swap_out.ship_replica", FaultKind::kDelay, 1,
+               /*delay_us=*/250000);
+  RunScenario(w);
+  EXPECT_FALSE(w.world.manager.crashed());
+  EXPECT_EQ(w.faults.stats().delays, 1u);
+  EXPECT_GE(w.world.network.clock().now_us() - before, 250000u);
+  ExpectWorldIntact(w, "delay");
+}
+
+// ------------------------------------------------------ targeted recovery --
+
+TEST(CrashRecoveryTest, TornSwapOutBeforeShipRollsBackAndReclaimsNothing) {
+  CrashWorld w;
+  // The replica intent is journaled and persisted, but the crash lands
+  // before the store RPC: recovery rolls the cluster back to loaded and
+  // the journaled key resolves to a no-op orphan drop.
+  w.faults.Arm("swap_out.ship_replica", FaultKind::kCrash, 1);
+  Result<SwapKey> key = w.world.manager.SwapOut(w.clusters[1]);
+  ASSERT_FALSE(key.ok());
+  ASSERT_TRUE(w.world.manager.crashed());
+
+  auto report = w.world.manager.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->pending_ops, 1u);
+  EXPECT_EQ(report->rolled_back, 1u);
+  EXPECT_EQ(report->rolled_forward, 0u);
+  EXPECT_GE(report->orphan_drops_enqueued, 1u);
+  EXPECT_EQ(w.world.manager.StateOf(w.clusters[1]), SwapState::kLoaded);
+  ExpectWorldIntact(w, "pre-ship rollback");
+}
+
+TEST(CrashRecoveryTest, TornSwapOutAtCommitRollsBackThroughPatchedProxies) {
+  CrashWorld w;
+  // Every side effect is applied (replicas shipped, proxies patched,
+  // state flipped to swapped) — only the commit is missing. With the
+  // members still on the heap, recovery prefers the heap copy: proxies
+  // are re-pointed at the live members and the replicas reclaimed.
+  w.faults.Arm("swap_out.journal_commit", FaultKind::kCrash, 1);
+  (void)w.world.manager.SwapOut(w.clusters[1]);
+  ASSERT_TRUE(w.world.manager.crashed());
+
+  auto report = w.world.manager.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rolled_back, 1u);
+  EXPECT_GT(report->proxies_restored, 0u);
+  EXPECT_EQ(w.world.manager.StateOf(w.clusters[1]), SwapState::kLoaded);
+  ExpectWorldIntact(w, "at-commit rollback");
+}
+
+TEST(CrashRecoveryTest, TornSwapOutRollsForwardOnceHeapCopyIsCollected) {
+  CrashWorld w;
+  // Same torn point, but a GC runs before recovery (a restart that came
+  // late): the original members are garbage once the proxies point at the
+  // replacement. Recovery must go the other way — verify a journaled
+  // replica against the journaled checksum and adopt the swapped state.
+  w.faults.Arm("swap_out.journal_commit", FaultKind::kCrash, 1);
+  (void)w.world.manager.SwapOut(w.clusters[1]);
+  ASSERT_TRUE(w.world.manager.crashed());
+  w.world.rt.heap().Collect();
+
+  auto report = w.world.manager.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rolled_forward, 1u);
+  EXPECT_EQ(report->rolled_back, 0u);
+  EXPECT_EQ(report->clusters_lost, 0u);
+  EXPECT_EQ(w.world.manager.StateOf(w.clusters[1]), SwapState::kSwapped);
+  // The adopted replicas re-verify against the journaled checksum, and the
+  // payload is still fully readable through a demand swap-in.
+  EXPECT_GT(report->replicas_verified, 0u);
+  ExpectWorldIntact(w, "roll-forward");
+}
+
+TEST(CrashRecoveryTest, TornSwapInRollsBackToReplacement) {
+  CrashWorld w;
+  ASSERT_TRUE(w.world.manager.SwapOut(w.clusters[1]).ok());
+  w.faults.Arm("swap_in.patch_proxy", FaultKind::kCrash, 1);
+  ASSERT_FALSE(w.world.manager.SwapIn(w.clusters[1]).ok());
+  ASSERT_TRUE(w.world.manager.crashed());
+
+  auto report = w.world.manager.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rolled_back, 1u);
+  EXPECT_EQ(w.world.manager.StateOf(w.clusters[1]), SwapState::kSwapped);
+  ExpectWorldIntact(w, "swap-in rollback");
+}
+
+TEST(CrashRecoveryTest, CrashedManagerRefusesEverythingUntilRecovered) {
+  CrashWorld w;
+  w.faults.Arm("swap_out.serialize", FaultKind::kCrash, 1);
+  ASSERT_FALSE(w.world.manager.SwapOut(w.clusters[0]).ok());
+  ASSERT_TRUE(w.world.manager.crashed());
+
+  EXPECT_EQ(w.world.manager.SwapOut(w.clusters[1]).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(w.world.manager.SwapIn(w.clusters[1]).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(w.world.manager.PrefetchStage(w.clusters[1]).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(w.world.manager.ReReplicate(w.clusters[1]).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(w.world.manager.EvacuateReplicas(DeviceId(2)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(w.world.manager.FlushPendingDrops(), 0u);
+  const uint64_t polls_before = w.monitor.stats().polls;
+  w.monitor.Poll();  // a crashed manager is not driven by maintenance
+  EXPECT_EQ(w.monitor.stats().polls, polls_before);
+
+  ASSERT_TRUE(w.world.manager.Recover().ok());
+  EXPECT_FALSE(w.world.manager.crashed());
+  EXPECT_TRUE(w.world.manager.SwapOut(w.clusters[1]).ok());
+  EXPECT_TRUE(w.world.manager.SwapIn(w.clusters[1]).ok());
+  EXPECT_EQ(w.world.manager.stats().recoveries, 1u);
+}
+
+TEST(CrashRecoveryTest, RecoveryEmitsEventsAndCountsTime) {
+  CrashWorld w;
+  size_t recovery_ops = 0;
+  size_t completions = 0;
+  w.world.bus.Subscribe(context::kEventRecoveryOp,
+                        [&](const context::Event&) { ++recovery_ops; });
+  w.world.bus.Subscribe(context::kEventRecoveryCompleted,
+                        [&](const context::Event& event) {
+                          ++completions;
+                          EXPECT_EQ(event.GetIntOr("pending_ops", -1), 1);
+                          EXPECT_EQ(event.GetIntOr("rolled_back", -1), 1);
+                          EXPECT_EQ(event.GetIntOr("clusters_lost", -1), 0);
+                        });
+  w.faults.Arm("swap_out.ship_replica", FaultKind::kCrash, 1);
+  (void)w.world.manager.SwapOut(w.clusters[1]);
+  ASSERT_TRUE(w.world.manager.Recover().ok());
+  EXPECT_EQ(recovery_ops, 1u);
+  EXPECT_EQ(completions, 1u);
+  // Stats flow into the registry-backed snapshot, journal costs included.
+  std::string json = w.world.manager.StatsJson();
+  EXPECT_NE(json.find("\"recoveries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"journal_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"journal_append_us\":"), std::string::npos);
+  EXPECT_GT(w.journal.stats().persisted_bytes, 0u);
+}
+
+// ------------------------------------------ partial-replica leak (fix) -----
+
+TEST(CrashRecoveryTest, FailedSwapOutReleasesPartiallyPlacedReplicas) {
+  CrashWorld w;
+  // Replicas land on stores, then replacement allocation fails: the
+  // placed replicas must be released (not silently dropped one-by-one
+  // with their errors ignored) and the journal op aborted.
+  const size_t entries_before = TotalStoredEntries(w);
+  w.faults.Arm("swap_out.build_replacement", FaultKind::kError, 1);
+  Result<SwapKey> key = w.world.manager.SwapOut(w.clusters[1]);
+  ASSERT_FALSE(key.ok());
+  ASSERT_FALSE(w.world.manager.crashed());
+  w.world.manager.FlushPendingDrops();
+  EXPECT_EQ(TotalStoredEntries(w), entries_before)
+      << "partially placed replicas leaked";
+  EXPECT_EQ(w.world.manager.stats().swap_out_failures, 1u);
+  EXPECT_EQ(w.world.manager.StateOf(w.clusters[1]), SwapState::kLoaded);
+  auto report = w.world.manager.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->pending_ops, 0u) << "abort record missing";
+}
+
+// ------------------------------------------------- journal torn images ----
+
+IntentJournal::ParseResult BuildFuzzImage(std::string* image_out) {
+  net::SimClock clock;
+  persist::FlashStore flash(DeviceId(1), 1 << 20, clock);
+  // Retain completed-op records (the default compacts them away at commit)
+  // so the fuzzed image holds both a committed and a torn operation.
+  IntentJournal::Options options;
+  options.compact_record_limit = 64;
+  IntentJournal journal(&flash, options);
+  uint64_t committed = journal.BeginOp(IntentOp::kSwapOut, SwapClusterId(7),
+                                       3, 0xAB12, {101, 102}, {900});
+  journal.NoteReplicaIntent(committed, DeviceId(2), SwapKey(11));
+  journal.NoteReplicaIntent(committed, DeviceId(3), SwapKey(12));
+  OBISWAP_CHECK(journal.Commit(committed).ok());
+  uint64_t torn = journal.BeginOp(IntentOp::kSwapIn, SwapClusterId(8), 4,
+                                  0xCD34, {103}, {});
+  journal.NoteReplicaIntent(torn, DeviceId(3), SwapKey(13));
+  journal.NoteProgress(torn, 2);
+  OBISWAP_CHECK(journal.Persist().ok());
+  *image_out = *flash.Fetch(journal.flash_key());
+  return IntentJournal::Parse(*image_out);
+}
+
+TEST(IntentJournalTornWriteTest, TruncationAtEveryByteKeepsAnExactPrefix) {
+  std::string image;
+  IntentJournal::ParseResult full = BuildFuzzImage(&image);
+  ASSERT_EQ(full.skipped, 0u);
+  ASSERT_EQ(full.records.size(), 7u);  // 2 begins, 3 intents, 1 commit, 1 progress
+  ASSERT_EQ(full.bad_tail_bytes, 0u);
+
+  for (size_t len = 0; len <= image.size(); ++len) {
+    IntentJournal::ParseResult torn =
+        IntentJournal::Parse(std::string_view(image).substr(0, len));
+    ASSERT_LE(torn.records.size(), full.records.size()) << "len " << len;
+    // Torn tails shrink the record list from the end — they never invent
+    // or reorder records.
+    for (size_t i = 0; i < torn.records.size(); ++i) {
+      EXPECT_EQ(torn.records[i].seq, full.records[i].seq) << "len " << len;
+      EXPECT_EQ(torn.records[i].type, full.records[i].type) << "len " << len;
+    }
+    if (len < image.size()) {
+      EXPECT_LT(torn.records.size(), full.records.size())
+          << "len " << len << ": a truncated image parsed as complete";
+    }
+  }
+}
+
+TEST(IntentJournalTornWriteTest, TruncatedImageLoadsTheSurvivingOps) {
+  std::string image;
+  (void)BuildFuzzImage(&image);
+
+  for (size_t len = 0; len <= image.size(); ++len) {
+    net::SimClock clock;
+    persist::FlashStore flash(DeviceId(1), 1 << 20, clock);
+    OBISWAP_CHECK(flash.Store(IntentJournal::Options().key,
+                              image.substr(0, len))
+                      .ok());
+    IntentJournal journal(&flash);
+    Result<std::vector<IntentJournal::PendingOp>> pending =
+        journal.LoadForRecovery();
+    ASSERT_TRUE(pending.ok()) << "len " << len;
+    // At most one op can be pending at any cut: either the first op (its
+    // commit record was truncated away, so it resurfaces uncommitted) or
+    // the second (its begin survived; its commit never existed) — never
+    // both, because the second op's records follow the first's commit.
+    ASSERT_LE(pending->size(), 1u) << "len " << len;
+    if (!pending->empty()) {
+      const IntentJournal::PendingOp& op = (*pending)[0];
+      if (op.cluster == SwapClusterId(7)) {
+        EXPECT_EQ(op.op, IntentOp::kSwapOut) << "len " << len;
+      } else {
+        EXPECT_EQ(op.cluster, SwapClusterId(8)) << "len " << len;
+        EXPECT_EQ(op.op, IntentOp::kSwapIn) << "len " << len;
+      }
+    }
+    // The fence epoch always outranks whatever was stored.
+    EXPECT_GE(journal.epoch(), 2u) << "len " << len;
+  }
+}
+
+TEST(IntentJournalTornWriteTest, BitFlipAtEveryByteIsDetectedNeverInvented) {
+  std::string image;
+  IntentJournal::ParseResult full = BuildFuzzImage(&image);
+
+  auto matches_original = [&](const swap::JournalRecord& record) {
+    for (const swap::JournalRecord& original : full.records) {
+      if (original.seq == record.seq && original.type == record.type &&
+          original.device == record.device && original.key == record.key &&
+          original.payload_checksum == record.payload_checksum) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (size_t pos = 0; pos < image.size(); ++pos) {
+    std::string flipped = image;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ (1 << (pos % 8)));
+    IntentJournal::ParseResult parsed = IntentJournal::Parse(flipped);
+    // A single flipped bit may cost records (CRC reject, broken framing,
+    // stale fence) but must never fabricate one.
+    for (const swap::JournalRecord& record : parsed.records) {
+      EXPECT_TRUE(matches_original(record))
+          << "pos " << pos << " invented record seq " << record.seq;
+    }
+    if (parsed.records.size() < full.records.size()) {
+      EXPECT_GT(parsed.skipped + parsed.bad_tail_bytes +
+                    (parsed.epoch == full.epoch ? 0u : 1u),
+                0u)
+          << "pos " << pos << " lost records without accounting";
+    }
+
+    // And the full recovery path stays calm on the same corrupt image.
+    net::SimClock clock;
+    persist::FlashStore flash(DeviceId(1), 1 << 20, clock);
+    OBISWAP_CHECK(flash.Store(IntentJournal::Options().key, flipped).ok());
+    IntentJournal journal(&flash);
+    EXPECT_TRUE(journal.LoadForRecovery().ok()) << "pos " << pos;
+  }
+}
+
+TEST(IntentJournalTornWriteTest, StaleEpochRecordsAreFenced) {
+  net::SimClock clock;
+  persist::FlashStore flash(DeviceId(1), 1 << 20, clock);
+  {
+    IntentJournal journal(&flash);
+    // Restart once so the persisted header epoch moves past 1.
+    OBISWAP_CHECK(journal.LoadForRecovery().ok());
+    uint64_t seq = journal.BeginOp(IntentOp::kSwapOut, SwapClusterId(5), 1,
+                                   0, {1}, {});
+    journal.NoteReplicaIntent(seq, DeviceId(2), SwapKey(50));
+    OBISWAP_CHECK(journal.Persist().ok());
+  }
+  std::string image = *flash.Fetch(IntentJournal::Options().key);
+  // Append a record stamped with the pre-restart epoch: a stale survivor
+  // from an older incarnation that compaction never reached.
+  swap::JournalRecord stale;
+  stale.epoch = 1;
+  stale.seq = 99;
+  stale.type = swap::RecordType::kBegin;
+  stale.op = IntentOp::kDrop;
+  IntentJournal::EncodeRecord(stale, &image);
+  OBISWAP_CHECK(flash.Store(IntentJournal::Options().key, image).ok());
+
+  IntentJournal journal(&flash);
+  Result<std::vector<IntentJournal::PendingOp>> pending =
+      journal.LoadForRecovery();
+  ASSERT_TRUE(pending.ok());
+  ASSERT_EQ(pending->size(), 1u);  // the real op, not the stale one
+  EXPECT_EQ((*pending)[0].cluster, SwapClusterId(5));
+  EXPECT_EQ(journal.stats().records_skipped, 1u);
+}
+
+TEST(IntentJournalTest, CompactionDropsCompletedOpsAndKeepsInFlight) {
+  net::SimClock clock;
+  persist::FlashStore flash(DeviceId(1), 1 << 20, clock);
+  IntentJournal::Options options;
+  options.compact_record_limit = 8;
+  IntentJournal journal(&flash, options);
+  uint64_t open_seq = journal.BeginOp(IntentOp::kSwapIn, SwapClusterId(42),
+                                      1, 0, {}, {});
+  journal.NoteReplicaIntent(open_seq, DeviceId(9), SwapKey(77));
+  for (int i = 0; i < 16; ++i) {
+    uint64_t seq = journal.BeginOp(IntentOp::kSwapOut,
+                                   SwapClusterId(100 + i), 1, 0, {}, {});
+    journal.NoteReplicaIntent(seq, DeviceId(2), SwapKey(200 + i));
+    OBISWAP_CHECK(journal.Commit(seq).ok());
+  }
+  EXPECT_GT(journal.stats().compactions, 0u);
+  EXPECT_LE(journal.record_count(), options.compact_record_limit + 3);
+  // The in-flight op survives every compaction round.
+  Result<std::vector<IntentJournal::PendingOp>> pending =
+      journal.LoadForRecovery();
+  ASSERT_TRUE(pending.ok());
+  ASSERT_EQ(pending->size(), 1u);
+  EXPECT_EQ((*pending)[0].seq, open_seq);
+  ASSERT_EQ((*pending)[0].replica_intents.size(), 1u);
+  EXPECT_EQ((*pending)[0].replica_intents[0].key, SwapKey(77));
+}
+
+}  // namespace
+}  // namespace obiswap

@@ -37,10 +37,52 @@ TEST(FlashStoreTest, CapacityAndDuplicates) {
   EXPECT_EQ(flash.Store(SwapKey(2), "123456").code(),
             StatusCode::kResourceExhausted);
   EXPECT_TRUE(flash.Store(SwapKey(1), "12345").ok());  // idempotent
-  EXPECT_EQ(flash.Store(SwapKey(1), "other").code(),
-            StatusCode::kAlreadyExists);
+  // Overwriting an existing key replaces the entry in place (the intent
+  // journal re-persists its image under one reserved key).
+  ASSERT_TRUE(flash.Store(SwapKey(1), "other").ok());
+  EXPECT_EQ(*flash.Fetch(SwapKey(1)), "other");
   EXPECT_FALSE(flash.Fetch(SwapKey(9)).ok());
   EXPECT_FALSE(flash.Drop(SwapKey(9)).ok());
+}
+
+TEST(FlashStoreTest, OverwriteAccountsBySizeDelta) {
+  net::SimClock clock;
+  persist::FlashParams params;
+  params.op_latency_us = 0;
+  FlashStore flash(DeviceId(1), 100, clock, params);
+  ASSERT_TRUE(flash.Store(SwapKey(1), std::string(40, 'a')).ok());
+  EXPECT_EQ(flash.used_bytes(), 40u);
+  EXPECT_EQ(flash.stats().bytes_written, 40u);
+
+  // Re-store with different content of a larger size: used_bytes moves by
+  // the delta (no double-count), wear is charged for the bytes written.
+  ASSERT_TRUE(flash.Store(SwapKey(1), std::string(60, 'b')).ok());
+  EXPECT_EQ(flash.used_bytes(), 60u);
+  EXPECT_EQ(flash.entry_count(), 1u);
+  EXPECT_EQ(flash.stats().bytes_written, 40u + 60u);
+  EXPECT_EQ(flash.stats().overwrites, 1u);
+
+  // Shrinking overwrite frees the difference.
+  ASSERT_TRUE(flash.Store(SwapKey(1), std::string(10, 'c')).ok());
+  EXPECT_EQ(flash.used_bytes(), 10u);
+  EXPECT_EQ(flash.stats().overwrites, 2u);
+
+  // Capacity check is against the post-replacement footprint: a 100-byte
+  // payload fits because the old 10 bytes are reclaimed by the same op...
+  ASSERT_TRUE(flash.Store(SwapKey(1), std::string(100, 'd')).ok());
+  EXPECT_EQ(flash.used_bytes(), 100u);
+  // ...but a second key cannot squeeze in, and a failed store leaves the
+  // old entry untouched.
+  EXPECT_EQ(flash.Store(SwapKey(2), "x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(flash.Fetch(SwapKey(1))->size(), 100u);
+
+  // Identical re-store stays free: no wear, no overwrite counted.
+  const uint64_t wear = flash.stats().bytes_written;
+  const uint64_t overwrites = flash.stats().overwrites;
+  ASSERT_TRUE(flash.Store(SwapKey(1), std::string(100, 'd')).ok());
+  EXPECT_EQ(flash.stats().bytes_written, wear);
+  EXPECT_EQ(flash.stats().overwrites, overwrites);
 }
 
 TEST(FlashStoreTest, AsymmetricAccessCosts) {

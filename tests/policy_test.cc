@@ -350,5 +350,76 @@ TEST(PolicyIntegrationTest, ReplicationClusterSizeAction) {
   EXPECT_EQ(server.cluster_size(), 64u);
 }
 
+TEST(PolicyIntegrationTest, InjectFaultActionArmsTheInjector) {
+  MiddlewareWorld world;
+  const runtime::ClassInfo* node_cls = RegisterNodeClass(world.rt);
+  world.AddStore(2, 10 * 1024 * 1024);
+  swap::FaultInjector faults;
+  world.manager.AttachFaultInjector(&faults);
+  context::PropertyRegistry props;
+  PolicyEngine engine(world.bus, props);
+  ASSERT_TRUE(RegisterSwapActions(engine, world.rt, world.manager).ok());
+  auto clusters =
+      BuildClusteredList(world.rt, world.manager, node_cls, 10, 5, "head");
+  auto added = engine.LoadXml(R"(
+    <policies>
+      <policy name="chaos-drill" on="chaos-drill">
+        <action name="inject-fault">
+          <param name="point" value="swap_out.ship_replica"/>
+          <param name="kind" value="error"/>
+          <param name="nth" value="1"/>
+        </action>
+      </policy>
+    </policies>)");
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  ASSERT_EQ(faults.pending_scripts(), 0u);
+  world.bus.Publish(context::Event("chaos-drill"));
+  ASSERT_EQ(faults.pending_scripts(), 1u);
+
+  // The armed one-shot fault fails the next swap-out through its normal
+  // error path; the one after succeeds.
+  EXPECT_FALSE(world.manager.SwapOut(clusters[0]).ok());
+  EXPECT_EQ(faults.stats().errors, 1u);
+  EXPECT_EQ(faults.pending_scripts(), 0u);
+  EXPECT_TRUE(world.manager.SwapOut(clusters[0]).ok());
+}
+
+TEST(PolicyIntegrationTest, InjectFaultActionValidatesItsParams) {
+  MiddlewareWorld world;
+  context::PropertyRegistry props;
+  PolicyEngine engine(world.bus, props);
+  ASSERT_TRUE(RegisterSwapActions(engine, world.rt, world.manager).ok());
+  // No injector attached: the action registers but refuses to fire.
+  auto added = engine.LoadXml(R"(
+    <policies>
+      <policy name="no-injector" on="chaos-drill">
+        <action name="inject-fault">
+          <param name="point" value="swap_out.serialize"/>
+          <param name="kind" value="crash"/>
+        </action>
+      </policy>
+    </policies>)");
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  world.bus.Publish(context::Event("chaos-drill"));
+  EXPECT_GT(engine.stats().action_failures, 0u);
+
+  swap::FaultInjector faults;
+  world.manager.AttachFaultInjector(&faults);
+  auto bad_kind = engine.LoadXml(R"(
+    <policies>
+      <policy name="bad-kind" on="bad-kind">
+        <action name="inject-fault">
+          <param name="point" value="swap_out.serialize"/>
+          <param name="kind" value="explode"/>
+        </action>
+      </policy>
+    </policies>)");
+  ASSERT_TRUE(bad_kind.ok());
+  uint64_t failures = engine.stats().action_failures;
+  world.bus.Publish(context::Event("bad-kind"));
+  EXPECT_GT(engine.stats().action_failures, failures);
+  EXPECT_EQ(faults.pending_scripts(), 0u);
+}
+
 }  // namespace
 }  // namespace obiswap::policy

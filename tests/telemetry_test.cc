@@ -502,6 +502,12 @@ TEST(TelemetryPipelineTest, StatsJsonIsByteIdenticalWithTelemetryOff) {
   EXPECT_NE(with_telemetry.find("\"proxies_created\":"), std::string::npos);
   EXPECT_NE(with_telemetry.find("\"payload_cache_entries\":"),
             std::string::npos);
+  // The crash-consistency stats ride the same contract (zero without a
+  // journal attached, but always present and ordered).
+  EXPECT_NE(with_telemetry.find("\"recoveries\":0"), std::string::npos);
+  EXPECT_NE(with_telemetry.find("\"recovery_us\":0"), std::string::npos);
+  EXPECT_NE(with_telemetry.find("\"journal_append_us\":0"), std::string::npos);
+  EXPECT_NE(with_telemetry.find("\"journal_bytes\":0"), std::string::npos);
 }
 
 TEST(TelemetryPipelineTest, SharedBundleCollectsManagerAndClientSpans) {
