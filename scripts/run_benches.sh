@@ -45,6 +45,7 @@ expected=(
   BENCH_churn_recovery.json
   BENCH_prefetch_stall.json
   BENCH_crash_recovery.json
+  BENCH_degraded_mode.json
 )
 # Telemetry-instrumented benches must also drop a span trace.
 expected_traces=(
@@ -52,6 +53,7 @@ expected_traces=(
   BENCH_local_vs_remote_trace.json
   BENCH_churn_recovery_trace.json
   BENCH_prefetch_stall_trace.json
+  BENCH_degraded_mode_trace.json
 )
 failed=0
 for f in "${expected[@]}"; do

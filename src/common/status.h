@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnavailable,         ///< device out of range, link down
   kDataLoss,            ///< checksum mismatch, truncated payload
   kInternal,            ///< invariant violation surfaced as error
+  kDeadlineExceeded,    ///< operation abandoned at its virtual-time budget
 };
 
 /// Human-readable name for a StatusCode (stable, used in logs and tests).
@@ -62,6 +63,7 @@ Status ResourceExhaustedError(std::string message);
 Status UnavailableError(std::string message);
 Status DataLossError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// A value of T or a failure Status. Mirrors absl::StatusOr.
 template <typename T>

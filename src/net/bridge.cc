@@ -32,10 +32,21 @@ StatusCode CodeFromName(const std::string& name) {
        {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kAlreadyExists,
         StatusCode::kInvalidArgument, StatusCode::kFailedPrecondition,
         StatusCode::kResourceExhausted, StatusCode::kUnavailable,
-        StatusCode::kDataLoss, StatusCode::kInternal}) {
+        StatusCode::kDataLoss, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded}) {
     if (name == StatusCodeName(code)) return code;
   }
   return StatusCode::kInternal;
+}
+
+/// splitmix64 finalizer — a stateless bit mixer for the per-key backoff
+/// jitter. Not Rng: the jitter must depend only on (key, device, attempt)
+/// so identical runs reproduce it without consuming shared random state.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -146,16 +157,34 @@ std::vector<StoreNode*> Discovery::NearbyStores(DeviceId from,
   return out;
 }
 
-Result<std::string> StoreClient::Call(DeviceId device, const char* op,
-                                      const std::string& request_xml) {
+Result<std::string> StoreClient::Call(DeviceId device, SwapKey key,
+                                      const char* op,
+                                      const std::string& request_xml,
+                                      uint64_t deadline_us) {
   telemetry::ScopedSpan rpc_span(telemetry_, std::string("rpc:") + op, "net",
                                  telemetry::Hist(telemetry_, "rpc_us"));
   if (telemetry_ != nullptr)
     telemetry_->metrics().GetCounter("rpc_calls").Increment();
+  // Breaker gate: a store known to be sick is refused before any radio
+  // traffic, so K-replica walks skip it at zero virtual-time cost.
+  if (health_ != nullptr && !health_->AllowRequest(device)) {
+    ++stats_.breaker_rejections;
+    if (telemetry_ != nullptr)
+      telemetry_->metrics().GetCounter("rpc_breaker_rejections").Increment();
+    return UnavailableError("circuit breaker open for device " +
+                            device.ToString());
+  }
   StoreService* service = discovery_.ServiceFor(device);
   if (service == nullptr)
     return NotFoundError("device " + device.ToString() + " not announced");
   ++stats_.calls;
+  const uint64_t start_us = network_.clock().now_us();
+  // Remaining virtual-time budget; UINT64_MAX when the call is unbounded.
+  auto budget_left = [&]() -> uint64_t {
+    if (deadline_us == 0) return UINT64_MAX;
+    uint64_t used = network_.clock().now_us() - start_us;
+    return used >= deadline_us ? 0 : deadline_us - used;
+  };
   Status last = UnavailableError("no attempt made");
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
     if (attempt > 0) {
@@ -164,33 +193,75 @@ Result<std::string> StoreClient::Call(DeviceId device, const char* op,
         telemetry_->metrics().GetCounter("rpc_retries").Increment();
       if (backoff_base_us_ > 0) {
         // Exponential backoff in virtual time: 1x, 2x, 4x, ... so lossy
-        // links charge an honest retransmission delay to the clock.
-        uint64_t wait = backoff_base_us_ << (attempt - 1);
+        // links charge an honest retransmission delay to the clock. The
+        // shift saturates (a raised max_attempts must not overflow) and
+        // the series caps at max_backoff_us_.
+        int shift = std::min(attempt - 1, 62);
+        uint64_t wait = backoff_base_us_ << shift;
+        if ((wait >> shift) != backoff_base_us_ || wait > max_backoff_us_)
+          wait = max_backoff_us_;
+        // Deterministic per-key jitter in [0, wait/2]: devices retrying
+        // the same outage desynchronize instead of forming lockstep retry
+        // storms, and the same (key, device, attempt) always jitters the
+        // same way, keeping runs reproducible.
+        wait += Mix64(key.value() ^
+                      (static_cast<uint64_t>(attempt) *
+                       0x9E3779B97F4A7C15ull) ^
+                      self_.value()) %
+                (wait / 2 + 1);
+        wait = std::min(wait, budget_left());  // never sleep past the budget
         network_.clock().Advance(wait);
         stats_.backoff_us += wait;
+      }
+      if (budget_left() == 0) {
+        ++stats_.deadline_failures;
+        return DeadlineExceededError("rpc budget exhausted before retry " +
+                                     std::to_string(attempt));
       }
     }
     // One child span per wire attempt: a traced retry storm shows each
     // retransmission (and its backoff gap) inside the enclosing rpc span.
     telemetry::ScopedSpan attempt_span(telemetry_, "rpc_attempt", "net");
-    Result<uint64_t> out = network_.Transfer(self_, device,
-                                             request_xml.size());
+    const uint64_t attempt_begin_us = network_.clock().now_us();
+    // A wire attempt is a health sample: transport success (both envelope
+    // transfers landed) scores the store up; loss, unreachability or a
+    // budget-clipped wait scores it down. Parsed remote errors (e.g.
+    // kNotFound) are the *store working correctly* and never count
+    // against it.
+    auto fail_attempt = [&](const Status& status) {
+      last = status;
+      if (health_ != nullptr)
+        health_->RecordOutcome(device, /*ok=*/false,
+                               network_.clock().now_us() - attempt_begin_us);
+    };
+    Result<uint64_t> out =
+        network_.Transfer(self_, device, request_xml.size(), budget_left());
     if (!out.ok()) {
-      last = out.status();
-      if (last.code() != StatusCode::kUnavailable) return last;
-      continue;
+      fail_attempt(out.status());
+    } else {
+      stats_.bytes_sent += request_xml.size();
+      std::string response = service->Handle(request_xml);
+      Result<uint64_t> back =
+          network_.Transfer(device, self_, response.size(), budget_left());
+      if (!back.ok()) {
+        fail_attempt(back.status());
+      } else {
+        stats_.bytes_received += response.size();
+        if (health_ != nullptr)
+          health_->RecordOutcome(
+              device, /*ok=*/true,
+              network_.clock().now_us() - attempt_begin_us);
+        return response;
+      }
     }
-    stats_.bytes_sent += request_xml.size();
-    std::string response = service->Handle(request_xml);
-    Result<uint64_t> back =
-        network_.Transfer(device, self_, response.size());
-    if (!back.ok()) {
-      last = back.status();
-      if (last.code() != StatusCode::kUnavailable) return last;
-      continue;
+    if (last.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_failures;
+      return last;
     }
-    stats_.bytes_received += response.size();
-    return response;
+    if (last.code() != StatusCode::kUnavailable) return last;
+    // If this attempt just tripped the breaker, further retries within
+    // this call would only burn backoff time — fail fast instead.
+    if (health_ != nullptr && health_->IsOpen(device)) break;
   }
   return last;
 }
@@ -218,7 +289,7 @@ Result<std::string> ParseResponse(const std::string& response_xml,
 }  // namespace
 
 Status StoreClient::Store(DeviceId device, SwapKey key,
-                          const std::string& text) {
+                          const std::string& text, uint64_t deadline_us) {
   auto request = xml::Node::Element("request");
   request->SetAttr("op", "store");
   request->SetIntAttr("key", static_cast<int64_t>(key.value()));
@@ -226,29 +297,33 @@ Status StoreClient::Store(DeviceId device, SwapKey key,
   // StoreService::Handle).
   request->SetIntAttr("checksum", static_cast<int64_t>(Adler32(text)));
   request->AddElement("payload")->AddText(text);
-  OBISWAP_ASSIGN_OR_RETURN(std::string response,
-                           Call(device, "store", xml::Write(*request)));
+  OBISWAP_ASSIGN_OR_RETURN(
+      std::string response,
+      Call(device, key, "store", xml::Write(*request), deadline_us));
   OBISWAP_ASSIGN_OR_RETURN(std::string ignored,
                            ParseResponse(response, /*expect_payload=*/false));
   (void)ignored;
   return OkStatus();
 }
 
-Result<std::string> StoreClient::Fetch(DeviceId device, SwapKey key) {
+Result<std::string> StoreClient::Fetch(DeviceId device, SwapKey key,
+                                       uint64_t deadline_us) {
   auto request = xml::Node::Element("request");
   request->SetAttr("op", "fetch");
   request->SetIntAttr("key", static_cast<int64_t>(key.value()));
-  OBISWAP_ASSIGN_OR_RETURN(std::string response,
-                           Call(device, "fetch", xml::Write(*request)));
+  OBISWAP_ASSIGN_OR_RETURN(
+      std::string response,
+      Call(device, key, "fetch", xml::Write(*request), deadline_us));
   return ParseResponse(response, /*expect_payload=*/true);
 }
 
-Status StoreClient::Drop(DeviceId device, SwapKey key) {
+Status StoreClient::Drop(DeviceId device, SwapKey key, uint64_t deadline_us) {
   auto request = xml::Node::Element("request");
   request->SetAttr("op", "drop");
   request->SetIntAttr("key", static_cast<int64_t>(key.value()));
-  OBISWAP_ASSIGN_OR_RETURN(std::string response,
-                           Call(device, "drop", xml::Write(*request)));
+  OBISWAP_ASSIGN_OR_RETURN(
+      std::string response,
+      Call(device, key, "drop", xml::Write(*request), deadline_us));
   OBISWAP_ASSIGN_OR_RETURN(std::string ignored,
                            ParseResponse(response, /*expect_payload=*/false));
   (void)ignored;

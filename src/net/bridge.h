@@ -13,6 +13,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "net/health.h"
 #include "net/network.h"
 #include "net/store_node.h"
 #include "telemetry/telemetry.h"
@@ -76,6 +77,8 @@ class StoreClient {
     uint64_t bytes_sent = 0;
     uint64_t bytes_received = 0;
     uint64_t backoff_us = 0;  ///< virtual time spent waiting between retries
+    uint64_t breaker_rejections = 0;  ///< calls refused by an open breaker
+    uint64_t deadline_failures = 0;   ///< calls abandoned at their budget
   };
 
   StoreClient(Network& network, Discovery& discovery, DeviceId self,
@@ -85,9 +88,14 @@ class StoreClient {
         self_(self),
         max_attempts_(max_attempts) {}
 
-  Status Store(DeviceId device, SwapKey key, const std::string& text);
-  Result<std::string> Fetch(DeviceId device, SwapKey key);
-  Status Drop(DeviceId device, SwapKey key);
+  /// `deadline_us` caps the whole call — attempts, backoff gaps and wire
+  /// time — in virtual microseconds; past it the call fails with
+  /// kDeadlineExceeded instead of stacking worst-case retries. 0 = none.
+  Status Store(DeviceId device, SwapKey key, const std::string& text,
+               uint64_t deadline_us = 0);
+  Result<std::string> Fetch(DeviceId device, SwapKey key,
+                            uint64_t deadline_us = 0);
+  Status Drop(DeviceId device, SwapKey key, uint64_t deadline_us = 0);
 
   const Stats& stats() const { return stats_; }
   DeviceId self() const { return self_; }
@@ -97,14 +105,25 @@ class StoreClient {
   void set_retry_backoff_us(uint64_t base_us) { backoff_base_us_ = base_us; }
   uint64_t retry_backoff_us() const { return backoff_base_us_; }
 
+  /// Ceiling on any single backoff gap: the exponential series saturates
+  /// here instead of doubling without bound (or overflowing the shift).
+  void set_max_backoff_us(uint64_t max_us) { max_backoff_us_ = max_us; }
+  uint64_t max_backoff_us() const { return max_backoff_us_; }
+
+  /// Optional per-store health tracker: every wire attempt feeds it, and an
+  /// open circuit breaker fails calls fast before any radio traffic.
+  void AttachHealth(HealthTracker* health) { health_ = health; }
+  HealthTracker* health() const { return health_; }
+
   /// Optional shared telemetry bundle: every RPC then records an
   /// "rpc:<op>" span (one child span per network attempt), the "rpc_us"
   /// latency histogram, and rpc_calls/rpc_retries counters.
   void AttachTelemetry(telemetry::Telemetry* t) { telemetry_ = t; }
 
  private:
-  Result<std::string> Call(DeviceId device, const char* op,
-                           const std::string& request_xml);
+  Result<std::string> Call(DeviceId device, SwapKey key, const char* op,
+                           const std::string& request_xml,
+                           uint64_t deadline_us);
 
   Network& network_;
   Discovery& discovery_;
@@ -113,8 +132,11 @@ class StoreClient {
   /// Default ≈ one Bluetooth latency window; exponential so lossy-link
   /// benches pay an honest clock cost for retransmissions.
   uint64_t backoff_base_us_ = 30'000;
+  /// Default ≈ 1 s of virtual time; past this the series stops doubling.
+  uint64_t max_backoff_us_ = 1'000'000;
   Stats stats_;
   telemetry::Telemetry* telemetry_ = nullptr;
+  HealthTracker* health_ = nullptr;
 };
 
 }  // namespace obiswap::net

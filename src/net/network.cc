@@ -88,7 +88,8 @@ LinkParams Network::GetLinkParams(DeviceId a, DeviceId b) const {
   return it == link_params_.end() ? default_link_ : it->second;
 }
 
-Result<uint64_t> Network::Transfer(DeviceId from, DeviceId to, size_t bytes) {
+Result<uint64_t> Network::Transfer(DeviceId from, DeviceId to, size_t bytes,
+                                   uint64_t max_wait_us) {
   if (!IsOnline(from))
     return UnavailableError("device " + from.ToString() + " is offline");
   if (!IsOnline(to))
@@ -99,15 +100,27 @@ Result<uint64_t> Network::Transfer(DeviceId from, DeviceId to, size_t bytes) {
   LinkParams link = GetLinkParams(from, to);
   if (link.loss_rate > 0.0 && rng_.NextBool(link.loss_rate)) {
     ++stats_.transfer_failures;
-    // A lost attempt still consumes the latency window.
-    clock_.Advance(link.latency_us);
-    stats_.busy_us += link.latency_us;
+    // A lost attempt still consumes the latency window (capped: the caller
+    // gives up waiting at its budget).
+    uint64_t consumed = std::min(link.latency_us, max_wait_us);
+    clock_.Advance(consumed);
+    stats_.busy_us += consumed;
+    if (consumed < link.latency_us)
+      return DeadlineExceededError("transfer abandoned at wait budget");
     return UnavailableError("transfer lost on link");
   }
   uint64_t elapsed =
       link.latency_us +
       static_cast<uint64_t>(static_cast<double>(bytes) * 8.0 * 1e6 /
                             link.bandwidth_bps);
+  if (elapsed > max_wait_us) {
+    // The caller walks away at its budget; the partial transfer is wasted
+    // link time, not delivered bytes.
+    ++stats_.transfer_failures;
+    clock_.Advance(max_wait_us);
+    stats_.busy_us += max_wait_us;
+    return DeadlineExceededError("transfer abandoned at wait budget");
+  }
   clock_.Advance(elapsed);
   ++stats_.transfers;
   stats_.bytes_moved += bytes;

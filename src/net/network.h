@@ -78,7 +78,12 @@ class Network {
   /// Moves `bytes` from `from` to `to`. On success returns the virtual
   /// microseconds the transfer took (the clock has been advanced by then).
   /// kUnavailable if offline/out of range or the attempt was lost.
-  Result<uint64_t> Transfer(DeviceId from, DeviceId to, size_t bytes);
+  /// `max_wait_us` caps how much virtual time the caller is willing to
+  /// spend: a transfer that would take longer is abandoned at the cap
+  /// (the clock advances by `max_wait_us` only — the radio was occupied
+  /// that long) and fails with kDeadlineExceeded. UINT64_MAX = no cap.
+  Result<uint64_t> Transfer(DeviceId from, DeviceId to, size_t bytes,
+                            uint64_t max_wait_us = UINT64_MAX);
 
   /// Devices currently reachable from `device` (online and in range).
   std::vector<DeviceId> Reachable(DeviceId device) const;

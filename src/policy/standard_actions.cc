@@ -85,6 +85,33 @@ Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
         return manager.telemetry().DumpTrace(path);
       }));
   OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-brownout",
+      [&manager](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t enabled,
+                                 RequiredIntParam(params, "enabled"));
+        if (enabled != 0)
+          manager.EnterBrownout("policy");
+        else
+          manager.ExitBrownout();
+        return OkStatus();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-hedged-fetch",
+      [&manager](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t enabled,
+                                 RequiredIntParam(params, "enabled"));
+        manager.set_hedged_fetch(enabled != 0);
+        return OkStatus();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-op-deadline",
+      [&manager](const context::Event&, const ActionParams& params) {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t us, RequiredIntParam(params, "us"));
+        if (us < 0) return InvalidArgumentError("us must be non-negative");
+        manager.set_op_deadline_us(static_cast<uint64_t>(us));
+        return OkStatus();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
       "inject-fault",
       [&manager](const context::Event&,
                  const ActionParams& params) -> Status {

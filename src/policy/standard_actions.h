@@ -21,6 +21,13 @@ namespace obiswap::policy {
 ///   collect                      — full local collection
 ///   set-telemetry (param "enabled", 0/1) — toggles span/journal recording
 ///   dump-trace    (param "path")  — writes the Chrome trace JSON to path
+///   set-brownout  (param "enabled", 0/1) — forces brownout on/off (note: a
+///                                          DurabilityMonitor with a health
+///                                          tracker attached overrides this
+///                                          on its next poll)
+///   set-hedged-fetch (param "enabled", 0/1) — toggles hedged demand fetch
+///   set-op-deadline  (param "us") — per-operation virtual-time budget
+///                                   (0 = unlimited)
 /// All objects must outlive the engine.
 Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
                            swap::SwappingManager& manager);

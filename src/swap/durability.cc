@@ -59,11 +59,45 @@ void DurabilityMonitor::Poll() {
       it = misses_.erase(it);
   }
 
+  // Degraded-mode gate: count *healthy* stores — announced, reachable and
+  // (with a tracker attached) breaker-closed. Fewer healthy stores than
+  // the replication factor means full-K placement can only thrash the sick
+  // neighborhood: enter brownout (reduced effective K, sweep deferred) and
+  // leave it — repaying the queued re-replication debt — on recovery.
+  // Only active once a tracker is attached — an unwired monitor keeps the
+  // exact pre-degraded-mode behavior.
+  if (health_ != nullptr) {
+    size_t want = manager_.options().replication_factor;
+    if (want == 0) want = 1;
+    size_t healthy = 0;
+    for (DeviceId device : reachable) {
+      if (device == self_) continue;
+      if (health_->IsHealthy(device)) ++healthy;
+    }
+    if (healthy < want)
+      manager_.EnterBrownout("healthy stores below replication factor");
+    else if (manager_.brownout())
+      manager_.ExitBrownout();
+    if (props_ != nullptr) {
+      props_->SetInt("swap.healthy_stores", static_cast<int64_t>(healthy));
+      props_->SetInt("swap.open_breakers",
+                     static_cast<int64_t>(health_->open_count()));
+      props_->SetInt("swap.brownout", manager_.brownout() ? 1 : 0);
+    }
+  }
+
   // Clean images whose members all died back garbage: release them before
   // the sweep so the re-replication budget is not spent on dead payloads.
   stats_.clean_images_reaped += manager_.ReapDeadCleanImages();
 
-  ReReplicationSweep();
+  if (manager_.brownout()) {
+    // Re-replication debt is deferred, not forgiven: placing extra copies
+    // on a neighborhood already below K would compete with demand traffic
+    // for the surviving stores. The next healthy poll repays it.
+    ++stats_.sweeps_deferred;
+  } else {
+    ReReplicationSweep();
+  }
 
   stats_.drops_drained += manager_.FlushPendingDrops();
 

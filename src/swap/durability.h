@@ -46,6 +46,7 @@ class DurabilityMonitor {
     uint64_t evacuated_replicas = 0;
     uint64_t drops_drained = 0;
     uint64_t clean_images_reaped = 0;  ///< dead retained images released
+    uint64_t sweeps_deferred = 0;  ///< re-replication skipped in brownout
   };
 
   DurabilityMonitor(SwappingManager& manager, net::Discovery& discovery,
@@ -65,6 +66,14 @@ class DurabilityMonitor {
   /// Returns the number of replicas moved.
   Result<size_t> OnStoreWithdrawing(DeviceId device);
 
+  /// Per-store health view (usually the tracker the StoreClient feeds).
+  /// Each poll then counts *healthy* stores — reachable AND breaker-closed
+  /// — and drives the manager's brownout automatically: entered when the
+  /// healthy count drops below the replication factor, exited (debt repaid
+  /// by the next sweep) once it recovers. Also refreshes the
+  /// "swap.healthy_stores" / "swap.open_breakers" gauges.
+  void AttachHealth(net::HealthTracker* health) { health_ = health; }
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -81,6 +90,7 @@ class DurabilityMonitor {
   std::vector<DeviceId> last_announced_;
   /// device → consecutive polls spent announced-but-unreachable.
   std::unordered_map<DeviceId, int> misses_;
+  net::HealthTracker* health_ = nullptr;
   Stats stats_;
 };
 

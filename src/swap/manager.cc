@@ -111,6 +111,96 @@ void SwappingManager::AttachTelemetry(telemetry::Telemetry* t) {
   if (clock_ != nullptr) telemetry_->AttachClock(clock_);
 }
 
+void SwappingManager::AttachHealth(net::HealthTracker* health) {
+  health_ = health;
+  if (health_ == nullptr) return;
+  // The manager owns the bus and the journal, so it relays every breaker
+  // transition for the tracker (which links only net + telemetry).
+  health_->SetTransitionObserver([this](DeviceId device,
+                                        net::BreakerState from,
+                                        net::BreakerState to) {
+    telemetry_->journal().Record(
+        "degraded", "breaker-transition",
+        "device=" + std::to_string(device.value()) + " " +
+            net::BreakerStateName(from) + "->" + net::BreakerStateName(to));
+    telemetry_->metrics()
+        .GetGauge("swap.open_breakers")
+        .Set(static_cast<int64_t>(health_->open_count()));
+    if (bus_ != nullptr) {
+      bus_->Publish(context::Event(context::kEventBreakerTransition)
+                        .Set("device", static_cast<int64_t>(device.value()))
+                        .Set("from", std::string(net::BreakerStateName(from)))
+                        .Set("to", std::string(net::BreakerStateName(to))));
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Degraded mode (brownout)
+// ---------------------------------------------------------------------------
+
+size_t SwappingManager::EffectiveReplicationFactor() const {
+  size_t full = options_.replication_factor > 0 ? options_.replication_factor
+                                                : size_t{1};
+  if (!brownout_) return full;
+  size_t reduced = options_.brownout_replication_factor > 0
+                       ? options_.brownout_replication_factor
+                       : size_t{1};
+  return std::min(full, reduced);
+}
+
+void SwappingManager::EnterBrownout(const char* reason) {
+  if (brownout_) return;
+  brownout_ = true;
+  ++stats_.brownout_entries;
+  telemetry_->metrics().GetGauge("swap.brownout").Set(1);
+  telemetry_->journal().Record("degraded", "brownout-entered", reason);
+  if (bus_ != nullptr) {
+    bus_->Publish(
+        context::Event(context::kEventBrownoutEntered)
+            .Set("reason", std::string(reason))
+            .Set("effective_k",
+                 static_cast<int64_t>(EffectiveReplicationFactor())));
+  }
+}
+
+void SwappingManager::ExitBrownout() {
+  if (!brownout_) return;
+  brownout_ = false;
+  ++stats_.brownout_exits;
+  telemetry_->metrics().GetGauge("swap.brownout").Set(0);
+  telemetry_->journal().Record("degraded", "brownout-exited", "");
+  if (bus_ != nullptr) {
+    bus_->Publish(
+        context::Event(context::kEventBrownoutExited)
+            .Set("effective_k",
+                 static_cast<int64_t>(EffectiveReplicationFactor())));
+  }
+}
+
+uint64_t SwappingManager::OpBudgetLeft(uint64_t op_start_us) const {
+  if (options_.op_deadline_us == 0 || clock_ == nullptr) return UINT64_MAX;
+  uint64_t used = clock_->now_us() - op_start_us;
+  return used >= options_.op_deadline_us ? 0
+                                         : options_.op_deadline_us - used;
+}
+
+bool SwappingManager::EnqueuePendingDrop(DeviceId device, SwapKey key) {
+  for (const PendingDrop& pending : pending_drops_) {
+    if (pending.device == device && pending.key == key) return false;
+  }
+  if (options_.max_pending_drops > 0 &&
+      pending_drops_.size() >= options_.max_pending_drops) {
+    // A store that never returns must not grow the queue forever: the
+    // oldest obligation is abandoned (its entry leaks on that store — the
+    // store will reconcile it if it ever rejoins with state intact).
+    pending_drops_.erase(pending_drops_.begin());
+    ++stats_.pending_drop_overflow;
+  }
+  pending_drops_.push_back(PendingDrop{device, key});
+  return true;
+}
+
 void SwappingManager::AttachBus(context::EventBus* bus) {
   bus_ = bus;
   bus_token_ = bus_->Subscribe(
@@ -664,17 +754,19 @@ SwapKey SwappingManager::NextKey() {
 }
 
 Status SwappingManager::StoreAt(DeviceId device, SwapKey key,
-                                const std::string& payload) {
+                                const std::string& payload,
+                                uint64_t deadline_us) {
   if (IsLocalDevice(device)) return local_->Store(key, payload);
   OBISWAP_CHECK(store_ != nullptr);
-  return store_->Store(device, key, payload);
+  return store_->Store(device, key, payload, deadline_us);
 }
 
-Result<std::string> SwappingManager::FetchFrom(DeviceId device, SwapKey key) {
+Result<std::string> SwappingManager::FetchFrom(DeviceId device, SwapKey key,
+                                               uint64_t deadline_us) {
   if (IsLocalDevice(device)) return local_->Fetch(key);
   if (store_ == nullptr)
     return FailedPreconditionError("no store client attached");
-  return store_->Fetch(device, key);
+  return store_->Fetch(device, key, deadline_us);
 }
 
 Status SwappingManager::DropAt(DeviceId device, SwapKey key) {
@@ -779,15 +871,7 @@ void SwappingManager::EnqueueOrphanDrops(
   // keys go through the pending-drop queue and drain once the system is
   // healthy again.
   for (const ReplicaLocation& intent : intents) {
-    bool queued = false;
-    for (const PendingDrop& pending : pending_drops_) {
-      if (pending.device == intent.device && pending.key == intent.key) {
-        queued = true;
-        break;
-      }
-    }
-    if (queued) continue;
-    pending_drops_.push_back(PendingDrop{intent.device, intent.key});
+    if (!EnqueuePendingDrop(intent.device, intent.key)) continue;
     ++stats_.drops_deferred;
     ++report->orphan_drops_enqueued;
   }
@@ -1111,8 +1195,8 @@ void SwappingManager::VerifySwappedClusters(RecoveryReport* report) {
         // Corrupt bytes under a live key: reclaim them.
         ++stats_.data_loss_failovers;
         ++report->replicas_discarded;
-        pending_drops_.push_back(PendingDrop{replica.device, replica.key});
-        ++stats_.drops_deferred;
+        if (EnqueuePendingDrop(replica.device, replica.key))
+          ++stats_.drops_deferred;
       }
     }
     if (keep.empty() && !any_unverifiable && !info->replicas.empty())
@@ -1138,8 +1222,8 @@ void SwappingManager::ReconcileCleanImages(RecoveryReport* report) {
         if (local_ != nullptr && local_->Contains(replica.key)) {
           live.push_back(replica);
         } else {
-          pending_drops_.push_back(PendingDrop{replica.device, replica.key});
-          ++stats_.drops_deferred;
+          if (EnqueuePendingDrop(replica.device, replica.key))
+            ++stats_.drops_deferred;
         }
         continue;
       }
@@ -1151,8 +1235,8 @@ void SwappingManager::ReconcileCleanImages(RecoveryReport* report) {
       if (!it->second->crashed() && it->second->Contains(replica.key)) {
         live.push_back(replica);
       } else {
-        pending_drops_.push_back(PendingDrop{replica.device, replica.key});
-        ++stats_.drops_deferred;
+        if (EnqueuePendingDrop(replica.device, replica.key))
+          ++stats_.drops_deferred;
       }
     }
     image.replicas = std::move(live);
@@ -1237,6 +1321,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   if (crashed_) return CrashedError();
   telemetry::ScopedSpan op_span(telemetry_, "swap_out", "swap",
                                 telemetry::Hist(telemetry_, "swap_out_us"));
+  const uint64_t op_begin_us = clock_ != nullptr ? clock_->now_us() : 0;
   SwapClusterInfo* info = registry_.Find(id);
   if (info == nullptr)
     return NotFoundError("no swap-cluster " + id.ToString());
@@ -1361,8 +1446,12 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   size_t need = payload.size();
   if (need < options_.store_min_free_bytes)
     need = options_.store_min_free_bytes;
-  size_t want = options_.replication_factor > 0 ? options_.replication_factor
-                                                : size_t{1};
+  // Brownout lowers the placement target; the shortfall is re-replication
+  // debt the DurabilityMonitor repays once the neighborhood recovers.
+  const size_t full_want = options_.replication_factor > 0
+                               ? options_.replication_factor
+                               : size_t{1};
+  size_t want = EffectiveReplicationFactor();
   std::vector<ReplicaLocation> placed;
   Status stored = UnavailableError("no nearby store device with " +
                                    FormatBytes(need) + " free");
@@ -1375,14 +1464,34 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     // burned by flaky placements. A run of consecutive failures aborts the
     // loop: every candidate failing in a row means the network is sick, and
     // retrying down a long discovery list only stalls the caller.
+    std::vector<net::StoreNode*> candidates =
+        discovery_->NearbyStores(store_->self(), need);
+    if (health_ != nullptr) {
+      // Healthy stores first (most-free order within each group); stores
+      // with a tripped breaker sink to the back — still reachable as
+      // last-resort probe pressure, never the first choice.
+      std::stable_partition(candidates.begin(), candidates.end(),
+                            [this](net::StoreNode* node) {
+                              return health_->IsHealthy(node->device());
+                            });
+    }
     SwapKey key;
     bool key_minted = false;
     size_t consecutive_failures = 0;
-    for (net::StoreNode* candidate :
-         discovery_->NearbyStores(store_->self(), need)) {
+    for (net::StoreNode* candidate : candidates) {
       if (placed.size() >= want) break;
       if (consecutive_failures >= options_.max_consecutive_store_failures)
         break;
+      uint64_t budget = OpBudgetLeft(op_begin_us);
+      if (budget == 0) {
+        // The operation's end-to-end budget is spent: fail fast rather
+        // than stacking retries across the remaining candidates. A partial
+        // placement still completes the swap-out (under-replicated).
+        stored = DeadlineExceededError("swap-out budget exhausted after " +
+                                       std::to_string(placed.size()) +
+                                       " replicas");
+        break;
+      }
       if (!key_minted) {
         key = NextKey();
         key_minted = true;
@@ -1395,7 +1504,8 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
       }
       Status attempt = CheckFaultPoint("swap_out.ship_replica");
       if (attempt.ok())
-        attempt = store_->Store(candidate->device(), key, payload);
+        attempt = store_->Store(candidate->device(), key, payload,
+                                budget == UINT64_MAX ? 0 : budget);
       if (crashed_) return attempt;
       if (attempt.ok()) {
         placed.push_back(ReplicaLocation{candidate->device(), key});
@@ -1428,10 +1538,15 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     // failed stores never recorded them); seal the op as unwound.
     if (journal_ != nullptr) (void)journal_->Abort(seq);
     ++stats_.swap_out_failures;
+    if (stored.code() == StatusCode::kDeadlineExceeded)
+      ++stats_.deadline_aborts;
     return stored;
   }
   stats_.replicas_placed += placed.size();
-  if (placed.size() < want) ++stats_.under_replicated_outs;
+  // Under-replication is always measured against the configured K: a
+  // brownout placement at reduced K is still debt to repay.
+  if (placed.size() < full_want) ++stats_.under_replicated_outs;
+  if (brownout_ && want < full_want) ++stats_.brownout_swap_outs;
 
   telemetry::ScopedSpan patch_span(
       telemetry_, "patch", "swap",
@@ -1593,8 +1708,8 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
     if (confirmed) {
       live.push_back(replica);
     } else {
-      pending_drops_.push_back(PendingDrop{replica.device, replica.key});
-      ++stats_.drops_deferred;
+      if (EnqueuePendingDrop(replica.device, replica.key))
+        ++stats_.drops_deferred;
     }
   }
   if (live.empty()) {
@@ -1723,6 +1838,22 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
 Result<SwapClusterId> SwappingManager::SwapOutVictim() {
   if (crashed_) return CrashedError();
   std::vector<SwapClusterId> exclude = rt_.context_stack();
+  if (brownout_) {
+    // Degraded neighborhood: prefer victims with a retained clean image —
+    // their swap-out reuses the existing store copies (zero transfer) and
+    // asks nothing of the sick stores. Pure preference: any failure falls
+    // through to the normal LRU walk below.
+    std::vector<SwapClusterId> skipped = exclude;
+    for (;;) {
+      SwapClusterId victim = registry_.PickLruVictim(skipped);
+      if (!victim.valid()) break;
+      skipped.push_back(victim);
+      SwapClusterInfo* info = registry_.Find(victim);
+      if (info == nullptr || !info->LoadedClean()) continue;
+      Result<SwapKey> key = SwapOut(victim);
+      if (key.ok()) return victim;
+    }
+  }
   for (;;) {
     SwapClusterId victim = registry_.PickLruVictim(exclude);
     if (!victim.valid())
@@ -1820,14 +1951,48 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
   // yields a payload that survives the frame checksum AND deserializes. A
   // partially-deserialized attempt leaves only unrooted objects behind —
   // the next collection reclaims them.
-  const std::vector<ReplicaLocation> order =
-      ReplicaFetchOrder(info->replicas);
+  //
+  // Hedged fetch (demand faults only): the first attempt is capped at the
+  // HealthTracker's p95-derived deadline; past it the fetch is abandoned
+  // and the next healthy replica tried immediately, with the abandoned
+  // replica re-queued at the back for one final uncapped attempt — a slow
+  // primary costs one hedge window, never the full retry pyramid, and
+  // availability matches the sequential walk's.
+  std::vector<ReplicaLocation> order = ReplicaFetchOrder(info->replicas);
+  const uint64_t hedge_deadline_us =
+      (options_.hedged_fetch && !prefetch && health_ != nullptr &&
+       order.size() > 1)
+          ? health_->HedgeDeadlineUs()
+          : 0;
+  bool hedge_fired = false;
+  size_t hedge_retry_index = SIZE_MAX;
   for (size_t attempt = 0; attempt < order.size() && !restored; ++attempt) {
-    const ReplicaLocation& replica = order[attempt];
+    const ReplicaLocation replica = order[attempt];
+    uint64_t budget_left = OpBudgetLeft(begin_us);
+    if (budget_left == 0) {
+      // End-to-end budget spent: fail fast and cleanly (no journal op has
+      // begun yet — heap patching only starts after a successful fetch).
+      last = DeadlineExceededError("swap-in budget exhausted at replica " +
+                                   std::to_string(attempt));
+      ++stats_.deadline_aborts;
+      break;
+    }
+    uint64_t fetch_cap = budget_left;
+    bool hedge_capped = false;
+    if (attempt == 0 && hedge_deadline_us > 0 &&
+        hedge_deadline_us < fetch_cap) {
+      fetch_cap = hedge_deadline_us;
+      hedge_capped = true;
+    }
     // The first replica tried is the plain fetch; every further attempt is
-    // a failover (the previous replica was unreachable or corrupt).
+    // a failover (the previous replica was unreachable or corrupt), except
+    // the fetch launched by a fired hedge, which gets its own span name.
+    const char* attempt_name =
+        attempt == 0 ? "fetch"
+                     : (hedge_fired && attempt == 1 ? "hedged_fetch"
+                                                    : "failover_fetch");
     telemetry::ScopedSpan attempt_span(
-        telemetry_, attempt == 0 ? "fetch" : "failover_fetch", span_category,
+        telemetry_, attempt_name, span_category,
         telemetry::Hist(telemetry_, "swap_in_fetch_us"));
     Status failure = OkStatus();
     Result<std::string> fetched{std::string()};
@@ -1835,7 +2000,8 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
       if (crashed_) return fault;
       fetched = fault;  // injected fetch failure: fail over like any other
     } else {
-      fetched = FetchFrom(replica.device, replica.key);
+      fetched = FetchFrom(replica.device, replica.key,
+                          fetch_cap == UINT64_MAX ? 0 : fetch_cap);
     }
     if (!fetched.ok()) {
       failure = fetched.status();
@@ -1875,18 +2041,39 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
           members = std::move(*members_or);
           restored = true;
           if (attempt > 0) ++stats_.failover_fetches;
+          if (hedge_fired) {
+            // Served by the re-queued primary after all: the hedge only
+            // burned its window. Served by anyone else: the hedge won.
+            if (attempt == hedge_retry_index)
+              ++stats_.hedge_wastes;
+            else
+              ++stats_.hedge_wins;
+          }
         }
       }
     }
     if (!restored) {
       if (failure.code() == StatusCode::kDataLoss)
         ++stats_.data_loss_failovers;
+      if (hedge_capped && failure.code() == StatusCode::kDeadlineExceeded) {
+        // The hedge deadline fired (not the op budget): move on to the
+        // next replica now and give this one a final uncapped shot later.
+        hedge_fired = true;
+        ++stats_.hedged_fetches;
+        hedge_retry_index = order.size();
+        order.push_back(replica);
+      } else if (failure.code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.deadline_aborts;
+        last = failure;
+        break;
+      }
       OBISWAP_LOG(kWarn) << "replica of swap-cluster " << id.ToString()
                          << " on device " << replica.device.value()
                          << " unusable: " << failure.ToString();
       last = failure;
     }
   }
+  if (!restored && hedge_fired) ++stats_.hedge_wastes;
   if (!restored) return last;
   for (Object* member : members) scope.Add(member);
 
@@ -2199,12 +2386,21 @@ std::vector<ReplicaLocation> SwappingManager::ReplicaFetchOrder(
     return IsLocalDevice(replica.device) ||
            reachable.count(replica.device.value()) > 0;
   };
+  auto healthy = [&](const ReplicaLocation& replica) {
+    return health_ == nullptr || IsLocalDevice(replica.device) ||
+           health_->IsHealthy(replica.device);
+  };
   std::vector<ReplicaLocation> order;
   order.reserve(replicas.size());
-  for (const ReplicaLocation& replica : replicas)
-    if (in_reach(replica)) order.push_back(replica);
+  // Three tiers, placement order within each: reachable-and-healthy,
+  // reachable with a tripped breaker (still worth a try — it fails fast at
+  // the breaker gate and carries the half-open probe), then unreachable.
   // Unreachable replicas still get a try at the end — discovery lags the
   // radio, and a doomed fetch only costs a fast kUnavailable.
+  for (const ReplicaLocation& replica : replicas)
+    if (in_reach(replica) && healthy(replica)) order.push_back(replica);
+  for (const ReplicaLocation& replica : replicas)
+    if (in_reach(replica) && !healthy(replica)) order.push_back(replica);
   for (const ReplicaLocation& replica : replicas)
     if (!in_reach(replica)) order.push_back(replica);
   return order;
@@ -2239,8 +2435,16 @@ Result<ReplicaLocation> SwappingManager::PlaceReplica(
   Status last = UnavailableError("no nearby store device with " +
                                  FormatBytes(need) + " free");
   if (store_ == nullptr || discovery_ == nullptr) return last;
-  for (net::StoreNode* candidate :
-       discovery_->NearbyStores(store_->self(), need)) {
+  std::vector<net::StoreNode*> candidates =
+      discovery_->NearbyStores(store_->self(), need);
+  if (health_ != nullptr) {
+    // Same health-aware preference as the swap-out placement walk.
+    std::stable_partition(candidates.begin(), candidates.end(),
+                          [this](net::StoreNode* node) {
+                            return health_->IsHealthy(node->device());
+                          });
+  }
+  for (net::StoreNode* candidate : candidates) {
     DeviceId device = candidate->device();
     if (device == exclude) continue;
     bool taken = false;
@@ -2280,8 +2484,8 @@ void SwappingManager::ReleaseReplicas(
     if (dropped.code() == StatusCode::kUnavailable) {
       // Store out of range right now: park the obligation; the queue is
       // drained on the next connectivity change.
-      pending_drops_.push_back(PendingDrop{replica.device, replica.key});
-      ++stats_.drops_deferred;
+      if (EnqueuePendingDrop(replica.device, replica.key))
+        ++stats_.drops_deferred;
     } else {
       OBISWAP_LOG(kWarn) << "store drop failed: " << dropped.ToString();
     }
@@ -2308,7 +2512,7 @@ size_t SwappingManager::ForgetReplica(SwapClusterId id, DeviceId device) {
     if ((*replicas)[read].device == device) {
       // Should the store ever return, its now-orphaned payload must still
       // be reclaimed — keep the drop obligation alive.
-      pending_drops_.push_back(PendingDrop{device, (*replicas)[read].key});
+      (void)EnqueuePendingDrop(device, (*replicas)[read].key);
       ++forgotten;
       continue;
     }
@@ -2443,8 +2647,8 @@ Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
     if (crashed_) return dropped;
     if (dropped.ok()) dropped = DropAt(old.device, old.key);
     if (!dropped.ok() && dropped.code() != StatusCode::kNotFound) {
-      pending_drops_.push_back(PendingDrop{old.device, old.key});
-      ++stats_.drops_deferred;
+      if (EnqueuePendingDrop(old.device, old.key))
+        ++stats_.drops_deferred;
     }
     if (journal_ != nullptr) (void)journal_->Commit(seq);
     ++moved;
@@ -2571,6 +2775,15 @@ constexpr StatFieldSpec kStatFields[] = {
     {"recovery_us", &SwappingManager::Stats::recovery_us},
     {"journal_append_us", &SwappingManager::Stats::journal_append_us},
     {"journal_bytes", &SwappingManager::Stats::journal_bytes},
+    {"hedged_fetches", &SwappingManager::Stats::hedged_fetches},
+    {"hedge_wins", &SwappingManager::Stats::hedge_wins},
+    {"hedge_wastes", &SwappingManager::Stats::hedge_wastes},
+    {"deadline_aborts", &SwappingManager::Stats::deadline_aborts},
+    {"brownout_entries", &SwappingManager::Stats::brownout_entries},
+    {"brownout_exits", &SwappingManager::Stats::brownout_exits},
+    {"brownout_swap_outs", &SwappingManager::Stats::brownout_swap_outs},
+    {"pending_drop_overflow",
+     &SwappingManager::Stats::pending_drop_overflow},
 };
 }  // namespace
 

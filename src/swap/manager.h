@@ -82,6 +82,26 @@ class SwappingManager final : public runtime::Interceptor,
     /// count. Guards against walking an arbitrarily long candidate list
     /// when the neighborhood is sick.
     size_t max_consecutive_store_failures = 4;
+    /// Hedged failover fetch: a demand swap-in whose first replica fetch
+    /// exceeds the HealthTracker's p95-derived hedge deadline abandons it
+    /// and tries the next healthy replica immediately, instead of waiting
+    /// out full retry exhaustion. The abandoned replica is re-queued for
+    /// one final uncapped attempt so availability never drops below the
+    /// sequential walk's. Needs AttachHealth. Policy: "set-hedged-fetch".
+    bool hedged_fetch = false;
+    /// End-to-end virtual-time budget per swap-out / swap-in (0 = none):
+    /// past it the operation fails kDeadlineExceeded, aborting its journal
+    /// intent cleanly, rather than stacking worst-case retries across K
+    /// replicas. Policy: "set-op-deadline".
+    uint64_t op_deadline_us = 0;
+    /// Effective replication factor while in brownout (floored at 1):
+    /// degraded placement ships fewer copies now and queues the re-
+    /// replication debt for the DurabilityMonitor to repay on recovery.
+    size_t brownout_replication_factor = 1;
+    /// Bound on the deferred-drop retry queue. At the cap the oldest
+    /// obligation is evicted (counted as pending_drop_overflow) — a store
+    /// that never returns must not grow the queue forever.
+    size_t max_pending_drops = 1024;
   };
 
   struct Stats {
@@ -132,6 +152,15 @@ class SwappingManager final : public runtime::Interceptor,
     uint64_t recovery_us = 0;        ///< virtual time spent recovering
     uint64_t journal_append_us = 0;  ///< flash time persisting the journal
     uint64_t journal_bytes = 0;      ///< journal bytes written to flash
+    // --- degraded mode --------------------------------------------------------
+    uint64_t hedged_fetches = 0;   ///< first fetches abandoned at the hedge
+    uint64_t hedge_wins = 0;       ///< hedges served by another replica
+    uint64_t hedge_wastes = 0;     ///< hedges that fell back to replica 0
+    uint64_t deadline_aborts = 0;  ///< ops abandoned at their budget
+    uint64_t brownout_entries = 0;
+    uint64_t brownout_exits = 0;
+    uint64_t brownout_swap_outs = 0;  ///< placements at reduced K
+    uint64_t pending_drop_overflow = 0;  ///< oldest obligations evicted
   };
 
   /// What Recover() found and did — the restart post-mortem.
@@ -184,6 +213,13 @@ class SwappingManager final : public runtime::Interceptor,
   /// trace). The manager keeps its own bundle otherwise; attach before
   /// AttachClock/AttachBus so spans and journal mirroring land in `t`.
   void AttachTelemetry(telemetry::Telemetry* t);
+  /// Per-store health scores and circuit breakers (usually the same
+  /// tracker the StoreClient feeds). Placement and fetch rotation then
+  /// prefer healthy stores, hedged fetch gets its deadline from the
+  /// tracker, and every breaker transition is journaled and published on
+  /// the bus as a breaker-transition event.
+  void AttachHealth(net::HealthTracker* health);
+  net::HealthTracker* health() const { return health_; }
 
   // --- swap-cluster management ----------------------------------------------
   /// Creates a fresh swap-cluster for locally built graphs.
@@ -324,6 +360,29 @@ class SwappingManager final : public runtime::Interceptor,
   /// local flash) is currently available.
   bool AnyStoreReachable() const;
 
+  // --- degraded mode (brownout) ---------------------------------------------
+  /// Enters brownout: swap-outs place only brownout_replication_factor
+  /// replicas (the shortfall is queued as re-replication debt), victim
+  /// selection prefers clusters with a retained clean image (zero-transfer
+  /// swap-out), and the DurabilityMonitor defers its re-replication sweep.
+  /// Idempotent; publishes brownout-entered and journals the transition.
+  /// Entered automatically by the DurabilityMonitor when the healthy-store
+  /// count drops below the replication factor, or by the "set-brownout"
+  /// policy action.
+  void EnterBrownout(const char* reason);
+  /// Leaves brownout (idempotent): the next DurabilityMonitor sweep repays
+  /// the queued re-replication debt. Publishes brownout-exited.
+  void ExitBrownout();
+  bool brownout() const { return brownout_; }
+  /// Replicas a swap-out aims for right now: replication_factor normally,
+  /// min(replication_factor, brownout_replication_factor) in brownout
+  /// (both floored at 1).
+  size_t EffectiveReplicationFactor() const;
+
+  /// Runtime toggles for the degraded-mode machinery (policy targets).
+  void set_hedged_fetch(bool enabled) { options_.hedged_fetch = enabled; }
+  void set_op_deadline_us(uint64_t us) { options_.op_deadline_us = us; }
+
   // --- crash consistency ----------------------------------------------------
   /// Write-ahead intent journal: every multi-step pipeline operation logs
   /// its intents (replica keys before the store RPC, proxy/member oids
@@ -452,8 +511,12 @@ class SwappingManager final : public runtime::Interceptor,
   const runtime::ClassInfo* replacement_cls_ = nullptr;
 
   /// Store plumbing shared by swap-out, swap-in and the drop path.
-  Status StoreAt(DeviceId device, SwapKey key, const std::string& payload);
-  Result<std::string> FetchFrom(DeviceId device, SwapKey key);
+  /// `deadline_us` caps the RPC's virtual time (0 = none; the local flash
+  /// ignores it — flash writes are not subject to link weather).
+  Status StoreAt(DeviceId device, SwapKey key, const std::string& payload,
+                 uint64_t deadline_us = 0);
+  Result<std::string> FetchFrom(DeviceId device, SwapKey key,
+                                uint64_t deadline_us = 0);
   Status DropAt(DeviceId device, SwapKey key);
   bool IsLocalDevice(DeviceId device) const {
     return local_ != nullptr && local_->device() == device;
@@ -533,6 +596,16 @@ class SwappingManager final : public runtime::Interceptor,
     SwapKey key;
   };
 
+  /// Queues a drop obligation (deduplicated; bounded by max_pending_drops
+  /// — at the cap the oldest entry is evicted and counted). Returns true
+  /// if the obligation was newly queued.
+  bool EnqueuePendingDrop(DeviceId device, SwapKey key);
+
+  /// Remaining virtual time of the operation that started at
+  /// `op_start_us`; UINT64_MAX when no deadline is configured (or no
+  /// clock), 0 when the budget is spent.
+  uint64_t OpBudgetLeft(uint64_t op_start_us) const;
+
   net::StoreClient* store_ = nullptr;
   net::Discovery* discovery_ = nullptr;
   persist::FlashStore* local_ = nullptr;
@@ -578,6 +651,10 @@ class SwappingManager final : public runtime::Interceptor,
   IntentJournal* journal_ = nullptr;
   /// Set by an injected kCrash; cleared only by Recover().
   bool crashed_ = false;
+
+  /// Degraded-mode wiring (optional; null = the PR-5 behavior).
+  net::HealthTracker* health_ = nullptr;
+  bool brownout_ = false;
 
   /// Finalizers capture this handle; the destructor nulls it so a GC after
   /// manager teardown cannot call into a dead manager.
