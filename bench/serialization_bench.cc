@@ -49,8 +49,8 @@ void BM_SerializeCluster(benchmark::State& state) {
   for (auto _ : state) {
     auto serialized = graph.Serialize();
     OBISWAP_CHECK(serialized.ok());
-    bytes = serialized->xml.size();
-    benchmark::DoNotOptimize(serialized->xml);
+    bytes = serialized->payload.size();
+    benchmark::DoNotOptimize(serialized->payload);
   }
   state.SetBytesProcessed(static_cast<int64_t>(bytes) *
                           static_cast<int64_t>(state.iterations()));
@@ -70,7 +70,7 @@ void BM_DeserializeCluster(benchmark::State& state) {
   serialization::DeserializeOptions options;
   options.expected_id = 1;
   for (auto _ : state) {
-    auto members = serialization::DeserializeCluster(target, serialized->xml,
+    auto members = serialization::DeserializeCluster(target, serialized->payload,
                                                      options, resolve);
     OBISWAP_CHECK(members.ok());
     benchmark::DoNotOptimize(members);
@@ -78,7 +78,7 @@ void BM_DeserializeCluster(benchmark::State& state) {
     target.heap().Collect();  // keep the heap from accumulating copies
     state.ResumeTiming();
   }
-  state.SetBytesProcessed(static_cast<int64_t>(serialized->xml.size()) *
+  state.SetBytesProcessed(static_cast<int64_t>(serialized->payload.size()) *
                           static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DeserializeCluster)->Arg(20)->Arg(100)->Arg(500);
@@ -88,11 +88,11 @@ void BM_XmlParse(benchmark::State& state) {
   auto serialized = graph.Serialize();
   OBISWAP_CHECK(serialized.ok());
   for (auto _ : state) {
-    auto doc = xml::Parse(serialized->xml);
+    auto doc = xml::Parse(serialized->payload);
     OBISWAP_CHECK(doc.ok());
     benchmark::DoNotOptimize(doc);
   }
-  state.SetBytesProcessed(static_cast<int64_t>(serialized->xml.size()) *
+  state.SetBytesProcessed(static_cast<int64_t>(serialized->payload.size()) *
                           static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_XmlParse)->Arg(100)->Arg(500);
@@ -105,14 +105,15 @@ void BM_CodecCompress(benchmark::State& state) {
       compress::FindCodec(state.range(0) == 0 ? "rle" : "lz77");
   size_t out_bytes = 0;
   for (auto _ : state) {
-    std::string compressed = codec->Compress(serialized->xml);
-    out_bytes = compressed.size();
+    auto compressed = codec->Compress(serialized->payload);
+    OBISWAP_CHECK(compressed.ok());
+    out_bytes = compressed->size();
     benchmark::DoNotOptimize(compressed);
   }
-  state.SetBytesProcessed(static_cast<int64_t>(serialized->xml.size()) *
+  state.SetBytesProcessed(static_cast<int64_t>(serialized->payload.size()) *
                           static_cast<int64_t>(state.iterations()));
   state.counters["ratio"] =
-      static_cast<double>(serialized->xml.size()) /
+      static_cast<double>(serialized->payload.size()) /
       static_cast<double>(out_bytes);
   state.SetLabel(codec->name());
 }
@@ -123,13 +124,15 @@ void BM_CodecDecompress(benchmark::State& state) {
   auto serialized = graph.Serialize();
   OBISWAP_CHECK(serialized.ok());
   const compress::Codec* codec = compress::FindCodec("lz77");
-  std::string compressed = codec->Compress(serialized->xml);
+  auto compressed_result = codec->Compress(serialized->payload);
+  OBISWAP_CHECK(compressed_result.ok());
+  std::string compressed = std::move(*compressed_result);
   for (auto _ : state) {
     auto restored = codec->Decompress(compressed);
     OBISWAP_CHECK(restored.ok());
     benchmark::DoNotOptimize(restored);
   }
-  state.SetBytesProcessed(static_cast<int64_t>(serialized->xml.size()) *
+  state.SetBytesProcessed(static_cast<int64_t>(serialized->payload.size()) *
                           static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CodecDecompress);

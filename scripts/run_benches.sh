@@ -106,4 +106,37 @@ else
   done
 fi
 
+# Wire-format sweep contract: every (mode, write ratio) row must report
+# bytes_on_link, it must be the sum of the out/in counters, and the delta
+# mode must keep at most half of binary-full's bytes on the link at the 10%
+# write ratio (the same gate the bench enforces in-process — re-checked here
+# from the artifact so a silent bench regression cannot pass CI).
+if command -v python3 >/dev/null 2>&1 && [ -f BENCH_swap_latency.json ]; then
+  if ! python3 - BENCH_swap_latency.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    rows = json.load(fh)["rows"]
+sweep = [r for r in rows if r.get("table") == "wire_format_sweep"]
+want = {(m, p) for m in ("xml", "binary", "delta")
+        for p in (0, 10, 25, 50, 75, 100)}
+have = {(r["mode"], r["write_pct"]) for r in sweep}
+if have != want:
+    sys.exit(f"swap_latency: wire_format_sweep rows mismatch: "
+             f"missing {sorted(want - have)}, extra {sorted(have - want)}")
+for r in sweep:
+    if r["bytes_on_link"] != r["bytes_swapped_out"] + r["bytes_swapped_in"]:
+        sys.exit(f"swap_latency: bytes_on_link != out + in in row {r}")
+by_key = {(r["mode"], r["write_pct"]): r["bytes_on_link"] for r in sweep}
+delta, binary = by_key[("delta", 10)], by_key[("binary", 10)]
+if delta * 2 > binary:
+    sys.exit(f"swap_latency: delta bytes_on_link at 10% writes ({delta}) "
+             f"exceeds 50% of binary-full ({binary})")
+print(f"wire-format gate: delta {delta} <= 50% of binary {binary} at "
+      f"10% writes — ok")
+PYEOF
+  then
+    failed=1
+  fi
+fi
+
 exit "$failed"

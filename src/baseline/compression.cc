@@ -71,8 +71,9 @@ Result<size_t> CompressionSwapper::CompressGlobal(const std::string& name) {
       serialization::SerializeCluster(rt_, 0, members, describe));
 
   const compress::Codec* codec = compress::FindCodec(codec_);
-  std::string blob_bytes = compress::FrameCompress(*codec, doc.xml);
-  stats_.original_bytes += doc.xml.size();
+  OBISWAP_ASSIGN_OR_RETURN(std::string blob_bytes,
+                           compress::FrameCompress(*codec, doc.payload));
+  stats_.original_bytes += doc.payload.size();
   stats_.compressed_bytes += blob_bytes.size();
   ++stats_.compressions;
 

@@ -111,14 +111,14 @@ Status NaiveProxyManager::SwapOutObjects(
         serialization::SerializedCluster doc,
         serialization::SerializeCluster(rt_, 0, {obj}, describe));
     std::vector<net::StoreNode*> stores =
-        discovery_->NearbyStores(store_->self(), doc.xml.size());
+        discovery_->NearbyStores(store_->self(), doc.payload.size());
     if (stores.empty()) return UnavailableError("no nearby store");
     SwapKey key((static_cast<uint64_t>(store_->self().value()) << 32) |
                 next_key_++);
     OBISWAP_RETURN_IF_ERROR(
-        store_->Store(stores.front()->device(), key, doc.xml));
+        store_->Store(stores.front()->device(), key, doc.payload));
     ++stats_.store_round_trips;
-    stats_.bytes_swapped_out += doc.xml.size();
+    stats_.bytes_swapped_out += doc.payload.size();
 
     // The surrogate remains, now marking a swapped object.
     OBISWAP_ASSIGN_OR_RETURN(Object * proxy, ProxyFor(obj));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <cstring>
 
 #include "common/checksum.h"
@@ -14,7 +15,7 @@ namespace obiswap::compress {
 // --------------------------------------------------------------------------
 // Token stream: (byte, varint run_length)*. Prefixed with varint total size.
 
-std::string RleCodec::Compress(std::string_view input) const {
+Result<std::string> RleCodec::Compress(std::string_view input) const {
   std::string out;
   PutVarint64(&out, input.size());
   size_t i = 0;
@@ -71,7 +72,16 @@ inline uint32_t HashAt(const char* p) {
 }
 }  // namespace
 
-std::string Lz77Codec::Compress(std::string_view input) const {
+Result<std::string> Lz77Codec::Compress(std::string_view input) const {
+  // The hash chains below (`head`/`prev`) store positions as int32_t; a
+  // position at or past 2^31 would truncate and make the match finder copy
+  // from the wrong offset — silent corruption. Refuse before touching the
+  // data; callers see a clear error instead of a bad stream.
+  if (input.size() > static_cast<size_t>(INT32_MAX))
+    return InvalidArgumentError(
+        "lz77: input too large (" + std::to_string(input.size()) +
+        " bytes; positions are 32-bit, max " + std::to_string(INT32_MAX) +
+        ")");
   std::string out;
   PutVarint64(&out, input.size());
   const size_t n = input.size();
@@ -204,7 +214,9 @@ std::vector<std::string> CodecNames() { return {"identity", "rle", "lz77"}; }
 
 // Frame: "OSWC" magic, varint name-length, name, varint original size,
 // 4-byte little-endian Adler-32 of original, compressed payload.
-std::string FrameCompress(const Codec& codec, std::string_view payload) {
+Result<std::string> FrameCompress(const Codec& codec,
+                                  std::string_view payload) {
+  OBISWAP_ASSIGN_OR_RETURN(std::string compressed, codec.Compress(payload));
   std::string out = "OSWC";
   std::string name = codec.name();
   PutVarint64(&out, name.size());
@@ -213,7 +225,7 @@ std::string FrameCompress(const Codec& codec, std::string_view payload) {
   uint32_t checksum = Adler32(payload);
   for (int i = 0; i < 4; ++i)
     out.push_back(static_cast<char>((checksum >> (8 * i)) & 0xFF));
-  out += codec.Compress(payload);
+  out += compressed;
   return out;
 }
 

@@ -23,8 +23,9 @@ class Codec {
   /// Stable codec name ("rle", "lz77", "identity").
   virtual const char* name() const = 0;
 
-  /// Compresses `input`. Always succeeds (worst case expands slightly).
-  virtual std::string Compress(std::string_view input) const = 0;
+  /// Compresses `input` (worst case expands slightly). kInvalidArgument if
+  /// the input exceeds what the codec's internal indexing can address.
+  virtual Result<std::string> Compress(std::string_view input) const = 0;
 
   /// Decompresses a buffer produced by Compress. kDataLoss on corruption.
   virtual Result<std::string> Decompress(std::string_view input) const = 0;
@@ -34,7 +35,7 @@ class Codec {
 class IdentityCodec : public Codec {
  public:
   const char* name() const override { return "identity"; }
-  std::string Compress(std::string_view input) const override {
+  Result<std::string> Compress(std::string_view input) const override {
     return std::string(input);
   }
   Result<std::string> Decompress(std::string_view input) const override {
@@ -46,18 +47,20 @@ class IdentityCodec : public Codec {
 class RleCodec : public Codec {
  public:
   const char* name() const override { return "rle"; }
-  std::string Compress(std::string_view input) const override;
+  Result<std::string> Compress(std::string_view input) const override;
   Result<std::string> Decompress(std::string_view input) const override;
 };
 
 /// LZ77 with a hash-chain match finder, 32 KiB window, varint token stream.
 /// Roughly deflate-shaped cost profile: compression is CPU-heavy relative to
 /// decompression — exactly the asymmetry the paper's related-work argument
-/// relies on.
+/// relies on. The hash chains index positions as int32_t, so inputs of
+/// 2 GiB or more are rejected with kInvalidArgument rather than silently
+/// corrupted by position truncation.
 class Lz77Codec : public Codec {
  public:
   const char* name() const override { return "lz77"; }
-  std::string Compress(std::string_view input) const override;
+  Result<std::string> Compress(std::string_view input) const override;
   Result<std::string> Decompress(std::string_view input) const override;
 };
 
@@ -70,7 +73,9 @@ std::vector<std::string> CodecNames();
 
 /// Wraps `payload` in a self-describing frame: codec name, original size and
 /// Adler-32 of the original, so swap-in can verify integrity end-to-end.
-std::string FrameCompress(const Codec& codec, std::string_view payload);
+/// Propagates the codec's Compress error (e.g. oversized input).
+Result<std::string> FrameCompress(const Codec& codec,
+                                  std::string_view payload);
 
 /// Inverse of FrameCompress: detects codec from the frame, verifies checksum.
 Result<std::string> FrameDecompress(std::string_view frame);

@@ -112,6 +112,21 @@ Status RegisterSwapActions(PolicyEngine& engine, runtime::Runtime& rt,
         return OkStatus();
       }));
   OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-wire-format",
+      [&manager](const context::Event&,
+                 const ActionParams& params) -> Status {
+        OBISWAP_ASSIGN_OR_RETURN(std::string format,
+                                 RequiredStringParam(params, "format"));
+        OBISWAP_RETURN_IF_ERROR(manager.set_wire_format(format));
+        // Optional: flip delta swap-out in the same action (deltas only
+        // take effect on the binary format anyway).
+        if (auto it = params.find("delta"); it != params.end()) {
+          OBISWAP_ASSIGN_OR_RETURN(int64_t delta, ParseInt64(it->second));
+          manager.set_delta_swap_out(delta != 0);
+        }
+        return OkStatus();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
       "inject-fault",
       [&manager](const context::Event&,
                  const ActionParams& params) -> Status {

@@ -86,11 +86,11 @@ Result<ClusterReply> ReplicationServer::FetchCluster(DeviceId device,
                                       describe));
 
   stats_.objects_shipped += members.size();
-  stats_.bytes_shipped += serialized.xml.size();
+  stats_.bytes_shipped += serialized.payload.size();
   // Observer first (transactional support seeds versions on first ship),
   // then collect the versions that travel with the reply.
   if (observer_ != nullptr) observer_->OnShipped(device, members);
-  ClusterReply reply{cluster, std::move(serialized.xml), members.size(), {}};
+  ClusterReply reply{cluster, std::move(serialized.payload), members.size(), {}};
   if (version_provider_) {
     reply.versions.reserve(members.size());
     for (Object* member : members) {

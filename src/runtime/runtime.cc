@@ -67,7 +67,7 @@ Status Runtime::SetFieldAt(Object* obj, size_t index, Value value) {
                                 ValueKindName(value.kind()));
   }
   ++stats_.field_writes;
-  if (mediator_ != nullptr) mediator_->ObserveFieldWrite(*this, obj);
+  if (mediator_ != nullptr) mediator_->ObserveFieldWrite(*this, obj, index);
   if (value.is_ref()) {
     // Mediation may allocate a proxy and thus collect; neither the holder
     // nor the incoming value is necessarily rooted by the caller.

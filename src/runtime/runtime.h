@@ -47,13 +47,15 @@ class StoreMediator {
   virtual ~StoreMediator() = default;
   virtual Object* MediateStore(Runtime& rt, Object* holder, Object* value) = 0;
 
-  /// Write-barrier notification: a field of `holder` is about to change
-  /// (any value kind — MediateStore alone only sees reference stores). The
-  /// swapping layer uses this to mark the holder's swap-cluster dirty.
-  /// Must not allocate on `rt`'s heap. Default: no-op.
-  virtual void ObserveFieldWrite(Runtime& rt, Object* holder) {
+  /// Write-barrier notification: field `slot` of `holder` is about to
+  /// change (any value kind — MediateStore alone only sees reference
+  /// stores). The swapping layer uses this to mark the holder's
+  /// swap-cluster dirty and to track which fields changed (the input to
+  /// delta swap-out). Must not allocate on `rt`'s heap. Default: no-op.
+  virtual void ObserveFieldWrite(Runtime& rt, Object* holder, size_t slot) {
     (void)rt;
     (void)holder;
+    (void)slot;
   }
 };
 

@@ -140,7 +140,7 @@ Result<SerializedCluster> SerializeCluster(
   }
 
   root->SetIntAttr("checksum", digest.Finish());
-  out.xml = xml::Write(*root);
+  out.payload = xml::Write(*root);
   out.object_count = members.size();
   return out;
 }
@@ -199,6 +199,12 @@ Result<std::vector<Object*>> DeserializeCluster(
     const xml::Node* object_el = object_els[m];
     digest.Mix(obj->oid().value());
     digest.Mix(obj->cls().name());
+    // Every class field must appear exactly once. Without this, a document
+    // missing a <f> element silently left that slot nil and a duplicated
+    // element was last-write-wins — both only ever surfaced when
+    // verify_checksum happened to be on. Structural damage is rejected
+    // unconditionally instead.
+    std::vector<bool> slot_seen(obj->cls().fields().size(), false);
     for (const xml::Node* field_el : object_el->FindChildren("f")) {
       OBISWAP_ASSIGN_OR_RETURN(std::string field_name,
                                field_el->GetAttr("n"));
@@ -206,6 +212,10 @@ Result<std::vector<Object*>> DeserializeCluster(
       if (slot == ClassInfo::kNpos)
         return DataLossError("class " + obj->cls().name() +
                              " has no field '" + field_name + "'");
+      if (slot_seen[slot])
+        return DataLossError("duplicate field '" + field_name +
+                             "' for class " + obj->cls().name());
+      slot_seen[slot] = true;
       OBISWAP_ASSIGN_OR_RETURN(std::string kind_name, field_el->GetAttr("t"));
       digest.Mix(field_name);
       std::string text = field_el->InnerText();
@@ -261,6 +271,11 @@ Result<std::vector<Object*>> DeserializeCluster(
       // Middleware-level write: swap-in must restore exactly what was
       // captured, without re-mediation.
       obj->RawSlotMutable(slot) = std::move(value);
+    }
+    for (size_t i = 0; i < slot_seen.size(); ++i) {
+      if (!slot_seen[i])
+        return DataLossError("missing field '" + obj->cls().fields()[i].name +
+                             "' for class " + obj->cls().name());
     }
     rt.heap().RefreshAccounting(obj);
   }

@@ -44,7 +44,9 @@ struct ExternalRef {
 };
 
 struct SerializedCluster {
-  std::string xml;                        ///< the payload text
+  /// The serialized payload bytes — XML text from SerializeCluster, or the
+  /// binary "OSWB" document from SerializeClusterBinary (graph_binary.h).
+  std::string payload;
   std::vector<runtime::Object*> outbound; ///< external objects, by out index
   size_t object_count = 0;
 };

@@ -11,7 +11,11 @@ namespace obiswap::swap {
 
 namespace {
 constexpr char kMagic[4] = {'O', 'B', 'J', 'L'};
-constexpr uint64_t kFormatVersion = 1;
+// Version 2 appends the delta-swap-out base fields (base_epoch,
+// base_checksum) to record bodies and admits IntentOp::kDeltaSwapOut.
+// Version-1 images (no base fields) still parse: the fields are optional
+// at end-of-body.
+constexpr uint64_t kFormatVersion = 2;
 
 void PutFixed32(std::string* out, uint32_t value) {
   out->push_back(static_cast<char>(value & 0xFF));
@@ -48,7 +52,7 @@ bool DecodeBody(std::string_view body, JournalRecord* record) {
       !take(&record->progress)) {
     return false;
   }
-  if (type < 1 || type > 5 || op < 1 || op > 5) return false;
+  if (type < 1 || type > 5 || op < 1 || op > 6) return false;
   record->type = static_cast<RecordType>(type);
   record->op = static_cast<IntentOp>(op);
   record->cluster = static_cast<uint32_t>(cluster);
@@ -71,6 +75,13 @@ bool DecodeBody(std::string_view body, JournalRecord* record) {
     if (!take(&oid)) return false;
     record->proxy_oids.push_back(oid);
   }
+  record->base_epoch = 0;
+  record->base_checksum = 0;
+  if (!body.empty()) {  // version-2 trailer; absent in version-1 records
+    uint64_t base_checksum = 0;
+    if (!take(&record->base_epoch) || !take(&base_checksum)) return false;
+    record->base_checksum = static_cast<uint32_t>(base_checksum);
+  }
   return body.empty();  // trailing garbage fails the record
 }
 }  // namespace
@@ -87,6 +98,8 @@ const char* IntentOpName(IntentOp op) {
       return "drop";
     case IntentOp::kReplicaMaintenance:
       return "replica_maintenance";
+    case IntentOp::kDeltaSwapOut:
+      return "delta_swap_out";
   }
   return "unknown";
 }
@@ -117,6 +130,8 @@ void IntentJournal::EncodeRecord(const JournalRecord& record,
   for (uint64_t oid : record.member_oids) PutVarint64(&body, oid);
   PutVarint64(&body, record.proxy_oids.size());
   for (uint64_t oid : record.proxy_oids) PutVarint64(&body, oid);
+  PutVarint64(&body, record.base_epoch);
+  PutVarint64(&body, record.base_checksum);
 
   PutVarint64(out, body.size());
   out->append(body);
@@ -133,7 +148,7 @@ IntentJournal::ParseResult IntentJournal::Parse(std::string_view bytes) {
   }
   in.remove_prefix(sizeof(kMagic));
   Result<uint64_t> version = GetVarint64(&in);
-  if (!version.ok() || *version != kFormatVersion) {
+  if (!version.ok() || *version < 1 || *version > kFormatVersion) {
     result.bad_tail_bytes = in.size();
     return result;
   }
@@ -198,7 +213,8 @@ uint64_t IntentJournal::BeginOp(IntentOp op, SwapClusterId cluster,
                                 uint64_t swap_epoch,
                                 uint32_t payload_checksum,
                                 std::vector<uint64_t> member_oids,
-                                std::vector<uint64_t> proxy_oids) {
+                                std::vector<uint64_t> proxy_oids,
+                                uint64_t base_epoch, uint32_t base_checksum) {
   JournalRecord record;
   record.seq = next_seq_++;
   record.type = RecordType::kBegin;
@@ -208,6 +224,8 @@ uint64_t IntentJournal::BeginOp(IntentOp op, SwapClusterId cluster,
   record.payload_checksum = payload_checksum;
   record.member_oids = std::move(member_oids);
   record.proxy_oids = std::move(proxy_oids);
+  record.base_epoch = base_epoch;
+  record.base_checksum = base_checksum;
   const uint64_t seq = record.seq;
   Append(std::move(record));
   return seq;
@@ -327,6 +345,8 @@ IntentJournal::LoadForRecovery() {
         pending.cluster = SwapClusterId(record.cluster);
         pending.swap_epoch = record.swap_epoch;
         pending.payload_checksum = record.payload_checksum;
+        pending.base_epoch = record.base_epoch;
+        pending.base_checksum = record.base_checksum;
         for (uint64_t oid : record.member_oids)
           pending.member_oids.push_back(ObjectId(oid));
         for (uint64_t oid : record.proxy_oids)

@@ -55,6 +55,11 @@ enum class IntentOp : uint8_t {
   kSwapIn = 3,
   kDrop = 4,
   kReplicaMaintenance = 5,  ///< re-replication / evacuation placements
+  /// Swap-out shipping a binary delta against a retained base image. The
+  /// replica intents are the DELTA placements only: the base replicas
+  /// already exist (journaled by the swap that placed them) and survive in
+  /// the cluster's registry record, which recovery runs against in-process.
+  kDeltaSwapOut = 6,
 };
 
 const char* IntentOpName(IntentOp op);
@@ -82,6 +87,11 @@ struct JournalRecord {
   uint64_t progress = 0;  ///< kProgress stage marker
   std::vector<uint64_t> member_oids;  ///< kBegin: serialized member identity
   std::vector<uint64_t> proxy_oids;   ///< kBegin: inbound proxies to restore
+  /// kBegin, kDeltaSwapOut only: the payload epoch and Adler-32 of the full
+  /// base document the shipped delta applies to. Absent (zero) in records
+  /// written by format version 1.
+  uint64_t base_epoch = 0;
+  uint32_t base_checksum = 0;
 };
 
 class IntentJournal {
@@ -124,6 +134,8 @@ class IntentJournal {
     std::vector<ObjectId> proxy_oids;
     std::vector<ReplicaLocation> replica_intents;
     uint64_t progress = 0;  ///< last progress marker, 0 if none
+    uint64_t base_epoch = 0;     ///< kDeltaSwapOut: base payload epoch
+    uint32_t base_checksum = 0;  ///< kDeltaSwapOut: base payload Adler-32
   };
 
   explicit IntentJournal(persist::FlashStore* store);
@@ -134,11 +146,13 @@ class IntentJournal {
   // The manager persists at WAL boundaries: after begin+intents (before
   // the first side effect) and on commit/abort.
 
-  /// Opens a new operation; returns its seq.
+  /// Opens a new operation; returns its seq. The base fields are only
+  /// meaningful for kDeltaSwapOut (zero otherwise).
   uint64_t BeginOp(IntentOp op, SwapClusterId cluster, uint64_t swap_epoch,
                    uint32_t payload_checksum,
                    std::vector<uint64_t> member_oids,
-                   std::vector<uint64_t> proxy_oids);
+                   std::vector<uint64_t> proxy_oids, uint64_t base_epoch = 0,
+                   uint32_t base_checksum = 0);
   /// Records the intent to place a replica. MUST be persisted before the
   /// matching Store RPC or the key can leak.
   void NoteReplicaIntent(uint64_t seq, DeviceId device, SwapKey key);

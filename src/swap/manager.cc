@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "compress/codec.h"
+#include "serialization/graph_binary.h"
 #include "serialization/graph_xml.h"
 
 namespace obiswap::swap {
@@ -253,18 +254,31 @@ void SwappingManager::MarkDirty(SwapClusterId id) {
   // Writes can only hit resident objects; a swapped cluster cannot dirty.
   if (info == nullptr || info->state != SwapState::kLoaded) return;
   info->dirty = true;
-  if (info->clean_image.has_value()) {
+  if (info->clean_image.has_value() && !DeltaRetainsImages()) {
     // First write since the round-trip: the store copies no longer mirror
     // the resident state. Stale, not garbage — not counted as GC drops.
+    // (Under delta swap-out the image is retained instead: its base
+    // document is what the next swap-out diffs against.)
     InvalidateCleanImage(info, /*count_as_drop=*/false);
   }
 }
 
-void SwappingManager::ObserveFieldWrite(runtime::Runtime& rt,
-                                        Object* holder) {
+void SwappingManager::ObserveFieldWrite(runtime::Runtime& rt, Object* holder,
+                                        size_t slot) {
   (void)rt;
   if (holder == nullptr || holder->kind() != ObjectKind::kRegular) return;
-  MarkDirty(holder->swap_cluster());
+  SwapClusterId id = holder->swap_cluster();
+  MarkDirty(id);
+  // Per-field dirty accounting (telemetry/gating only — the delta itself
+  // is computed document-to-document at swap-out). Saturating: slots ≥ 64
+  // share the top bit.
+  if (SwapClusterInfo* info = registry_.Find(id);
+      info != nullptr && info->state == SwapState::kLoaded &&
+      info->clean_image.has_value()) {
+    info->dirty_fields[holder->oid().value()] |=
+        uint64_t{1} << (slot < 64 ? slot : 63);
+    ++stats_.fields_marked_dirty;
+  }
 }
 
 void SwappingManager::InvalidateCleanImage(SwapClusterInfo* info,
@@ -272,8 +286,12 @@ void SwappingManager::InvalidateCleanImage(SwapClusterInfo* info,
   if (!info->clean_image.has_value()) return;
   if (store_ != nullptr || local_ != nullptr) {
     JournaledRelease(info->id, info->clean_image->replicas, count_as_drop);
+    if (info->clean_image->HasDelta())
+      JournaledRelease(info->id, info->clean_image->base_replicas,
+                       count_as_drop);
   }
   info->clean_image.reset();
+  info->dirty_fields.clear();
   cache_.Invalidate(info->id);
   ++stats_.clean_image_invalidations;
 }
@@ -418,6 +436,14 @@ Object* SwappingManager::MediateStore(runtime::Runtime& rt, Object* holder,
   // A reference store mutates the holder's cluster (belt to the write
   // barrier's braces — SetGlobal, for one, never raises the barrier).
   MarkDirty(context);
+  if (holder != nullptr && holder->kind() == ObjectKind::kRegular) {
+    // The mediated store does not name a slot: saturate the holder's mask.
+    if (SwapClusterInfo* info = registry_.Find(context);
+        info != nullptr && info->state == SwapState::kLoaded &&
+        info->clean_image.has_value()) {
+      info->dirty_fields[holder->oid().value()] = ~uint64_t{0};
+    }
+  }
   Result<Object*> mediated = ResolveForContext(context, value);
   if (!mediated.ok()) {
     // Allocation of the mediating proxy failed; store the raw reference —
@@ -924,17 +950,27 @@ const char* SwappingManager::RecoverTornSwapOut(
     info->dirty = true;
     // The registry may list keys beyond the journaled intents: committed
     // maintenance ops (re-replication, evacuation) run between the torn
-    // swap-out and the restart. Rolling back retires every one of them.
+    // swap-out and the restart. Rolling back retires every one of them —
+    // including a delta swap-out's carried base group; the next swap-out
+    // ships a full payload.
     EnqueueOrphanDrops(info->replicas, report);
     info->replicas.clear();
+    EnqueueOrphanDrops(info->base_replicas, report);
+    info->base_replicas.clear();
+    info->base_epoch = 0;
+    info->base_checksum = 0;
+    info->base_payload_bytes = 0;
+    info->merged_checksum = 0;
     info->swapped_oids.clear();
     info->replacement = runtime::WeakRef();
     if (info->clean_image.has_value()) {
       EnqueueOrphanDrops(info->clean_image->replicas, report);
+      EnqueueOrphanDrops(info->clean_image->base_replicas, report);
       info->clean_image->replicas.clear();
       info->clean_image.reset();
       ++stats_.clean_image_invalidations;
     }
+    info->dirty_fields.clear();
     cache_.Invalidate(info->id);
     EnqueueOrphanDrops(op.replica_intents, report);
     ++report->rolled_back;
@@ -962,6 +998,35 @@ const char* SwappingManager::RecoverTornSwapOut(
     verified = true;
     break;
   }
+  // A torn delta swap-out is only recoverable if a full base document also
+  // survives: the journaled base epoch/checksum identify it, and its keys
+  // live in the registry record — base_replicas if the state transition
+  // happened, otherwise the retained image's base group (which is the
+  // image's own replicas when the image held a full payload).
+  std::vector<ReplicaLocation> base_intents;
+  bool base_verified = true;
+  if (op.op == IntentOp::kDeltaSwapOut) {
+    for (const ReplicaLocation& replica : info->base_replicas)
+      if (!IntentsContain(base_intents, replica))
+        base_intents.push_back(replica);
+    if (info->clean_image.has_value()) {
+      const CleanImage& image = *info->clean_image;
+      const std::vector<ReplicaLocation>& group =
+          image.HasDelta() ? image.base_replicas : image.replicas;
+      for (const ReplicaLocation& replica : group)
+        if (!IntentsContain(base_intents, replica))
+          base_intents.push_back(replica);
+    }
+    base_verified = false;
+    for (const ReplicaLocation& replica : ReplicaFetchOrder(base_intents)) {
+      Result<std::string> fetched = FetchFrom(replica.device, replica.key);
+      if (!fetched.ok()) continue;
+      Result<std::string> text = compress::FrameDecompress(*fetched);
+      if (!text.ok() || Adler32(*text) != op.base_checksum) continue;
+      base_verified = true;
+      break;
+    }
+  }
   // The torn op's replacement survives as the heap object labelled with
   // this cluster id — found by scan, since the crash may have hit before
   // any proxy was patched to reference it.
@@ -972,17 +1037,25 @@ const char* SwappingManager::RecoverTornSwapOut(
       replacement = obj;
     }
   });
-  if (!verified || replacement == nullptr) {
-    // Either no candidate replica holds a usable copy, or there is no
-    // replacement to carry the outbound references a future swap-in
-    // would need. With the heap copy also gone, the cluster is lost.
+  if (!verified || !base_verified || replacement == nullptr) {
+    // Either no candidate replica holds a usable copy (for a delta: of the
+    // delta or of its base), or there is no replacement to carry the
+    // outbound references a future swap-in would need. With the heap copy
+    // also gone, the cluster is lost.
     EnqueueOrphanDrops(intents, report);
+    EnqueueOrphanDrops(base_intents, report);
     info->state = SwapState::kDropped;
     info->replicas.clear();
+    info->base_replicas.clear();
+    info->base_epoch = 0;
+    info->base_checksum = 0;
+    info->base_payload_bytes = 0;
+    info->merged_checksum = 0;
     info->swapped_oids.clear();
     info->replacement = runtime::WeakRef();
     if (info->clean_image.has_value()) {
       EnqueueOrphanDrops(info->clean_image->replicas, report);
+      EnqueueOrphanDrops(info->clean_image->base_replicas, report);
       info->clean_image->replicas.clear();
       info->clean_image.reset();
       ++stats_.clean_image_invalidations;
@@ -1002,7 +1075,8 @@ const char* SwappingManager::RecoverTornSwapOut(
   info->state = SwapState::kSwapped;
   info->replicas = std::move(intents);  // the sweep prunes unverifiable ones
   info->swap_epoch = std::max(info->swap_epoch, op.swap_epoch);
-  if (op.op == IntentOp::kSwapOut) info->payload_epoch = op.swap_epoch;
+  if (op.op == IntentOp::kSwapOut || op.op == IntentOp::kDeltaSwapOut)
+    info->payload_epoch = op.swap_epoch;
   info->payload_checksum = op.payload_checksum;
   info->swapped_oids = op.member_oids;
   info->swapped_object_count = op.member_oids.size();
@@ -1010,11 +1084,33 @@ const char* SwappingManager::RecoverTornSwapOut(
   info->replacement = rt_.heap().NewWeakRef(replacement);
   replacement->RawSlotMutable(kReplSlotEpoch) =
       Value::Int(static_cast<int64_t>(info->swap_epoch));
+  if (op.op == IntentOp::kDeltaSwapOut) {
+    // Adopt the verified base group alongside the delta; the sweep prunes
+    // whatever fails verification against the journaled base checksum.
+    info->base_replicas = std::move(base_intents);
+    info->base_epoch = op.base_epoch;
+    info->base_checksum = op.base_checksum;
+    info->base_payload_bytes = 0;  // unknown after a crash; telemetry only
+  } else {
+    info->base_replicas.clear();
+    info->base_epoch = 0;
+    info->base_checksum = 0;
+    info->base_payload_bytes = 0;
+  }
+  // The merged document's checksum cannot be recomputed from the journal;
+  // a zero sends the next swap-in down the verified fetch path.
+  info->merged_checksum = 0;
   if (info->clean_image.has_value()) {
-    // Any image replica not adopted above serves a stale payload now.
+    // Any image replica not adopted above (into the delta or base group)
+    // serves a stale payload now.
     std::vector<ReplicaLocation> remnants;
     for (const ReplicaLocation& replica : info->clean_image->replicas)
-      if (!IntentsContain(info->replicas, replica))
+      if (!IntentsContain(info->replicas, replica) &&
+          !IntentsContain(info->base_replicas, replica))
+        remnants.push_back(replica);
+    for (const ReplicaLocation& replica : info->clean_image->base_replicas)
+      if (!IntentsContain(info->replicas, replica) &&
+          !IntentsContain(info->base_replicas, replica))
         remnants.push_back(replica);
     EnqueueOrphanDrops(remnants, report);
     info->clean_image->replicas.clear();
@@ -1039,9 +1135,12 @@ const char* SwappingManager::RecoverTornSwapIn(
     // journaled key the cluster no longer accounts for is an orphan.
     std::vector<ReplicaLocation> orphans;
     for (const ReplicaLocation& intent : op.replica_intents) {
-      bool kept = IntentsContain(info->replicas, intent) ||
-                  (info->clean_image.has_value() &&
-                   IntentsContain(info->clean_image->replicas, intent));
+      bool kept =
+          IntentsContain(info->replicas, intent) ||
+          IntentsContain(info->base_replicas, intent) ||
+          (info->clean_image.has_value() &&
+           (IntentsContain(info->clean_image->replicas, intent) ||
+            IntentsContain(info->clean_image->base_replicas, intent)));
       if (!kept) orphans.push_back(intent);
     }
     EnqueueOrphanDrops(orphans, report);
@@ -1075,9 +1174,16 @@ const char* SwappingManager::RecoverTornSwapIn(
     info->members.push_back(rt_.heap().NewWeakRef(obj));
   });
   std::vector<ReplicaLocation> stale = std::move(info->replicas);
+  for (const ReplicaLocation& replica : info->base_replicas)
+    stale.push_back(replica);
   info->state = SwapState::kLoaded;
   info->dirty = true;
   info->replicas.clear();
+  info->base_replicas.clear();
+  info->base_epoch = 0;
+  info->base_checksum = 0;
+  info->base_payload_bytes = 0;
+  info->merged_checksum = 0;
   info->swapped_oids.clear();
   info->replacement = runtime::WeakRef();
   EnqueueOrphanDrops(stale, report);
@@ -1094,23 +1200,51 @@ const char* SwappingManager::RecoverTornDrop(
   EnqueueOrphanDrops(op.replica_intents, report);
   if (info != nullptr) {
     if (info->clean_image.has_value() &&
-        IntentsIntersect(op.replica_intents, info->clean_image->replicas)) {
-      // Torn image release: the keys are queued above; drop the remnant
-      // without re-releasing.
+        (IntentsIntersect(op.replica_intents, info->clean_image->replicas) ||
+         IntentsIntersect(op.replica_intents,
+                          info->clean_image->base_replicas))) {
+      // Torn image release: the journaled keys are queued above, but a
+      // delta image releases its two groups as separate drop ops — queue
+      // whichever group keys the torn op's intents missed, then drop the
+      // remnant without re-releasing.
+      std::vector<ReplicaLocation> rest;
+      for (const ReplicaLocation& replica : info->clean_image->replicas)
+        if (!IntentsContain(op.replica_intents, replica))
+          rest.push_back(replica);
+      for (const ReplicaLocation& replica : info->clean_image->base_replicas)
+        if (!IntentsContain(op.replica_intents, replica))
+          rest.push_back(replica);
+      EnqueueOrphanDrops(rest, report);
       info->clean_image->replicas.clear();
       info->clean_image.reset();
       cache_.Invalidate(info->id);
       ++stats_.clean_image_invalidations;
     }
     if (info->state == SwapState::kSwapped &&
-        IntentsIntersect(op.replica_intents, info->replicas)) {
-      // Torn GC drop (the replacement died): finish retiring the cluster.
+        (IntentsIntersect(op.replica_intents, info->replicas) ||
+         IntentsIntersect(op.replica_intents, info->base_replicas))) {
+      // Torn GC drop (the replacement died): finish retiring the cluster,
+      // both payload groups included.
+      std::vector<ReplicaLocation> rest;
+      for (const ReplicaLocation& replica : info->replicas)
+        if (!IntentsContain(op.replica_intents, replica))
+          rest.push_back(replica);
+      for (const ReplicaLocation& replica : info->base_replicas)
+        if (!IntentsContain(op.replica_intents, replica))
+          rest.push_back(replica);
+      EnqueueOrphanDrops(rest, report);
       info->state = SwapState::kDropped;
       info->replicas.clear();
+      info->base_replicas.clear();
+      info->base_epoch = 0;
+      info->base_checksum = 0;
+      info->base_payload_bytes = 0;
+      info->merged_checksum = 0;
       info->replacement = runtime::WeakRef();
       cache_.Invalidate(info->id);
     } else if (info->state == SwapState::kDropped) {
       info->replicas.clear();
+      info->base_replicas.clear();
     }
   }
   ++report->rolled_forward;
@@ -1126,9 +1260,12 @@ const char* SwappingManager::RecoverTornMaintenance(
   for (const ReplicaLocation& intent : op.replica_intents) {
     bool adopted = false;
     if (info != nullptr) {
-      adopted = IntentsContain(info->replicas, intent) ||
-                (info->clean_image.has_value() &&
-                 IntentsContain(info->clean_image->replicas, intent));
+      adopted =
+          IntentsContain(info->replicas, intent) ||
+          IntentsContain(info->base_replicas, intent) ||
+          (info->clean_image.has_value() &&
+           (IntentsContain(info->clean_image->replicas, intent) ||
+            IntentsContain(info->clean_image->base_replicas, intent)));
     }
     if (!adopted) orphans.push_back(intent);
   }
@@ -1145,6 +1282,7 @@ void SwappingManager::RecoverOp(const IntentJournal::PendingOp& op,
   switch (op.op) {
     case IntentOp::kSwapOut:
     case IntentOp::kCleanSwapOut:
+    case IntentOp::kDeltaSwapOut:
       action = RecoverTornSwapOut(op, info, report);
       break;
     case IntentOp::kSwapIn:
@@ -1171,37 +1309,47 @@ void SwappingManager::VerifySwappedClusters(RecoveryReport* report) {
   for (SwapClusterId id : registry_.Ids()) {
     SwapClusterInfo* info = registry_.Find(id);
     if (info == nullptr || info->state != SwapState::kSwapped) continue;
-    std::vector<ReplicaLocation> keep;
-    bool any_unverifiable = false;
-    for (const ReplicaLocation& replica : info->replicas) {
-      Result<std::string> fetched = FetchFrom(replica.device, replica.key);
-      if (!fetched.ok()) {
-        if (fetched.status().code() == StatusCode::kNotFound) {
-          // The store is reachable and the key is gone: forget it.
-          ++report->replicas_discarded;
-        } else {
-          // Out of range (or no client attached): unverifiable — the
-          // benefit of the doubt, like the failover fetch gives it.
-          keep.push_back(replica);
-          any_unverifiable = true;
+    // Each group verifies against its own checksum: the shipped payload
+    // (full document or delta) and — for a delta-swapped cluster — the
+    // base document the delta applies to.
+    auto verify_group = [&](std::vector<ReplicaLocation>& group,
+                            uint32_t checksum) -> bool {
+      const bool was_nonempty = !group.empty();
+      std::vector<ReplicaLocation> keep;
+      bool any_unverifiable = false;
+      for (const ReplicaLocation& replica : group) {
+        Result<std::string> fetched = FetchFrom(replica.device, replica.key);
+        if (!fetched.ok()) {
+          if (fetched.status().code() == StatusCode::kNotFound) {
+            // The store is reachable and the key is gone: forget it.
+            ++report->replicas_discarded;
+          } else {
+            // Out of range (or no client attached): unverifiable — the
+            // benefit of the doubt, like the failover fetch gives it.
+            keep.push_back(replica);
+            any_unverifiable = true;
+          }
+          continue;
         }
-        continue;
+        Result<std::string> xml_text = compress::FrameDecompress(*fetched);
+        if (xml_text.ok() && Adler32(*xml_text) == checksum) {
+          keep.push_back(replica);
+          ++report->replicas_verified;
+        } else {
+          // Corrupt bytes under a live key: reclaim them.
+          ++stats_.data_loss_failovers;
+          ++report->replicas_discarded;
+          if (EnqueuePendingDrop(replica.device, replica.key))
+            ++stats_.drops_deferred;
+        }
       }
-      Result<std::string> xml_text = compress::FrameDecompress(*fetched);
-      if (xml_text.ok() && Adler32(*xml_text) == info->payload_checksum) {
-        keep.push_back(replica);
-        ++report->replicas_verified;
-      } else {
-        // Corrupt bytes under a live key: reclaim them.
-        ++stats_.data_loss_failovers;
-        ++report->replicas_discarded;
-        if (EnqueuePendingDrop(replica.device, replica.key))
-          ++stats_.drops_deferred;
-      }
-    }
-    if (keep.empty() && !any_unverifiable && !info->replicas.empty())
-      ++report->clusters_lost;  // every copy gone; the swap-in will fail
-    info->replicas = std::move(keep);
+      group = std::move(keep);
+      // Every copy gone (none left unverifiable): the swap-in will fail.
+      return group.empty() && !any_unverifiable && was_nonempty;
+    };
+    bool lost = verify_group(info->replicas, info->payload_checksum);
+    if (verify_group(info->base_replicas, info->base_checksum)) lost = true;
+    if (lost) ++report->clusters_lost;
   }
 }
 
@@ -1216,31 +1364,45 @@ void SwappingManager::ReconcileCleanImages(RecoveryReport* report) {
     if (info == nullptr || info->state != SwapState::kLoaded) continue;
     if (!info->clean_image.has_value()) continue;
     CleanImage& image = *info->clean_image;
-    std::vector<ReplicaLocation> live;
-    for (const ReplicaLocation& replica : image.replicas) {
-      if (IsLocalDevice(replica.device)) {
-        if (local_ != nullptr && local_->Contains(replica.key)) {
+    const bool had_delta = image.HasDelta();
+    auto prune = [&](std::vector<ReplicaLocation>& group) {
+      std::vector<ReplicaLocation> live;
+      for (const ReplicaLocation& replica : group) {
+        if (IsLocalDevice(replica.device)) {
+          if (local_ != nullptr && local_->Contains(replica.key)) {
+            live.push_back(replica);
+          } else {
+            if (EnqueuePendingDrop(replica.device, replica.key))
+              ++stats_.drops_deferred;
+          }
+          continue;
+        }
+        auto it = nearby.find(replica.device.value());
+        if (it == nearby.end()) {
+          live.push_back(replica);  // out of range: benefit of the doubt
+          continue;
+        }
+        if (!it->second->crashed() && it->second->Contains(replica.key)) {
           live.push_back(replica);
         } else {
           if (EnqueuePendingDrop(replica.device, replica.key))
             ++stats_.drops_deferred;
         }
-        continue;
       }
-      auto it = nearby.find(replica.device.value());
-      if (it == nearby.end()) {
-        live.push_back(replica);  // out of range: benefit of the doubt
-        continue;
-      }
-      if (!it->second->crashed() && it->second->Contains(replica.key)) {
-        live.push_back(replica);
-      } else {
+      group = std::move(live);
+    };
+    prune(image.replicas);
+    prune(image.base_replicas);
+    // A delta image is only usable as a pair: losing every base copy (or
+    // every delta copy) strands whatever survived in the other group.
+    if (image.replicas.empty() ||
+        (had_delta && image.base_replicas.empty())) {
+      for (const ReplicaLocation& replica : image.replicas)
         if (EnqueuePendingDrop(replica.device, replica.key))
           ++stats_.drops_deferred;
-      }
-    }
-    image.replicas = std::move(live);
-    if (image.replicas.empty()) {
+      for (const ReplicaLocation& replica : image.base_replicas)
+        if (EnqueuePendingDrop(replica.device, replica.key))
+          ++stats_.drops_deferred;
       info->clean_image.reset();
       cache_.Invalidate(id);
       ++stats_.clean_image_invalidations;
@@ -1257,12 +1419,15 @@ void SwappingManager::ReconcilePayloadCache() {
     uint64_t epoch = 0;
     uint32_t checksum = 0;
     if (info->state == SwapState::kSwapped) {
-      epoch = info->payload_epoch;
-      checksum = info->payload_checksum;
+      // A delta-swapped cluster's legitimate cache entry is the BASE
+      // document under the base epoch, not the shipped delta.
+      epoch = info->DeltaSwapped() ? info->base_epoch : info->payload_epoch;
+      checksum =
+          info->DeltaSwapped() ? info->base_checksum : info->payload_checksum;
     } else if (info->state == SwapState::kLoaded &&
                info->clean_image.has_value()) {
-      epoch = info->clean_image->payload_epoch;
-      checksum = info->clean_image->payload_checksum;
+      epoch = info->clean_image->BaseEpoch();
+      checksum = info->clean_image->BaseChecksum();
     } else {
       cache_.Invalidate(id);
       continue;
@@ -1315,6 +1480,24 @@ Result<SwappingManager::RecoveryReport> SwappingManager::Recover() {
                  static_cast<int64_t>(report.clusters_lost)));
   }
   return report;
+}
+
+Status SwappingManager::set_wire_format(const std::string& format) {
+  if (format != "xml" && format != "binary")
+    return InvalidArgumentError("wire format must be \"xml\" or \"binary\": " +
+                                format);
+  options_.wire_format = format;
+  return OkStatus();
+}
+
+Result<serialization::SerializedCluster> SwappingManager::SerializeForWire(
+    uint32_t cluster_attr_id, const std::vector<Object*>& members,
+    const serialization::DescribeExternalFn& describe) {
+  if (options_.wire_format == "binary")
+    return serialization::SerializeClusterBinary(rt_, cluster_attr_id,
+                                                 members, describe);
+  return serialization::SerializeCluster(rt_, cluster_attr_id, members,
+                                         describe);
 }
 
 Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
@@ -1401,9 +1584,53 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
         telemetry::Hist(telemetry_, "swap_out_serialize_us"));
     OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("swap_out.serialize"));
     OBISWAP_ASSIGN_OR_RETURN(
-        serialized,
-        serialization::SerializeCluster(rt_, id.value(), members, describe));
+        serialized, SerializeForWire(id.value(), members, describe));
   }
+
+  // Delta attempt: a dirty cluster whose clean image was retained (delta
+  // mode) diffs the fresh document against the image's base document (still
+  // in the payload cache) and ships only the difference. The base replicas
+  // already on the stores are carried over; only the delta is placed.
+  bool ship_delta = false;
+  std::string wire_doc;  // what actually goes on the link
+  uint64_t ship_base_epoch = 0;
+  uint32_t ship_base_checksum = 0;
+  size_t ship_base_payload_bytes = 0;
+  std::vector<ReplicaLocation> base_group;       // carried base replicas
+  std::vector<ReplicaLocation> old_delta_group;  // superseded delta replicas
+  if (DeltaRetainsImages() && info->clean_image.has_value() &&
+      serialization::IsBinaryClusterPayload(serialized.payload)) {
+    const CleanImage& image = *info->clean_image;
+    OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("swap_out.diff"));
+    const std::string* base = cache_.Get(id, image.BaseEpoch());
+    if (base != nullptr && serialization::IsBinaryClusterPayload(*base) &&
+        Adler32(*base) == image.BaseChecksum()) {
+      ++stats_.delta_base_cache_hits;
+      auto delta =
+          serialization::DiffClusterPayloads(*base, serialized.payload);
+      if (delta.ok() && delta->size() < serialized.payload.size()) {
+        // Pre-ship insurance: the merged document must be byte-identical
+        // to the fresh serialization before the delta may replace it.
+        auto merged = serialization::ApplyClusterDelta(*base, *delta);
+        if (merged.ok() && *merged == serialized.payload) {
+          ship_delta = true;
+          wire_doc = *std::move(delta);
+          ship_base_epoch = image.BaseEpoch();
+          ship_base_checksum = image.BaseChecksum();
+          if (image.HasDelta()) {
+            base_group = image.base_replicas;
+            ship_base_payload_bytes = image.base_payload_bytes;
+            old_delta_group = image.replicas;
+          } else {
+            base_group = image.replicas;
+            ship_base_payload_bytes = image.payload_bytes;
+          }
+        }
+      }
+    }
+    if (!ship_delta) ++stats_.delta_fallbacks;
+  }
+  if (!ship_delta) wire_doc = serialized.payload;
 
   std::string payload;
   {
@@ -1412,9 +1639,12 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
         telemetry::Hist(telemetry_, "swap_out_compress_us"));
     OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("swap_out.compress"));
     const compress::Codec* codec = compress::FindCodec(options_.codec);
-    payload = compress::FrameCompress(*codec, serialized.xml);
+    OBISWAP_ASSIGN_OR_RETURN(payload,
+                             compress::FrameCompress(*codec, wire_doc));
   }
-  const uint32_t xml_checksum = Adler32(serialized.xml);
+  // Checksum of the decompressed bytes actually shipped (delta or full) —
+  // what fetch verification and failover check replica-by-replica.
+  const uint32_t wire_checksum = Adler32(wire_doc);
 
   // WAL boundary: the operation's identity (new epoch, checksum, member and
   // proxy oids) is journaled before any side effect; each replica key is
@@ -1426,9 +1656,10 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     member_oids.reserve(members.size());
     for (Object* member : members)
       member_oids.push_back(member->oid().value());
-    seq = journal_->BeginOp(IntentOp::kSwapOut, id, info->swap_epoch + 1,
-                            xml_checksum, std::move(member_oids),
-                            LiveInboundProxyOids(id));
+    seq = journal_->BeginOp(
+        ship_delta ? IntentOp::kDeltaSwapOut : IntentOp::kSwapOut, id,
+        info->swap_epoch + 1, wire_checksum, std::move(member_oids),
+        LiveInboundProxyOids(id), ship_base_epoch, ship_base_checksum);
   }
   if (Status fault = CheckFaultPoint("swap_out.journal_begin"); !fault.ok()) {
     // A clean (non-crash) error must seal the op or the dangling begin
@@ -1627,7 +1858,24 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   info->swapped_oids.reserve(members.size());
   for (Object* member : members) info->swapped_oids.push_back(member->oid());
   info->payload_epoch = info->swap_epoch;
-  info->payload_checksum = xml_checksum;
+  info->payload_checksum = wire_checksum;
+  // For a delta ship, the cache below holds the fresh full document; its
+  // own checksum is what the next swap-in's cache probe must verify
+  // (payload_checksum is the delta's).
+  info->merged_checksum = ship_delta ? Adler32(serialized.payload) : 0;
+  if (ship_delta) {
+    // `placed` hold the delta; the base document stays on the stores that
+    // already had it (adopted from the retained image).
+    info->base_replicas = std::move(base_group);
+    info->base_epoch = ship_base_epoch;
+    info->base_checksum = ship_base_checksum;
+    info->base_payload_bytes = ship_base_payload_bytes;
+  } else {
+    info->base_replicas.clear();
+    info->base_epoch = 0;
+    info->base_checksum = 0;
+    info->base_payload_bytes = 0;
+  }
   ++info->swap_out_count;
 
   // Commit-last: once this record persists, recovery treats the swap-out
@@ -1636,13 +1884,42 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("swap_out.journal_commit"));
   if (journal_ != nullptr) (void)journal_->Commit(seq);
 
+  // A retained (dirty) image is consumed now, after commit. Delta ship
+  // adopted its base group above and merely drops a superseded previous
+  // delta; a full ship supersedes the whole image (replicas released,
+  // cached base evicted).
+  if (info->clean_image.has_value()) {
+    if (ship_delta) {
+      if (!old_delta_group.empty())
+        JournaledRelease(id, old_delta_group, /*count_as_drop=*/false);
+      info->clean_image.reset();
+      info->dirty_fields.clear();
+    } else {
+      InvalidateCleanImage(info, /*count_as_drop=*/false);
+    }
+  }
+
   ++stats_.swap_outs;
   stats_.bytes_swapped_out += payload.size();
+  if (ship_delta) {
+    ++stats_.delta_swap_outs;
+    stats_.delta_bytes_shipped += payload.size();
+    // Uncompressed document bytes the delta kept off the serialize path.
+    stats_.delta_bytes_saved += serialized.payload.size() - wire_doc.size();
+  }
   // A speculatively loaded cluster evicted before the application touched
   // it was a wasted guess.
   NotePrefetchDiscard(id);
   // The decompressed payload just shipped is the likeliest next swap-in.
-  cache_.Put(id, info->payload_epoch, std::move(serialized.xml));
+  // A delta ship caches the fresh full document it reconstructs (so the
+  // next swap-in skips the link entirely) while pinning the base document
+  // at base_epoch — what the next delta swap-out diffs against.
+  if (!ship_delta) {
+    cache_.Put(id, info->payload_epoch, std::move(serialized.payload));
+  } else {
+    cache_.Put(id, info->payload_epoch, std::move(serialized.payload),
+               /*keep_epoch=*/ship_base_epoch);
+  }
   if (bus_ != nullptr) {
     bus_->Publish(context::Event(context::kEventClusterSwappedOut)
                       .Set("swap_cluster", static_cast<int64_t>(id.value()))
@@ -1650,7 +1927,8 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
                       .Set("bytes", static_cast<int64_t>(payload.size()))
                       .Set("device",
                            static_cast<int64_t>(placed.front().device.value()))
-                      .Set("replicas", static_cast<int64_t>(placed.size())));
+                      .Set("replicas", static_cast<int64_t>(placed.size()))
+                      .Set("delta", ship_delta ? int64_t{1} : int64_t{0}));
   }
   // The members are now detached from the application graph; the next
   // collection reclaims them (the LocalScope roots die with this frame).
@@ -1695,31 +1973,36 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
     for (net::StoreNode* node : discovery_->NearbyStores(store_->self(), 0))
       nearby.emplace(node->device().value(), node);
   }
-  std::vector<ReplicaLocation> live;
-  for (const ReplicaLocation& replica : image.replicas) {
-    bool confirmed = false;
-    if (IsLocalDevice(replica.device)) {
-      confirmed = local_ != nullptr && local_->Contains(replica.key);
-    } else {
-      auto it = nearby.find(replica.device.value());
-      confirmed = it != nearby.end() && !it->second->crashed() &&
-                  it->second->Contains(replica.key);
+  auto revalidate = [&](std::vector<ReplicaLocation>& replicas) {
+    std::vector<ReplicaLocation> live;
+    for (const ReplicaLocation& replica : replicas) {
+      bool confirmed = false;
+      if (IsLocalDevice(replica.device)) {
+        confirmed = local_ != nullptr && local_->Contains(replica.key);
+      } else {
+        auto it = nearby.find(replica.device.value());
+        confirmed = it != nearby.end() && !it->second->crashed() &&
+                    it->second->Contains(replica.key);
+      }
+      if (confirmed) {
+        live.push_back(replica);
+      } else {
+        if (EnqueuePendingDrop(replica.device, replica.key))
+          ++stats_.drops_deferred;
+      }
     }
-    if (confirmed) {
-      live.push_back(replica);
-    } else {
-      if (EnqueuePendingDrop(replica.device, replica.key))
-        ++stats_.drops_deferred;
-    }
-  }
-  if (live.empty()) {
-    // Every replica is gone or unconfirmable; the obligations were queued
-    // above, so clear the list before invalidating to avoid double drops.
-    image.replicas.clear();
+    replicas = std::move(live);
+    return !replicas.empty();
+  };
+  // A delta image needs BOTH groups alive: the delta payload is useless
+  // without its base document. (The obligations of unconfirmable replicas
+  // were queued above, so the lists are cleared of them before any
+  // invalidation — no double drops.)
+  if (!revalidate(image.replicas) ||
+      (image.HasDelta() && !revalidate(image.base_replicas))) {
     InvalidateCleanImage(info, /*count_as_drop=*/false);
     return std::nullopt;
   }
-  image.replicas = std::move(live);
 
   // WAL boundary: a clean swap-out re-uses existing store bytes, so the
   // journaled intents are the retained image's replicas — a torn op's
@@ -1729,9 +2012,14 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
     std::vector<uint64_t> member_oids;
     member_oids.reserve(image.oids.size());
     for (ObjectId oid : image.oids) member_oids.push_back(oid.value());
-    seq = journal_->BeginOp(IntentOp::kCleanSwapOut, id, info->swap_epoch + 1,
-                            image.payload_checksum, std::move(member_oids),
-                            LiveInboundProxyOids(id));
+    // Re-adopting a delta image journals as a delta swap-out (the base
+    // fields tell recovery which base document the payload applies to);
+    // the intents are the delta replicas being re-adopted.
+    seq = journal_->BeginOp(
+        image.HasDelta() ? IntentOp::kDeltaSwapOut : IntentOp::kCleanSwapOut,
+        id, info->swap_epoch + 1, image.payload_checksum,
+        std::move(member_oids), LiveInboundProxyOids(id), image.base_epoch,
+        image.base_checksum);
     for (const ReplicaLocation& replica : image.replicas)
       journal_->NoteReplicaIntent(seq, replica.device, replica.key);
     (void)journal_->Persist();
@@ -1801,8 +2089,16 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
   info->swapped_oids = std::move(image.oids);
   info->payload_epoch = image.payload_epoch;
   info->payload_checksum = image.payload_checksum;
+  // A delta image re-adopts its base group too (the stored payload is a
+  // delta against it); a plain image clears the delta facet.
+  info->base_replicas = std::move(image.base_replicas);
+  info->base_epoch = image.base_epoch;
+  info->base_checksum = image.base_checksum;
+  info->base_payload_bytes = image.base_payload_bytes;
+  info->merged_checksum = image.merged_checksum;
   ++info->swap_out_count;
   info->clean_image.reset();  // `image` is dead from here
+  info->dirty_fields.clear();
   info->dirty = true;
 
   if (Status fault = CheckFaultPoint("clean_swap_out.journal_commit");
@@ -1877,6 +2173,73 @@ Result<SwapClusterId> SwappingManager::SwapOutVictim() {
   }
 }
 
+Result<std::string> SwappingManager::ResolveDeltaBase(
+    SwapClusterInfo* info, const std::string& delta_payload,
+    uint64_t op_start_us) {
+  telemetry::ScopedSpan span(
+      telemetry_, "resolve_delta_base", "swap",
+      telemetry::Hist(telemetry_, "swap_in_delta_base_us"));
+  // The payload cache holds full base documents under the base epoch (the
+  // delta swap-out that shipped this delta relied on the same entry).
+  std::string base;
+  bool have_base = false;
+  if (const std::string* cached = cache_.Get(info->id, info->base_epoch);
+      cached != nullptr && Adler32(*cached) == info->base_checksum) {
+    ++stats_.delta_base_cache_hits;
+    base = *cached;
+    have_base = true;
+  }
+  if (!have_base) {
+    Status last = UnavailableError("swap-cluster " + info->id.ToString() +
+                                   " has no base replicas to fetch from");
+    for (const ReplicaLocation& replica :
+         ReplicaFetchOrder(info->base_replicas)) {
+      uint64_t budget_left = OpBudgetLeft(op_start_us);
+      if (budget_left == 0) {
+        return DeadlineExceededError(
+            "swap-in budget exhausted fetching the delta base of "
+            "swap-cluster " +
+            info->id.ToString());
+      }
+      Result<std::string> fetched{std::string()};
+      if (Status fault = CheckFaultPoint("swap_in.fetch_base"); !fault.ok()) {
+        if (crashed_) return fault;
+        fetched = fault;  // injected base-fetch failure: fail over
+      } else {
+        fetched = FetchFrom(replica.device, replica.key,
+                            budget_left == UINT64_MAX ? 0 : budget_left);
+      }
+      if (!fetched.ok()) {
+        last = fetched.status();
+        continue;
+      }
+      Result<std::string> text = compress::FrameDecompress(*fetched);
+      if (!text.ok()) {
+        ++stats_.data_loss_failovers;
+        last = text.status();
+        continue;
+      }
+      if (Adler32(*text) != info->base_checksum) {
+        ++stats_.data_loss_failovers;
+        last = DataLossError("delta base checksum mismatch for swap-cluster " +
+                             info->id.ToString());
+        continue;
+      }
+      stats_.bytes_swapped_in += fetched->size();
+      base = std::move(*text);
+      have_base = true;
+      break;
+    }
+    if (!have_base) return last;
+    // Keep the base around: the retained image's next delta swap-out (and
+    // the next delta swap-in) diff/merge against this exact entry.
+    cache_.Put(info->id, info->base_epoch, base);
+  }
+  // The merge verifies the embedded digests end-to-end: a wrong or damaged
+  // base (or delta) surfaces as kDataLoss and the caller fails over.
+  return serialization::ApplyClusterDelta(base, delta_payload);
+}
+
 Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
   if (crashed_) return CrashedError();
   const uint64_t begin_us = clock_ != nullptr ? clock_->now_us() : 0;
@@ -1922,21 +2285,26 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
   size_t fetched_bytes = 0;   // compressed bytes actually transferred
   bool restored = false;
   bool from_cache = false;
+  bool via_delta = false;  // payload was a delta merged over a fetched base
 
   // Swap-in payload cache: a retained decompressed payload for this exact
   // (cluster, payload epoch) skips both the radio and the codec. The
   // checksum must still match — a stale or damaged copy falls through to
-  // the fetch path below.
+  // the fetch path below. A delta-swapped cluster's entry at the payload
+  // epoch is the full MERGED document (cached when the delta shipped), so
+  // it verifies against merged_checksum, not the delta's own.
+  const uint32_t cache_checksum =
+      info->DeltaSwapped() ? info->merged_checksum : info->payload_checksum;
   if (const std::string* cached = cache_.Get(id, info->payload_epoch)) {
-    if (Adler32(*cached) == info->payload_checksum) {
+    if (cache_checksum != 0 && Adler32(*cached) == cache_checksum) {
       telemetry::ScopedSpan span(
           telemetry_, "materialize", span_category,
           telemetry::Hist(telemetry_, "swap_in_materialize_us"));
       Status fault = CheckFaultPoint("swap_in.materialize");
       if (crashed_) return fault;
       if (fault.ok()) {
-        Result<std::vector<Object*>> members_or =
-            serialization::DeserializeCluster(rt_, *cached, options, resolve);
+        Result<std::vector<Object*>> members_or = serialization::
+            DeserializeClusterAny(rt_, *cached, options, resolve);
         if (members_or.ok()) {
           members = std::move(*members_or);
           restored = true;
@@ -1944,7 +2312,10 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
         }
       }
     }
-    if (!from_cache) cache_.Invalidate(id);
+    // A delta-swapped cluster's cache entry is the BASE document under
+    // base_epoch (the lookup above misses by epoch) — evicting it here
+    // would force a base refetch on the delta path below.
+    if (!from_cache && !info->DeltaSwapped()) cache_.Invalidate(id);
   }
 
   // Failover fetch: try each replica (reachable ones first) until one
@@ -2017,6 +2388,18 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
         xml_text = compress::FrameDecompress(*fetched);
       }
       decompress_span.Close();
+      // A delta payload is merged over its full base document (from the
+      // payload cache or a base-replica fetch) before it can materialize;
+      // the merged text then flows through exactly like a full payload.
+      bool merged_delta = false;
+      if (xml_text.ok() &&
+          serialization::IsClusterDeltaPayload(*xml_text)) {
+        Result<std::string> full =
+            ResolveDeltaBase(info, *xml_text, begin_us);
+        if (crashed_) return full.status();
+        xml_text = std::move(full);
+        merged_delta = xml_text.ok();
+      }
       if (!xml_text.ok()) {
         failure = xml_text.status();
       } else {
@@ -2029,8 +2412,8 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
           if (crashed_) return fault;
           members_or = fault;
         } else {
-          members_or = serialization::DeserializeCluster(rt_, *xml_text,
-                                                         options, resolve);
+          members_or = serialization::DeserializeClusterAny(
+              rt_, *xml_text, options, resolve);
         }
         materialize_span.Close();
         if (!members_or.ok()) {
@@ -2040,6 +2423,7 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
           decompressed = std::move(*xml_text);
           members = std::move(*members_or);
           restored = true;
+          via_delta = merged_delta;
           if (attempt > 0) ++stats_.failover_fetches;
           if (hedge_fired) {
             // Served by the re-queued primary after all: the hedge only
@@ -2112,8 +2496,11 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
                             LiveInboundProxyOids(id));
     // The current replicas ride along as intents: if the swap-in ends up
     // releasing them (no image retained) and crashes first, recovery can
-    // still tell which keys the cluster stopped accounting for.
+    // still tell which keys the cluster stopped accounting for. A delta
+    // swap-in accounts for both groups — delta and base.
     for (const ReplicaLocation& replica : info->replicas)
+      journal_->NoteReplicaIntent(seq, replica.device, replica.key);
+    for (const ReplicaLocation& replica : info->base_replicas)
       journal_->NoteReplicaIntent(seq, replica.device, replica.key);
     (void)journal_->Persist();
   }
@@ -2177,6 +2564,25 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     outbound_refs.push_back(rt_.heap().NewWeakRef(out_proxy));
   }
   std::vector<ReplicaLocation> stale_replicas;
+  // A failed swap-out commit write leaves the cluster swapped with the
+  // superseded retained image still recorded (the image is normally
+  // consumed post-commit). Overwriting the image slot below would leak its
+  // keys — retire every one the incoming groups do not carry forward.
+  if (info->clean_image.has_value()) {
+    for (const ReplicaLocation& replica : info->clean_image->replicas) {
+      if (!IntentsContain(info->replicas, replica) &&
+          !IntentsContain(info->base_replicas, replica))
+        stale_replicas.push_back(replica);
+    }
+    for (const ReplicaLocation& replica : info->clean_image->base_replicas) {
+      if (!IntentsContain(info->replicas, replica) &&
+          !IntentsContain(info->base_replicas, replica))
+        stale_replicas.push_back(replica);
+    }
+    info->clean_image->replicas.clear();
+    info->clean_image.reset();
+    ++stats_.clean_image_invalidations;
+  }
   if (retain) {
     CleanImage image;
     image.replicas = std::move(info->replicas);
@@ -2186,6 +2592,14 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     image.object_count = info->swapped_object_count;
     image.oids = std::move(info->swapped_oids);
     image.outbound = std::move(outbound_refs);
+    // A delta swap-in retains both groups: the delta it just applied (the
+    // image's payload) and the base it applied it over — the next dirty
+    // swap-out diffs against that same base.
+    image.base_replicas = std::move(info->base_replicas);
+    image.base_epoch = info->base_epoch;
+    image.base_checksum = info->base_checksum;
+    image.base_payload_bytes = info->base_payload_bytes;
+    image.merged_checksum = info->merged_checksum;
     info->clean_image = std::move(image);
     info->dirty = false;
   } else {
@@ -2193,11 +2607,23 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     // drops are broadcast after the commit (as their own journaled op) so
     // a crash mid-release cannot leave half the keys forgotten.
     stale_replicas = std::move(info->replicas);
+    for (const ReplicaLocation& replica : info->base_replicas)
+      stale_replicas.push_back(replica);
     info->dirty = true;
   }
 
+  const uint64_t merged_base_epoch =
+      via_delta && info->clean_image.has_value()
+          ? info->clean_image->base_epoch
+          : 0;
   info->state = SwapState::kLoaded;
   info->replicas.clear();
+  info->base_replicas.clear();
+  info->base_epoch = 0;
+  info->base_checksum = 0;
+  info->base_payload_bytes = 0;
+  info->merged_checksum = 0;
+  info->dirty_fields.clear();
   info->replacement = runtime::WeakRef();
   info->swapped_oids.clear();
   ++info->swap_in_count;
@@ -2218,7 +2644,17 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     stats_.bytes_swap_transfer_saved += info->swapped_payload_bytes;
   } else {
     stats_.bytes_swapped_in += fetched_bytes;
-    cache_.Put(id, info->payload_epoch, std::move(decompressed));
+    // A delta merge caches the merged text under the payload epoch while
+    // pinning the base document ResolveDeltaBase cached at base_epoch —
+    // the next swap-in decodes from the cache, the next diff still finds
+    // its base. Without a retained image there is no future diff, so the
+    // merged text simply replaces whatever the cluster had cached.
+    if (via_delta && merged_base_epoch != 0) {
+      cache_.Put(id, info->payload_epoch, std::move(decompressed),
+                 /*keep_epoch=*/merged_base_epoch);
+    } else {
+      cache_.Put(id, info->payload_epoch, std::move(decompressed));
+    }
   }
 
   // Prefetch accounting. A demand fault that finds its payload staged in
@@ -2271,6 +2707,13 @@ Status SwappingManager::PrefetchStage(SwapClusterId id) {
     return FailedPreconditionError(
         "payload staging requires the swap-in payload cache (see "
         "set_swap_in_cache_bytes)");
+  // A delta-swapped cluster's cache slot is reserved for its base document
+  // (base-only convention); staging the delta text would evict the base
+  // and make the eventual swap-in strictly slower.
+  if (info->DeltaSwapped())
+    return FailedPreconditionError("swap-cluster " + id.ToString() +
+                                   " is delta-swapped; its cache slot "
+                                   "holds the base document");
   // Already resident (e.g. the swap-out just populated it): nothing to
   // fetch, and not the prefetcher's doing — no staging claimed.
   if (cache_.Get(id, info->payload_epoch) != nullptr) return OkStatus();
@@ -2495,35 +2938,44 @@ void SwappingManager::ReleaseReplicas(
 size_t SwappingManager::ForgetReplica(SwapClusterId id, DeviceId device) {
   SwapClusterInfo* info = registry_.Find(id);
   if (info == nullptr) return 0;
-  std::vector<ReplicaLocation>* replicas = nullptr;
+  std::vector<std::vector<ReplicaLocation>*> groups;
   bool image_backed = false;
+  bool image_had_delta = false;
   if (info->state == SwapState::kSwapped) {
-    replicas = &info->replicas;
+    groups.push_back(&info->replicas);
+    groups.push_back(&info->base_replicas);
   } else if (info->state == SwapState::kLoaded &&
              info->clean_image.has_value()) {
-    replicas = &info->clean_image->replicas;
+    groups.push_back(&info->clean_image->replicas);
+    groups.push_back(&info->clean_image->base_replicas);
     image_backed = true;
+    image_had_delta = info->clean_image->HasDelta();
   } else {
     return 0;
   }
   size_t forgotten = 0;
-  size_t write = 0;
-  for (size_t read = 0; read < replicas->size(); ++read) {
-    if ((*replicas)[read].device == device) {
-      // Should the store ever return, its now-orphaned payload must still
-      // be reclaimed — keep the drop obligation alive.
-      (void)EnqueuePendingDrop(device, (*replicas)[read].key);
-      ++forgotten;
-      continue;
+  for (std::vector<ReplicaLocation>* replicas : groups) {
+    size_t write = 0;
+    for (size_t read = 0; read < replicas->size(); ++read) {
+      if ((*replicas)[read].device == device) {
+        // Should the store ever return, its now-orphaned payload must still
+        // be reclaimed — keep the drop obligation alive.
+        (void)EnqueuePendingDrop(device, (*replicas)[read].key);
+        ++forgotten;
+        continue;
+      }
+      (*replicas)[write++] = (*replicas)[read];
     }
-    (*replicas)[write++] = (*replicas)[read];
+    replicas->resize(write);
   }
-  replicas->resize(write);
   stats_.replicas_forgotten += forgotten;
-  if (image_backed && replicas->empty()) {
-    // Not a single backing store entry left: the image can no longer serve
-    // a zero-transfer re-swap-out. (Releasing the now-empty list is a
-    // no-op; the drop obligations were queued above.)
+  if (image_backed &&
+      (info->clean_image->replicas.empty() ||
+       (image_had_delta && info->clean_image->base_replicas.empty()))) {
+    // Not a single backing store entry left for one of the image's groups:
+    // the image can no longer serve a zero-transfer re-swap-out (a delta
+    // image needs both the delta and its base). The drop obligations for
+    // the forgotten keys were queued above; invalidation releases the rest.
     InvalidateCleanImage(info, /*count_as_drop=*/false);
   }
   return forgotten;
@@ -2537,13 +2989,19 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
   SwapClusterInfo* info = registry_.Find(id);
   if (info == nullptr)
     return NotFoundError("no swap-cluster " + id.ToString());
-  std::vector<ReplicaLocation>* replicas = nullptr;
+  // Both store groups get the same durability maintenance: the shipped
+  // payload (full or delta) and — for delta-swapped state or a delta image
+  // — the base document group the delta is useless without.
+  std::vector<std::vector<ReplicaLocation>*> groups;
   if (info->state == SwapState::kSwapped) {
-    replicas = &info->replicas;
+    groups.push_back(&info->replicas);
+    if (!info->base_replicas.empty()) groups.push_back(&info->base_replicas);
   } else if (info->LoadedClean()) {
     // Retained clean images get the same durability maintenance as swapped
     // payloads — a re-swap-out must find enough surviving replicas.
-    replicas = &info->clean_image->replicas;
+    groups.push_back(&info->clean_image->replicas);
+    if (info->clean_image->HasDelta())
+      groups.push_back(&info->clean_image->base_replicas);
   } else {
     return FailedPreconditionError("swap-cluster " + id.ToString() +
                                    " holds no store replicas (" +
@@ -2551,39 +3009,53 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
   }
   size_t want = options_.replication_factor > 0 ? options_.replication_factor
                                                 : size_t{1};
-  if (replicas->size() >= want) return size_t{0};
-  if (replicas->empty())
-    return DataLossError("swap-cluster " + id.ToString() +
-                         " has no surviving replica");
-  OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("re_replicate.fetch"));
-  OBISWAP_ASSIGN_OR_RETURN(std::string payload,
-                           FetchVerifiedPayload(id, *replicas));
-  // Maintenance intents: each fresh key is journaled before its store RPC;
-  // an uncommitted maintenance op's keys that never made it into the
-  // replica list are dropped at recovery.
-  uint64_t seq = 0;
-  if (journal_ != nullptr) {
-    seq = journal_->BeginOp(IntentOp::kReplicaMaintenance, id,
-                            info->swap_epoch, info->payload_checksum, {}, {});
-  }
-  size_t added = 0;
-  while (replicas->size() < want) {
-    Result<ReplicaLocation> fresh =
-        PlaceReplica(payload, *replicas, DeviceId(), seq,
-                     "re_replicate.place");
-    if (crashed_) return fresh.status();
-    if (!fresh.ok()) {
-      if (added > 0) break;  // partial top-up still counts as progress
-      if (journal_ != nullptr) (void)journal_->Abort(seq);
-      return fresh.status();
+  size_t added_total = 0;
+  for (std::vector<ReplicaLocation>* replicas : groups) {
+    if (replicas->size() >= want) continue;
+    if (replicas->empty())
+      return DataLossError("swap-cluster " + id.ToString() +
+                           " has no surviving replica");
+    OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("re_replicate.fetch"));
+    Result<std::string> payload_or = FetchVerifiedPayload(id, *replicas);
+    if (!payload_or.ok()) {
+      if (added_total > 0) break;  // partial progress across groups counts
+      return payload_or.status();
     }
-    replicas->push_back(*fresh);
-    ++added;
-    ++stats_.re_replications;
-    stats_.bytes_re_replicated += payload.size();
+    const std::string& payload = *payload_or;
+    // Maintenance intents: each fresh key is journaled before its store
+    // RPC; an uncommitted maintenance op's keys that never made it into
+    // the replica list are dropped at recovery.
+    uint64_t seq = 0;
+    if (journal_ != nullptr) {
+      seq = journal_->BeginOp(IntentOp::kReplicaMaintenance, id,
+                              info->swap_epoch, info->payload_checksum, {},
+                              {});
+    }
+    size_t added = 0;
+    Status place_failure = OkStatus();
+    while (replicas->size() < want) {
+      Result<ReplicaLocation> fresh = PlaceReplica(
+          payload, *replicas, DeviceId(), seq, "re_replicate.place");
+      if (crashed_) return fresh.status();
+      if (!fresh.ok()) {
+        // A partial top-up still counts as progress.
+        place_failure = fresh.status();
+        break;
+      }
+      replicas->push_back(*fresh);
+      ++added;
+      ++stats_.re_replications;
+      stats_.bytes_re_replicated += payload.size();
+    }
+    if (added == 0 && !place_failure.ok()) {
+      if (journal_ != nullptr) (void)journal_->Abort(seq);
+      if (added_total > 0) break;
+      return place_failure;
+    }
+    if (journal_ != nullptr) (void)journal_->Commit(seq);
+    added_total += added;
   }
-  if (journal_ != nullptr) (void)journal_->Commit(seq);
-  return added;
+  return added_total;
 }
 
 Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
@@ -2594,65 +3066,73 @@ Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
   for (SwapClusterId id : registry_.Ids()) {
     SwapClusterInfo* info = registry_.Find(id);
     if (info == nullptr) continue;
-    std::vector<ReplicaLocation>* replicas = nullptr;
+    // Both store groups evacuate: a base document stranded on a departing
+    // store would make every delta shipped against it unrecoverable.
+    std::vector<std::vector<ReplicaLocation>*> groups;
     if (info->state == SwapState::kSwapped) {
-      replicas = &info->replicas;
+      groups.push_back(&info->replicas);
+      if (!info->base_replicas.empty())
+        groups.push_back(&info->base_replicas);
     } else if (info->LoadedClean()) {
-      replicas = &info->clean_image->replicas;
+      groups.push_back(&info->clean_image->replicas);
+      if (info->clean_image->HasDelta())
+        groups.push_back(&info->clean_image->base_replicas);
     } else {
       continue;
     }
-    if (!info->HasReplicaOn(leaving)) continue;
-    size_t at = 0;
-    while (at < replicas->size() && !((*replicas)[at].device == leaving)) {
-      ++at;
+    for (std::vector<ReplicaLocation>* replicas : groups) {
+      size_t at = 0;
+      while (at < replicas->size() && !((*replicas)[at].device == leaving)) {
+        ++at;
+      }
+      if (at == replicas->size()) continue;
+      const ReplicaLocation old = (*replicas)[at];
+      // Prefer copying straight off the withdrawing store — a graceful
+      // withdrawal means it is still reachable; fall back to any replica.
+      Result<std::string> payload = FetchFrom(old.device, old.key);
+      if (payload.ok()) {
+        Result<std::string> verified = compress::FrameDecompress(*payload);
+        if (!verified.ok()) payload = verified.status();
+      }
+      if (!payload.ok()) payload = FetchVerifiedPayload(id, *replicas);
+      if (!payload.ok()) {
+        OBISWAP_LOG(kWarn) << "cannot evacuate swap-cluster " << id.ToString()
+                           << ": " << payload.status().ToString();
+        continue;
+      }
+      // One maintenance op per move. The old key is journaled up-front
+      // while it is still in the replica list (recovery keeps listed keys),
+      // so every crash window resolves: before the list update the fresh
+      // copy is the orphan to drop; after it, the old copy is.
+      uint64_t seq = 0;
+      if (journal_ != nullptr) {
+        seq = journal_->BeginOp(IntentOp::kReplicaMaintenance, id,
+                                info->swap_epoch, info->payload_checksum, {},
+                                {});
+        journal_->NoteReplicaIntent(seq, old.device, old.key);
+      }
+      Result<ReplicaLocation> fresh =
+          PlaceReplica(*payload, *replicas, leaving, seq, "evacuate.place");
+      if (crashed_) return fresh.status();
+      if (!fresh.ok()) {
+        if (journal_ != nullptr) (void)journal_->Abort(seq);
+        OBISWAP_LOG(kWarn) << "no evacuation target for swap-cluster "
+                           << id.ToString() << ": "
+                           << fresh.status().ToString();
+        continue;
+      }
+      (*replicas)[at] = *fresh;
+      Status dropped = CheckFaultPoint("evacuate.drop_old");
+      if (crashed_) return dropped;
+      if (dropped.ok()) dropped = DropAt(old.device, old.key);
+      if (!dropped.ok() && dropped.code() != StatusCode::kNotFound) {
+        if (EnqueuePendingDrop(old.device, old.key))
+          ++stats_.drops_deferred;
+      }
+      if (journal_ != nullptr) (void)journal_->Commit(seq);
+      ++moved;
+      ++stats_.evacuated_replicas;
     }
-    const ReplicaLocation old = (*replicas)[at];
-    // Prefer copying straight off the withdrawing store — a graceful
-    // withdrawal means it is still reachable; fall back to any replica.
-    Result<std::string> payload = FetchFrom(old.device, old.key);
-    if (payload.ok()) {
-      Result<std::string> verified = compress::FrameDecompress(*payload);
-      if (!verified.ok()) payload = verified.status();
-    }
-    if (!payload.ok()) payload = FetchVerifiedPayload(id, *replicas);
-    if (!payload.ok()) {
-      OBISWAP_LOG(kWarn) << "cannot evacuate swap-cluster " << id.ToString()
-                         << ": " << payload.status().ToString();
-      continue;
-    }
-    // One maintenance op per move. The old key is journaled up-front while
-    // it is still in the replica list (recovery keeps listed keys), so
-    // every crash window resolves: before the list update the fresh copy
-    // is the orphan to drop; after it, the old copy is.
-    uint64_t seq = 0;
-    if (journal_ != nullptr) {
-      seq = journal_->BeginOp(IntentOp::kReplicaMaintenance, id,
-                              info->swap_epoch, info->payload_checksum, {},
-                              {});
-      journal_->NoteReplicaIntent(seq, old.device, old.key);
-    }
-    Result<ReplicaLocation> fresh =
-        PlaceReplica(*payload, *replicas, leaving, seq, "evacuate.place");
-    if (crashed_) return fresh.status();
-    if (!fresh.ok()) {
-      if (journal_ != nullptr) (void)journal_->Abort(seq);
-      OBISWAP_LOG(kWarn) << "no evacuation target for swap-cluster "
-                         << id.ToString() << ": "
-                         << fresh.status().ToString();
-      continue;
-    }
-    (*replicas)[at] = *fresh;
-    Status dropped = CheckFaultPoint("evacuate.drop_old");
-    if (crashed_) return dropped;
-    if (dropped.ok()) dropped = DropAt(old.device, old.key);
-    if (!dropped.ok() && dropped.code() != StatusCode::kNotFound) {
-      if (EnqueuePendingDrop(old.device, old.key))
-        ++stats_.drops_deferred;
-    }
-    if (journal_ != nullptr) (void)journal_->Commit(seq);
-    ++moved;
-    ++stats_.evacuated_replicas;
   }
   return moved;
 }
@@ -2709,9 +3189,19 @@ void SwappingManager::OnReplacementFinalized(Object* replacement) {
   info->state = SwapState::kDropped;
   info->replacement = runtime::WeakRef();
   if (store_ != nullptr || local_ != nullptr) {
-    JournaledRelease(id, info->replicas, /*count_as_drop=*/true);
+    // One journaled release covers both groups: the shipped payload and —
+    // for a delta-swapped cluster — the base document it applied to.
+    std::vector<ReplicaLocation> all = info->replicas;
+    for (const ReplicaLocation& replica : info->base_replicas)
+      all.push_back(replica);
+    JournaledRelease(id, all, /*count_as_drop=*/true);
   }
   info->replicas.clear();
+  info->base_replicas.clear();
+  info->base_epoch = 0;
+  info->base_checksum = 0;
+  info->base_payload_bytes = 0;
+  info->merged_checksum = 0;
   NotePrefetchDiscard(id);  // a staged payload for a dropped cluster is waste
   cache_.Invalidate(id);
   if (bus_ != nullptr) {
@@ -2784,6 +3274,13 @@ constexpr StatFieldSpec kStatFields[] = {
     {"brownout_swap_outs", &SwappingManager::Stats::brownout_swap_outs},
     {"pending_drop_overflow",
      &SwappingManager::Stats::pending_drop_overflow},
+    {"delta_swap_outs", &SwappingManager::Stats::delta_swap_outs},
+    {"delta_fallbacks", &SwappingManager::Stats::delta_fallbacks},
+    {"delta_bytes_shipped", &SwappingManager::Stats::delta_bytes_shipped},
+    {"delta_bytes_saved", &SwappingManager::Stats::delta_bytes_saved},
+    {"delta_base_cache_hits",
+     &SwappingManager::Stats::delta_base_cache_hits},
+    {"fields_marked_dirty", &SwappingManager::Stats::fields_marked_dirty},
 };
 }  // namespace
 

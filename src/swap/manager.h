@@ -43,6 +43,7 @@
 #include "net/sim_clock.h"
 #include "persist/flash_store.h"
 #include "runtime/runtime.h"
+#include "serialization/graph_xml.h"
 #include "swap/fault_injector.h"
 #include "swap/intent_journal.h"
 #include "swap/payload_cache.h"
@@ -59,8 +60,21 @@ class SwappingManager final : public runtime::Interceptor,
   struct Options {
     /// Replication clusters folded into each swap-cluster (adaptable).
     size_t clusters_per_swap_cluster = 1;
-    /// Codec applied to swapped XML payloads ("identity", "rle", "lz77").
+    /// Codec applied to swapped payloads ("identity", "rle", "lz77").
     std::string codec = "identity";
+    /// Cluster document wire format: "xml" (the paper's text format) or
+    /// "binary" (the compact OSWB encoding, graph_binary.h). Swap-in
+    /// sniffs the payload, so the flag can change while clusters are
+    /// swapped out. Policy: "set-wire-format".
+    std::string wire_format = "xml";
+    /// Binary wire format only: a dirty re-swap-out of a cluster whose
+    /// clean image is still retained (and whose base document is still in
+    /// the payload cache) ships an OSWD delta — only the fields that
+    /// changed plus membership adds/removes — instead of the full payload.
+    /// Member writes then retain the clean image (dirty, but diffable)
+    /// rather than invalidating it. Policy: "set-wire-format" param
+    /// "delta".
+    bool delta_swap_out = false;
     /// Free bytes a store must advertise before being chosen.
     size_t store_min_free_bytes = 0;
     /// Stores a swap-out places the payload on (K, distinct devices).
@@ -161,6 +175,13 @@ class SwappingManager final : public runtime::Interceptor,
     uint64_t brownout_exits = 0;
     uint64_t brownout_swap_outs = 0;  ///< placements at reduced K
     uint64_t pending_drop_overflow = 0;  ///< oldest obligations evicted
+    // --- binary deltas --------------------------------------------------------
+    uint64_t delta_swap_outs = 0;   ///< swap-outs that shipped an OSWD delta
+    uint64_t delta_fallbacks = 0;   ///< delta-eligible outs that shipped full
+    uint64_t delta_bytes_shipped = 0;  ///< compressed delta bytes placed
+    uint64_t delta_bytes_saved = 0;    ///< full-payload bytes those avoided
+    uint64_t delta_base_cache_hits = 0;  ///< delta swap-ins with cached base
+    uint64_t fields_marked_dirty = 0;  ///< write-barrier slot notifications
   };
 
   /// What Recover() found and did — the restart post-mortem.
@@ -383,6 +404,18 @@ class SwappingManager final : public runtime::Interceptor,
   void set_hedged_fetch(bool enabled) { options_.hedged_fetch = enabled; }
   void set_op_deadline_us(uint64_t us) { options_.op_deadline_us = us; }
 
+  // --- wire format ----------------------------------------------------------
+  /// Switches the cluster document format for future swap-outs ("xml" or
+  /// "binary"); already-swapped payloads self-describe and keep working.
+  /// Policy action "set-wire-format".
+  Status set_wire_format(const std::string& format);
+  const std::string& wire_format() const { return options_.wire_format; }
+  /// Enables/disables delta swap-out (effective only under "binary").
+  void set_delta_swap_out(bool enabled) {
+    options_.delta_swap_out = enabled;
+  }
+  bool delta_swap_out() const { return options_.delta_swap_out; }
+
   // --- crash consistency ----------------------------------------------------
   /// Write-ahead intent journal: every multi-step pipeline operation logs
   /// its intents (replica keys before the store RPC, proxy/member oids
@@ -426,8 +459,8 @@ class SwappingManager final : public runtime::Interceptor,
                                 std::vector<runtime::Value>& args) override;
   runtime::Object* MediateStore(runtime::Runtime& rt, runtime::Object* holder,
                                 runtime::Object* value) override;
-  void ObserveFieldWrite(runtime::Runtime& rt,
-                         runtime::Object* holder) override;
+  void ObserveFieldWrite(runtime::Runtime& rt, runtime::Object* holder,
+                         size_t slot) override;
   bool SameObject(const runtime::Object* a,
                   const runtime::Object* b) override;
 
@@ -590,6 +623,24 @@ class SwappingManager final : public runtime::Interceptor,
   /// (invalidated; caller falls through to the full serialize+ship path);
   /// otherwise the definitive swap-out result.
   std::optional<Result<SwapKey>> TryCleanSwapOut(SwapClusterInfo* info);
+
+  // --- binary delta internals -----------------------------------------------
+  /// True when member writes should retain (not invalidate) clean images:
+  /// the next swap-out may diff against the image's base document.
+  bool DeltaRetainsImages() const {
+    return options_.delta_swap_out && options_.wire_format == "binary";
+  }
+  /// Serializes per options_.wire_format (XML or OSWB binary).
+  Result<serialization::SerializedCluster> SerializeForWire(
+      uint32_t cluster_attr_id, const std::vector<runtime::Object*>& members,
+      const serialization::DescribeExternalFn& describe);
+  /// Fetches and decompresses the base document of a delta-swapped
+  /// cluster (payload cache first, then base replica failover) and
+  /// applies `delta_payload` to it. Also re-primes the payload cache with
+  /// the base. Returns the merged full OSWB document.
+  Result<std::string> ResolveDeltaBase(SwapClusterInfo* info,
+                                       const std::string& delta_payload,
+                                       uint64_t op_start_us);
 
   struct PendingDrop {
     DeviceId device;

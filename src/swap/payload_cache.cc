@@ -1,5 +1,7 @@
 #include "swap/payload_cache.h"
 
+#include <algorithm>
+
 namespace obiswap::swap {
 
 void PayloadCache::set_budget_bytes(size_t bytes) {
@@ -9,40 +11,88 @@ void PayloadCache::set_budget_bytes(size_t bytes) {
 
 void PayloadCache::Put(SwapClusterId id, uint64_t epoch,
                        std::string payload) {
-  Invalidate(id);  // at most one epoch per cluster is ever current
+  PutImpl(id, epoch, std::move(payload), /*keep_epoch=*/nullptr);
+}
+
+void PayloadCache::Put(SwapClusterId id, uint64_t epoch, std::string payload,
+                       uint64_t keep_epoch) {
+  PutImpl(id, epoch, std::move(payload), &keep_epoch);
+}
+
+void PayloadCache::PutImpl(SwapClusterId id, uint64_t epoch,
+                           std::string payload, const uint64_t* keep_epoch) {
+  // Drop every entry of the cluster the insert supersedes: all of them,
+  // except the pinned base epoch (if any) — which the new entry must not
+  // duplicate either.
+  if (auto it = index_.find(id); it != index_.end()) {
+    std::vector<std::list<Entry>::iterator> slots = it->second;
+    for (auto entry : slots) {
+      if (keep_epoch != nullptr && entry->epoch == *keep_epoch &&
+          entry->epoch != epoch) {
+        continue;
+      }
+      Erase(entry);
+    }
+  }
   if (budget_ == 0 || payload.size() > budget_) return;
   bytes_ += payload.size();
   lru_.push_front(Entry{id, epoch, std::move(payload)});
-  index_[id] = lru_.begin();
+  index_[id].push_back(lru_.begin());
   ++stats_.insertions;
   EvictToBudget();
 }
 
 const std::string* PayloadCache::Get(SwapClusterId id, uint64_t epoch) {
   auto it = index_.find(id);
-  if (it == index_.end() || it->second->epoch != epoch) {
-    ++stats_.misses;
-    return nullptr;
+  if (it != index_.end()) {
+    for (auto entry : it->second) {
+      if (entry->epoch == epoch) {
+        lru_.splice(lru_.begin(), lru_, entry);
+        ++stats_.hits;
+        return &lru_.front().payload;
+      }
+    }
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
-  return &lru_.front().payload;
+  ++stats_.misses;
+  return nullptr;
 }
 
 void PayloadCache::Invalidate(SwapClusterId id) {
   auto it = index_.find(id);
   if (it == index_.end()) return;
-  bytes_ -= it->second->payload.size();
-  lru_.erase(it->second);
-  index_.erase(it);
+  std::vector<std::list<Entry>::iterator> slots = std::move(it->second);
+  for (auto entry : slots) {
+    bytes_ -= entry->payload.size();
+    lru_.erase(entry);
+    ++stats_.invalidations;
+  }
+  index_.erase(id);
+}
+
+void PayloadCache::Erase(std::list<Entry>::iterator it) {
+  auto slot = index_.find(it->id);
+  if (slot != index_.end()) {
+    auto& entries = slot->second;
+    entries.erase(std::remove(entries.begin(), entries.end(), it),
+                  entries.end());
+    if (entries.empty()) index_.erase(slot);
+  }
+  bytes_ -= it->payload.size();
+  lru_.erase(it);
   ++stats_.invalidations;
 }
 
 void PayloadCache::EvictToBudget() {
   while (bytes_ > budget_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    bytes_ -= victim.payload.size();
-    index_.erase(victim.id);
+    auto victim = std::prev(lru_.end());
+    auto slot = index_.find(victim->id);
+    if (slot != index_.end()) {
+      auto& entries = slot->second;
+      entries.erase(std::remove(entries.begin(), entries.end(), victim),
+                    entries.end());
+      if (entries.empty()) index_.erase(slot);
+    }
+    bytes_ -= victim->payload.size();
     lru_.pop_back();
     ++stats_.evictions;
   }

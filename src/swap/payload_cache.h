@@ -45,6 +45,12 @@ class PayloadCache {
   /// No-op when disabled or when the payload alone exceeds the budget.
   void Put(SwapClusterId id, uint64_t epoch, std::string payload);
 
+  /// Like Put, but preserves the cluster's entry at `keep_epoch`: a
+  /// delta-swapped cluster keeps its full base document (diffed and merged
+  /// against) alongside the current merged document.
+  void Put(SwapClusterId id, uint64_t epoch, std::string payload,
+           uint64_t keep_epoch);
+
   /// The cached payload for exactly (`id`, `epoch`), or nullptr. A hit
   /// refreshes recency. The pointer is valid until the next mutating call.
   const std::string* Get(SwapClusterId id, uint64_t epoch);
@@ -60,13 +66,18 @@ class PayloadCache {
     std::string payload;
   };
 
+  void PutImpl(SwapClusterId id, uint64_t epoch, std::string payload,
+               const uint64_t* keep_epoch);
+  void Erase(std::list<Entry>::iterator it);
   void EvictToBudget();
 
   size_t budget_;
   size_t bytes_ = 0;
-  /// Front = most recently used. One entry per cluster.
+  /// Front = most recently used. At most two entries per cluster (the
+  /// current document, plus the pinned base of a delta-swapped cluster).
   std::list<Entry> lru_;
-  std::unordered_map<SwapClusterId, std::list<Entry>::iterator> index_;
+  std::unordered_map<SwapClusterId, std::vector<std::list<Entry>::iterator>>
+      index_;
   Stats stats_;
 };
 

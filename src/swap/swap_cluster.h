@@ -66,6 +66,31 @@ struct CleanImage {
   /// external-ref index order (the payload resolves references by index).
   /// Weak: if any dies, the image can no longer back a replacement.
   std::vector<runtime::WeakRef> outbound;
+
+  // --- delta facet (binary wire format + delta swap-out only) --------------
+  /// When the last swap-out shipped a delta, the image is two store groups:
+  /// `replicas` above hold the DELTA payload (what a re-adopting
+  /// TryCleanSwapOut or the next swap-in fetches alongside the base) and
+  /// these hold the full BASE document the delta was diffed against. Empty
+  /// when the image is a plain full payload.
+  std::vector<ReplicaLocation> base_replicas;
+  uint64_t base_epoch = 0;        ///< payload epoch of the base document
+  uint32_t base_checksum = 0;     ///< Adler-32 of the decompressed base
+  size_t base_payload_bytes = 0;  ///< compressed base size on the store
+  /// Adler-32 of the full merged document the delta reconstructs — what a
+  /// payload-cache copy of the merged text verifies against on the next
+  /// swap-in (payload_checksum above is the delta's own). 0 when unknown.
+  uint32_t merged_checksum = 0;
+
+  bool HasDelta() const { return !base_replicas.empty(); }
+
+  /// Epoch/checksum of the full base *document* a delta swap-out must diff
+  /// against: the base group's for a delta image, the image's own for a
+  /// plain full-payload image.
+  uint64_t BaseEpoch() const { return HasDelta() ? base_epoch : payload_epoch; }
+  uint32_t BaseChecksum() const {
+    return HasDelta() ? base_checksum : payload_checksum;
+  }
 };
 
 struct SwapClusterInfo {
@@ -106,6 +131,25 @@ struct SwapClusterInfo {
   /// them to the server.
   std::vector<ObjectId> swapped_oids;
 
+  // --- delta-swapped state (binary wire format + delta swap-out only) ------
+  /// When the last swap-out shipped a delta, `replicas` above hold the
+  /// DELTA payload (payload_checksum is the delta's, so the generic fetch /
+  /// verify / failover machinery works unchanged) and these hold the full
+  /// BASE document the delta applies to. Swap-in must fetch one of each.
+  std::vector<ReplicaLocation> base_replicas;
+  uint64_t base_epoch = 0;        ///< payload epoch of the base document
+  uint32_t base_checksum = 0;     ///< Adler-32 of the decompressed base
+  size_t base_payload_bytes = 0;  ///< compressed base size on the store
+  /// Adler-32 of the full merged document the delta reconstructs (the
+  /// payload-cache copy of the merged text); 0 when unknown (e.g. after a
+  /// crash recovery, which cannot recompute it) — a zero never matches, so
+  /// the swap-in cache probe falls through to the fetch path.
+  uint32_t merged_checksum = 0;
+
+  bool DeltaSwapped() const {
+    return state == SwapState::kSwapped && !base_replicas.empty();
+  }
+
   uint64_t swap_out_count = 0;
   uint64_t swap_in_count = 0;
 
@@ -116,7 +160,16 @@ struct SwapClusterInfo {
   bool dirty = true;
   /// Present between a swap-in and the first write (or churn/GC
   /// invalidation): the store copies that still mirror the resident state.
+  /// Under delta swap-out the image survives member writes (dirty=true,
+  /// image retained) so the next swap-out can diff against its base.
   std::optional<CleanImage> clean_image;
+
+  /// Which fields have been written since the image was captured, per
+  /// member oid: bit `min(slot, 63)` per written slot, all-ones when the
+  /// slot is unknown (reference stores mediated without a slot). Purely a
+  /// telemetry/gating signal — the delta itself is computed document-to-
+  /// document, so this never affects correctness. Cleared with the image.
+  std::unordered_map<uint64_t, uint64_t> dirty_fields;
 
   /// The loaded-clean facet: resident, untouched, image still live.
   bool LoadedClean() const {

@@ -3,6 +3,14 @@
 namespace obiswap::xml {
 
 namespace {
+void AppendCharRef(std::string* out, unsigned char c) {
+  static const char kHex[] = "0123456789ABCDEF";
+  *out += "&#x";
+  if (c >= 0x10) *out += kHex[c >> 4];
+  *out += kHex[c & 0xF];
+  *out += ';';
+}
+
 void AppendEscaped(std::string* out, std::string_view text, bool attr) {
   for (char c : text) {
     switch (c) {
@@ -30,7 +38,19 @@ void AppendEscaped(std::string* out, std::string_view text, bool attr) {
         }
         break;
       default:
-        *out += c;
+        // Control bytes (0x00–0x1F, 0x7F) go out as numeric character
+        // references: raw they would either be eaten by whitespace-agnostic
+        // parsing (\r, \t) or make the document unparseable (\x00), so a
+        // string slot holding them would not survive write→parse. The
+        // parser decodes &#xNN; below 0x80 to the single raw byte, so every
+        // byte value round-trips exactly. Bytes ≥ 0x80 stay raw — the
+        // parser would re-encode a numeric reference for them as multi-byte
+        // UTF-8, which is NOT byte-identity.
+        if (static_cast<unsigned char>(c) < 0x20 || c == '\x7F') {
+          AppendCharRef(out, static_cast<unsigned char>(c));
+        } else {
+          *out += c;
+        }
     }
   }
 }

@@ -259,7 +259,7 @@ TEST(ExtendedWeakRefTest, PersistToFlashRoundTrip) {
       };
       auto doc = serialization::SerializeCluster(rt, 0, {dying}, describe);
       OBISWAP_CHECK(doc.ok());
-      saved_xml = doc->xml;
+      saved_xml = doc->payload;
     });
   }
   rt.heap().Collect();

@@ -66,7 +66,7 @@ TEST_F(SerializationFixture, RoundTripsAllValueKinds) {
                             .Field("extra"));
   DeserializeOptions options;
   options.expected_id = 3;
-  auto members = DeserializeCluster(rt2, serialized->xml, options,
+  auto members = DeserializeCluster(rt2, serialized->payload, options,
                                     ResolveNone);
   ASSERT_TRUE(members.ok()) << members.status().ToString();
   ASSERT_EQ(members->size(), 1u);
@@ -92,7 +92,7 @@ TEST_F(SerializationFixture, IntraClusterRefsResolveLocally) {
   DeserializeOptions options;
   options.expected_id = 1;
   auto members =
-      DeserializeCluster(rt_, serialized->xml, options, ResolveNone);
+      DeserializeCluster(rt_, serialized->payload, options, ResolveNone);
   ASSERT_TRUE(members.ok()) << members.status().ToString();
   ASSERT_EQ(members->size(), 3u);
   EXPECT_EQ((*members)[0]->RawSlot(0).ref(), (*members)[1]);
@@ -134,7 +134,7 @@ TEST_F(SerializationFixture, ExternalRefsGoThroughCallbacks) {
   };
   DeserializeOptions options;
   options.expected_id = 9;
-  auto members = DeserializeCluster(rt_, serialized->xml, options, resolve);
+  auto members = DeserializeCluster(rt_, serialized->payload, options, resolve);
   ASSERT_TRUE(members.ok()) << members.status().ToString();
   EXPECT_EQ(resolves, 2);
   EXPECT_EQ((*members)[0]->RawSlot(0).ref(), replacement_target);
@@ -167,7 +167,7 @@ TEST_F(SerializationFixture, SwapClusterLabelAssigned) {
   options.expected_id = 4;
   options.assign_swap_cluster = SwapClusterId(4);
   auto members =
-      DeserializeCluster(rt_, serialized->xml, options, ResolveNone);
+      DeserializeCluster(rt_, serialized->payload, options, ResolveNone);
   ASSERT_TRUE(members.ok());
   EXPECT_EQ((*members)[0]->swap_cluster(), SwapClusterId(4));
 }
@@ -180,7 +180,7 @@ TEST_F(SerializationFixture, IdMismatchRejected) {
   DeserializeOptions options;
   options.expected_id = 8;
   auto members =
-      DeserializeCluster(rt_, serialized->xml, options, ResolveNone);
+      DeserializeCluster(rt_, serialized->payload, options, ResolveNone);
   ASSERT_FALSE(members.ok());
   EXPECT_EQ(members.status().code(), StatusCode::kDataLoss);
 }
@@ -192,7 +192,7 @@ TEST_F(SerializationFixture, ChecksumDetectsTampering) {
   auto serialized = SerializeCluster(rt_, 1, {a}, NoExternals);
   ASSERT_TRUE(serialized.ok());
   // Tamper with the int payload in the text.
-  std::string tampered = serialized->xml;
+  std::string tampered = serialized->payload;
   size_t pos = tampered.find("1234");
   ASSERT_NE(pos, std::string::npos);
   tampered.replace(pos, 4, "4321");
@@ -208,7 +208,7 @@ TEST_F(SerializationFixture, ChecksumCanBeSkipped) {
   LocalScope scope(rt_.heap());
   Object* a = NewItem(scope, 1234);
   auto serialized = SerializeCluster(rt_, 1, {a}, NoExternals);
-  std::string tampered = serialized->xml;
+  std::string tampered = serialized->payload;
   size_t pos = tampered.find("1234");
   tampered.replace(pos, 4, "4321");
   DeserializeOptions options;
@@ -227,7 +227,7 @@ TEST_F(SerializationFixture, UnknownClassRejected) {
   DeserializeOptions options;
   options.expected_id = 1;
   auto members =
-      DeserializeCluster(empty_rt, serialized->xml, options, ResolveNone);
+      DeserializeCluster(empty_rt, serialized->payload, options, ResolveNone);
   ASSERT_FALSE(members.ok());
   EXPECT_NE(members.status().message().find("unknown class"),
             std::string::npos);
@@ -251,7 +251,7 @@ TEST_F(SerializationFixture, PreservesReplicationClusterLabels) {
   DeserializeOptions options;
   options.expected_id = 1;
   auto members =
-      DeserializeCluster(rt_, serialized->xml, options, ResolveNone);
+      DeserializeCluster(rt_, serialized->payload, options, ResolveNone);
   ASSERT_TRUE(members.ok());
   EXPECT_EQ((*members)[0]->cluster(), ClusterId(12));
 }
@@ -289,7 +289,7 @@ TEST_P(SerializationPropertyTest, RandomGraphRoundTrips) {
   DeserializeOptions options;
   options.expected_id = 2;
   auto restored =
-      DeserializeCluster(rt_, serialized->xml, options, ResolveNone);
+      DeserializeCluster(rt_, serialized->payload, options, ResolveNone);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   ASSERT_EQ(restored->size(), members.size());
   for (size_t i = 0; i < members.size(); ++i) {
