@@ -60,6 +60,62 @@ Run Measure(int objects, bool remote, telemetry::Telemetry* trace) {
              network.stats().bytes_moved};
 }
 
+/// One demand fault served by each level of the tier hierarchy: where a
+/// payload sits decides the whole stall. `tier` is "ram", "flash", or
+/// "remote" (the heap row is the trivial baseline — the object never left).
+uint64_t MeasureTierFetch(const std::string& tier, int objects,
+                          uint64_t* bytes_on_radio,
+                          telemetry::Telemetry* trace) {
+  net::Network network;
+  net::Discovery discovery(network);
+  DeviceId pda(1), shelf(2);
+  network.AddDevice(pda);
+  network.AddDevice(shelf);
+  network.SetInRange(pda, shelf, true);
+  net::StoreNode store(shelf, 64 * 1024 * 1024);
+  discovery.Announce(&store);
+  net::StoreClient client(network, discovery, pda);
+  persist::FlashStore flash(pda, 64 * 1024 * 1024, network.clock());
+  swap::IntentJournal journal(&flash);
+
+  runtime::Runtime rt(1);
+  const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
+  // Outlives the manager: ~SwappingManager unsubscribes from the bus.
+  context::EventBus bus;
+  swap::SwappingManager::Options options;
+  options.replication_factor = 1;
+  options.swap_in_cache_bytes = 0;  // the fetch path, not the payload cache
+  swap::SwappingManager manager(rt, options);
+  manager.AttachStore(&client, &discovery);
+  manager.AttachBus(&bus);
+  manager.AttachClock(&network.clock());
+  manager.AttachLocalStore(&flash);
+  manager.AttachIntentJournal(&journal);
+  trace->tracer().BeginTrack("tier=" + tier);
+  trace->AttachClock(&network.clock());
+  manager.AttachTelemetry(trace);
+
+  tier::TierManager::Options tier_options;
+  tier_options.mode = tier == "ram"     ? tier::TierMode::kRam
+                      : tier == "flash" ? tier::TierMode::kFlash
+                                        : tier::TierMode::kOff;
+  tier_options.ram_bytes = 1 << 16;
+  tier_options.flash_slot_bytes = 1024;
+  tier_options.flash_slots = 512;
+  tier::TierManager tiers(&flash, tier_options);
+  manager.AttachTierManager(&tiers);
+  swap::DurabilityMonitor monitor(manager, discovery, pda, bus, nullptr);
+
+  auto clusters =
+      workload::BuildList(rt, &manager, cls, objects, objects, "tier_head");
+  OBISWAP_CHECK(manager.SwapOut(clusters[0]).ok());
+  monitor.Poll();  // write the tier copy back so the replica group is whole
+  const uint64_t t0 = network.clock().now_us();
+  OBISWAP_CHECK(manager.SwapIn(clusters[0]).ok());
+  *bytes_on_radio = network.stats().bytes_moved;
+  return network.clock().now_us() - t0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,6 +142,24 @@ int main(int argc, char** argv) {
     json.Add("flash_out_ms", local.out_ms);
     json.Add("flash_in_ms", local.in_ms);
     json.Add("flash_wear_bytes", local.flash_wear_bytes);
+  }
+  // Per-tier breakdown: the same demand fault, served by each level of
+  // the swap hierarchy. Rows carry tier="heap|ram|flash|remote" so the
+  // JSON consumer can plot the fetch ladder directly.
+  constexpr int kTierObjects = 100;
+  std::printf("\nper-tier demand-fault fetch, %d objects:\n", kTierObjects);
+  std::printf("%8s %14s %14s\n", "tier", "fetch us", "radio B");
+  for (const char* level : {"heap", "ram", "flash", "remote"}) {
+    uint64_t fetch_us = 0, radio_bytes = 0;
+    if (std::string(level) != "heap")
+      fetch_us = MeasureTierFetch(level, kTierObjects, &radio_bytes, &trace);
+    std::printf("%8s %14llu %14llu\n", level, (unsigned long long)fetch_us,
+                (unsigned long long)radio_bytes);
+    json.BeginRow();
+    json.Add("tier", std::string(level));
+    json.Add("objects", static_cast<int64_t>(kTierObjects));
+    json.Add("fetch_us", fetch_us);
+    json.Add("radio_bytes", radio_bytes);
   }
   std::printf(
       "\nreading: flash avoids radio latency (wins at small clusters and "

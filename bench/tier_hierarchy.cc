@@ -1,0 +1,257 @@
+// Tiered swap hierarchy gate: re-fault stalls with the compressed-RAM +
+// flash tiers in front of the remote stores vs the paper's remote-only
+// configuration.
+//
+// The workload is the tier stack's reason to exist: a working set swapped
+// out and demand-faulted back round after round. Remote-only, every
+// re-fault pays full radio latency; tiered, the swap-out parks the payload
+// in the fastest local tier and the re-fault is served at memory (or
+// flash) speed while the durability sweep writes the payload back to K
+// remote replicas in the background.
+//
+// The binary enforces three gates in-process and exits nonzero if any
+// fails (CI runs it as a regression tripwire):
+//   1. p95 demand-fault stall improves >= 5x over remote-only;
+//   2. fewer bytes cross the radio (re-faults stop being radio traffic);
+//   3. every swapped cluster still reaches K remote replicas — the tiers
+//      accelerate, they never weaken durability.
+//
+// `--json [path]` dumps the table to BENCH_tier_hierarchy.json and
+// `--trace=<path>` the span trace.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "obiswap/obiswap.h"
+#include "workload/list_workload.h"
+
+namespace {
+
+using namespace obiswap;  // NOLINT
+
+constexpr int kClusters = 8;
+constexpr int kNodesPerCluster = 20;
+constexpr int kRounds = 10;
+constexpr size_t kReplicationFactor = 2;
+
+struct Run {
+  std::vector<uint64_t> stall_us;  ///< one sample per demand fault
+  uint64_t radio_bytes = 0;
+  uint64_t flash_wear_bytes = 0;
+  uint64_t ram_hits = 0;
+  uint64_t flash_hits = 0;
+  uint64_t demotions = 0;
+  uint64_t write_backs = 0;
+  size_t replicas_short = 0;  ///< swapped clusters below K at the end
+  bool values_intact = false;
+};
+
+/// Sums `get_value` along the list by mediated invocation; the cursor lives
+/// in a global so middleware activity between steps cannot collect it.
+Result<int64_t> SumList(runtime::Runtime& rt, const std::string& global) {
+  using runtime::Value;
+  OBISWAP_ASSIGN_OR_RETURN(Value start, rt.GetGlobal(global));
+  OBISWAP_RETURN_IF_ERROR(rt.SetGlobal("__sum_cursor", start));
+  int64_t sum = 0;
+  int guard = 0;
+  for (;;) {
+    Value cursor = *rt.GetGlobal("__sum_cursor");
+    if (!cursor.is_ref() || cursor.ref() == nullptr) break;
+    OBISWAP_ASSIGN_OR_RETURN(Value value, rt.Invoke(cursor.ref(), "get_value"));
+    sum += value.as_int();
+    OBISWAP_ASSIGN_OR_RETURN(Value next, rt.Invoke(cursor.ref(), "next"));
+    OBISWAP_RETURN_IF_ERROR(rt.SetGlobal("__sum_cursor", next));
+    if (++guard > 1000000)
+      return InternalError("list traversal did not terminate");
+  }
+  rt.RemoveGlobal("__sum_cursor");
+  return sum;
+}
+
+uint64_t Percentile(std::vector<uint64_t> samples, double pct) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t index = static_cast<size_t>(pct / 100.0 * (samples.size() - 1));
+  return samples[index];
+}
+
+Run Measure(bool tiered, telemetry::Telemetry* trace) {
+  net::Network network;
+  net::Discovery discovery(network);
+  DeviceId pda(1), shelf(2), printer(3);
+  network.AddDevice(pda);
+  for (DeviceId store_dev : {shelf, printer}) {
+    network.AddDevice(store_dev);
+    network.SetInRange(pda, store_dev, true);
+  }
+  net::StoreNode shelf_store(shelf, 64 * 1024 * 1024);
+  net::StoreNode printer_store(printer, 64 * 1024 * 1024);
+  discovery.Announce(&shelf_store);
+  discovery.Announce(&printer_store);
+  net::StoreClient client(network, discovery, pda);
+  persist::FlashStore flash(pda, 8 * 1024 * 1024, network.clock());
+  swap::IntentJournal journal(&flash);
+
+  runtime::Runtime rt(1);
+  const runtime::ClassInfo* cls = workload::RegisterNodeClass(rt);
+  // Outlives the manager: ~SwappingManager unsubscribes from the bus.
+  context::EventBus bus;
+  swap::SwappingManager::Options options;
+  options.replication_factor = kReplicationFactor;
+  // No payload cache: every demand fault pays the real fetch path, so the
+  // stall samples compare the tiers against the radio, not the cache.
+  options.swap_in_cache_bytes = 0;
+  swap::SwappingManager manager(rt, options);
+  manager.AttachStore(&client, &discovery);
+  manager.AttachBus(&bus);
+  manager.AttachClock(&network.clock());
+  manager.AttachLocalStore(&flash);
+  manager.AttachIntentJournal(&journal);
+  trace->tracer().BeginTrack(tiered ? "tiered" : "remote-only");
+  trace->AttachClock(&network.clock());
+  manager.AttachTelemetry(trace);
+
+  tier::TierManager::Options tier_options;
+  tier_options.mode = tier::TierMode::kAll;
+  // Sized so roughly half the working set fits compressed in RAM and the
+  // rest spills to flash: both local tiers show up in the fault profile.
+  tier_options.ram_bytes = 2 * 1024;
+  tier_options.flash_slot_bytes = 1024;
+  tier_options.flash_slots = 512;
+  tier::TierManager tiers(&flash, tier_options);
+  if (tiered) manager.AttachTierManager(&tiers);
+
+  swap::DurabilityMonitor monitor(manager, discovery, pda, bus, nullptr);
+
+  std::vector<SwapClusterId> clusters = workload::BuildList(
+      rt, &manager, cls, kClusters * kNodesPerCluster, kNodesPerCluster,
+      "head");
+
+  Run run;
+  for (int round = 0; round < kRounds; ++round) {
+    for (SwapClusterId id : clusters) {
+      // Odd rounds dirty the cluster first: the clean re-adopt shortcut is
+      // off the table and the full payload must move (to a tier or to the
+      // radio) — the tier stack has to absorb real swap-out traffic, not
+      // just serve a warm read cache.
+      if (round % 2 == 1) manager.MarkDirty(id);
+      OBISWAP_CHECK(manager.SwapOut(id).ok());
+    }
+    // The maintenance tick between swap-out and re-fault: tier write-backs
+    // top every remote group up to K in the background.
+    monitor.Poll();
+    for (SwapClusterId id : clusters) {
+      const uint64_t t0 = network.clock().now_us();
+      OBISWAP_CHECK(manager.SwapIn(id).ok());
+      run.stall_us.push_back(network.clock().now_us() - t0);
+    }
+  }
+  // Final durability audit: leave the set swapped, let the sweep settle,
+  // then count clusters whose remote group is short of K.
+  for (SwapClusterId id : clusters) OBISWAP_CHECK(manager.SwapOut(id).ok());
+  monitor.Poll();
+  for (SwapClusterId id : clusters) {
+    const swap::SwapClusterInfo* info = manager.registry().Find(id);
+    const std::vector<swap::ReplicaLocation>* replicas =
+        info != nullptr ? info->ActiveReplicas() : nullptr;
+    size_t remote = 0;
+    if (replicas != nullptr) {
+      for (const swap::ReplicaLocation& replica : *replicas)
+        if (replica.device != pda) ++remote;
+    }
+    if (remote < kReplicationFactor) ++run.replicas_short;
+  }
+
+  run.radio_bytes = network.stats().bytes_moved;
+  run.flash_wear_bytes = flash.stats().bytes_written;
+  run.ram_hits = tiers.stats().ram_hits;
+  run.flash_hits = tiers.stats().flash_hits;
+  run.demotions = tiers.stats().demotions;
+  run.write_backs = tiers.stats().write_backs;
+  auto sum = SumList(rt, "head");
+  const int n = kClusters * kNodesPerCluster;
+  run.values_intact = sum.ok() && *sum == int64_t{n} * (n - 1) / 2;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchjson::JsonWriter json;
+  telemetry::Telemetry::Options trace_options;
+  trace_options.tracer_capacity = 1 << 16;
+  telemetry::Telemetry trace(trace_options);
+  std::printf(
+      "Tiered swap hierarchy: re-fault stalls, %d clusters x %d rounds, "
+      "virtual us\n\n",
+      kClusters, kRounds);
+
+  Run remote = Measure(/*tiered=*/false, &trace);
+  Run tiered = Measure(/*tiered=*/true, &trace);
+
+  struct Row {
+    const char* config;
+    const Run* run;
+  };
+  const uint64_t p95_remote = Percentile(remote.stall_us, 95);
+  const uint64_t p95_tiered = Percentile(tiered.stall_us, 95);
+  std::printf("%12s %10s %10s %10s %12s %9s %10s %11s\n", "config", "p50 us",
+              "p95 us", "max us", "radio B", "ram hits", "flash hits",
+              "write-backs");
+  for (const Row& row : {Row{"remote-only", &remote}, Row{"tiered", &tiered}}) {
+    const Run& r = *row.run;
+    std::printf("%12s %10llu %10llu %10llu %12llu %9llu %10llu %11llu\n",
+                row.config, (unsigned long long)Percentile(r.stall_us, 50),
+                (unsigned long long)Percentile(r.stall_us, 95),
+                (unsigned long long)Percentile(r.stall_us, 100),
+                (unsigned long long)r.radio_bytes,
+                (unsigned long long)r.ram_hits,
+                (unsigned long long)r.flash_hits,
+                (unsigned long long)r.write_backs);
+    json.BeginRow();
+    json.Add("config", std::string(row.config));
+    json.Add("p50_stall_us", Percentile(r.stall_us, 50));
+    json.Add("p95_stall_us", Percentile(r.stall_us, 95));
+    json.Add("max_stall_us", Percentile(r.stall_us, 100));
+    json.Add("radio_bytes", r.radio_bytes);
+    json.Add("flash_wear_bytes", r.flash_wear_bytes);
+    json.Add("ram_hits", r.ram_hits);
+    json.Add("flash_hits", r.flash_hits);
+    json.Add("demotions", r.demotions);
+    json.Add("write_backs", r.write_backs);
+    json.Add("replicas_short_of_k", static_cast<uint64_t>(r.replicas_short));
+    json.Add("values_intact", std::string(r.values_intact ? "yes" : "no"));
+  }
+
+  // The gates. A p95 of zero (pure RAM hits cost no virtual time) is the
+  // best possible outcome — clamp the denominator so the ratio stays
+  // finite.
+  const double speedup = static_cast<double>(p95_remote) /
+                         static_cast<double>(std::max<uint64_t>(p95_tiered, 1));
+  const bool stall_gate = speedup >= 5.0;
+  const bool radio_gate = tiered.radio_bytes < remote.radio_bytes;
+  const bool durability_gate =
+      tiered.replicas_short == 0 && remote.replicas_short == 0;
+  const bool intact_gate = tiered.values_intact && remote.values_intact;
+  std::printf(
+      "\ngates: p95 %llu -> %llu us (%.1fx, need >= 5x) %s | radio %llu -> "
+      "%llu B %s | replicas at K %s | values %s\n",
+      (unsigned long long)p95_remote, (unsigned long long)p95_tiered, speedup,
+      stall_gate ? "ok" : "FAIL", (unsigned long long)remote.radio_bytes,
+      (unsigned long long)tiered.radio_bytes, radio_gate ? "ok" : "FAIL",
+      durability_gate ? "ok" : "FAIL", intact_gate ? "ok" : "FAIL");
+
+  json.BeginRow();
+  json.Add("config", std::string("gate"));
+  json.Add("p95_speedup", speedup);
+  json.Add("stall_gate", std::string(stall_gate ? "ok" : "fail"));
+  json.Add("radio_gate", std::string(radio_gate ? "ok" : "fail"));
+  json.Add("durability_gate", std::string(durability_gate ? "ok" : "fail"));
+  json.Add("values_gate", std::string(intact_gate ? "ok" : "fail"));
+
+  benchjson::MaybeWriteJson(argc, argv, json, "BENCH_tier_hierarchy.json");
+  if (!benchjson::MaybeWriteTrace(argc, argv, trace)) return 1;
+  return stall_gate && radio_gate && durability_gate && intact_gate ? 0 : 1;
+}

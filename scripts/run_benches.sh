@@ -46,6 +46,7 @@ expected=(
   BENCH_prefetch_stall.json
   BENCH_crash_recovery.json
   BENCH_degraded_mode.json
+  BENCH_tier_hierarchy.json
 )
 # Telemetry-instrumented benches must also drop a span trace.
 expected_traces=(
@@ -54,6 +55,7 @@ expected_traces=(
   BENCH_churn_recovery_trace.json
   BENCH_prefetch_stall_trace.json
   BENCH_degraded_mode_trace.json
+  BENCH_tier_hierarchy_trace.json
 )
 failed=0
 for f in "${expected[@]}"; do
@@ -133,6 +135,41 @@ if delta * 2 > binary:
              f"exceeds 50% of binary-full ({binary})")
 print(f"wire-format gate: delta {delta} <= 50% of binary {binary} at "
       f"10% writes — ok")
+PYEOF
+  then
+    failed=1
+  fi
+fi
+
+# Tier-hierarchy contract: the gate row the bench computed in-process is
+# re-checked from the artifact (the bare-rerun fallback above would mask a
+# nonzero bench exit): p95 demand-fault stall must improve >= 5x over
+# remote-only, fewer bytes must cross the radio, and neither configuration
+# may leave a swapped cluster short of K remote replicas.
+if command -v python3 >/dev/null 2>&1 && [ -f BENCH_tier_hierarchy.json ]; then
+  if ! python3 - BENCH_tier_hierarchy.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    rows = json.load(fh)["rows"]
+by_config = {r["config"]: r for r in rows}
+for config in ("remote-only", "tiered", "gate"):
+    if config not in by_config:
+        sys.exit(f"tier_hierarchy: missing '{config}' row")
+gate = by_config["gate"]
+for name in ("stall_gate", "radio_gate", "durability_gate", "values_gate"):
+    if gate.get(name) != "ok":
+        sys.exit(f"tier_hierarchy: {name} failed: {gate}")
+remote, tiered = by_config["remote-only"], by_config["tiered"]
+if tiered["p95_stall_us"] * 5 > remote["p95_stall_us"]:
+    sys.exit(f"tier_hierarchy: p95 stall {tiered['p95_stall_us']} not 5x "
+             f"better than remote-only {remote['p95_stall_us']}")
+if tiered["radio_bytes"] >= remote["radio_bytes"]:
+    sys.exit(f"tier_hierarchy: tiered radio bytes {tiered['radio_bytes']} "
+             f"not below remote-only {remote['radio_bytes']}")
+if tiered["replicas_short_of_k"] or remote["replicas_short_of_k"]:
+    sys.exit("tier_hierarchy: a swapped cluster is short of K remote replicas")
+print(f"tier gate: p95 {remote['p95_stall_us']} -> {tiered['p95_stall_us']} us, "
+      f"radio {remote['radio_bytes']} -> {tiered['radio_bytes']} B — ok")
 PYEOF
   then
     failed=1

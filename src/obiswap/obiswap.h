@@ -39,6 +39,7 @@
 #include "telemetry/metrics.h"          // counters / gauges / histograms
 #include "telemetry/telemetry.h"        // the per-instance bundle
 #include "telemetry/tracer.h"           // virtual-clock spans -> Chrome JSON
+#include "tier/tier.h"                  // compressed-RAM + flash swap tiers
 #include "tx/transaction.h"             // optimistic replica transactions
 #include "tx/transport.h"
 #include "xml/node.h"

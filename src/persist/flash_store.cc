@@ -9,6 +9,15 @@ FlashStore::FlashStore(DeviceId device, size_t capacity_bytes,
       clock_(clock),
       params_(params) {}
 
+Status FlashStore::set_capacity_bytes(size_t bytes) {
+  if (bytes < used_bytes_)
+    return InvalidArgumentError(
+        "cannot shrink flash capacity to " + std::to_string(bytes) +
+        " bytes: " + std::to_string(used_bytes_) + " bytes are stored");
+  capacity_bytes_ = bytes;
+  return OkStatus();
+}
+
 uint64_t FlashStore::AccessCost(size_t bytes, uint64_t per_kib) const {
   return params_.op_latency_us +
          (static_cast<uint64_t>(bytes) * per_kib) / 1024;

@@ -46,6 +46,11 @@ class FlashStore {
 
   DeviceId device() const { return device_; }
   size_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Repartitions the store at runtime (e.g. a policy action growing the
+  /// swap tier's share). Shrinking below the bytes already stored is
+  /// rejected with kInvalidArgument — the store never drops data to fit.
+  Status set_capacity_bytes(size_t bytes);
   size_t used_bytes() const { return used_bytes_; }
   size_t free_bytes() const { return capacity_bytes_ - used_bytes_; }
   size_t entry_count() const { return entries_.size(); }

@@ -184,6 +184,39 @@ Status RegisterPrefetchActions(PolicyEngine& engine,
   return OkStatus();
 }
 
+Status RegisterTierActions(PolicyEngine& engine, tier::TierManager& tiers) {
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-tier-bytes",
+      [&tiers](const context::Event&, const ActionParams& params) -> Status {
+        OBISWAP_ASSIGN_OR_RETURN(std::string which,
+                                 RequiredStringParam(params, "tier"));
+        OBISWAP_ASSIGN_OR_RETURN(int64_t bytes,
+                                 RequiredIntParam(params, "bytes"));
+        if (bytes < 0) return InvalidArgumentError("bytes must be non-negative");
+        if (which == "ram") {
+          tiers.set_ram_bytes(static_cast<size_t>(bytes));
+        } else if (which == "flash") {
+          tiers.set_flash_slots(static_cast<size_t>(bytes) /
+                                tiers.flash_slot_bytes());
+        } else {
+          return InvalidArgumentError("tier must be 'ram' or 'flash', got '" +
+                                      which + "'");
+        }
+        return OkStatus();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-tier-mode",
+      [&tiers](const context::Event&, const ActionParams& params) -> Status {
+        OBISWAP_ASSIGN_OR_RETURN(std::string mode_name,
+                                 RequiredStringParam(params, "mode"));
+        OBISWAP_ASSIGN_OR_RETURN(tier::TierMode mode,
+                                 tier::ParseTierMode(mode_name));
+        tiers.set_mode(mode);
+        return OkStatus();
+      }));
+  return OkStatus();
+}
+
 Status RegisterReplicationActions(PolicyEngine& engine,
                                   replication::ReplicationServer& server) {
   return engine.RegisterAction(

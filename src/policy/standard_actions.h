@@ -11,6 +11,7 @@
 #include "replication/server.h"
 #include "runtime/runtime.h"
 #include "swap/manager.h"
+#include "tier/tier.h"
 
 namespace obiswap::policy {
 
@@ -45,5 +46,15 @@ Status RegisterReplicationActions(PolicyEngine& engine,
 /// The prefetcher must outlive the engine.
 Status RegisterPrefetchActions(PolicyEngine& engine,
                                prefetch::Prefetcher& prefetcher);
+
+/// Registers:
+///   set-tier-bytes (params "tier" = "ram" | "flash", "bytes") — resizes a
+///       tier budget at runtime. For "flash" the byte count is converted to
+///       whole slots (rounded down to flash_slot_bytes granularity).
+///   set-tier-mode  (param "mode" = "off" | "ram" | "flash" | "all") —
+///       gates tier *admission*; existing entries keep serving probes and
+///       drain through write-back.
+/// The tier manager must outlive the engine.
+Status RegisterTierActions(PolicyEngine& engine, tier::TierManager& tiers);
 
 }  // namespace obiswap::policy

@@ -290,6 +290,11 @@ void SwappingManager::InvalidateCleanImage(SwapClusterInfo* info,
       JournaledRelease(info->id, info->clean_image->base_replicas,
                        count_as_drop);
   }
+  // The tier copy of this exact payload generation dies with the image
+  // (epoch-scoped: a fresh swap-out's just-admitted newer entry survives).
+  if (tier_ != nullptr)
+    tier_->Release(info->id, info->clean_image->payload_epoch,
+                   info->clean_image->payload_checksum);
   info->clean_image.reset();
   info->dirty_fields.clear();
   cache_.Invalidate(info->id);
@@ -831,7 +836,75 @@ Status CrashedError() {
   return FailedPreconditionError(
       "manager crashed mid-operation; Recover() required");
 }
+
+/// Journal progress marker: the op's payload was placed in the volatile
+/// RAM tier — nothing durable holds it, so recovery must not trust the
+/// placement.
+constexpr uint64_t kProgressTierRamPlacement = 1;
 }  // namespace
+
+Result<bool> SwappingManager::TryTierAdmit(SwapClusterInfo* info, uint64_t seq,
+                                           uint32_t wire_checksum,
+                                           const std::string& payload,
+                                           SwapKey* tier_key) {
+  const SwapClusterId id = info->id;
+  const uint64_t epoch = info->swap_epoch + 1;
+  if (tier_->ram_enabled()) {
+    if (Status fault = CheckFaultPoint("swap_out.tier_ram"); !fault.ok()) {
+      if (crashed_) return fault;
+      // Injected clean error: skip the RAM tier this once, fall through.
+    } else if (tier_->AdmitRam(id, epoch, wire_checksum, payload)) {
+      // RAM placement leaves a progress breadcrumb on the op record: if
+      // the op stays torn, recovery sees a payload that lived nowhere
+      // durable and rolls the cluster back off the live heap.
+      if (journal_ != nullptr) {
+        journal_->NoteProgress(seq, kProgressTierRamPlacement);
+        (void)journal_->Persist();
+      }
+      // Caller-visible identity only — nothing is stored under this key.
+      *tier_key = NextKey();
+      return true;
+    }
+  }
+  if (tier_->flash_enabled()) {
+    const SwapKey key = NextKey();
+    if (journal_ != nullptr) {
+      // Intent before the flash write, exactly like a remote replica: a
+      // crash inside the write leaves the key reclaimable.
+      journal_->NoteReplicaIntent(seq, tier_->flash_device(), key);
+      (void)journal_->Persist();
+    }
+    if (Status fault = CheckFaultPoint("swap_out.tier_flash"); !fault.ok()) {
+      if (crashed_) return fault;
+      return false;  // clean error: the orphan intent unwinds with the op
+    }
+    if (tier_->AdmitFlash(id, epoch, wire_checksum, key, payload).ok()) {
+      *tier_key = key;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SwappingManager::MaybeCompleteTierWriteBack(SwapClusterInfo* info) {
+  if (tier_ == nullptr || !tier_->PendingWriteBack(info->id)) return;
+  const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
+  if (active == nullptr) return;
+  const size_t want = options_.replication_factor > 0
+                          ? options_.replication_factor
+                          : size_t{1};
+  // Only off-device copies count toward durability: a local-flash replica
+  // (or the tier's own key adopted by recovery) is still this device.
+  size_t remote = 0;
+  for (const ReplicaLocation& replica : *active) {
+    if (IsLocalDevice(replica.device)) continue;
+    if (tier_->flash_device().valid() &&
+        replica.device == tier_->flash_device())
+      continue;
+    ++remote;
+  }
+  if (remote >= want) tier_->MarkWrittenBack(info->id);
+}
 
 std::vector<uint64_t> SwappingManager::LiveInboundProxyOids(SwapClusterId id) {
   std::vector<uint64_t> oids;
@@ -1349,6 +1422,12 @@ void SwappingManager::VerifySwappedClusters(RecoveryReport* report) {
     };
     bool lost = verify_group(info->replicas, info->payload_checksum);
     if (verify_group(info->base_replicas, info->base_checksum)) lost = true;
+    // A flash-tier copy (already re-verified by the tier reconcile, which
+    // runs first) still holds the payload: the probe serves it and the
+    // durability sweep re-replicates from it — not lost.
+    if (lost && tier_ != nullptr &&
+        tier_->HasFlashCopy(id, info->payload_epoch, info->payload_checksum))
+      lost = false;
     if (lost) ++report->clusters_lost;
   }
 }
@@ -1393,9 +1472,16 @@ void SwappingManager::ReconcileCleanImages(RecoveryReport* report) {
     };
     prune(image.replicas);
     prune(image.base_replicas);
+    // A verified flash-tier copy backs a replica-less image the same way a
+    // store copy would (the tier probe serves the next swap-in and the
+    // durability sweep re-replicates from it) — delta images excluded, the
+    // tiers only hold full payloads.
+    const bool tier_backed =
+        !had_delta && tier_ != nullptr &&
+        tier_->HasFlashCopy(id, image.payload_epoch, image.payload_checksum);
     // A delta image is only usable as a pair: losing every base copy (or
     // every delta copy) strands whatever survived in the other group.
-    if (image.replicas.empty() ||
+    if ((image.replicas.empty() && !tier_backed) ||
         (had_delta && image.base_replicas.empty())) {
       for (const ReplicaLocation& replica : image.replicas)
         if (EnqueuePendingDrop(replica.device, replica.key))
@@ -1403,6 +1489,8 @@ void SwappingManager::ReconcileCleanImages(RecoveryReport* report) {
       for (const ReplicaLocation& replica : image.base_replicas)
         if (EnqueuePendingDrop(replica.device, replica.key))
           ++stats_.drops_deferred;
+      if (tier_ != nullptr)
+        tier_->Release(id, image.payload_epoch, image.payload_checksum);
       info->clean_image.reset();
       cache_.Invalidate(id);
       ++stats_.clean_image_invalidations;
@@ -1451,12 +1539,77 @@ Result<SwappingManager::RecoveryReport> SwappingManager::Recover() {
     report.journal_bad_tail_bytes = journal_->stats().bad_tail_bytes;
   }
   report.pending_ops = pending.size();
+  // The strictest restart assumption for the tier stack: the compressed
+  // RAM pool is volatile and did not survive. Flash-tier entries are
+  // reconciled below, after replay has settled the registry.
+  if (tier_ != nullptr)
+    report.tier_ram_entries_lost = tier_->DropRamPoolForRecovery();
   // Newest first: a nested operation (the pressure handler's swap-out
   // firing inside another op's allocation) must unwind before the op that
   // triggered it.
   for (auto it = pending.rbegin(); it != pending.rend(); ++it)
     RecoverOp(*it, &report);
 
+  if (tier_ != nullptr) {
+    // Flash-tier reconcile, both directions: entries whose cluster rolled
+    // back, dropped, or re-swapped at another epoch are retired (slots
+    // freed — a subsequent pending drop of the key tolerates kNotFound),
+    // and entries whose flash bytes are gone or corrupt are discarded.
+    // Survivors are re-verified and stay pinned, so the durability sweep
+    // re-queues their write-back. Runs before VerifySwappedClusters so a
+    // verified flash copy can veto a loss verdict below.
+    tier::TierManager::ReconcileOutcome outcome = tier_->ReconcileAfterRestart(
+        [this](SwapClusterId id, uint64_t epoch, uint32_t checksum) {
+          const SwapClusterInfo* info = registry_.Find(id);
+          if (info == nullptr) return false;
+          if (info->state == SwapState::kSwapped)
+            return !info->DeltaSwapped() && info->payload_epoch == epoch &&
+                   info->payload_checksum == checksum;
+          if (info->state == SwapState::kLoaded &&
+              info->clean_image.has_value())
+            return !info->clean_image->HasDelta() &&
+                   info->clean_image->payload_epoch == epoch &&
+                   info->clean_image->payload_checksum == checksum;
+          return false;
+        });
+    report.tier_flash_verified = outcome.verified;
+    report.tier_flash_discarded = outcome.discarded;
+    // A torn flash-tier admission replays like any replica intent, so
+    // roll-forward may have adopted the tier's own flash key into the
+    // cluster's replica list. When the tier entry also survived reconcile,
+    // the one flash entry would be owned twice — and the first owner to
+    // drop it would strand the other with a dangling key. The tier keeps
+    // it (its copy is the verified, wear-accounted one); the replica-list
+    // alias is removed.
+    for (SwapClusterId id : registry_.Ids()) {
+      SwapClusterInfo* info = registry_.Find(id);
+      if (info == nullptr) continue;
+      const SwapKey tier_key = tier_->FlashKey(id);
+      if (!tier_key.valid()) continue;
+      auto alias = [&](const ReplicaLocation& replica) {
+        return replica.device == tier_->flash_device() &&
+               replica.key == tier_key;
+      };
+      std::erase_if(info->replicas, alias);
+      if (info->clean_image.has_value())
+        std::erase_if(info->clean_image->replicas, alias);
+    }
+    // A swapped cluster whose every copy was the RAM tier is gone: RAM
+    // does not survive a restart and write-back had not reached anything
+    // durable. VerifySwappedClusters never counts empty groups (they were
+    // never non-empty to begin with), so the loss is counted here — before
+    // the verify sweep, so a cluster whose replica list it empties is not
+    // counted twice.
+    for (SwapClusterId id : registry_.Ids()) {
+      SwapClusterInfo* info = registry_.Find(id);
+      if (info == nullptr || info->state != SwapState::kSwapped) continue;
+      if (!info->replicas.empty() || !info->base_replicas.empty()) continue;
+      if (tier_->HasFlashCopy(id, info->payload_epoch,
+                              info->payload_checksum))
+        continue;
+      ++report.clusters_lost;
+    }
+  }
   VerifySwappedClusters(&report);
   ReconcileCleanImages(&report);
   ReconcilePayloadCache();
@@ -1668,6 +1821,20 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     return fault;
   }
 
+  // Tiered hierarchy: the payload lands in the fastest local tier with
+  // headroom; the remote replicas become write-back debt the durability
+  // sweep repays on its virtual-time ticks (remote stores stay the sole
+  // durability tier). A delta ship bypasses the tiers — a delta is useless
+  // without its remote base group, so it takes the normal placement path.
+  bool tier_admitted = false;
+  SwapKey tier_key;
+  if (TierActive() && !ship_delta) {
+    Result<bool> admit =
+        TryTierAdmit(info, seq, wire_checksum, payload, &tier_key);
+    if (!admit.ok()) return admit.status();  // injected crash mid-admission
+    tier_admitted = *admit;
+  }
+
   // Place the payload on up to `replication_factor` nearby stores, each on
   // a distinct device under its own key ("stores the swapped objects in any
   // nearby device with wireless connectivity and available storage"). The
@@ -1689,7 +1856,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   telemetry::ScopedSpan ship_span(
       telemetry_, "ship", "swap",
       telemetry::Hist(telemetry_, "swap_out_ship_us"));
-  if (store_ != nullptr && discovery_ != nullptr) {
+  if (!tier_admitted && store_ != nullptr && discovery_ != nullptr) {
     // A key minted for a failed store attempt is reused for the next
     // candidate (the failed store never recorded it) — the key space is not
     // burned by flaky placements. A run of consecutive failures aborts the
@@ -1748,7 +1915,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
       }
     }
   }
-  if (placed.empty() && local_ != nullptr &&
+  if (!tier_admitted && placed.empty() && local_ != nullptr &&
       local_->free_bytes() >= payload.size()) {
     SwapKey key = NextKey();
     if (journal_ != nullptr) {
@@ -1764,7 +1931,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     }
   }
   ship_span.Close();
-  if (placed.empty()) {
+  if (!tier_admitted && placed.empty()) {
     // Clean placement failure: every journaled key is known-unstored (the
     // failed stores never recorded them); seal the op as unwound.
     if (journal_ != nullptr) (void)journal_->Abort(seq);
@@ -1773,11 +1940,18 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
       ++stats_.deadline_aborts;
     return stored;
   }
-  stats_.replicas_placed += placed.size();
-  // Under-replication is always measured against the configured K: a
-  // brownout placement at reduced K is still debt to repay.
-  if (placed.size() < full_want) ++stats_.under_replicated_outs;
-  if (brownout_ && want < full_want) ++stats_.brownout_swap_outs;
+  if (tier_admitted) {
+    // Tier placement is not under-replication debt in the brownout sense:
+    // the write-back obligation is tracked by the tier's pinned entries
+    // and repaid by the durability sweep.
+    ++stats_.tier_swap_outs;
+  } else {
+    stats_.replicas_placed += placed.size();
+    // Under-replication is always measured against the configured K: a
+    // brownout placement at reduced K is still debt to repay.
+    if (placed.size() < full_want) ++stats_.under_replicated_outs;
+    if (brownout_ && want < full_want) ++stats_.brownout_swap_outs;
+  }
 
   telemetry::ScopedSpan patch_span(
       telemetry_, "patch", "swap",
@@ -1797,6 +1971,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     // (store out of range) are queued for retry — a placed replica must
     // never leak just because the rollback could not reach its store.
     ReleaseReplicas(placed, /*count_as_drop=*/false);
+    if (tier_admitted) tier_->Release(id);
     if (crashed_) return InternalError("simulated crash during rollback");
     if (journal_ != nullptr) (void)journal_->Abort(seq);
     ++stats_.swap_out_failures;
@@ -1842,6 +2017,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     for (const auto& [proxy, old_target] : patched)
       proxy->RawSlotMutable(kProxySlotTarget) = Value::Ref(old_target);
     ReleaseReplicas(placed, /*count_as_drop=*/false);
+    if (tier_admitted) tier_->Release(id);
     if (crashed_) return InternalError("simulated crash during rollback");
     if (journal_ != nullptr) (void)journal_->Abort(seq);
     ++stats_.swap_out_failures;
@@ -1921,18 +2097,24 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
                /*keep_epoch=*/ship_base_epoch);
   }
   if (bus_ != nullptr) {
-    bus_->Publish(context::Event(context::kEventClusterSwappedOut)
-                      .Set("swap_cluster", static_cast<int64_t>(id.value()))
-                      .Set("objects", static_cast<int64_t>(members.size()))
-                      .Set("bytes", static_cast<int64_t>(payload.size()))
-                      .Set("device",
-                           static_cast<int64_t>(placed.front().device.value()))
-                      .Set("replicas", static_cast<int64_t>(placed.size()))
-                      .Set("delta", ship_delta ? int64_t{1} : int64_t{0}));
+    bus_->Publish(
+        context::Event(context::kEventClusterSwappedOut)
+            .Set("swap_cluster", static_cast<int64_t>(id.value()))
+            .Set("objects", static_cast<int64_t>(members.size()))
+            .Set("bytes", static_cast<int64_t>(payload.size()))
+            .Set("device",
+                 tier_admitted
+                     ? (tier_->flash_device().valid()
+                            ? static_cast<int64_t>(tier_->flash_device().value())
+                            : int64_t{0})
+                     : static_cast<int64_t>(placed.front().device.value()))
+            .Set("replicas", static_cast<int64_t>(placed.size()))
+            .Set("tier", tier_admitted ? int64_t{1} : int64_t{0})
+            .Set("delta", ship_delta ? int64_t{1} : int64_t{0}));
   }
   // The members are now detached from the application graph; the next
   // collection reclaims them (the LocalScope roots die with this frame).
-  return placed.front().key;
+  return tier_admitted ? tier_key : placed.front().key;
 }
 
 std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
@@ -2318,6 +2500,69 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     if (!from_cache && !info->DeltaSwapped()) cache_.Invalidate(id);
   }
 
+  // Tier probe: RAM then flash, fastest-first, before any radio traffic.
+  // A flash hit is promoted into the RAM pool so the next re-fault of the
+  // same cluster is served at memory speed. A delta-swapped cluster never
+  // probes — the tiers only ever hold full payloads.
+  bool from_tier = false;
+  if (!restored && TierActive() && !info->DeltaSwapped()) {
+    const uint64_t tier_begin_us = clock_ != nullptr ? clock_->now_us() : 0;
+    telemetry::ScopedSpan tier_span(
+        telemetry_, "tier_fetch", span_category,
+        telemetry::Hist(telemetry_, "tier_fetch_us"));
+    tier::TierHit hit = tier::TierHit::kNone;
+    Result<std::string> probed =
+        tier_->Probe(id, info->payload_epoch, info->payload_checksum, &hit);
+    if (probed.ok()) {
+      if (Status fault = CheckFaultPoint("swap_in.tier_fetch"); !fault.ok()) {
+        if (crashed_) return fault;
+        last = fault;  // injected miss: fall through to the replica fetch
+      } else {
+        Result<std::string> xml_text = compress::FrameDecompress(*probed);
+        if (xml_text.ok() && Adler32(*xml_text) == info->payload_checksum) {
+          Result<std::vector<Object*>> members_or =
+              serialization::DeserializeClusterAny(rt_, *xml_text, options,
+                                                   resolve);
+          if (members_or.ok()) {
+            members = std::move(*members_or);
+            decompressed = std::move(*xml_text);
+            restored = true;
+            from_tier = true;
+            if (hit == tier::TierHit::kFlash) {
+              // Promote the compressed payload up a tier (volatile-only —
+              // crash-safe at any instruction; the flash copy stays).
+              if (Status fault = CheckFaultPoint("tier.promote");
+                  !fault.ok()) {
+                if (crashed_) return fault;
+              } else {
+                tier_->PromoteToRam(id, *probed);
+              }
+            }
+          } else {
+            last = members_or.status();
+          }
+        } else {
+          // Stale or damaged behind the tier's metadata: retire the copy
+          // so it cannot shadow the authoritative replicas again.
+          tier_->Release(id, info->payload_epoch, info->payload_checksum);
+          last = xml_text.ok()
+                     ? DataLossError("tier payload checksum mismatch for "
+                                     "swap-cluster " +
+                                     id.ToString())
+                     : xml_text.status();
+        }
+      }
+    }
+    tier_span.Close();
+    if (from_tier && clock_ != nullptr) {
+      telemetry::Histogram* per_tier = telemetry::Hist(
+          telemetry_, hit == tier::TierHit::kRam ? "tier_ram_fetch_us"
+                                                 : "tier_flash_fetch_us");
+      if (per_tier != nullptr)
+        per_tier->Record(clock_->now_us() - tier_begin_us);
+    }
+  }
+
   // Failover fetch: try each replica (reachable ones first) until one
   // yields a payload that survives the frame checksum AND deserializes. A
   // partially-deserialized attempt leaves only unrooted objects behind —
@@ -2579,6 +2824,9 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
           !IntentsContain(info->base_replicas, replica))
         stale_replicas.push_back(replica);
     }
+    if (tier_ != nullptr)
+      tier_->Release(id, info->clean_image->payload_epoch,
+                     info->clean_image->payload_checksum);
     info->clean_image->replicas.clear();
     info->clean_image.reset();
     ++stats_.clean_image_invalidations;
@@ -2605,7 +2853,12 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
   } else {
     // Every store copy is stale with no image to account for it; the
     // drops are broadcast after the commit (as their own journaled op) so
-    // a crash mid-release cannot leave half the keys forgotten.
+    // a crash mid-release cannot leave half the keys forgotten. The tier
+    // copy of the now-dead payload goes the same way — left behind it
+    // would sit pinned forever (nothing loaded-dirty is ever written
+    // back).
+    if (tier_ != nullptr)
+      tier_->Release(id, info->payload_epoch, info->payload_checksum);
     stale_replicas = std::move(info->replicas);
     for (const ReplicaLocation& replica : info->base_replicas)
       stale_replicas.push_back(replica);
@@ -2642,6 +2895,12 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     ++stats_.cache_hits;
     // The compressed payload would otherwise have crossed the radio.
     stats_.bytes_swap_transfer_saved += info->swapped_payload_bytes;
+  } else if (from_tier) {
+    ++stats_.tier_swap_ins;
+    // Tier bytes never touch the radio either; per-tier hit counters live
+    // in the TierManager's own stats.
+    stats_.bytes_swap_transfer_saved += info->swapped_payload_bytes;
+    cache_.Put(id, info->payload_epoch, std::move(decompressed));
   } else {
     stats_.bytes_swapped_in += fetched_bytes;
     // A delta merge caches the merged text under the payload epoch while
@@ -2721,6 +2980,33 @@ Status SwappingManager::PrefetchStage(SwapClusterId id) {
   const uint64_t begin_us = clock_ != nullptr ? clock_->now_us() : 0;
   Status last = UnavailableError("swap-cluster " + id.ToString() +
                                  " has no replicas to fetch from");
+  // Tier-served staging: a tier-resident payload fills the cache without
+  // touching the radio, making speculation nearly free. Any tier problem
+  // simply falls through to the replica fetch below.
+  if (TierActive()) {
+    tier::TierHit hit = tier::TierHit::kNone;
+    Result<std::string> probed =
+        tier_->Probe(id, info->payload_epoch, info->payload_checksum, &hit);
+    if (probed.ok()) {
+      Result<std::string> xml_text = compress::FrameDecompress(*probed);
+      if (xml_text.ok() && Adler32(*xml_text) == info->payload_checksum) {
+        OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("prefetch_stage.stage"));
+        size_t payload_bytes = xml_text->size();
+        cache_.Put(id, info->payload_epoch, std::move(*xml_text));
+        if (cache_.Get(id, info->payload_epoch) == nullptr) {
+          return ResourceExhaustedError("staged payload (" +
+                                        FormatBytes(payload_bytes) +
+                                        ") exceeds the cache budget");
+        }
+        staged_.insert(id);
+        ++stats_.prefetch_stages;
+        stats_.prefetch_stage_bytes += payload_bytes;
+        if (clock_ != nullptr)
+          stats_.prefetch_fetch_us += clock_->now_us() - begin_us;
+        return OkStatus();
+      }
+    }
+  }
   for (const ReplicaLocation& replica : ReplicaFetchOrder(info->replicas)) {
     Result<std::string> fetched{std::string()};
     if (Status fault = CheckFaultPoint("prefetch_stage.fetch"); !fault.ok()) {
@@ -2992,16 +3278,27 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
   // Both store groups get the same durability maintenance: the shipped
   // payload (full or delta) and — for delta-swapped state or a delta image
   // — the base document group the delta is useless without.
-  std::vector<std::vector<ReplicaLocation>*> groups;
+  struct Group {
+    std::vector<ReplicaLocation>* replicas;
+    uint64_t epoch;
+    uint32_t checksum;
+  };
+  std::vector<Group> groups;
   if (info->state == SwapState::kSwapped) {
-    groups.push_back(&info->replicas);
-    if (!info->base_replicas.empty()) groups.push_back(&info->base_replicas);
+    groups.push_back(
+        {&info->replicas, info->payload_epoch, info->payload_checksum});
+    if (!info->base_replicas.empty())
+      groups.push_back(
+          {&info->base_replicas, info->base_epoch, info->base_checksum});
   } else if (info->LoadedClean()) {
     // Retained clean images get the same durability maintenance as swapped
     // payloads — a re-swap-out must find enough surviving replicas.
-    groups.push_back(&info->clean_image->replicas);
-    if (info->clean_image->HasDelta())
-      groups.push_back(&info->clean_image->base_replicas);
+    CleanImage& image = *info->clean_image;
+    groups.push_back(
+        {&image.replicas, image.payload_epoch, image.payload_checksum});
+    if (image.HasDelta())
+      groups.push_back(
+          {&image.base_replicas, image.base_epoch, image.base_checksum});
   } else {
     return FailedPreconditionError("swap-cluster " + id.ToString() +
                                    " holds no store replicas (" +
@@ -3010,13 +3307,36 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
   size_t want = options_.replication_factor > 0 ? options_.replication_factor
                                                 : size_t{1};
   size_t added_total = 0;
-  for (std::vector<ReplicaLocation>* replicas : groups) {
+  for (const Group& group : groups) {
+    std::vector<ReplicaLocation>* replicas = group.replicas;
     if (replicas->size() >= want) continue;
-    if (replicas->empty())
-      return DataLossError("swap-cluster " + id.ToString() +
-                           " has no surviving replica");
-    OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("re_replicate.fetch"));
-    Result<std::string> payload_or = FetchVerifiedPayload(id, *replicas);
+    // The tier write-back path: a tier-placed payload has no remote
+    // replicas at all, and the tier (not the stores) is the fetch source
+    // for its top-up. Also the second chance for a group whose last store
+    // copy died while a tier read-cache copy survives.
+    std::string tier_payload;
+    bool tier_sourced = false;
+    if (replicas->empty()) {
+      if (tier_ != nullptr) {
+        OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("tier.write_back"));
+        Result<std::string> from_tier =
+            tier_->PayloadForWriteBack(id, group.epoch, group.checksum);
+        if (from_tier.ok()) {
+          tier_payload = *std::move(from_tier);
+          tier_sourced = true;
+        }
+      }
+      if (!tier_sourced)
+        return DataLossError("swap-cluster " + id.ToString() +
+                             " has no surviving replica");
+    }
+    Result<std::string> payload_or{std::string()};
+    if (tier_sourced) {
+      payload_or = std::move(tier_payload);
+    } else {
+      OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("re_replicate.fetch"));
+      payload_or = FetchVerifiedPayload(id, *replicas);
+    }
     if (!payload_or.ok()) {
       if (added_total > 0) break;  // partial progress across groups counts
       return payload_or.status();
@@ -3055,6 +3375,9 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
     if (journal_ != nullptr) (void)journal_->Commit(seq);
     added_total += added;
   }
+  // The remote group may have just reached K: the tier entry stops being
+  // the payload's only home and becomes an evictable read cache.
+  MaybeCompleteTierWriteBack(info);
   return added_total;
 }
 
@@ -3196,6 +3519,8 @@ void SwappingManager::OnReplacementFinalized(Object* replacement) {
       all.push_back(replica);
     JournaledRelease(id, all, /*count_as_drop=*/true);
   }
+  // A dead cluster's tier copies (and their flash slots) go with it.
+  if (tier_ != nullptr) tier_->Release(id);
   info->replicas.clear();
   info->base_replicas.clear();
   info->base_epoch = 0;
@@ -3281,6 +3606,8 @@ constexpr StatFieldSpec kStatFields[] = {
     {"delta_base_cache_hits",
      &SwappingManager::Stats::delta_base_cache_hits},
     {"fields_marked_dirty", &SwappingManager::Stats::fields_marked_dirty},
+    {"tier_swap_outs", &SwappingManager::Stats::tier_swap_outs},
+    {"tier_swap_ins", &SwappingManager::Stats::tier_swap_ins},
 };
 }  // namespace
 
@@ -3316,12 +3643,29 @@ std::vector<std::pair<std::string, uint64_t>> SwappingManager::StatsSnapshot()
       "payload_cache_invalidations", "payload_cache_bytes",
       "payload_cache_entries",
   };
+  // Tier keys are emitted whether or not a TierManager is attached — zeros
+  // when detached — so JSON key sets stay uniform across configurations.
+  const std::vector<std::string_view>& tier_keys =
+      tier::TierManager::StatKeys();
+  if (tier_ != nullptr) {
+    for (const auto& [key, value] : tier_->StatsSnapshot())
+      metrics.GetCounter(std::string(key)).Set(value);
+  } else {
+    for (std::string_view key : tier_keys)
+      metrics.GetCounter(std::string(key)).Set(0);
+  }
+
   std::vector<std::pair<std::string, uint64_t>> snapshot;
-  snapshot.reserve(std::size(kStatFields) + std::size(kCacheKeys));
+  snapshot.reserve(std::size(kStatFields) + std::size(kCacheKeys) +
+                   tier_keys.size());
   for (const StatFieldSpec& spec : kStatFields)
     snapshot.emplace_back(spec.name, metrics.GetCounter(spec.name).value());
   for (const char* key : kCacheKeys)
     snapshot.emplace_back(key, metrics.GetCounter(key).value());
+  for (std::string_view key : tier_keys) {
+    std::string name(key);
+    snapshot.emplace_back(name, metrics.GetCounter(name).value());
+  }
   return snapshot;
 }
 

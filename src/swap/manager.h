@@ -50,6 +50,7 @@
 #include "swap/proxy.h"
 #include "swap/swap_cluster.h"
 #include "telemetry/telemetry.h"
+#include "tier/tier.h"
 
 namespace obiswap::swap {
 
@@ -182,6 +183,9 @@ class SwappingManager final : public runtime::Interceptor,
     uint64_t delta_bytes_saved = 0;    ///< full-payload bytes those avoided
     uint64_t delta_base_cache_hits = 0;  ///< delta swap-ins with cached base
     uint64_t fields_marked_dirty = 0;  ///< write-barrier slot notifications
+    // --- tiered swap hierarchy ------------------------------------------------
+    uint64_t tier_swap_outs = 0;  ///< swap-outs placed in a local tier
+    uint64_t tier_swap_ins = 0;   ///< swap-ins served from a local tier
   };
 
   /// What Recover() found and did — the restart post-mortem.
@@ -197,6 +201,9 @@ class SwappingManager final : public runtime::Interceptor,
     size_t clusters_lost = 0;  ///< swapped clusters with no usable copy left
     uint64_t journal_records_skipped = 0;  ///< bad/stale records tolerated
     uint64_t journal_bad_tail_bytes = 0;   ///< torn tail bytes discarded
+    size_t tier_ram_entries_lost = 0;   ///< RAM-tier payloads gone at restart
+    size_t tier_flash_verified = 0;     ///< flash-tier entries that survived
+    size_t tier_flash_discarded = 0;    ///< flash-tier entries reconciled away
   };
 
   /// Installs the mediation hooks on `rt` and registers the proxy and
@@ -424,6 +431,24 @@ class SwappingManager final : public runtime::Interceptor,
   /// exactly as before (no journal writes, no recovery trail).
   void AttachIntentJournal(IntentJournal* journal) { journal_ = journal; }
   IntentJournal* intent_journal() const { return journal_; }
+  /// Tiered swap hierarchy: a compressed-RAM pool and a flash-slot
+  /// partition in front of the remote stores. Swap-outs then land in the
+  /// fastest tier with headroom (remote replicas stay the durability tier
+  /// — the durability sweep writes tier-resident payloads back to K), and
+  /// demand faults probe the tiers before touching the radio. The tier's
+  /// flash partition should be the same FlashStore passed to
+  /// AttachLocalStore so recovery can reach tier keys through the normal
+  /// local fetch/drop paths. With no tier attached — or the tier mode set
+  /// to "off" before any admission — behavior is identical to before.
+  void AttachTierManager(tier::TierManager* tier) {
+    tier_ = tier;
+    // The tier mints flash keys from the manager's key space when it
+    // demotes an evicted RAM-only entry down to flash, so demoted keys can
+    // never collide with replica or journal keys.
+    if (tier_ != nullptr)
+      tier_->set_key_source([this] { return NextKey(); });
+  }
+  tier::TierManager* tier_manager() const { return tier_; }
   /// Deterministic fault injection: named points threaded through every
   /// pipeline stage consult the injector's scripts (crash / error / delay
   /// at the Nth hit). Scriptable at runtime via the "inject-fault" policy
@@ -657,6 +682,22 @@ class SwappingManager final : public runtime::Interceptor,
   /// clock), 0 when the budget is spent.
   uint64_t OpBudgetLeft(uint64_t op_start_us) const;
 
+  // --- tiered-hierarchy internals -------------------------------------------
+  /// A tier is attached and admitting: every tier code path on the hot
+  /// pipeline is gated on this so a detached (or mode-off) tier leaves the
+  /// pipeline byte-identical to before.
+  bool TierActive() const { return tier_ != nullptr && tier_->enabled(); }
+  /// Tier placement for a freshly serialized payload: RAM first, flash as
+  /// spill, journaled before any flash write. True when a tier took the
+  /// payload (the caller then skips remote placement; the durability sweep
+  /// owes the write-back). `tier_key` gets the caller-visible key.
+  Result<bool> TryTierAdmit(SwapClusterInfo* info, uint64_t seq,
+                            uint32_t wire_checksum, const std::string& payload,
+                            SwapKey* tier_key);
+  /// Unpins the tier entry once the cluster's active replica group has
+  /// reached the full replication factor (write-back complete).
+  void MaybeCompleteTierWriteBack(SwapClusterInfo* info);
+
   net::StoreClient* store_ = nullptr;
   net::Discovery* discovery_ = nullptr;
   persist::FlashStore* local_ = nullptr;
@@ -706,6 +747,9 @@ class SwappingManager final : public runtime::Interceptor,
   /// Degraded-mode wiring (optional; null = the PR-5 behavior).
   net::HealthTracker* health_ = nullptr;
   bool brownout_ = false;
+
+  /// Tiered swap hierarchy (optional; null = remote-only placement).
+  tier::TierManager* tier_ = nullptr;
 
   /// Finalizers capture this handle; the destructor nulls it so a GC after
   /// manager teardown cannot call into a dead manager.

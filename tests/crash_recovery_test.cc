@@ -11,6 +11,8 @@
 // and the journal image is fuzzed byte-by-byte (truncation + bit flips).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,10 +48,31 @@ swap::SwappingManager::Options CrashOptions() {
   return options;
 }
 
+/// Tier configurations for the tiered variants of the chaos runs. The
+/// sweeps use the flash tier only: every tier entry is then flash-resident,
+/// which keeps the store-key accounting exact (`stored == replicas + tier
+/// entries`) and survives the crash.
+tier::TierManager::Options FlashTierOptions() {
+  tier::TierManager::Options options;
+  options.mode = tier::TierMode::kFlash;
+  options.flash_slot_bytes = 512;
+  options.flash_slots = 256;
+  return options;
+}
+
+tier::TierManager::Options RamTierOptions() {
+  tier::TierManager::Options options;
+  options.mode = tier::TierMode::kRam;
+  options.ram_bytes = 1 << 16;
+  return options;
+}
+
 /// A MiddlewareWorld wired for crash testing: local flash (shared by the
-/// journal), intent journal, fault injector, durability monitor.
+/// journal), intent journal, fault injector, durability monitor, and —
+/// when tier options are given — the tier stack sharing the same flash.
 struct CrashWorld {
-  CrashWorld()
+  explicit CrashWorld(
+      std::optional<tier::TierManager::Options> tier_options = std::nullopt)
       : world(CrashOptions()),
         flash(MiddlewareWorld::kDevice, 1 << 20, world.network.clock()),
         journal(&flash),
@@ -58,6 +81,10 @@ struct CrashWorld {
     world.manager.AttachClock(&world.network.clock());
     world.manager.AttachLocalStore(&flash);
     world.manager.AttachIntentJournal(&journal);
+    if (tier_options.has_value()) {
+      tiers = std::make_unique<tier::TierManager>(&flash, *tier_options);
+      world.manager.AttachTierManager(tiers.get());
+    }
     faults.AttachClock(&world.network.clock());
     world.manager.AttachFaultInjector(&faults);
     node_cls = RegisterNodeClass(world.rt);
@@ -71,6 +98,7 @@ struct CrashWorld {
   MiddlewareWorld world;
   persist::FlashStore flash;
   IntentJournal journal;
+  std::unique_ptr<tier::TierManager> tiers;
   FaultInjector faults;
   swap::DurabilityMonitor monitor;
   const runtime::ClassInfo* node_cls = nullptr;
@@ -107,6 +135,38 @@ void RunScenario(CrashWorld& w) {
   if (alive()) (void)m.EvacuateReplicas(DeviceId(3));
 }
 
+/// The tiered variant: every tier fault point — flash admission, write-back
+/// through the durability poll, the tier-served demand fault, promotion —
+/// sits on this path. The payload cache is drained (budget 0) before the
+/// demand faults so they reach the tier probe instead of the cache.
+void RunTierScenario(CrashWorld& w) {
+  swap::SwappingManager& m = w.world.manager;
+  const std::vector<SwapClusterId>& c = w.clusters;
+  const auto alive = [&] { return !m.crashed(); };
+  // Tier swap-out: the payload lands in flash slots, remote group empty.
+  if (alive()) (void)m.SwapOut(c[1]);
+  // The poll repays the write-back debt: remote replicas reach K.
+  if (alive()) w.monitor.Poll();
+  // Drain the cache, then demand-fault through the tier probe (flash hit,
+  // then the promotion attempt — a no-op in flash-only mode, but the fault
+  // point is traversed).
+  if (alive()) m.set_swap_in_cache_bytes(0);
+  if (alive()) (void)m.SwapIn(c[1]);
+  if (alive()) m.set_swap_in_cache_bytes(64 * 1024);
+  // First write after the round-trip: invalidates the retained image and
+  // releases its tier copy through the journaled drop path.
+  if (alive()) m.MarkDirty(c[1]);
+  // Speculative pipeline served by the tier: stage, then prefetch in.
+  if (alive()) (void)m.SwapOut(c[2]);
+  if (alive()) m.set_swap_in_cache_bytes(0);
+  if (alive()) m.set_swap_in_cache_bytes(64 * 1024);
+  if (alive()) (void)m.PrefetchStage(c[2]);
+  if (alive()) (void)m.SwapIn(c[2], /*prefetch=*/true);
+  // A second tier swap-out and its write-back poll.
+  if (alive()) (void)m.SwapOut(c[0]);
+  if (alive()) w.monitor.Poll();
+}
+
 size_t TotalActiveReplicas(swap::SwappingManager& m) {
   size_t total = 0;
   for (SwapClusterId id : m.registry().Ids()) {
@@ -129,7 +189,10 @@ size_t TotalStoredEntries(CrashWorld& w) {
 /// The post-recovery acceptance bar, applied after every chaos run: the
 /// mediation invariant holds, every value is still readable through the
 /// mediated path, and — once deferred drops drain — the stores hold
-/// exactly the keys the replica lists account for.
+/// exactly the keys the replica lists (plus, in a tiered world, the
+/// tier-owned flash entries) account for. The tier term is exact because
+/// the chaos worlds run the flash tier only: every tier entry is
+/// flash-resident, so `entry_count()` is its share of the stored keys.
 void ExpectWorldIntact(CrashWorld& w, const std::string& label) {
   EXPECT_EQ(CheckMediationInvariant(w.world.rt), "") << label;
   Result<int64_t> sum = SumList(w.world.rt, "head");
@@ -137,7 +200,9 @@ void ExpectWorldIntact(CrashWorld& w, const std::string& label) {
   EXPECT_EQ(*sum, kExpectedSum) << label;
   w.world.manager.FlushPendingDrops();
   EXPECT_EQ(w.world.manager.pending_drop_count(), 0u) << label;
-  EXPECT_EQ(TotalStoredEntries(w), TotalActiveReplicas(w.world.manager))
+  const size_t tier_entries = w.tiers != nullptr ? w.tiers->entry_count() : 0;
+  EXPECT_EQ(TotalStoredEntries(w),
+            TotalActiveReplicas(w.world.manager) + tier_entries)
       << label << ": leaked or lost store keys";
 }
 
@@ -226,6 +291,82 @@ TEST(CrashSweepTest, DelayFaultsOnlyCostVirtualTime) {
   EXPECT_EQ(w.faults.stats().delays, 1u);
   EXPECT_GE(w.world.network.clock().now_us() - before, 250000u);
   ExpectWorldIntact(w, "delay");
+}
+
+// ------------------------------------------------ tiered chaos sweeps -----
+
+TEST(TierCrashSweepTest, EveryFaultPointCrashRecoversWithTiers) {
+  // Clean tiered run: enumerate the traversed universe and require the
+  // tier-specific points to be on it — otherwise the sweep would silently
+  // stop covering the tier pipeline.
+  std::vector<std::pair<std::string, uint64_t>> universe;
+  {
+    CrashWorld clean(FlashTierOptions());
+    RunTierScenario(clean);
+    ASSERT_FALSE(clean.world.manager.crashed());
+    for (const auto& [point, hits] : clean.faults.hit_counts())
+      universe.emplace_back(point, hits);
+    for (const char* want : {"swap_out.tier_flash", "swap_in.tier_fetch",
+                             "tier.promote", "tier.write_back"}) {
+      bool traversed = false;
+      for (const auto& [point, hits] : universe)
+        traversed = traversed || point == want;
+      EXPECT_TRUE(traversed) << want << " not traversed by the tier scenario";
+    }
+    EXPECT_GE(clean.world.manager.stats().tier_swap_outs, 2u);
+    EXPECT_GE(clean.world.manager.stats().tier_swap_ins, 1u);
+    ExpectWorldIntact(clean, "clean tier run");
+  }
+
+  for (const auto& [point, hits] : universe) {
+    for (uint64_t nth = 1; nth <= hits; ++nth) {
+      const std::string label =
+          "tier crash at " + point + " hit " + std::to_string(nth);
+      CrashWorld w(FlashTierOptions());
+      w.faults.Arm(point, FaultKind::kCrash, nth);
+      RunTierScenario(w);
+      ASSERT_EQ(w.faults.stats().crashes, 1u) << label;
+      ASSERT_TRUE(w.world.manager.crashed()) << label;
+      Result<swap::SwappingManager::RecoveryReport> report =
+          w.world.manager.Recover();
+      ASSERT_TRUE(report.ok()) << label << ": "
+                               << report.status().ToString();
+      // The flash tier survives the crash, so no torn point may lose a
+      // cluster: a tier-only payload is either rolled back onto the heap
+      // copy or re-verified on flash at recovery.
+      EXPECT_EQ(report->clusters_lost, 0u) << label;
+      ExpectWorldIntact(w, label);
+    }
+  }
+}
+
+TEST(TierCrashSweepTest, EveryFaultPointErrorUnwindsCleanlyWithTiers) {
+  std::vector<std::pair<std::string, uint64_t>> universe;
+  {
+    CrashWorld clean(FlashTierOptions());
+    RunTierScenario(clean);
+    for (const auto& [point, hits] : clean.faults.hit_counts())
+      universe.emplace_back(point, hits);
+  }
+
+  for (const auto& [point, hits] : universe) {
+    for (uint64_t nth = 1; nth <= hits; ++nth) {
+      const std::string label =
+          "tier error at " + point + " hit " + std::to_string(nth);
+      CrashWorld w(FlashTierOptions());
+      w.faults.Arm(point, FaultKind::kError, nth);
+      RunTierScenario(w);
+      ASSERT_EQ(w.faults.stats().errors, 1u) << label;
+      ASSERT_FALSE(w.world.manager.crashed()) << label;
+      Result<swap::SwappingManager::RecoveryReport> report =
+          w.world.manager.Recover();
+      ASSERT_TRUE(report.ok()) << label;
+      if (point.find("journal_commit") == std::string::npos) {
+        EXPECT_EQ(report->pending_ops, 0u) << label;
+      }
+      ExpectWorldIntact(w, label);
+    }
+  }
 }
 
 // ------------------------------------------------------ targeted recovery --
@@ -379,6 +520,93 @@ TEST(CrashRecoveryTest, FailedSwapOutReleasesPartiallyPlacedReplicas) {
   auto report = w.world.manager.Recover();
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->pending_ops, 0u) << "abort record missing";
+}
+
+// ------------------------------------------------- tiered torn recovery ---
+
+TEST(CrashRecoveryTest, CrashAtRamTierAdmissionRollsBackToLoaded) {
+  CrashWorld w(RamTierOptions());
+  // The crash lands between the journaled begin and the RAM admission: no
+  // tier copy exists, no replica was ever placed, and the begin record was
+  // never persisted (the RAM placement journals no replica intent — there
+  // is no flash key to reclaim). Recovery finds nothing pending and the
+  // heap copy simply remains authoritative.
+  w.faults.Arm("swap_out.tier_ram", FaultKind::kCrash, 1);
+  ASSERT_FALSE(w.world.manager.SwapOut(w.clusters[1]).ok());
+  ASSERT_TRUE(w.world.manager.crashed());
+
+  auto report = w.world.manager.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->clusters_lost, 0u);
+  EXPECT_EQ(w.world.manager.StateOf(w.clusters[1]), SwapState::kLoaded);
+  EXPECT_EQ(w.tiers->entry_count(), 0u);
+  ExpectWorldIntact(w, "ram-tier admission rollback");
+}
+
+TEST(CrashRecoveryTest, RamTierLossAtRecoveryIsCountedAndContained) {
+  CrashWorld w(RamTierOptions());
+  swap::SwappingManager& m = w.world.manager;
+  // A committed tier swap-out whose only copy is the volatile RAM pool —
+  // the write-back poll never ran. The crash (on an unrelated operation)
+  // models a restart: recovery wipes the RAM pool, and with no flash copy
+  // and no remote replica the payload is genuinely gone. This is the
+  // window the write-back policy exists to keep short; the report must
+  // name the casualty instead of pretending.
+  ASSERT_TRUE(m.SwapOut(w.clusters[1]).ok());
+  ASSERT_EQ(m.stats().tier_swap_outs, 1u);
+  ASSERT_TRUE(w.tiers->PendingWriteBack(w.clusters[1]));
+  // Hit ordinals are cumulative: the serialize point already fired once
+  // during the committed swap-out above.
+  w.faults.Arm("swap_out.serialize", FaultKind::kCrash, 2);
+  ASSERT_FALSE(m.SwapOut(w.clusters[2]).ok());
+  ASSERT_TRUE(m.crashed());
+
+  auto report = m.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->tier_ram_entries_lost, 1u);
+  EXPECT_EQ(report->clusters_lost, 1u);
+  EXPECT_EQ(w.tiers->entry_count(), 0u);
+  // The payload cache is as volatile as the RAM pool but the same-process
+  // harness keeps it across the modeled restart — drain it so the demand
+  // fault sees what a rebooted device would see.
+  m.set_swap_in_cache_bytes(0);
+  // The lost cluster fails loudly; the rest of the world is untouched.
+  EXPECT_FALSE(m.SwapIn(w.clusters[1]).ok());
+  m.set_swap_in_cache_bytes(64 * 1024);
+  EXPECT_EQ(w.world.manager.StateOf(w.clusters[2]), SwapState::kLoaded);
+  EXPECT_EQ(CheckMediationInvariant(w.world.rt), "");
+  ASSERT_TRUE(m.SwapOut(w.clusters[0]).ok());
+  ASSERT_TRUE(m.SwapIn(w.clusters[0]).ok());
+}
+
+TEST(CrashRecoveryTest, CrashDuringTierWriteBackKeepsFlashCopyAuthoritative) {
+  CrashWorld w(FlashTierOptions());
+  swap::SwappingManager& m = w.world.manager;
+  ASSERT_TRUE(m.SwapOut(w.clusters[1]).ok());
+  ASSERT_EQ(m.stats().tier_swap_outs, 1u);
+  {
+    const swap::SwapClusterInfo* info = m.registry().Find(w.clusters[1]);
+    ASSERT_NE(info, nullptr);
+    ASSERT_TRUE(info->replicas.empty()) << "payload should be tier-only";
+  }
+  // The poll crashes at the write-back fetch: the remote group is still
+  // empty, the flash copy is the payload's only home.
+  w.faults.Arm("tier.write_back", FaultKind::kCrash, 1);
+  w.monitor.Poll();
+  ASSERT_TRUE(m.crashed());
+
+  auto report = m.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->clusters_lost, 0u);
+  EXPECT_GE(report->tier_flash_verified, 1u);
+  // The durability debt survived recovery; the next poll repays it.
+  EXPECT_TRUE(w.tiers->PendingWriteBack(w.clusters[1]));
+  w.monitor.Poll();
+  const swap::SwapClusterInfo* info = m.registry().Find(w.clusters[1]);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->replicas.size(), 2u);
+  EXPECT_FALSE(w.tiers->PendingWriteBack(w.clusters[1]));
+  ExpectWorldIntact(w, "tier write-back crash");
 }
 
 // ------------------------------------------------- journal torn images ----

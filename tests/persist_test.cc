@@ -85,6 +85,34 @@ TEST(FlashStoreTest, OverwriteAccountsBySizeDelta) {
   EXPECT_EQ(flash.stats().overwrites, overwrites);
 }
 
+TEST(FlashStoreTest, CapacityIsReconfigurable) {
+  net::SimClock clock;
+  FlashStore flash(DeviceId(1), 10, clock);
+  ASSERT_TRUE(flash.Store(SwapKey(1), "12345678").ok());
+
+  // Growing admits what previously overflowed.
+  EXPECT_EQ(flash.Store(SwapKey(2), "1234").code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE(flash.set_capacity_bytes(20).ok());
+  EXPECT_EQ(flash.capacity_bytes(), 20u);
+  ASSERT_TRUE(flash.Store(SwapKey(2), "1234").ok());
+  EXPECT_EQ(flash.free_bytes(), 8u);
+
+  // Shrinking below the stored bytes is refused and changes nothing; the
+  // store never drops data to fit a new partition size.
+  EXPECT_EQ(flash.set_capacity_bytes(11).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(flash.capacity_bytes(), 20u);
+  EXPECT_TRUE(flash.Contains(SwapKey(1)));
+  EXPECT_TRUE(flash.Contains(SwapKey(2)));
+
+  // Shrinking to exactly the stored bytes is allowed — the store is full.
+  ASSERT_TRUE(flash.set_capacity_bytes(12).ok());
+  EXPECT_EQ(flash.free_bytes(), 0u);
+  EXPECT_EQ(flash.Store(SwapKey(3), "x").code(),
+            StatusCode::kResourceExhausted);
+}
+
 TEST(FlashStoreTest, AsymmetricAccessCosts) {
   net::SimClock clock;
   FlashParams params;
