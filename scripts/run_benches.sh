@@ -47,6 +47,7 @@ expected=(
   BENCH_crash_recovery.json
   BENCH_degraded_mode.json
   BENCH_tier_hierarchy.json
+  BENCH_fleet_scale.json
 )
 # Telemetry-instrumented benches must also drop a span trace.
 expected_traces=(
@@ -170,6 +171,48 @@ if tiered["replicas_short_of_k"] or remote["replicas_short_of_k"]:
     sys.exit("tier_hierarchy: a swapped cluster is short of K remote replicas")
 print(f"tier gate: p95 {remote['p95_stall_us']} -> {tiered['p95_stall_us']} us, "
       f"radio {remote['radio_bytes']} -> {tiered['radio_bytes']} B — ok")
+PYEOF
+  then
+    failed=1
+  fi
+fi
+
+# Fleet-scale contract: re-check the gate row the bench computed in-process
+# (the bare-rerun fallback above would mask a nonzero bench exit): the
+# rendezvous placement must keep max/mean store fill <= 1.35, the
+# incremental monitors must touch <= 10% of the legacy baseline's per-poll
+# replica records under the outage churn, and every cluster must be back at
+# K replicas with none lost.
+if command -v python3 >/dev/null 2>&1 && [ -f BENCH_fleet_scale.json ]; then
+  if ! python3 - BENCH_fleet_scale.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    rows = json.load(fh)["rows"]
+by_config = {r["config"]: r for r in rows}
+for config in ("directory", "legacy-walk", "gate"):
+    if config not in by_config:
+        sys.exit(f"fleet_scale: missing '{config}' row")
+gate = by_config["gate"]
+for name in ("balance_gate", "scan_gate", "recovery_gate"):
+    if gate.get(name) != "ok":
+        sys.exit(f"fleet_scale: {name} failed: {gate}")
+directory = by_config["directory"]
+if directory["devices"] < 500 or directory["stores"] < 200:
+    sys.exit(f"fleet_scale: fleet too small: {directory['devices']} devices "
+             f"x {directory['stores']} stores (need >= 500 x 200)")
+if directory["balance_max_over_mean"] > 1.35:
+    sys.exit(f"fleet_scale: balance {directory['balance_max_over_mean']} "
+             f"exceeds 1.35")
+if gate["scan_per_poll_ratio"] > 0.10:
+    sys.exit(f"fleet_scale: per-poll churn scan ratio "
+             f"{gate['scan_per_poll_ratio']} exceeds 0.10")
+if directory["clusters_below_k"] or directory["clusters_lost"]:
+    sys.exit(f"fleet_scale: {directory['clusters_below_k']} clusters below "
+             f"K, {directory['clusters_lost']} lost after recovery")
+print(f"fleet gate: balance {directory['balance_max_over_mean']:.3f}, "
+      f"churn scans/poll {gate['incremental_scan_per_poll']:.0f} vs "
+      f"baseline {gate['baseline_scan_per_poll']:.0f}, recovery "
+      f"{directory['recovery_polls']} polls — ok")
 PYEOF
   then
     failed=1

@@ -1,0 +1,295 @@
+#include "fleet/driver.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "context/events.h"
+#include "fleet/placement.h"
+#include "net/bridge.h"
+#include "net/network.h"
+#include "net/store_node.h"
+#include "runtime/runtime.h"
+#include "swap/durability.h"
+#include "swap/manager.h"
+#include "workload/list_workload.h"
+
+namespace obiswap::fleet {
+
+namespace {
+// Store ids live far above device ids so the two ranges can never collide
+// no matter how large the fleet grows.
+constexpr uint32_t kStoreIdBase = 1'000'000;
+
+swap::SwappingManager::Options ManagerOptions(const FleetOptions& options) {
+  swap::SwappingManager::Options out;
+  out.replication_factor = options.replication_factor;
+  return out;
+}
+}  // namespace
+
+/// One device's full middleware stack. Every world shares the driver's
+/// network/discovery (one virtual clock, one store pool) but owns its
+/// runtime, bus, manager, directory and monitor.
+struct FleetDriver::DeviceWorld {
+  DeviceWorld(net::Network& network, net::Discovery& discovery, DeviceId self,
+              const FleetOptions& options)
+      : id(self),
+        rt(static_cast<uint16_t>(self.value())),
+        client(network, discovery, self),
+        manager(rt, ManagerOptions(options)) {
+    manager.AttachStore(&client, &discovery);
+    manager.AttachBus(&bus);
+    swap::DurabilityMonitor::Options monitor_options;
+    monitor_options.miss_threshold = options.miss_threshold;
+    monitor = std::make_unique<swap::DurabilityMonitor>(
+        manager, discovery, self, bus, nullptr, monitor_options);
+    if (options.use_directory) {
+      manager.AttachPlacementDirectory(&directory);
+      monitor->AttachFleet(&directory);
+    }
+  }
+
+  DeviceId id;
+  runtime::Runtime rt;
+  context::EventBus bus;
+  net::StoreClient client;
+  swap::SwappingManager manager;
+  PlacementDirectory directory;
+  std::unique_ptr<swap::DurabilityMonitor> monitor;
+  std::vector<SwapClusterId> clusters;
+};
+
+FleetDriver::FleetDriver(const FleetOptions& options) : options_(options) {}
+FleetDriver::~FleetDriver() = default;
+
+Status FleetDriver::Build() {
+  if (network_ != nullptr) return FailedPreconditionError("already built");
+  if (options_.devices == 0 || options_.stores == 0)
+    return InvalidArgumentError("need at least one device and one store");
+  network_ = std::make_unique<net::Network>(options_.seed);
+  discovery_ = std::make_unique<net::Discovery>(*network_);
+
+  for (size_t i = 0; i < options_.stores; ++i) {
+    DeviceId store_id(kStoreIdBase + static_cast<uint32_t>(i));
+    network_->AddDevice(store_id);
+    stores_.push_back(std::make_unique<net::StoreNode>(
+        store_id, options_.store_capacity_bytes));
+    store_dead_.push_back(false);
+    discovery_->Announce(stores_.back().get());
+  }
+
+  const int objects =
+      options_.clusters_per_device * options_.objects_per_cluster;
+  for (size_t d = 0; d < options_.devices; ++d) {
+    DeviceId device_id(static_cast<uint32_t>(d + 1));
+    network_->AddDevice(device_id);
+    for (const auto& store : stores_)
+      network_->SetInRange(device_id, store->device(), true);
+    devices_.push_back(std::make_unique<DeviceWorld>(*network_, *discovery_,
+                                                     device_id, options_));
+    DeviceWorld& world = *devices_.back();
+    const runtime::ClassInfo* cls = workload::RegisterNodeClass(world.rt);
+    world.clusters =
+        workload::BuildList(world.rt, &world.manager, cls, objects,
+                            options_.objects_per_cluster, "head");
+  }
+
+  // One quiescent poll (no clock advance, nothing swapped yet) seeds every
+  // directory from discovery before the first placement asks for targets.
+  for (auto& world : devices_) world->monitor->Poll();
+  for (auto& world : devices_) {
+    for (SwapClusterId id : world->clusters)
+      OBISWAP_RETURN_IF_ERROR(world->manager.SwapOut(id).status());
+  }
+  return OkStatus();
+}
+
+void FleetDriver::PollAll() {
+  network_->clock().Advance(options_.poll_period_us);
+  for (auto& world : devices_) world->monitor->Poll();
+}
+
+Status FleetDriver::RunRounds(int rounds) {
+  if (network_ == nullptr) return FailedPreconditionError("Build() first");
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t d = 0; d < devices_.size(); ++d) {
+      DeviceWorld& world = *devices_[d];
+      if (world.clusters.empty()) continue;
+      // Round-robin offset by device id so rounds interleave clusters
+      // instead of the whole fleet hammering cluster 0 together.
+      SwapClusterId cluster =
+          world.clusters[(static_cast<size_t>(rounds_run_) + d) %
+                         world.clusters.size()];
+      if (world.manager.StateOf(cluster) == swap::SwapState::kSwapped)
+        OBISWAP_RETURN_IF_ERROR(world.manager.SwapIn(cluster));
+      OBISWAP_RETURN_IF_ERROR(world.manager.SwapOut(cluster).status());
+    }
+    PollAll();
+    ++rounds_run_;
+  }
+  return OkStatus();
+}
+
+size_t FleetDriver::InjectCorrelatedOutage(double fraction) {
+  if (network_ == nullptr || fraction <= 0.0) return 0;
+  size_t live = 0;
+  for (bool dead : store_dead_)
+    if (!dead) ++live;
+  size_t target = static_cast<size_t>(fraction * static_cast<double>(live) +
+                                      0.5);
+  if (target == 0) return 0;
+
+  // Per-cluster replica store sets, plus a reverse store → clusters map so
+  // the greedy pass only checks clusters the candidate actually backs.
+  std::vector<std::vector<uint32_t>> cluster_stores;
+  std::unordered_map<uint32_t, std::vector<size_t>> by_store;
+  for (const auto& world : devices_) {
+    for (SwapClusterId id : world->clusters) {
+      const swap::SwapClusterInfo* info = world->manager.registry().Find(id);
+      if (info == nullptr) continue;
+      const std::vector<swap::ReplicaLocation>* active =
+          info->ActiveReplicas();
+      if (active == nullptr || active->empty()) continue;
+      std::vector<uint32_t> holders;
+      for (const swap::ReplicaLocation& replica : *active)
+        holders.push_back(replica.device.value());
+      size_t index = cluster_stores.size();
+      for (uint32_t holder : holders) by_store[holder].push_back(index);
+      cluster_stores.push_back(std::move(holders));
+    }
+  }
+
+  std::unordered_set<uint32_t> killed;
+  size_t taken = 0;
+  for (size_t i = 0; i < stores_.size() && taken < target; ++i) {
+    if (store_dead_[i]) continue;
+    uint32_t candidate = stores_[i]->device().value();
+    // Skip a victim whose death would take a cluster's *last* replica —
+    // the scripted outage models correlated failure the placement spread
+    // survives, so recovery convergence is a hard invariant, not luck.
+    bool fatal = false;
+    auto it = by_store.find(candidate);
+    if (it != by_store.end()) {
+      for (size_t index : it->second) {
+        bool survivor = false;
+        for (uint32_t holder : cluster_stores[index]) {
+          if (holder != candidate && killed.count(holder) == 0) {
+            survivor = true;
+            break;
+          }
+        }
+        if (!survivor) {
+          fatal = true;
+          break;
+        }
+      }
+    }
+    if (fatal) continue;
+    killed.insert(candidate);
+    network_->RemoveDevice(stores_[i]->device());
+    store_dead_[i] = true;
+    ++taken;
+  }
+  return taken;
+}
+
+void FleetDriver::CollectClusterHealth(size_t* below_k, size_t* lost) const {
+  *below_k = 0;
+  *lost = 0;
+  const size_t want =
+      options_.replication_factor == 0 ? 1 : options_.replication_factor;
+  // Replica records pointing at a killed store are walking dead: the
+  // registry still lists them until a monitor detects the silence, so
+  // convergence counts only replicas on live stores — otherwise an outage
+  // would look "recovered" before anyone even noticed it.
+  std::unordered_set<uint32_t> dead;
+  for (size_t i = 0; i < stores_.size(); ++i)
+    if (store_dead_[i]) dead.insert(stores_[i]->device().value());
+  for (const auto& world : devices_) {
+    for (SwapClusterId id : world->clusters) {
+      const swap::SwapClusterInfo* info = world->manager.registry().Find(id);
+      if (info == nullptr) continue;
+      const std::vector<swap::ReplicaLocation>* active =
+          info->ActiveReplicas();
+      size_t live = 0;
+      if (active != nullptr) {
+        for (const swap::ReplicaLocation& replica : *active)
+          if (dead.count(replica.device.value()) == 0) ++live;
+      }
+      if (info->state == swap::SwapState::kSwapped && live == 0) {
+        ++*lost;
+        continue;
+      }
+      if (active != nullptr && !active->empty() && live < want) ++*below_k;
+    }
+  }
+}
+
+Result<int> FleetDriver::RunUntilRecovered(int max_polls) {
+  if (network_ == nullptr) return FailedPreconditionError("Build() first");
+  for (int polls = 0;; ++polls) {
+    size_t below_k = 0;
+    size_t lost = 0;
+    CollectClusterHealth(&below_k, &lost);
+    if (below_k == 0) return polls;
+    if (polls >= max_polls) {
+      return DeadlineExceededError(
+          std::to_string(below_k) +
+          " clusters still under K after " + std::to_string(max_polls) +
+          " polls");
+    }
+    PollAll();
+  }
+}
+
+FleetReport FleetDriver::Report() const {
+  FleetReport report;
+  for (const auto& world : devices_) {
+    const swap::SwappingManager::Stats& stats = world->manager.stats();
+    report.swap_outs += stats.swap_outs;
+    report.swap_ins += stats.swap_ins;
+    report.replicas_placed += stats.replicas_placed;
+    report.fleet_placements += stats.fleet_placements;
+    report.replicas_lost += stats.replicas_forgotten;
+    const swap::DurabilityMonitor::Stats& monitor_stats =
+        world->monitor->stats();
+    report.replicas_re_replicated += monitor_stats.replicas_re_replicated;
+    report.stores_departed += monitor_stats.stores_departed;
+    report.scan_replicas += monitor_stats.scan_replicas;
+    report.full_scan_replicas += monitor_stats.full_scan_replicas;
+  }
+  size_t max_entries = 0;
+  uint64_t total_entries = 0;
+  for (size_t i = 0; i < stores_.size(); ++i) {
+    if (store_dead_[i]) continue;
+    ++report.live_stores;
+    size_t entries = stores_[i]->entry_count();
+    total_entries += entries;
+    max_entries = std::max(max_entries, entries);
+  }
+  if (report.live_stores > 0 && total_entries > 0) {
+    double mean = static_cast<double>(total_entries) /
+                  static_cast<double>(report.live_stores);
+    report.balance_max_over_mean = static_cast<double>(max_entries) / mean;
+  }
+  CollectClusterHealth(&report.clusters_below_k, &report.clusters_lost);
+  if (network_ != nullptr) {
+    report.virtual_us = network_->clock().now_us();
+    if (report.virtual_us > 0) {
+      report.swap_ops_per_s =
+          static_cast<double>(report.swap_outs + report.swap_ins) /
+          (static_cast<double>(report.virtual_us) / 1e6);
+    }
+  }
+  return report;
+}
+
+size_t FleetDriver::device_count() const { return devices_.size(); }
+size_t FleetDriver::store_count() const { return stores_.size(); }
+net::StoreNode* FleetDriver::store_at(size_t i) const {
+  return i < stores_.size() ? stores_[i].get() : nullptr;
+}
+net::SimClock& FleetDriver::clock() { return network_->clock(); }
+
+}  // namespace obiswap::fleet

@@ -131,6 +131,16 @@ StoreService* Discovery::ServiceFor(DeviceId device) {
   return it == services_.end() ? nullptr : &it->second;
 }
 
+StoreNode* Discovery::NodeFor(DeviceId device) const {
+  auto it = announced_.find(device);
+  return it == announced_.end() ? nullptr : it->second;
+}
+
+bool Discovery::IsNearby(DeviceId from, DeviceId device) const {
+  if (device == from || announced_.count(device) == 0) return false;
+  return network_.IsOnline(device) && network_.InRange(from, device);
+}
+
 std::vector<DeviceId> Discovery::AnnouncedDevices() const {
   std::vector<DeviceId> out;
   out.reserve(announced_.size());

@@ -49,6 +49,15 @@ class Discovery {
   /// The service endpoint for a device; nullptr if not announced.
   StoreService* ServiceFor(DeviceId device);
 
+  /// O(1) by-id lookup of an announced store's node; nullptr if not
+  /// announced. Fleet-size directories address stores by id, so per-RPC
+  /// lookups must not pay the O(stores) NearbyStores walk.
+  StoreNode* NodeFor(DeviceId device) const;
+
+  /// O(1) "would NearbyStores(from) include `device`": announced, not
+  /// `from` itself, online, and in radio range.
+  bool IsNearby(DeviceId from, DeviceId device) const;
+
   /// Store devices reachable from `from` whose advertised free capacity is
   /// at least `min_free_bytes`, best (most free) first.
   std::vector<StoreNode*> NearbyStores(DeviceId from,

@@ -16,6 +16,8 @@
 #include "context/context.h"            // memory & connectivity monitors
 #include "context/events.h"             // middleware event bus
 #include "dgc/dgc.h"                    // device<->server reference-listing DGC
+#include "fleet/driver.h"               // fleet-scale simulation harness
+#include "fleet/placement.h"            // rendezvous placement directory
 #include "net/bridge.h"                 // XML web-service bridge + discovery
 #include "net/network.h"                // simulated wireless neighbourhood
 #include "net/store_node.h"             // the dumb XML store device

@@ -217,6 +217,78 @@ Status RegisterTierActions(PolicyEngine& engine, tier::TierManager& tiers) {
   return OkStatus();
 }
 
+Status RegisterFleetActions(PolicyEngine& engine,
+                            swap::SwappingManager& manager,
+                            fleet::PlacementDirectory& directory) {
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-placement-mode",
+      [&manager](const context::Event&,
+                 const ActionParams& params) -> Status {
+        OBISWAP_ASSIGN_OR_RETURN(std::string mode,
+                                 RequiredStringParam(params, "mode"));
+        if (mode == "directory") {
+          if (manager.placement_directory() == nullptr) {
+            return FailedPreconditionError(
+                "no placement directory attached to the manager");
+          }
+          manager.set_placement_via_directory(true);
+        } else if (mode == "walk") {
+          manager.set_placement_via_directory(false);
+        } else {
+          return InvalidArgumentError(
+              "mode must be 'directory' or 'walk', got '" + mode + "'");
+        }
+        return OkStatus();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-fleet",
+      [&directory](const context::Event&,
+                   const ActionParams& params) -> Status {
+        OBISWAP_ASSIGN_OR_RETURN(std::string op,
+                                 RequiredStringParam(params, "op"));
+        OBISWAP_ASSIGN_OR_RETURN(int64_t store,
+                                 RequiredIntParam(params, "store"));
+        if (store < 0) return InvalidArgumentError("store must be >= 0");
+        DeviceId device(static_cast<uint32_t>(store));
+        if (op == "join") {
+          double weight = 1.0;
+          auto it = params.find("weight");
+          if (it != params.end()) {
+            OBISWAP_ASSIGN_OR_RETURN(int64_t parsed,
+                                     RequiredIntParam(params, "weight"));
+            if (parsed <= 0)
+              return InvalidArgumentError("weight must be positive");
+            weight = static_cast<double>(parsed);
+          }
+          directory.AddStore(device, weight);
+        } else if (op == "leave") {
+          directory.RemoveStore(device);
+        } else if (op == "weight") {
+          OBISWAP_ASSIGN_OR_RETURN(int64_t weight,
+                                   RequiredIntParam(params, "weight"));
+          if (weight <= 0)
+            return InvalidArgumentError("weight must be positive");
+          if (!directory.Contains(device))
+            return NotFoundError("store " + device.ToString() +
+                                 " not in the fleet view");
+          directory.SetWeight(device, static_cast<double>(weight));
+        } else if (op == "healthy") {
+          OBISWAP_ASSIGN_OR_RETURN(int64_t healthy,
+                                   RequiredIntParam(params, "healthy"));
+          if (!directory.Contains(device))
+            return NotFoundError("store " + device.ToString() +
+                                 " not in the fleet view");
+          directory.SetHealthy(device, healthy != 0);
+        } else {
+          return InvalidArgumentError(
+              "op must be 'join', 'leave', 'weight' or 'healthy', got '" +
+              op + "'");
+        }
+        return OkStatus();
+      }));
+  return OkStatus();
+}
+
 Status RegisterReplicationActions(PolicyEngine& engine,
                                   replication::ReplicationServer& server) {
   return engine.RegisterAction(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "fleet/placement.h"
+
 namespace obiswap::swap {
 
 DurabilityMonitor::DurabilityMonitor(SwappingManager& manager,
@@ -17,6 +19,177 @@ DurabilityMonitor::DurabilityMonitor(SwappingManager& manager,
       props_(props),
       options_(options) {}
 
+DurabilityMonitor::~DurabilityMonitor() {
+  for (uint64_t token : bus_tokens_) bus_.Unsubscribe(token);
+}
+
+void DurabilityMonitor::AttachFleet(fleet::PlacementDirectory* directory) {
+  directory_ = directory;
+  if (incremental_) return;  // re-attach only swaps the directory pointer
+  incremental_ = true;
+  rebuild_pending_ = true;
+  // Replica state changes flow through the bus; the monitor only re-reads
+  // the clusters those events name. A handler never touches the registry
+  // directly — Publish is synchronous and may run mid-swap, so it just
+  // queues the id for the next poll.
+  auto mark_cluster = [this](const context::Event& event) {
+    int64_t id = event.GetIntOr("swap_cluster", -1);
+    if (id >= 0)
+      dirty_clusters_.insert(SwapClusterId(static_cast<uint32_t>(id)));
+  };
+  for (const char* type :
+       {context::kEventClusterSwappedOut, context::kEventClusterSwappedIn,
+        context::kEventClusterDropped, context::kEventReReplicated,
+        context::kEventReplicaLost}) {
+    bus_tokens_.push_back(bus_.Subscribe(type, mark_cluster));
+  }
+  bus_tokens_.push_back(bus_.Subscribe(
+      context::kEventBreakerTransition, [this](const context::Event& event) {
+        int64_t device = event.GetIntOr("device", -1);
+        if (device >= 0)
+          dirty_stores_.insert(DeviceId(static_cast<uint32_t>(device)));
+      }));
+}
+
+size_t DurabilityMonitor::ReplicaRecords(const SwapClusterInfo* info) {
+  if (info == nullptr) return 0;
+  const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
+  return active == nullptr ? 0 : active->size();
+}
+
+void DurabilityMonitor::RefreshCluster(SwapClusterId id) {
+  const SwapClusterInfo* info = manager_.registry().Find(id);
+  if (info == nullptr) {
+    EvictClusterFromIndex(id);
+    return;
+  }
+  const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
+  std::vector<DeviceId> devices;
+  if (active != nullptr) {
+    devices.reserve(active->size());
+    for (const ReplicaLocation& replica : *active) {
+      if (std::find(devices.begin(), devices.end(), replica.device) ==
+          devices.end())
+        devices.push_back(replica.device);
+    }
+  }
+
+  auto old_it = cluster_devices_.find(id);
+  if (old_it != cluster_devices_.end()) {
+    for (DeviceId device : old_it->second) {
+      if (std::find(devices.begin(), devices.end(), device) != devices.end())
+        continue;
+      auto bucket = index_.find(device);
+      if (bucket == index_.end()) continue;
+      bucket->second.erase(id);
+      if (bucket->second.empty()) index_.erase(bucket);
+    }
+  }
+  for (DeviceId device : devices) index_[device].insert(id);
+
+  const size_t records = active == nullptr ? 0 : active->size();
+  auto rec_it = cluster_records_.find(id);
+  total_records_ -= rec_it == cluster_records_.end() ? 0 : rec_it->second;
+  total_records_ += records;
+  if (devices.empty())
+    cluster_devices_.erase(id);
+  else
+    cluster_devices_[id] = std::move(devices);
+  if (records == 0)
+    cluster_records_.erase(id);
+  else
+    cluster_records_[id] = records;
+
+  size_t want = manager_.options().replication_factor;
+  if (want == 0) want = 1;
+  if (active != nullptr && active->size() < want)
+    under_replicated_.insert(id);
+  else
+    under_replicated_.erase(id);
+}
+
+void DurabilityMonitor::EvictClusterFromIndex(SwapClusterId id) {
+  auto old_it = cluster_devices_.find(id);
+  if (old_it != cluster_devices_.end()) {
+    for (DeviceId device : old_it->second) {
+      auto bucket = index_.find(device);
+      if (bucket == index_.end()) continue;
+      bucket->second.erase(id);
+      if (bucket->second.empty()) index_.erase(bucket);
+    }
+    cluster_devices_.erase(old_it);
+  }
+  auto rec_it = cluster_records_.find(id);
+  if (rec_it != cluster_records_.end()) {
+    total_records_ -= rec_it->second;
+    cluster_records_.erase(rec_it);
+  }
+  under_replicated_.erase(id);
+}
+
+void DurabilityMonitor::RebuildIndex() {
+  index_.clear();
+  cluster_devices_.clear();
+  cluster_records_.clear();
+  total_records_ = 0;
+  under_replicated_.clear();
+  for (SwapClusterId id : manager_.registry().Ids()) RefreshCluster(id);
+  // A rebuild is one honest full scan and is metered as such.
+  stats_.scan_replicas += total_records_;
+}
+
+void DurabilityMonitor::DrainDirtyClusters() {
+  size_t want = manager_.options().replication_factor;
+  if (want == 0) want = 1;
+  // Events only name clusters; a recovery replaces the whole registry and
+  // a replication-factor change moves the under-replication threshold for
+  // every cluster at once. Both force a rebuild.
+  if (want != last_want_ || manager_.stats().recoveries != last_recoveries_)
+    rebuild_pending_ = true;
+  last_want_ = want;
+  last_recoveries_ = manager_.stats().recoveries;
+  if (rebuild_pending_) {
+    rebuild_pending_ = false;
+    dirty_clusters_.clear();
+    RebuildIndex();
+    return;
+  }
+  std::set<SwapClusterId> dirty;
+  dirty.swap(dirty_clusters_);
+  for (SwapClusterId id : dirty) {
+    const SwapClusterInfo* info = manager_.registry().Find(id);
+    stats_.scan_replicas += ReplicaRecords(info);
+    RefreshCluster(id);
+  }
+}
+
+void DurabilityMonitor::SyncDirectory(const std::vector<DeviceId>& announced) {
+  if (directory_ == nullptr) return;
+  // Announced-but-unknown stores join, weighted by advertised capacity
+  // (MiB granularity, floored at 1) so a double-size store wins
+  // proportionally more keys. Existing members keep their weight — a
+  // policy override survives the sync.
+  for (DeviceId device : announced) {
+    if (device == self_ || directory_->Contains(device)) continue;
+    double weight = 1.0;
+    net::StoreNode* node = discovery_.NodeFor(device);
+    if (node != nullptr) {
+      weight = std::max(
+          1.0, static_cast<double>(node->capacity_bytes()) / (1 << 20));
+    }
+    directory_->AddStore(device, weight);
+  }
+  std::vector<DeviceId> members = directory_->Stores();
+  for (DeviceId device : members) {
+    if (!std::binary_search(announced.begin(), announced.end(), device))
+      directory_->RemoveStore(device);
+  }
+  if (health_ != nullptr) {
+    for (DeviceId device : directory_->Stores())
+      directory_->SetHealthy(device, health_->IsHealthy(device));
+  }
+}
+
 void DurabilityMonitor::Poll() {
   // A crashed manager must not be driven by maintenance: every repair
   // action would hit the crash gate anyway, and the poll's own bookkeeping
@@ -29,9 +202,34 @@ void DurabilityMonitor::Poll() {
   ++stats_.polls;
 
   std::vector<DeviceId> announced = discovery_.AnnouncedDevices();
-  std::unordered_set<DeviceId> reachable;
-  for (net::StoreNode* node : discovery_.NearbyStores(self_, 0))
-    reachable.insert(node->device());
+
+  if (FleetActive()) {
+    // Pure bookkeeping — no RPCs, no clock: replaying the event-fed queues
+    // up front means the departure/sweep passes below see exactly the
+    // registry view a legacy full scan would.
+    DrainDirtyClusters();
+    std::set<DeviceId> flipped;
+    flipped.swap(dirty_stores_);
+    for (DeviceId device : flipped) {
+      ++stats_.dirty_stores;
+      auto bucket = index_.find(device);
+      if (bucket == index_.end()) continue;
+      std::vector<SwapClusterId> ids(bucket->second.begin(),
+                                     bucket->second.end());
+      for (SwapClusterId id : ids) {
+        stats_.scan_replicas += ReplicaRecords(manager_.registry().Find(id));
+        RefreshCluster(id);
+      }
+    }
+    stats_.full_scan_replicas += total_records_;
+  } else {
+    // What one full pass over the registry would examine right now — the
+    // denominator of the incremental mode's savings claim.
+    uint64_t total = 0;
+    for (SwapClusterId id : manager_.registry().Ids())
+      total += ReplicaRecords(manager_.registry().Find(id));
+    stats_.full_scan_replicas += total;
+  }
 
   // A withdrawn announcement is an explicit departure.
   for (DeviceId device : last_announced_) {
@@ -45,7 +243,7 @@ void DurabilityMonitor::Poll() {
   // resets the moment the store is heard from again).
   for (DeviceId device : announced) {
     if (device == self_) continue;
-    if (reachable.count(device) > 0) {
+    if (discovery_.IsNearby(self_, device)) {
       misses_.erase(device);
       continue;
     }
@@ -59,6 +257,8 @@ void DurabilityMonitor::Poll() {
       it = misses_.erase(it);
   }
 
+  if (FleetActive()) SyncDirectory(announced);
+
   // Degraded-mode gate: count *healthy* stores — announced, reachable and
   // (with a tracker attached) breaker-closed. Fewer healthy stores than
   // the replication factor means full-K placement can only thrash the sick
@@ -70,9 +270,10 @@ void DurabilityMonitor::Poll() {
     size_t want = manager_.options().replication_factor;
     if (want == 0) want = 1;
     size_t healthy = 0;
-    for (DeviceId device : reachable) {
+    for (DeviceId device : announced) {
       if (device == self_) continue;
-      if (health_->IsHealthy(device)) ++healthy;
+      if (discovery_.IsNearby(self_, device) && health_->IsHealthy(device))
+        ++healthy;
     }
     if (healthy < want)
       manager_.EnterBrownout("healthy stores below replication factor");
@@ -88,7 +289,20 @@ void DurabilityMonitor::Poll() {
 
   // Clean images whose members all died back garbage: release them before
   // the sweep so the re-replication budget is not spent on dead payloads.
-  stats_.clean_images_reaped += manager_.ReapDeadCleanImages();
+  const size_t reaped = manager_.ReapDeadCleanImages();
+  stats_.clean_images_reaped += reaped;
+  if (FleetActive() && reaped > 0) {
+    // A reaped image leaves no bus trace; the affected clusters had empty
+    // active lists (that is what made them reapable), so they are all
+    // sitting in the under-replicated set — re-check just those.
+    std::vector<SwapClusterId> suspects(under_replicated_.begin(),
+                                        under_replicated_.end());
+    for (SwapClusterId id : suspects) {
+      const SwapClusterInfo* info = manager_.registry().Find(id);
+      if (info == nullptr || info->ActiveReplicas() == nullptr)
+        RefreshCluster(id);
+    }
+  }
 
   if (manager_.brownout()) {
     // Re-replication debt is deferred, not forgiven: placing extra copies
@@ -102,20 +316,34 @@ void DurabilityMonitor::Poll() {
   stats_.drops_drained += manager_.FlushPendingDrops();
 
   if (props_ != nullptr) {
-    size_t want = manager_.options().replication_factor;
-    if (want == 0) want = 1;
     int64_t under = 0;
-    for (SwapClusterId id : manager_.registry().Ids()) {
-      const SwapClusterInfo* info = manager_.registry().Find(id);
-      if (info == nullptr) continue;
-      const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
-      if (active != nullptr && active->size() < want) ++under;
+    if (FleetActive()) {
+      under = static_cast<int64_t>(under_replicated_.size());
+    } else {
+      size_t want = manager_.options().replication_factor;
+      if (want == 0) want = 1;
+      for (SwapClusterId id : manager_.registry().Ids()) {
+        const SwapClusterInfo* info = manager_.registry().Find(id);
+        if (info == nullptr) continue;
+        const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
+        if (active != nullptr && active->size() < want) ++under;
+      }
     }
     props_->SetInt("swap.store_churn",
                    static_cast<int64_t>(stats_.stores_departed));
     props_->SetInt("swap.under_replicated", under);
     props_->SetInt("swap.pending_drops",
                    static_cast<int64_t>(manager_.pending_drop_count()));
+    props_->SetInt("durability.scan_replicas",
+                   static_cast<int64_t>(stats_.scan_replicas));
+    props_->SetInt("durability.dirty_stores",
+                   static_cast<int64_t>(stats_.dirty_stores));
+    if (FleetActive() && directory_ != nullptr) {
+      props_->SetInt("fleet.view_epoch",
+                     static_cast<int64_t>(directory_->view_epoch()));
+      props_->SetInt("fleet.stores",
+                     static_cast<int64_t>(directory_->size()));
+    }
   }
 
   last_announced_ = std::move(announced);
@@ -123,6 +351,7 @@ void DurabilityMonitor::Poll() {
 
 void DurabilityMonitor::HandleDeparture(DeviceId device) {
   ++stats_.stores_departed;
+  ++stats_.dirty_stores;
   // Refresh the churn gauge before publishing so policy rules triggered by
   // this very event ("store-departed" → raise K) see the current count.
   if (props_ != nullptr) {
@@ -131,15 +360,35 @@ void DurabilityMonitor::HandleDeparture(DeviceId device) {
   }
   bus_.Publish(context::Event(context::kEventStoreDeparted)
                    .Set("device", static_cast<int64_t>(device.value())));
-  for (SwapClusterId id : manager_.registry().Ids()) {
+  // Legacy mode asks every cluster; incremental mode asks only the ones
+  // the reverse index maps to the departed store. Both visit in ascending
+  // cluster order with the identical HasReplicaOn guard, so the repair
+  // sequence — and every manager-side effect — is the same.
+  const bool fleet = FleetActive();
+  std::vector<SwapClusterId> candidates;
+  if (fleet) {
+    auto bucket = index_.find(device);
+    if (bucket != index_.end())
+      candidates.assign(bucket->second.begin(), bucket->second.end());
+  } else {
+    candidates = manager_.registry().Ids();
+  }
+  for (SwapClusterId id : candidates) {
     const SwapClusterInfo* info = manager_.registry().Find(id);
+    stats_.scan_replicas += ReplicaRecords(info);
     // Both swapped payloads and retained clean images hold store replicas;
     // HasReplicaOn / ForgetReplica cover whichever list is active.
-    if (info == nullptr || !info->HasReplicaOn(device)) continue;
+    if (info == nullptr || !info->HasReplicaOn(device)) {
+      if (fleet) RefreshCluster(id);  // stale index entry: drop it now
+      continue;
+    }
     size_t forgotten = manager_.ForgetReplica(id, device);
+    if (fleet) RefreshCluster(id);
     if (forgotten == 0) continue;
     stats_.replicas_lost += forgotten;
-    const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
+    info = manager_.registry().Find(id);
+    const std::vector<ReplicaLocation>* active =
+        info == nullptr ? nullptr : info->ActiveReplicas();
     bus_.Publish(context::Event(context::kEventReplicaLost)
                      .Set("swap_cluster", static_cast<int64_t>(id.value()))
                      .Set("device", static_cast<int64_t>(device.value()))
@@ -147,18 +396,50 @@ void DurabilityMonitor::HandleDeparture(DeviceId device) {
                           static_cast<int64_t>(
                               active != nullptr ? active->size() : 0)));
   }
+  // A departed store holds nothing; whatever the index still maps to it is
+  // pure staleness. Drop the bucket wholesale — re-placements on a
+  // returning store re-index through the swap-out events.
+  if (fleet) {
+    auto bucket = index_.find(device);
+    if (bucket != index_.end()) {
+      std::vector<SwapClusterId> leftover(bucket->second.begin(),
+                                          bucket->second.end());
+      for (SwapClusterId id : leftover) RefreshCluster(id);
+      index_.erase(device);
+    }
+  }
 }
 
 void DurabilityMonitor::ReReplicationSweep() {
   size_t want = manager_.options().replication_factor;
   if (want == 0) want = 1;
-  for (SwapClusterId id : manager_.registry().Ids()) {
+  // Legacy mode scans every cluster; incremental mode only the maintained
+  // under-replicated set (ascending, like the full scan). The superset
+  // invariant — every genuinely under-K cluster is in the set — holds
+  // because every path that sheds a replica either refreshes inline
+  // (departures, withdrawals) or queues a dirty-cluster event drained at
+  // the top of the poll.
+  const bool fleet = FleetActive();
+  std::vector<SwapClusterId> candidates;
+  if (fleet)
+    candidates.assign(under_replicated_.begin(), under_replicated_.end());
+  else
+    candidates = manager_.registry().Ids();
+  for (SwapClusterId id : candidates) {
     const SwapClusterInfo* info = manager_.registry().Find(id);
-    if (info == nullptr) continue;
+    stats_.scan_replicas += ReplicaRecords(info);
+    if (info == nullptr) {
+      if (fleet) EvictClusterFromIndex(id);
+      continue;
+    }
     const std::vector<ReplicaLocation>* active = info->ActiveReplicas();
-    if (active == nullptr || active->size() >= want) continue;
+    if (active == nullptr || active->size() >= want) {
+      if (fleet) RefreshCluster(id);  // stale set entry: reconcile it
+      continue;
+    }
     uint64_t bytes_before = manager_.stats().bytes_re_replicated;
     Result<size_t> added = manager_.ReReplicate(id);
+    if (fleet) RefreshCluster(id);
     if (!added.ok() || *added == 0) continue;  // retried next poll
     ++stats_.clusters_re_replicated;
     stats_.replicas_re_replicated += *added;
@@ -177,8 +458,19 @@ void DurabilityMonitor::ReReplicationSweep() {
 }
 
 Result<size_t> DurabilityMonitor::OnStoreWithdrawing(DeviceId device) {
+  std::vector<SwapClusterId> affected;
+  if (FleetActive()) {
+    ++stats_.dirty_stores;
+    auto bucket = index_.find(device);
+    if (bucket != index_.end())
+      affected.assign(bucket->second.begin(), bucket->second.end());
+  }
   OBISWAP_ASSIGN_OR_RETURN(size_t moved, manager_.EvacuateReplicas(device));
   stats_.evacuated_replicas += moved;
+  for (SwapClusterId id : affected) {
+    stats_.scan_replicas += ReplicaRecords(manager_.registry().Find(id));
+    RefreshCluster(id);
+  }
   return moved;
 }
 

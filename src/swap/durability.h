@@ -14,9 +14,35 @@
 // deferred-drop queue and refreshes policy-visible gauges
 // ("swap.store_churn", "swap.under_replicated", "swap.pending_drops") so
 // rules can, e.g., raise the replication factor when churn is high.
+//
+// Two scan modes:
+//
+//  * Legacy (default): every poll walks every registered cluster — once per
+//    departure, once for the re-replication sweep — O(clusters × replicas)
+//    per poll regardless of how much actually changed.
+//  * Incremental (AttachFleet): the monitor keeps a per-store reverse index
+//    (store → clusters holding a replica there) plus an ordered under-
+//    replicated set, both fed by a dirty-cluster queue hooked to the bus's
+//    cluster-swapped-out/in/dropped events and by the monitor's own
+//    repairs. A departure then touches only the departed store's indexed
+//    clusters and the sweep only the under-replicated set, so poll cost
+//    scales with *changed* stores, not fleet size. The index is maintained
+//    as a superset (every handler re-checks registry state before acting),
+//    so a stale entry costs one lookup and never a wrong repair; the
+//    resulting repair sequence is byte-identical to the legacy scan's.
+//    AttachFleet also hands the monitor the fleet's PlacementDirectory to
+//    keep in sync with discovery: announced stores join (weighted by
+//    capacity), departed stores leave, and an attached HealthTracker
+//    drives the per-store healthy bit.
+//
+// Both modes meter their work: `scan_replicas` counts replica records the
+// poll actually examined and `full_scan_replicas` what one full scan would
+// have examined, so the sub-linear claim is measurable (and, detached, the
+// two advance in lockstep minus churn).
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +52,10 @@
 #include "context/events.h"
 #include "net/bridge.h"
 #include "swap/manager.h"
+
+namespace obiswap::fleet {
+class PlacementDirectory;
+}  // namespace obiswap::fleet
 
 namespace obiswap::swap {
 
@@ -47,6 +77,11 @@ class DurabilityMonitor {
     uint64_t drops_drained = 0;
     uint64_t clean_images_reaped = 0;  ///< dead retained images released
     uint64_t sweeps_deferred = 0;  ///< re-replication skipped in brownout
+    // --- scan-cost visibility (both modes) ----------------------------------
+    uint64_t scan_replicas = 0;      ///< replica records actually examined
+    uint64_t full_scan_replicas = 0;  ///< records a full scan would examine
+    uint64_t dirty_stores = 0;  ///< departed/withdrawn/breaker-flip stores
+                                ///< processed
   };
 
   DurabilityMonitor(SwappingManager& manager, net::Discovery& discovery,
@@ -56,6 +91,10 @@ class DurabilityMonitor {
                     DeviceId self, context::EventBus& bus,
                     context::PropertyRegistry* props = nullptr)
       : DurabilityMonitor(manager, discovery, self, bus, props, Options()) {}
+  ~DurabilityMonitor();
+
+  DurabilityMonitor(const DurabilityMonitor&) = delete;
+  DurabilityMonitor& operator=(const DurabilityMonitor&) = delete;
 
   /// One maintenance round: departure detection, replica-loss bookkeeping,
   /// re-replication sweep, deferred-drop drain, gauge refresh.
@@ -74,11 +113,39 @@ class DurabilityMonitor {
   /// "swap.healthy_stores" / "swap.open_breakers" gauges.
   void AttachHealth(net::HealthTracker* health) { health_ = health; }
 
+  /// Switches the monitor to incremental scanning (see file comment) and —
+  /// when `directory` is non-null — keeps that placement directory's
+  /// membership/health view synced with discovery each poll. The repair
+  /// sequence stays byte-identical to the legacy scan's; only the poll's
+  /// examined-record count shrinks.
+  void AttachFleet(fleet::PlacementDirectory* directory);
+  bool incremental() const { return incremental_; }
+
   const Stats& stats() const { return stats_; }
 
  private:
   void HandleDeparture(DeviceId device);
   void ReReplicationSweep();
+
+  // --- incremental-mode internals -------------------------------------------
+  bool FleetActive() const { return incremental_; }
+  /// Records currently backing `info` (the active replica list's size).
+  static size_t ReplicaRecords(const SwapClusterInfo* info);
+  /// Re-reads one cluster's registry state into the reverse index, the
+  /// record totals and the under-replicated set (removing it everywhere
+  /// when it no longer holds store replicas).
+  void RefreshCluster(SwapClusterId id);
+  /// Drops every trace of `id` from the index structures.
+  void EvictClusterFromIndex(SwapClusterId id);
+  /// Full rebuild: one honest O(clusters) pass (attach, recovery,
+  /// replication-factor change).
+  void RebuildIndex();
+  /// Drains the event-fed dirty-cluster queue into RefreshCluster calls,
+  /// plus a pending full rebuild if one is queued.
+  void DrainDirtyClusters();
+  /// Keeps the fleet directory's membership/weights/health in step with
+  /// discovery announcements and the health tracker.
+  void SyncDirectory(const std::vector<DeviceId>& announced);
 
   SwappingManager& manager_;
   net::Discovery& discovery_;
@@ -92,6 +159,31 @@ class DurabilityMonitor {
   std::unordered_map<DeviceId, int> misses_;
   net::HealthTracker* health_ = nullptr;
   Stats stats_;
+
+  // --- incremental-mode state ----------------------------------------------
+  bool incremental_ = false;
+  fleet::PlacementDirectory* directory_ = nullptr;
+  std::vector<uint64_t> bus_tokens_;
+  /// store → clusters believed to hold a replica there (superset; ordered
+  /// so departure repairs run in ascending-cluster order, matching the
+  /// legacy full scan).
+  std::unordered_map<DeviceId, std::set<SwapClusterId>> index_;
+  /// cluster → devices it is indexed under, for cheap index updates.
+  std::unordered_map<SwapClusterId, std::vector<DeviceId>> cluster_devices_;
+  /// cluster → active replica records at last refresh.
+  std::unordered_map<SwapClusterId, size_t> cluster_records_;
+  uint64_t total_records_ = 0;
+  /// Clusters below K at last refresh (ordered: the sweep visits them in
+  /// the legacy scan's ascending order).
+  std::set<SwapClusterId> under_replicated_;
+  /// Bus-fed queue of clusters whose replica state changed since the last
+  /// poll (ordered set: drained ascending, deduplicated).
+  std::set<SwapClusterId> dirty_clusters_;
+  /// Bus-fed queue of stores whose breaker flipped since the last poll.
+  std::set<DeviceId> dirty_stores_;
+  bool rebuild_pending_ = false;
+  size_t last_want_ = 0;
+  uint64_t last_recoveries_ = 0;
 };
 
 }  // namespace obiswap::swap

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "compress/codec.h"
+#include "fleet/placement.h"
 #include "serialization/graph_binary.h"
 #include "serialization/graph_xml.h"
 
@@ -1433,11 +1434,7 @@ void SwappingManager::VerifySwappedClusters(RecoveryReport* report) {
 }
 
 void SwappingManager::ReconcileCleanImages(RecoveryReport* report) {
-  std::unordered_map<uint64_t, net::StoreNode*> nearby;
-  if (store_ != nullptr && discovery_ != nullptr) {
-    for (net::StoreNode* node : discovery_->NearbyStores(store_->self(), 0))
-      nearby.emplace(node->device().value(), node);
-  }
+  const bool can_check = store_ != nullptr && discovery_ != nullptr;
   for (SwapClusterId id : registry_.Ids()) {
     SwapClusterInfo* info = registry_.Find(id);
     if (info == nullptr || info->state != SwapState::kLoaded) continue;
@@ -1456,12 +1453,15 @@ void SwappingManager::ReconcileCleanImages(RecoveryReport* report) {
           }
           continue;
         }
-        auto it = nearby.find(replica.device.value());
-        if (it == nearby.end()) {
+        net::StoreNode* node =
+            can_check && discovery_->IsNearby(store_->self(), replica.device)
+                ? discovery_->NodeFor(replica.device)
+                : nullptr;
+        if (node == nullptr) {
           live.push_back(replica);  // out of range: benefit of the doubt
           continue;
         }
-        if (!it->second->crashed() && it->second->Contains(replica.key)) {
+        if (!node->crashed() && node->Contains(replica.key)) {
           live.push_back(replica);
         } else {
           if (EnqueuePendingDrop(replica.device, replica.key))
@@ -1862,8 +1862,10 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
     // burned by flaky placements. A run of consecutive failures aborts the
     // loop: every candidate failing in a row means the network is sick, and
     // retrying down a long discovery list only stalls the caller.
+    const bool via_directory = DirectoryActive();
     std::vector<net::StoreNode*> candidates =
-        discovery_->NearbyStores(store_->self(), need);
+        via_directory ? DirectoryCandidates(id, want, need)
+                      : discovery_->NearbyStores(store_->self(), need);
     if (health_ != nullptr) {
       // Healthy stores first (most-free order within each group); stores
       // with a tripped breaker sink to the back — still reachable as
@@ -1907,6 +1909,7 @@ Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
       if (crashed_) return attempt;
       if (attempt.ok()) {
         placed.push_back(ReplicaLocation{candidate->device(), key});
+        if (via_directory) ++stats_.fleet_placements;
         key_minted = false;
         consecutive_failures = 0;
       } else {
@@ -2150,11 +2153,7 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
   // them without a departure event reaching us. A replica that cannot be
   // confirmed keeps its drop obligation (the store may merely be out of
   // range) but is not trusted to serve a fetch.
-  std::unordered_map<uint64_t, net::StoreNode*> nearby;
-  if (store_ != nullptr && discovery_ != nullptr) {
-    for (net::StoreNode* node : discovery_->NearbyStores(store_->self(), 0))
-      nearby.emplace(node->device().value(), node);
-  }
+  const bool can_check = store_ != nullptr && discovery_ != nullptr;
   auto revalidate = [&](std::vector<ReplicaLocation>& replicas) {
     std::vector<ReplicaLocation> live;
     for (const ReplicaLocation& replica : replicas) {
@@ -2162,9 +2161,12 @@ std::optional<Result<SwapKey>> SwappingManager::TryCleanSwapOut(
       if (IsLocalDevice(replica.device)) {
         confirmed = local_ != nullptr && local_->Contains(replica.key);
       } else {
-        auto it = nearby.find(replica.device.value());
-        confirmed = it != nearby.end() && !it->second->crashed() &&
-                    it->second->Contains(replica.key);
+        net::StoreNode* node =
+            can_check && discovery_->IsNearby(store_->self(), replica.device)
+                ? discovery_->NodeFor(replica.device)
+                : nullptr;
+        confirmed = node != nullptr && !node->crashed() &&
+                    node->Contains(replica.key);
       }
       if (confirmed) {
         live.push_back(replica);
@@ -3106,14 +3108,13 @@ bool SwappingManager::AnyStoreReachable() const {
 
 std::vector<ReplicaLocation> SwappingManager::ReplicaFetchOrder(
     const std::vector<ReplicaLocation>& replicas) const {
-  std::unordered_set<uint64_t> reachable;
-  if (store_ != nullptr && discovery_ != nullptr) {
-    for (net::StoreNode* node : discovery_->NearbyStores(store_->self(), 0))
-      reachable.insert(node->device().value());
-  }
+  // O(1) per replica: a K-replica fetch must not pay an O(fleet) discovery
+  // walk just to order K candidates.
+  const bool can_check = store_ != nullptr && discovery_ != nullptr;
   auto in_reach = [&](const ReplicaLocation& replica) {
     return IsLocalDevice(replica.device) ||
-           reachable.count(replica.device.value()) > 0;
+           (can_check &&
+            discovery_->IsNearby(store_->self(), replica.device));
   };
   auto healthy = [&](const ReplicaLocation& replica) {
     return health_ == nullptr || IsLocalDevice(replica.device) ||
@@ -3156,16 +3157,20 @@ Result<std::string> SwappingManager::FetchVerifiedPayload(
 }
 
 Result<ReplicaLocation> SwappingManager::PlaceReplica(
-    const std::string& payload, const std::vector<ReplicaLocation>& existing,
-    DeviceId exclude, uint64_t journal_seq, const char* fault_point) {
+    SwapClusterId id, const std::string& payload,
+    const std::vector<ReplicaLocation>& existing, DeviceId exclude,
+    uint64_t journal_seq, const char* fault_point) {
   size_t need = payload.size();
   if (need < options_.store_min_free_bytes)
     need = options_.store_min_free_bytes;
   Status last = UnavailableError("no nearby store device with " +
                                  FormatBytes(need) + " free");
   if (store_ == nullptr || discovery_ == nullptr) return last;
+  const bool via_directory = DirectoryActive();
   std::vector<net::StoreNode*> candidates =
-      discovery_->NearbyStores(store_->self(), need);
+      via_directory
+          ? DirectoryCandidates(id, options_.replication_factor, need)
+          : discovery_->NearbyStores(store_->self(), need);
   if (health_ != nullptr) {
     // Same health-aware preference as the swap-out placement walk.
     std::stable_partition(candidates.begin(), candidates.end(),
@@ -3192,10 +3197,56 @@ Result<ReplicaLocation> SwappingManager::PlaceReplica(
     Status stored = CheckFaultPoint(fault_point);
     if (stored.ok()) stored = store_->Store(device, key, payload);
     if (crashed_) return stored;
-    if (stored.ok()) return ReplicaLocation{device, key};
+    if (stored.ok()) {
+      if (via_directory) ++stats_.fleet_placements;
+      return ReplicaLocation{device, key};
+    }
     last = stored;
   }
   return last;
+}
+
+bool SwappingManager::DirectoryActive() const {
+  return directory_ != nullptr && placement_via_directory_ &&
+         directory_->size() > 0 && store_ != nullptr && discovery_ != nullptr;
+}
+
+std::vector<net::StoreNode*> SwappingManager::DirectoryCandidates(
+    SwapClusterId id, size_t k, size_t need) {
+  // Rank the whole fleet for this cluster's placement key, keep the
+  // reachable stores with room, then apply the bounded-load rule against
+  // actual store fill: while the first k slots are being chosen, a store
+  // at or over the cap is deferred behind the under-cap candidates (never
+  // dropped — a full fleet still places somewhere) so pure-HRW hot spots
+  // flatten out while the order stays deterministic for a given view.
+  const uint64_t key = fleet::PlacementDirectory::KeyFor(store_->self(), id);
+  std::vector<net::StoreNode*> ranked;
+  uint64_t total_load = 0;
+  for (DeviceId device : directory_->RankAll(key)) {
+    if (device == store_->self()) continue;
+    if (!discovery_->IsNearby(store_->self(), device)) continue;
+    net::StoreNode* node = discovery_->NodeFor(device);
+    if (node == nullptr || node->free_bytes() < need) continue;
+    ranked.push_back(node);
+    total_load += node->entry_count();
+  }
+  ++stats_.fleet_selections;
+  const uint64_t bound = directory_->LoadBound(total_load, ranked.size());
+  std::vector<net::StoreNode*> out;
+  std::vector<net::StoreNode*> deferred;
+  out.reserve(ranked.size());
+  uint64_t skips = 0;
+  for (net::StoreNode* node : ranked) {
+    if (out.size() < k && node->entry_count() >= bound) {
+      deferred.push_back(node);
+      ++skips;
+    } else {
+      out.push_back(node);
+    }
+  }
+  out.insert(out.end(), deferred.begin(), deferred.end());
+  if (skips > 0) directory_->NoteBoundedSkips(skips);
+  return out;
 }
 
 void SwappingManager::ReleaseReplicas(
@@ -3355,7 +3406,7 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
     Status place_failure = OkStatus();
     while (replicas->size() < want) {
       Result<ReplicaLocation> fresh = PlaceReplica(
-          payload, *replicas, DeviceId(), seq, "re_replicate.place");
+          id, payload, *replicas, DeviceId(), seq, "re_replicate.place");
       if (crashed_) return fresh.status();
       if (!fresh.ok()) {
         // A partial top-up still counts as progress.
@@ -3434,8 +3485,8 @@ Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
                                 {});
         journal_->NoteReplicaIntent(seq, old.device, old.key);
       }
-      Result<ReplicaLocation> fresh =
-          PlaceReplica(*payload, *replicas, leaving, seq, "evacuate.place");
+      Result<ReplicaLocation> fresh = PlaceReplica(
+          id, *payload, *replicas, leaving, seq, "evacuate.place");
       if (crashed_) return fresh.status();
       if (!fresh.ok()) {
         if (journal_ != nullptr) (void)journal_->Abort(seq);
@@ -3608,6 +3659,8 @@ constexpr StatFieldSpec kStatFields[] = {
     {"fields_marked_dirty", &SwappingManager::Stats::fields_marked_dirty},
     {"tier_swap_outs", &SwappingManager::Stats::tier_swap_outs},
     {"tier_swap_ins", &SwappingManager::Stats::tier_swap_ins},
+    {"fleet_selections", &SwappingManager::Stats::fleet_selections},
+    {"fleet_placements", &SwappingManager::Stats::fleet_placements},
 };
 }  // namespace
 

@@ -52,6 +52,10 @@
 #include "telemetry/telemetry.h"
 #include "tier/tier.h"
 
+namespace obiswap::fleet {
+class PlacementDirectory;
+}  // namespace obiswap::fleet
+
 namespace obiswap::swap {
 
 class SwappingManager final : public runtime::Interceptor,
@@ -186,6 +190,9 @@ class SwappingManager final : public runtime::Interceptor,
     // --- tiered swap hierarchy ------------------------------------------------
     uint64_t tier_swap_outs = 0;  ///< swap-outs placed in a local tier
     uint64_t tier_swap_ins = 0;   ///< swap-ins served from a local tier
+    // --- fleet placement directory --------------------------------------------
+    uint64_t fleet_selections = 0;  ///< placement walks served by the directory
+    uint64_t fleet_placements = 0;  ///< replicas placed on directory targets
   };
 
   /// What Recover() found and did — the restart post-mortem.
@@ -248,6 +255,25 @@ class SwappingManager final : public runtime::Interceptor,
   /// the bus as a breaker-transition event.
   void AttachHealth(net::HealthTracker* health);
   net::HealthTracker* health() const { return health_; }
+  /// Rendezvous placement directory over the store fleet. While attached,
+  /// populated and in "directory" placement mode, SwapOut / ReReplicate /
+  /// EvacuateReplicas pick replica targets from the directory's weighted-
+  /// HRW rank (bounded-load order against actual store fill) instead of
+  /// walking every nearby store most-free-first — O(fleet) sorts and
+  /// free-byte-sensitive orders are gone from the placement path. With the
+  /// directory detached, empty, or the mode set to "walk"
+  /// (set_placement_via_directory(false), policy "set-placement-mode"),
+  /// behavior is byte-identical to before.
+  void AttachPlacementDirectory(fleet::PlacementDirectory* directory) {
+    directory_ = directory;
+  }
+  fleet::PlacementDirectory* placement_directory() const {
+    return directory_;
+  }
+  void set_placement_via_directory(bool enabled) {
+    placement_via_directory_ = enabled;
+  }
+  bool placement_via_directory() const { return placement_via_directory_; }
 
   // --- swap-cluster management ----------------------------------------------
   /// Creates a fresh swap-cluster for locally built graphs.
@@ -593,11 +619,20 @@ class SwappingManager final : public runtime::Interceptor,
   /// Stores `payload` on one nearby store not in `exclude_devices` under a
   /// fresh key. kUnavailable if no eligible store accepts it. The minted
   /// key is journaled under `journal_seq` (0 = unjournaled) before the
-  /// store RPC; `fault_point` is consulted before each attempt.
+  /// store RPC; `fault_point` is consulted before each attempt. `id` names
+  /// the owning cluster so directory placement ranks against its key.
   Result<ReplicaLocation> PlaceReplica(
-      const std::string& payload,
+      SwapClusterId id, const std::string& payload,
       const std::vector<ReplicaLocation>& existing, DeviceId exclude,
       uint64_t journal_seq, const char* fault_point);
+
+  /// Directory placement is attached, populated, and switched on.
+  bool DirectoryActive() const;
+  /// Store candidates for placing `k` replicas of cluster `id`: the
+  /// directory's HRW rank filtered to reachable stores with `need` free
+  /// bytes, bounded-load candidates first.
+  std::vector<net::StoreNode*> DirectoryCandidates(SwapClusterId id, size_t k,
+                                                   size_t need);
   /// Drop notification to every replica; failures against unreachable
   /// stores are parked in the retry queue. `count_as_drop` selects whether
   /// successful ops bump stats_.drops (GC path) or not (swap-in path).
@@ -750,6 +785,10 @@ class SwappingManager final : public runtime::Interceptor,
 
   /// Tiered swap hierarchy (optional; null = remote-only placement).
   tier::TierManager* tier_ = nullptr;
+
+  /// Fleet placement directory (optional; null = nearby-store walk).
+  fleet::PlacementDirectory* directory_ = nullptr;
+  bool placement_via_directory_ = true;
 
   /// Finalizers capture this handle; the destructor nulls it so a GC after
   /// manager teardown cannot call into a dead manager.

@@ -3,6 +3,8 @@
 // (unreplicated) graph regions.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "test_support.h"
 
 namespace obiswap {
@@ -189,6 +191,46 @@ TEST(MultiDeviceTest, TwoDevicesReplicateIndependentlyFromOneMaster) {
   EXPECT_EQ(server.SentCount(DeviceId(2)), 10u);
   EXPECT_EQ(e1.stats().objects_replicated, 10u);
   EXPECT_EQ(e2.stats().objects_replicated, 10u);
+}
+
+TEST(MultiDeviceTest, ManyDevicesShareAPoolWithoutCollisionsAndInBalance) {
+  // A dozen devices, six shared stores, directory placement: every stored
+  // key must be globally unique (SwapKeys embed the minting device), and
+  // the rendezvous spread must keep any one store from soaking up the
+  // pool's load.
+  fleet::FleetOptions options;
+  options.devices = 12;
+  options.stores = 6;
+  options.clusters_per_device = 3;
+  options.objects_per_cluster = 8;
+  fleet::FleetDriver driver(options);
+  ASSERT_TRUE(driver.Build().ok());
+  ASSERT_TRUE(driver.RunRounds(2).ok());
+
+  fleet::FleetReport report = driver.Report();
+  // 12 devices × 3 clusters × K=2 replicas, all placed.
+  EXPECT_EQ(report.replicas_placed, 12u * 3u * 2u);
+  EXPECT_EQ(report.clusters_below_k, 0u);
+  EXPECT_EQ(report.clusters_lost, 0u);
+  // Balance bound: with bounded-load placement no store exceeds ~1.5× the
+  // mean fill even at this small scale (the fleet_scale bench gates the
+  // tighter 1.35 at 200 stores, where the law of large numbers helps).
+  EXPECT_GE(report.balance_max_over_mean, 1.0);
+  EXPECT_LE(report.balance_max_over_mean, 1.6);
+  EXPECT_GT(report.swap_ins, 0u);
+
+  // No cross-device key collisions: every key stored anywhere in the pool
+  // appears exactly once (SwapKey = minting device << 32 | counter).
+  std::set<SwapKey> seen;
+  size_t total_entries = 0;
+  for (size_t i = 0; i < driver.store_count(); ++i) {
+    for (SwapKey key : driver.store_at(i)->Keys()) {
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate key";
+      ++total_entries;
+    }
+  }
+  EXPECT_EQ(seen.size(), total_entries);
+  EXPECT_EQ(total_entries, 12u * 3u * 2u);
 }
 
 }  // namespace
