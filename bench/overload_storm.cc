@@ -1,0 +1,271 @@
+// Overload-storm gate: a correlated outage plus a demand-fault storm
+// against tightly queued stores, with the overload controls on vs off.
+//
+// The scripted failure is the fleet's worst hour: steady swap activity, a
+// correlated outage that silently kills a chunk of the store pool, then
+// every device demand-faulting clusters while all the durability monitors
+// re-replicate the dead replicas through the same surviving stores — whose
+// admission queues are deliberately tightened to a couple of slots so the
+// pool saturates and sheds. Both configurations face the identical storm;
+// the only difference is the overload machinery:
+//
+//   controls-on:  a tight bounded queue with store-side priority shedding
+//                 (demand > swap-out > hedge > prefetch > maintenance),
+//                 per-store client retry budgets (retries earn tokens only
+//                 from successes), and AIMD pacing of the repair sweep /
+//                 tier write-back / prefetch drain. Excess load is refused
+//                 with retry-after pushback, so demand delay stays bounded
+//                 by the queue it is guaranteed a share of.
+//   controls-off: the same service model but an effectively unbounded FIFO
+//                 — nothing is ever refused, so the saturated pool absorbs
+//                 every request and the backlog (and with it every demand
+//                 fault's queueing delay) grows for as long as the storm
+//                 offers more work than the survivors can serve. Retries
+//                 are unbudgeted, repair sweeps open-loop.
+//
+// Gates (exit nonzero on failure; CI re-checks them from the JSON):
+//   1. demand-fault p95 stall: controls-on must be >= 3x better than off —
+//      shedding keeps the demand path's queue share and budgets stop the
+//      backoff/retry-after sleeps from taxing every fault;
+//   2. retry amplification (wire attempts / logical calls over the storm
+//      window): <= 2.0 with controls on while the off run exceeds it — the
+//      storm must not multiply itself through the radio;
+//   3. recovery: both runs converge back to K with no cluster lost, and
+//      the on run actually shed (the storm saturated the pool).
+//
+// `--json [path]` dumps the table to BENCH_overload_storm.json;
+// `--trace=<path>` dumps the per-phase span trace.
+#include <cstdio>
+#include <string>
+
+#include "bench_json.h"
+#include "obiswap/obiswap.h"
+
+namespace {
+
+using namespace obiswap;  // NOLINT
+
+constexpr size_t kDevices = 48;
+constexpr size_t kStores = 16;
+constexpr int kClustersPerDevice = 3;
+constexpr int kObjectsPerCluster = 10;
+// Three replicas per cluster: the outage injector refuses to orphan a
+// cluster, and at K=2 almost every store pair backs one, so it can only
+// find a couple of independent victims. K=3 lets the scripted outage
+// actually take down the requested fraction of the pool.
+constexpr size_t kReplicationFactor = 3;
+constexpr int kSteadyRounds = 2;
+constexpr double kOutageFraction = 0.75;
+constexpr int kStormPolls = 12;
+constexpr int kMaxRecoveryPolls = 400;
+/// Six misses mark a silent store departed: the dead stores stay announced
+/// for half the storm, so demand and re-replication traffic keep colliding
+/// with them — and the unbudgeted baseline burns its full retry series
+/// against every dead replica until detection finally prunes them.
+constexpr int kMissThreshold = 6;
+
+// The storm-mode service model: one service slot per store, with a service
+// time past the pool's storm-time inter-arrival gap so the survivors are
+// genuinely oversubscribed. The bounded configuration grants one waiting
+// slot (demand keeps it, maintenance gets none); the unbounded baseline
+// queues everything.
+constexpr size_t kQueueConcurrency = 1;
+constexpr size_t kQueueLimit = 1;
+constexpr size_t kUnboundedQueueLimit = 1'000'000;
+constexpr uint64_t kQueueServiceUs = 2'000'000;
+
+constexpr double kStallGate = 3.0;          ///< off p95 / on p95 must reach
+constexpr double kAmplificationGate = 2.0;  ///< on must stay under; off over
+
+struct Run {
+  fleet::StormReport storm;
+  fleet::FleetReport report;        ///< final, post-recovery
+  uint64_t storm_logical_calls = 0;  ///< storm-window StoreClient calls
+  uint64_t storm_wire_attempts = 0;  ///< storm-window envelopes on the radio
+  size_t stores_killed = 0;
+  int recovery_polls = -1;  ///< -1: never converged
+  bool build_ok = false;
+};
+
+double Amplification(const Run& run) {
+  if (run.storm_logical_calls == 0) return 0.0;
+  return static_cast<double>(run.storm_wire_attempts) /
+         static_cast<double>(run.storm_logical_calls);
+}
+
+/// Steady rounds, tight queues, a correlated outage, the demand storm,
+/// recovery to K — identical script for both configurations.
+Run Exercise(bool controls_on, telemetry::Telemetry* trace) {
+  Run run;
+  fleet::FleetOptions options;
+  options.devices = kDevices;
+  options.stores = kStores;
+  options.clusters_per_device = kClustersPerDevice;
+  options.objects_per_cluster = kObjectsPerCluster;
+  options.replication_factor = kReplicationFactor;
+  options.miss_threshold = kMissThreshold;
+  options.overload_controls = controls_on;
+  fleet::FleetDriver driver(options);
+
+  const char* tag = controls_on ? "controls-on" : "controls-off";
+  Status built = driver.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.ToString().c_str());
+    return run;
+  }
+  run.build_ok = true;
+  // The network — and the virtual clock the spans stamp from — exists
+  // only after Build().
+  trace->AttachClock(&driver.clock());
+  {
+    telemetry::ScopedSpan span(trace, std::string("build:") + tag, "storm");
+    OBISWAP_CHECK(driver.RunRounds(kSteadyRounds).ok());
+  }
+
+  // Queues tighten only after the build/steady phase — setup traffic is
+  // never queued, the storm alone runs against saturating stores. Both
+  // configurations pay the same per-request service cost; only the
+  // admission bound differs.
+  net::StoreNode::QueueOptions queue;
+  queue.enabled = true;
+  queue.concurrency = kQueueConcurrency;
+  queue.queue_limit = controls_on ? kQueueLimit : kUnboundedQueueLimit;
+  queue.service_time_us = kQueueServiceUs;
+  queue.priority_shedding = controls_on;
+  driver.ConfigureStoreQueues(queue);
+
+  run.stores_killed = driver.InjectCorrelatedOutage(kOutageFraction);
+  fleet::FleetReport before = driver.Report();
+  {
+    telemetry::ScopedSpan span(trace, std::string("storm:") + tag, "storm");
+    Result<fleet::StormReport> storm = driver.RunRecoveryStorm(kStormPolls);
+    OBISWAP_CHECK(storm.ok());
+    run.storm = *storm;
+  }
+  fleet::FleetReport after = driver.Report();
+  run.storm_logical_calls = after.logical_calls - before.logical_calls;
+  run.storm_wire_attempts = after.wire_attempts - before.wire_attempts;
+
+  {
+    telemetry::ScopedSpan span(trace, std::string("recover:") + tag,
+                               "storm");
+    Result<int> recovered = driver.RunUntilRecovered(kMaxRecoveryPolls);
+    if (recovered.ok()) run.recovery_polls = *recovered;
+  }
+  run.report = driver.Report();
+  return run;
+}
+
+void AddRow(benchjson::JsonWriter& json, const char* config, const Run& run) {
+  const fleet::FleetReport& r = run.report;
+  std::printf(
+      "%-13s  %3zu/%3zu stores live  p95 stall %7llu us (max %llu)  "
+      "%llu faults (%llu failed)  amp %.2f  sheds %llu  "
+      "budget-stops %llu  recovery %d polls\n",
+      config, r.live_stores, kStores,
+      (unsigned long long)run.storm.p95_stall_us,
+      (unsigned long long)run.storm.max_stall_us,
+      (unsigned long long)run.storm.demand_faults,
+      (unsigned long long)run.storm.demand_failures, Amplification(run),
+      (unsigned long long)r.store_sheds,
+      (unsigned long long)r.retry_budget_exhausted, run.recovery_polls);
+  json.BeginRow();
+  json.Add("config", std::string(config));
+  json.Add("devices", static_cast<uint64_t>(kDevices));
+  json.Add("stores", static_cast<uint64_t>(kStores));
+  json.Add("live_stores", static_cast<uint64_t>(r.live_stores));
+  json.Add("stores_killed", static_cast<uint64_t>(run.stores_killed));
+  json.Add("storm_polls", static_cast<int64_t>(run.storm.polls));
+  json.Add("demand_faults", run.storm.demand_faults);
+  json.Add("demand_failures", run.storm.demand_failures);
+  json.Add("p95_stall_us", run.storm.p95_stall_us);
+  json.Add("max_stall_us", run.storm.max_stall_us);
+  json.Add("total_stall_us", run.storm.total_stall_us);
+  json.Add("storm_logical_calls", run.storm_logical_calls);
+  json.Add("storm_wire_attempts", run.storm_wire_attempts);
+  json.Add("retry_amplification", Amplification(run));
+  json.Add("client_pushbacks", r.client_pushbacks);
+  json.Add("store_sheds", r.store_sheds);
+  json.Add("shed_demand", r.store_sheds_by_class[0]);
+  json.Add("shed_swap_out", r.store_sheds_by_class[1]);
+  json.Add("shed_hedge", r.store_sheds_by_class[2]);
+  json.Add("shed_prefetch", r.store_sheds_by_class[3]);
+  json.Add("shed_maintenance", r.store_sheds_by_class[4]);
+  json.Add("queue_wait_us", r.queue_wait_us);
+  json.Add("max_queue_depth", r.max_queue_depth);
+  json.Add("retry_budget_exhausted", r.retry_budget_exhausted);
+  json.Add("repairs_paced", r.repairs_paced);
+  json.Add("recovery_polls", static_cast<int64_t>(run.recovery_polls));
+  json.Add("clusters_below_k", static_cast<uint64_t>(r.clusters_below_k));
+  json.Add("clusters_lost", static_cast<uint64_t>(r.clusters_lost));
+  json.Add("virtual_us", r.virtual_us);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "overload_storm: %zu devices x %zu stores, K=%zu, %d%% correlated "
+      "outage,\n%d-poll demand storm against %zu+%zu-slot store queues "
+      "(%llu us service)\n\n",
+      kDevices, kStores, kReplicationFactor,
+      static_cast<int>(kOutageFraction * 100), kStormPolls,
+      kQueueConcurrency, kQueueLimit, (unsigned long long)kQueueServiceUs);
+
+  telemetry::Telemetry trace;
+  benchjson::JsonWriter json;
+  Run on = Exercise(/*controls_on=*/true, &trace);
+  Run off = Exercise(/*controls_on=*/false, &trace);
+  if (!on.build_ok || !off.build_ok) return 1;
+  AddRow(json, "controls-on", on);
+  AddRow(json, "controls-off", off);
+
+  // Gate 1: demand-fault p95 stall, on vs off.
+  const double on_p95 =
+      static_cast<double>(on.storm.p95_stall_us > 0 ? on.storm.p95_stall_us
+                                                    : 1);
+  const double stall_ratio =
+      static_cast<double>(off.storm.p95_stall_us) / on_p95;
+  const bool stall_gate =
+      off.storm.p95_stall_us > 0 && stall_ratio >= kStallGate;
+
+  // Gate 2: retry amplification over the storm window.
+  const double on_amp = Amplification(on);
+  const double off_amp = Amplification(off);
+  const bool amplification_gate = on_amp > 0.0 &&
+                                  on_amp <= kAmplificationGate &&
+                                  off_amp > kAmplificationGate;
+
+  // Gate 3: the storm was real (the pool shed under controls-on) and both
+  // runs still converged back to K without losing a cluster.
+  const bool recovery_gate =
+      on.report.store_sheds > 0 && on.recovery_polls >= 0 &&
+      off.recovery_polls >= 0 && on.report.clusters_below_k == 0 &&
+      on.report.clusters_lost == 0 && off.report.clusters_below_k == 0 &&
+      off.report.clusters_lost == 0;
+
+  std::printf(
+      "\ngates: p95 stall off/on %.2fx (need >= %.1fx) %s | amplification "
+      "on %.2f (need <= %.1f) vs off %.2f (need > %.1f) %s | sheds %llu, "
+      "recovered on=%d off=%d polls, lost %zu/%zu %s\n",
+      stall_ratio, kStallGate, stall_gate ? "ok" : "FAIL", on_amp,
+      kAmplificationGate, off_amp, kAmplificationGate,
+      amplification_gate ? "ok" : "FAIL",
+      (unsigned long long)on.report.store_sheds, on.recovery_polls,
+      off.recovery_polls, on.report.clusters_lost, off.report.clusters_lost,
+      recovery_gate ? "ok" : "FAIL");
+
+  json.BeginRow();
+  json.Add("config", std::string("gate"));
+  json.Add("stall_ratio", stall_ratio);
+  json.Add("on_amplification", on_amp);
+  json.Add("off_amplification", off_amp);
+  json.Add("stall_gate", std::string(stall_gate ? "ok" : "fail"));
+  json.Add("amplification_gate",
+           std::string(amplification_gate ? "ok" : "fail"));
+  json.Add("recovery_gate", std::string(recovery_gate ? "ok" : "fail"));
+
+  benchjson::MaybeWriteJson(argc, argv, json, "BENCH_overload_storm.json");
+  if (!benchjson::MaybeWriteTrace(argc, argv, trace)) return 1;
+  return stall_gate && amplification_gate && recovery_gate ? 0 : 1;
+}

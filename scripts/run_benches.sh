@@ -48,6 +48,7 @@ expected=(
   BENCH_degraded_mode.json
   BENCH_tier_hierarchy.json
   BENCH_fleet_scale.json
+  BENCH_overload_storm.json
 )
 # Telemetry-instrumented benches must also drop a span trace.
 expected_traces=(
@@ -57,6 +58,7 @@ expected_traces=(
   BENCH_prefetch_stall_trace.json
   BENCH_degraded_mode_trace.json
   BENCH_tier_hierarchy_trace.json
+  BENCH_overload_storm_trace.json
 )
 failed=0
 for f in "${expected[@]}"; do
@@ -213,6 +215,57 @@ print(f"fleet gate: balance {directory['balance_max_over_mean']:.3f}, "
       f"churn scans/poll {gate['incremental_scan_per_poll']:.0f} vs "
       f"baseline {gate['baseline_scan_per_poll']:.0f}, recovery "
       f"{directory['recovery_polls']} polls — ok")
+PYEOF
+  then
+    failed=1
+  fi
+fi
+
+# Overload-storm contract: re-check the three gates from the artifact (the
+# bare-rerun fallback above would mask a nonzero bench exit). With the
+# overload controls on, the demand-fault p95 stall must beat the unbounded
+# baseline by >= 3x, retry amplification (wire attempts / logical calls over
+# the storm window) must stay <= 2.0 while the unbudgeted baseline exceeds
+# it, the controls-on run must actually shed, and both runs must converge
+# back to K with no cluster lost.
+if command -v python3 >/dev/null 2>&1 && [ -f BENCH_overload_storm.json ]; then
+  if ! python3 - BENCH_overload_storm.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    rows = json.load(fh)["rows"]
+by_config = {r["config"]: r for r in rows}
+for config in ("controls-on", "controls-off", "gate"):
+    if config not in by_config:
+        sys.exit(f"overload_storm: missing '{config}' row")
+gate = by_config["gate"]
+for name in ("stall_gate", "amplification_gate", "recovery_gate"):
+    if gate.get(name) != "ok":
+        sys.exit(f"overload_storm: {name} failed: {gate}")
+on, off = by_config["controls-on"], by_config["controls-off"]
+ratio = off["p95_stall_us"] / max(on["p95_stall_us"], 1)
+if ratio < 3.0:
+    sys.exit(f"overload_storm: p95 stall off/on {ratio:.2f}x below 3x "
+             f"(off {off['p95_stall_us']} us, on {on['p95_stall_us']} us)")
+if on["retry_amplification"] > 2.0:
+    sys.exit(f"overload_storm: controls-on amplification "
+             f"{on['retry_amplification']} exceeds 2.0")
+if off["retry_amplification"] <= 2.0:
+    sys.exit(f"overload_storm: controls-off amplification "
+             f"{off['retry_amplification']} never exceeded 2.0 — the storm "
+             f"did not stress the retry path")
+if on["store_sheds"] == 0:
+    sys.exit("overload_storm: controls-on run never shed — the storm did "
+             "not saturate the pool")
+for row in (on, off):
+    if row["clusters_below_k"] or row["clusters_lost"]:
+        sys.exit(f"overload_storm: {row['config']} ended with "
+                 f"{row['clusters_below_k']} clusters below K, "
+                 f"{row['clusters_lost']} lost")
+    if row["recovery_polls"] < 0:
+        sys.exit(f"overload_storm: {row['config']} never converged")
+print(f"overload gate: p95 stall off/on {ratio:.2f}x, amplification "
+      f"on {on['retry_amplification']:.2f} vs off "
+      f"{off['retry_amplification']:.2f}, sheds {on['store_sheds']} — ok")
 PYEOF
   then
     failed=1

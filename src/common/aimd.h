@@ -1,0 +1,99 @@
+// AIMD pacer for background store-traffic producers.
+//
+// The durability repair sweep, the tier write-back path and the prefetch
+// drain are all open-loop producers: left alone they submit as much work
+// per poll as they can find, which is exactly wrong while the store pool is
+// shedding load. An AimdPacer bounds how many operations one batch (sweep,
+// drain) may launch; the cap opens additively on success and halves on
+// pushback, the classic TCP-style response that converges on the store's
+// actual service rate without any explicit signalling beyond the pushback
+// status itself.
+//
+// Deterministic by construction: integer cap, no time source, no
+// randomness. Disabled (the default) it admits everything, so attaching a
+// pacer is byte-parity-safe until a policy or option switches it on.
+#pragma once
+
+#include <cstdint>
+
+namespace obiswap {
+
+class AimdPacer {
+ public:
+  struct Options {
+    bool enabled = false;
+    uint32_t min_cap = 1;      ///< floor after repeated pushback
+    uint32_t max_cap = 64;     ///< ceiling the additive increase stops at
+    uint32_t initial_cap = 4;  ///< cap before any feedback arrives
+  };
+
+  struct Stats {
+    uint64_t windows = 0;    ///< batches started
+    uint64_t admitted = 0;   ///< operations allowed through
+    uint64_t deferred = 0;   ///< operations refused (cap reached)
+    uint64_t raises = 0;     ///< additive increases applied
+    uint64_t backoffs = 0;   ///< multiplicative decreases applied
+  };
+
+  AimdPacer() : AimdPacer(Options()) {}
+  explicit AimdPacer(Options options)
+      : options_(options), cap_(ClampCap(options.initial_cap)) {}
+
+  bool enabled() const { return options_.enabled; }
+  void set_enabled(bool enabled) { options_.enabled = enabled; }
+  uint32_t cap() const { return cap_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Starts a new batch; the in-window admission count resets but the cap
+  /// carries over (the feedback loop spans batches).
+  void BeginWindow() {
+    in_window_ = 0;
+    ++stats_.windows;
+  }
+
+  /// True if the current batch may launch one more operation. Disabled
+  /// pacers admit everything.
+  bool Admit() {
+    if (!options_.enabled) {
+      ++stats_.admitted;
+      return true;
+    }
+    if (in_window_ >= cap_) {
+      ++stats_.deferred;
+      return false;
+    }
+    ++in_window_;
+    ++stats_.admitted;
+    return true;
+  }
+
+  /// Additive increase: the store served us, the cap can open one notch.
+  void OnSuccess() {
+    if (!options_.enabled) return;
+    if (cap_ < ClampCap(options_.max_cap)) {
+      ++cap_;
+      ++stats_.raises;
+    }
+  }
+
+  /// Multiplicative decrease: the store shed us, halve the cap.
+  void OnPushback() {
+    if (!options_.enabled) return;
+    uint32_t halved = cap_ / 2;
+    cap_ = halved < options_.min_cap ? ClampCap(options_.min_cap) : halved;
+    ++stats_.backoffs;
+  }
+
+ private:
+  uint32_t ClampCap(uint32_t cap) const {
+    uint32_t floor = options_.min_cap > 0 ? options_.min_cap : 1;
+    return cap < floor ? floor : cap;
+  }
+
+  Options options_;
+  uint32_t cap_;
+  uint32_t in_window_ = 0;
+  Stats stats_;
+};
+
+}  // namespace obiswap

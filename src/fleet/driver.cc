@@ -24,6 +24,7 @@ constexpr uint32_t kStoreIdBase = 1'000'000;
 swap::SwappingManager::Options ManagerOptions(const FleetOptions& options) {
   swap::SwappingManager::Options out;
   out.replication_factor = options.replication_factor;
+  out.write_back_pacer.enabled = options.overload_controls;
   return out;
 }
 }  // namespace
@@ -40,8 +41,17 @@ struct FleetDriver::DeviceWorld {
         manager(rt, ManagerOptions(options)) {
     manager.AttachStore(&client, &discovery);
     manager.AttachBus(&bus);
+    if (options.overload_controls) {
+      // Client-side storm damping: per-store retry budgets plus priority
+      // stamping so priority-shedding stores can classify the traffic.
+      net::StoreClient::RetryBudgetOptions budget;
+      budget.enabled = true;
+      client.set_retry_budget(budget);
+      client.set_annotate_priority(true);
+    }
     swap::DurabilityMonitor::Options monitor_options;
     monitor_options.miss_threshold = options.miss_threshold;
+    monitor_options.repair_pacer.enabled = options.overload_controls;
     monitor = std::make_unique<swap::DurabilityMonitor>(
         manager, discovery, self, bus, nullptr, monitor_options);
     if (options.use_directory) {
@@ -243,6 +253,62 @@ Result<int> FleetDriver::RunUntilRecovered(int max_polls) {
   }
 }
 
+void FleetDriver::ConfigureStoreQueues(
+    const net::StoreNode::QueueOptions& queue) {
+  for (size_t i = 0; i < stores_.size(); ++i) {
+    if (store_dead_[i]) continue;
+    stores_[i]->ConfigureQueue(queue);
+  }
+}
+
+Result<StormReport> FleetDriver::RunRecoveryStorm(int polls) {
+  if (network_ == nullptr) return FailedPreconditionError("Build() first");
+  StormReport report;
+  std::vector<uint64_t> stalls;
+  for (int p = 0; p < polls; ++p) {
+    for (size_t d = 0; d < devices_.size(); ++d) {
+      DeviceWorld& world = *devices_[d];
+      if (world.clusters.empty()) continue;
+      SwapClusterId cluster =
+          world.clusters[(static_cast<size_t>(rounds_run_) + d) %
+                         world.clusters.size()];
+      if (world.manager.StateOf(cluster) != swap::SwapState::kSwapped)
+        continue;
+      // A demand fault's stall is what the application would feel: the
+      // virtual time the swap-in consumed (transfers, backoff, retry-after
+      // sleeps) plus the deterministic store queueing delay charged to the
+      // device's calls during it (waiting callers do not block the shared
+      // clock — see StoreNode::QueueOptions).
+      const uint64_t clock_before = network_->clock().now_us();
+      const uint64_t wait_before = world.client.stats().queue_wait_us;
+      Status faulted = world.manager.SwapIn(cluster);
+      ++report.demand_faults;
+      const uint64_t stall =
+          (network_->clock().now_us() - clock_before) +
+          (world.client.stats().queue_wait_us - wait_before);
+      stalls.push_back(stall);
+      report.total_stall_us += stall;
+      report.max_stall_us = std::max(report.max_stall_us, stall);
+      if (!faulted.ok()) {
+        ++report.demand_failures;
+        continue;  // replicas still dead or budget-exhausted: storm goes on
+      }
+      Status out = world.manager.SwapOut(cluster).status();
+      if (!out.ok()) ++report.demand_failures;
+    }
+    PollAll();
+    ++rounds_run_;
+    ++report.polls;
+  }
+  if (!stalls.empty()) {
+    std::sort(stalls.begin(), stalls.end());
+    size_t index = (stalls.size() * 95) / 100;
+    if (index >= stalls.size()) index = stalls.size() - 1;
+    report.p95_stall_us = stalls[index];
+  }
+  return report;
+}
+
 FleetReport FleetDriver::Report() const {
   FleetReport report;
   for (const auto& world : devices_) {
@@ -258,6 +324,26 @@ FleetReport FleetDriver::Report() const {
     report.stores_departed += monitor_stats.stores_departed;
     report.scan_replicas += monitor_stats.scan_replicas;
     report.full_scan_replicas += monitor_stats.full_scan_replicas;
+    report.repairs_paced += monitor_stats.repairs_paced;
+    const net::StoreClient::Stats& client_stats = world->client.stats();
+    report.logical_calls += client_stats.calls;
+    report.wire_attempts += client_stats.wire_attempts;
+    report.client_pushbacks += client_stats.pushbacks;
+    for (int c = 0; c < net::kPriorityClasses; ++c)
+      report.client_pushbacks_by_class[c] +=
+          client_stats.pushbacks_by_class[c];
+    report.retry_budget_exhausted += client_stats.retry_budget_exhausted;
+    report.queue_wait_us += client_stats.queue_wait_us;
+    report.max_queue_depth =
+        std::max(report.max_queue_depth, client_stats.max_store_queue_depth);
+  }
+  for (const auto& store : stores_) {
+    const net::StoreNode::Stats& store_stats = store->stats();
+    report.store_sheds += store_stats.shed_total;
+    for (int c = 0; c < net::kPriorityClasses; ++c)
+      report.store_sheds_by_class[c] += store_stats.shed_by_class[c];
+    report.max_queue_depth =
+        std::max(report.max_queue_depth, store_stats.max_queue_depth);
   }
   size_t max_entries = 0;
   uint64_t total_entries = 0;

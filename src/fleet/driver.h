@@ -24,11 +24,11 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "net/store_node.h"
 
 namespace obiswap::net {
 class Network;
 class Discovery;
-class StoreNode;
 class SimClock;
 }  // namespace obiswap::net
 
@@ -47,6 +47,11 @@ struct FleetOptions {
   /// false: the legacy nearby-store walk + full monitor scans (baseline).
   bool use_directory = true;
   uint64_t seed = 11;              ///< network RNG seed
+  /// Client/producer-side overload controls: per-store retry budgets,
+  /// priority annotation on every request, and AIMD pacing of the repair
+  /// sweep and tier write-back. Store-side queues are configured
+  /// separately (ConfigureStoreQueues) so setup traffic never queues.
+  bool overload_controls = false;
 };
 
 /// Aggregate fleet metrics, summed across every device runtime.
@@ -69,6 +74,27 @@ struct FleetReport {
   size_t clusters_lost = 0;        ///< swapped clusters with zero replicas
   /// Aggregate swap operations per virtual second.
   double swap_ops_per_s = 0.0;
+  // --- overload accounting (all zero while the knobs are off) --------------
+  uint64_t logical_calls = 0;      ///< StoreClient calls across the fleet
+  uint64_t wire_attempts = 0;      ///< request envelopes actually sent
+  uint64_t client_pushbacks = 0;   ///< shed responses clients received
+  uint64_t client_pushbacks_by_class[net::kPriorityClasses] = {0, 0, 0, 0, 0};
+  uint64_t retry_budget_exhausted = 0;
+  uint64_t queue_wait_us = 0;      ///< store queueing delay charged to calls
+  uint64_t max_queue_depth = 0;    ///< deepest store backlog observed
+  uint64_t store_sheds = 0;        ///< store-side rejections (all stores)
+  uint64_t store_sheds_by_class[net::kPriorityClasses] = {0, 0, 0, 0, 0};
+  uint64_t repairs_paced = 0;      ///< sweep repairs deferred by AIMD caps
+};
+
+/// What one scripted recovery storm did (see RunRecoveryStorm).
+struct StormReport {
+  int polls = 0;                ///< storm polls executed
+  uint64_t demand_faults = 0;   ///< demand swap-ins attempted during storm
+  uint64_t demand_failures = 0;  ///< demand swap-ins that failed
+  uint64_t total_stall_us = 0;  ///< summed demand stall (clock + queue wait)
+  uint64_t p95_stall_us = 0;    ///< 95th-percentile demand stall
+  uint64_t max_stall_us = 0;
 };
 
 /// One virtual-time fleet simulation. Build() wires the world; the
@@ -107,6 +133,21 @@ class FleetDriver {
   /// cluster with a surviving replica is back at K replicas, or
   /// `max_polls` is exhausted (kDeadlineExceeded). Returns polls used.
   Result<int> RunUntilRecovered(int max_polls);
+
+  /// Applies one bounded-queue configuration to every live store node.
+  /// Called after Build()/steady-state rounds so setup traffic is never
+  /// shed; the storm then runs against saturating stores.
+  void ConfigureStoreQueues(const net::StoreNode::QueueOptions& queue);
+
+  /// The recovery-storm script: for `polls` rounds, every device demand-
+  /// faults one swapped cluster (and swaps it back out) while the monitors
+  /// repair the outage underneath — demand traffic and repair traffic
+  /// compete for the surviving stores. Each demand swap-in's stall is the
+  /// virtual time it consumed plus the store queueing delay charged to the
+  /// device's calls during it; the report carries the p95 over all
+  /// samples. Demand failures (replicas still dead, budgets exhausted) are
+  /// counted, not fatal — the storm is *supposed* to overload the pool.
+  Result<StormReport> RunRecoveryStorm(int polls);
 
   FleetReport Report() const;
 

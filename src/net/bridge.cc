@@ -18,6 +18,19 @@ std::string ErrorResponse(StatusCode code, const std::string& message) {
   return xml::Write(*response);
 }
 
+/// Admission-control rejection: kResourceExhausted plus the retry-after
+/// hint and the queue depth at arrival. The "pushback" message prefix is
+/// the wire-level marker IsPushback() keys on client-side.
+std::string PushbackResponse(const StoreNode::AdmitResult& result) {
+  auto response = xml::Node::Element("response");
+  response->SetAttr("status", StatusCodeName(StatusCode::kResourceExhausted));
+  response->SetAttr("message", "pushback: store saturated");
+  response->SetIntAttr("retry_after_us",
+                       static_cast<int64_t>(result.retry_after_us));
+  response->SetIntAttr("depth", static_cast<int64_t>(result.depth));
+  return xml::Write(*response);
+}
+
 std::string OkResponse(const std::string* payload = nullptr) {
   auto response = xml::Node::Element("response");
   response->SetAttr("status", "OK");
@@ -49,9 +62,41 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// What the retry loop needs to know about a pushback envelope, peeked
+/// without disturbing the normal ParseResponse path.
+struct PushbackInfo {
+  bool is_pushback = false;
+  uint64_t retry_after_us = 0;
+  uint64_t depth = 0;
+  std::string message;
+};
+
+PushbackInfo PeekPushback(const std::string& response_xml) {
+  PushbackInfo info;
+  auto parsed = xml::Parse(response_xml);
+  if (!parsed.ok()) return info;
+  const xml::Node& response = **parsed;
+  const std::string* status_name = response.FindAttr("status");
+  if (status_name == nullptr ||
+      *status_name != StatusCodeName(StatusCode::kResourceExhausted)) {
+    return info;
+  }
+  const std::string* message = response.FindAttr("message");
+  if (message == nullptr || message->rfind("pushback", 0) != 0) return info;
+  info.is_pushback = true;
+  info.message = *message;
+  auto retry_after = response.GetIntAttr("retry_after_us");
+  if (retry_after.ok() && *retry_after > 0)
+    info.retry_after_us = static_cast<uint64_t>(*retry_after);
+  auto depth = response.GetIntAttr("depth");
+  if (depth.ok() && *depth > 0) info.depth = static_cast<uint64_t>(*depth);
+  return info;
+}
+
 }  // namespace
 
-std::string StoreService::Handle(const std::string& request_xml) {
+std::string StoreService::Handle(const std::string& request_xml,
+                                 uint64_t now_us, uint64_t* queue_wait_us) {
   auto parsed = xml::Parse(request_xml);
   if (!parsed.ok())
     return ErrorResponse(StatusCode::kInvalidArgument,
@@ -66,6 +111,23 @@ std::string StoreService::Handle(const std::string& request_xml) {
   if (!key_attr.ok())
     return ErrorResponse(StatusCode::kInvalidArgument, "missing key");
   SwapKey key(static_cast<uint64_t>(*key_attr));
+
+  // Admission control: well-formed requests queue against the node's
+  // bounded virtual-time service model before any store work happens. An
+  // unstamped request (annotation off, legacy caller) is treated as demand
+  // class — the strictest shedding applies only to traffic that opted in.
+  if (node_.queue_options().enabled) {
+    Priority priority = Priority::kDemandSwapIn;
+    if (request.FindAttr("pri") != nullptr) {
+      auto pri_attr = request.GetIntAttr("pri");
+      if (!pri_attr.ok() || *pri_attr < 0 || *pri_attr >= kPriorityClasses)
+        return ErrorResponse(StatusCode::kInvalidArgument, "bad pri");
+      priority = static_cast<Priority>(*pri_attr);
+    }
+    StoreNode::AdmitResult admit = node_.Admit(now_us, priority);
+    if (!admit.admitted) return PushbackResponse(admit);
+    if (queue_wait_us != nullptr) *queue_wait_us = admit.queue_wait_us;
+  }
 
   if (*op == "store") {
     const xml::Node* payload = request.FindChild("payload");
@@ -170,7 +232,8 @@ std::vector<StoreNode*> Discovery::NearbyStores(DeviceId from,
 Result<std::string> StoreClient::Call(DeviceId device, SwapKey key,
                                       const char* op,
                                       const std::string& request_xml,
-                                      uint64_t deadline_us) {
+                                      uint64_t deadline_us,
+                                      Priority priority) {
   telemetry::ScopedSpan rpc_span(telemetry_, std::string("rpc:") + op, "net",
                                  telemetry::Hist(telemetry_, "rpc_us"));
   if (telemetry_ != nullptr)
@@ -196,12 +259,39 @@ Result<std::string> StoreClient::Call(DeviceId device, SwapKey key,
     return used >= deadline_us ? 0 : deadline_us - used;
   };
   Status last = UnavailableError("no attempt made");
+  // While the last attempt was shed, this holds its envelope (returned
+  // verbatim on exhaustion so wrappers parse the real pushback status) and
+  // the store's retry-after hint replaces the exponential backoff series.
+  std::string pushback_response;
+  uint64_t pushback_wait_us = 0;
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
     if (attempt > 0) {
+      // Retry budget: a retry must be covered by this store's token
+      // bucket or the call fast-fails with what it has — no radio, no
+      // backoff sleep. This is what bounds retry amplification in a storm.
+      if (budget_options_.enabled && !SpendRetryToken(device)) {
+        ++stats_.retry_budget_exhausted;
+        if (!pushback_response.empty()) return pushback_response;
+        return last;
+      }
       ++stats_.retries;
       if (telemetry_ != nullptr)
         telemetry_->metrics().GetCounter("rpc_retries").Increment();
-      if (backoff_base_us_ > 0) {
+      if (pushback_wait_us > 0) {
+        // Shed by admission control: honor the store's deterministic
+        // retry-after hint instead of doubling a blind series. A hint at
+        // or past the remaining budget cannot succeed — fail fast rather
+        // than sleep into the deadline.
+        if (pushback_wait_us >= budget_left()) {
+          ++stats_.deadline_failures;
+          return DeadlineExceededError(
+              "pushback retry-after " + std::to_string(pushback_wait_us) +
+              "us exceeds rpc budget");
+        }
+        network_.clock().Advance(pushback_wait_us);
+        stats_.backoff_us += pushback_wait_us;
+        ++stats_.pushback_retries;
+      } else if (backoff_base_us_ > 0) {
         // Exponential backoff in virtual time: 1x, 2x, 4x, ... so lossy
         // links charge an honest retransmission delay to the clock. The
         // shift saturates (a raised max_attempts must not overflow) and
@@ -229,6 +319,8 @@ Result<std::string> StoreClient::Call(DeviceId device, SwapKey key,
                                      std::to_string(attempt));
       }
     }
+    pushback_wait_us = 0;
+    pushback_response.clear();
     // One child span per wire attempt: a traced retry storm shows each
     // retransmission (and its backoff gap) inside the enclosing rpc span.
     telemetry::ScopedSpan attempt_span(telemetry_, "rpc_attempt", "net");
@@ -244,23 +336,48 @@ Result<std::string> StoreClient::Call(DeviceId device, SwapKey key,
         health_->RecordOutcome(device, /*ok=*/false,
                                network_.clock().now_us() - attempt_begin_us);
     };
+    ++stats_.wire_attempts;
     Result<uint64_t> out =
         network_.Transfer(self_, device, request_xml.size(), budget_left());
     if (!out.ok()) {
       fail_attempt(out.status());
     } else {
       stats_.bytes_sent += request_xml.size();
-      std::string response = service->Handle(request_xml);
+      uint64_t queue_wait_us = 0;
+      std::string response = service->Handle(
+          request_xml, network_.clock().now_us(), &queue_wait_us);
       Result<uint64_t> back =
           network_.Transfer(device, self_, response.size(), budget_left());
       if (!back.ok()) {
         fail_attempt(back.status());
       } else {
         stats_.bytes_received += response.size();
+        PushbackInfo pushback = PeekPushback(response);
+        if (pushback.is_pushback) {
+          // Shed, not served. Neutral for the circuit breaker — an
+          // overloaded store is not a broken one, and tripping breakers
+          // on shed traffic would amplify the very storm the shedding is
+          // damping.
+          ++stats_.pushbacks;
+          ++stats_.pushbacks_by_class[static_cast<int>(priority)];
+          if (pushback.depth > stats_.max_store_queue_depth)
+            stats_.max_store_queue_depth = pushback.depth;
+          if (health_ != nullptr) health_->RecordPushback(device);
+          last = ResourceExhaustedError(pushback.message);
+          pushback_wait_us =
+              pushback.retry_after_us > 0 ? pushback.retry_after_us : 1;
+          pushback_response = std::move(response);
+          continue;
+        }
+        // Queue delay is real slowness: fold it into the health latency
+        // sample so hedging and EWMA react to store load, not just wire
+        // time. Zero while queues are off — byte-parity holds.
+        stats_.queue_wait_us += queue_wait_us;
         if (health_ != nullptr)
-          health_->RecordOutcome(
-              device, /*ok=*/true,
-              network_.clock().now_us() - attempt_begin_us);
+          health_->RecordOutcome(device, /*ok=*/true,
+                                 network_.clock().now_us() -
+                                     attempt_begin_us + queue_wait_us);
+        if (budget_options_.enabled) EarnRetryToken(device);
         return response;
       }
     }
@@ -273,7 +390,28 @@ Result<std::string> StoreClient::Call(DeviceId device, SwapKey key,
     // this call would only burn backoff time — fail fast instead.
     if (health_ != nullptr && health_->IsOpen(device)) break;
   }
+  if (!pushback_response.empty()) return pushback_response;
   return last;
+}
+
+bool StoreClient::SpendRetryToken(DeviceId device) {
+  auto [it, inserted] =
+      budget_tokens_.try_emplace(device, budget_options_.initial_centitokens);
+  if (it->second < budget_options_.cost_per_retry) return false;
+  it->second -= budget_options_.cost_per_retry;
+  stats_.retry_budget_spent += budget_options_.cost_per_retry;
+  return true;
+}
+
+void StoreClient::EarnRetryToken(DeviceId device) {
+  auto [it, inserted] =
+      budget_tokens_.try_emplace(device, budget_options_.initial_centitokens);
+  uint32_t headroom = budget_options_.max_centitokens > it->second
+                          ? budget_options_.max_centitokens - it->second
+                          : 0;
+  uint32_t earned = std::min(budget_options_.earn_per_success, headroom);
+  it->second += earned;
+  stats_.retry_budget_earned += earned;
 }
 
 namespace {
@@ -299,17 +437,20 @@ Result<std::string> ParseResponse(const std::string& response_xml,
 }  // namespace
 
 Status StoreClient::Store(DeviceId device, SwapKey key,
-                          const std::string& text, uint64_t deadline_us) {
+                          const std::string& text, uint64_t deadline_us,
+                          Priority priority) {
   auto request = xml::Node::Element("request");
   request->SetAttr("op", "store");
   request->SetIntAttr("key", static_cast<int64_t>(key.value()));
   // Content checksum: transit integrity + retry idempotency (see
   // StoreService::Handle).
   request->SetIntAttr("checksum", static_cast<int64_t>(Adler32(text)));
+  if (annotate_priority_)
+    request->SetIntAttr("pri", static_cast<int64_t>(priority));
   request->AddElement("payload")->AddText(text);
   OBISWAP_ASSIGN_OR_RETURN(
       std::string response,
-      Call(device, key, "store", xml::Write(*request), deadline_us));
+      Call(device, key, "store", xml::Write(*request), deadline_us, priority));
   OBISWAP_ASSIGN_OR_RETURN(std::string ignored,
                            ParseResponse(response, /*expect_payload=*/false));
   (void)ignored;
@@ -317,23 +458,29 @@ Status StoreClient::Store(DeviceId device, SwapKey key,
 }
 
 Result<std::string> StoreClient::Fetch(DeviceId device, SwapKey key,
-                                       uint64_t deadline_us) {
+                                       uint64_t deadline_us,
+                                       Priority priority) {
   auto request = xml::Node::Element("request");
   request->SetAttr("op", "fetch");
   request->SetIntAttr("key", static_cast<int64_t>(key.value()));
+  if (annotate_priority_)
+    request->SetIntAttr("pri", static_cast<int64_t>(priority));
   OBISWAP_ASSIGN_OR_RETURN(
       std::string response,
-      Call(device, key, "fetch", xml::Write(*request), deadline_us));
+      Call(device, key, "fetch", xml::Write(*request), deadline_us, priority));
   return ParseResponse(response, /*expect_payload=*/true);
 }
 
-Status StoreClient::Drop(DeviceId device, SwapKey key, uint64_t deadline_us) {
+Status StoreClient::Drop(DeviceId device, SwapKey key, uint64_t deadline_us,
+                         Priority priority) {
   auto request = xml::Node::Element("request");
   request->SetAttr("op", "drop");
   request->SetIntAttr("key", static_cast<int64_t>(key.value()));
+  if (annotate_priority_)
+    request->SetIntAttr("pri", static_cast<int64_t>(priority));
   OBISWAP_ASSIGN_OR_RETURN(
       std::string response,
-      Call(device, key, "drop", xml::Write(*request), deadline_us));
+      Call(device, key, "drop", xml::Write(*request), deadline_us, priority));
   OBISWAP_ASSIGN_OR_RETURN(std::string ignored,
                            ParseResponse(response, /*expect_payload=*/false));
   (void)ignored;

@@ -20,6 +20,15 @@
 
 namespace obiswap::net {
 
+/// True for the admission-control pushback status: a saturated (not
+/// broken, not full) store said "come back later". Retry pacers key their
+/// multiplicative backoff on exactly this; every other kResourceExhausted
+/// (e.g. a store at byte capacity) is terminal.
+inline bool IsPushback(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.message().rfind("pushback", 0) == 0;
+}
+
 /// Server side: turns request envelopes into StoreNode operations. This is
 /// the entirety of the software a swapping device needs.
 class StoreService {
@@ -28,7 +37,16 @@ class StoreService {
 
   /// Handles one XML request, returns the XML response (errors become
   /// response envelopes with a status attribute, never exceptions).
-  std::string Handle(const std::string& request_xml);
+  ///
+  /// `now_us` is the arrival's virtual time, consulted by the node's
+  /// admission controller when its queue is enabled; a request past the
+  /// bounded queue gets a pushback envelope (status RESOURCE_EXHAUSTED,
+  /// message "pushback...", `retry_after_us` + `depth` attributes) without
+  /// touching the store. Admitted requests report their deterministic
+  /// queueing delay through `queue_wait_us` (may be null). The defaults
+  /// keep direct callers (tests, older code) byte-identical.
+  std::string Handle(const std::string& request_xml, uint64_t now_us = 0,
+                     uint64_t* queue_wait_us = nullptr);
 
   StoreNode& node() { return node_; }
 
@@ -88,6 +106,31 @@ class StoreClient {
     uint64_t backoff_us = 0;  ///< virtual time spent waiting between retries
     uint64_t breaker_rejections = 0;  ///< calls refused by an open breaker
     uint64_t deadline_failures = 0;   ///< calls abandoned at their budget
+    // --- overload path (all zero while queues/budgets are off) -------------
+    uint64_t wire_attempts = 0;  ///< request envelopes actually transmitted
+    uint64_t pushbacks = 0;      ///< shed responses received
+    uint64_t pushbacks_by_class[kPriorityClasses] = {0, 0, 0, 0, 0};
+    uint64_t pushback_retries = 0;  ///< retries that honored retry-after
+    uint64_t queue_wait_us = 0;  ///< store queueing delay charged to calls
+    uint64_t retry_budget_exhausted = 0;  ///< retries refused, no radio
+    uint64_t retry_budget_earned = 0;     ///< centitokens earned (successes)
+    uint64_t retry_budget_spent = 0;      ///< centitokens spent (retries)
+    uint64_t max_store_queue_depth = 0;   ///< deepest depth a pushback showed
+  };
+
+  /// Per-store retry-budget token bucket (disabled by default — parity).
+  /// Retries earn tokens only from successes: each success deposits
+  /// `earn_per_success` centitokens, each retry withdraws
+  /// `cost_per_retry`. When a store's bucket cannot cover a retry, the
+  /// call fast-fails with its last error instead of touching the radio —
+  /// during a brownout the retry rate decays to ~earn/cost of the success
+  /// rate (10% at the defaults) instead of amplifying the storm.
+  struct RetryBudgetOptions {
+    bool enabled = false;
+    uint32_t initial_centitokens = 1000;  ///< fresh stores get some slack
+    uint32_t max_centitokens = 1000;
+    uint32_t earn_per_success = 10;   ///< 0.1 token per success
+    uint32_t cost_per_retry = 100;    ///< 1 token per retry
   };
 
   StoreClient(Network& network, Discovery& discovery, DeviceId self,
@@ -100,14 +143,31 @@ class StoreClient {
   /// `deadline_us` caps the whole call — attempts, backoff gaps and wire
   /// time — in virtual microseconds; past it the call fails with
   /// kDeadlineExceeded instead of stacking worst-case retries. 0 = none.
+  /// `priority` is the request's shedding class; it rides the envelope
+  /// only while set_annotate_priority(true) (off by default — the extra
+  /// attribute changes wire sizes and therefore transfer clocks).
   Status Store(DeviceId device, SwapKey key, const std::string& text,
-               uint64_t deadline_us = 0);
+               uint64_t deadline_us = 0,
+               Priority priority = Priority::kDemandSwapIn);
   Result<std::string> Fetch(DeviceId device, SwapKey key,
-                            uint64_t deadline_us = 0);
-  Status Drop(DeviceId device, SwapKey key, uint64_t deadline_us = 0);
+                            uint64_t deadline_us = 0,
+                            Priority priority = Priority::kDemandSwapIn);
+  Status Drop(DeviceId device, SwapKey key, uint64_t deadline_us = 0,
+              Priority priority = Priority::kDemandSwapIn);
 
   const Stats& stats() const { return stats_; }
   DeviceId self() const { return self_; }
+
+  /// Stamp each request envelope with its priority class (`pri`
+  /// attribute) so priority-shedding stores can classify it. Off by
+  /// default: the attribute changes envelope bytes, hence transfer times.
+  void set_annotate_priority(bool enabled) { annotate_priority_ = enabled; }
+  bool annotate_priority() const { return annotate_priority_; }
+
+  void set_retry_budget(const RetryBudgetOptions& options) {
+    budget_options_ = options;
+  }
+  const RetryBudgetOptions& retry_budget() const { return budget_options_; }
 
   /// First retry waits this long (virtual time), doubling per attempt.
   /// Zero disables backoff (the original back-to-back behavior).
@@ -132,7 +192,11 @@ class StoreClient {
  private:
   Result<std::string> Call(DeviceId device, SwapKey key, const char* op,
                            const std::string& request_xml,
-                           uint64_t deadline_us);
+                           uint64_t deadline_us, Priority priority);
+
+  /// True if the bucket for `device` covers one retry (and charges it).
+  bool SpendRetryToken(DeviceId device);
+  void EarnRetryToken(DeviceId device);
 
   Network& network_;
   Discovery& discovery_;
@@ -146,6 +210,10 @@ class StoreClient {
   Stats stats_;
   telemetry::Telemetry* telemetry_ = nullptr;
   HealthTracker* health_ = nullptr;
+  bool annotate_priority_ = false;
+  RetryBudgetOptions budget_options_;
+  /// Per-store bucket levels, in centitokens (integer — determinism).
+  std::unordered_map<DeviceId, uint32_t> budget_tokens_;
 };
 
 }  // namespace obiswap::net

@@ -91,6 +91,21 @@ void HealthTracker::RecordOutcome(DeviceId device, bool ok,
   }
 }
 
+void HealthTracker::RecordPushback(DeviceId device) {
+  ++stats_.pushbacks_recorded;
+  auto it = stores_.find(device);
+  if (it == stores_.end()) return;
+  StoreHealth& health = it->second;
+  // No failure streak, no EWMA sample, no latency: shed traffic must never
+  // push a breaker toward open. But a pushback IS a transport success — the
+  // store answered — so a half-open probe that got shed proves the store is
+  // back and closes the breaker rather than leaving the probe dangling.
+  if (health.state == BreakerState::kHalfOpen)
+    Transition(device, health, BreakerState::kClosed);
+  else
+    health.probe_in_flight = false;
+}
+
 bool HealthTracker::AllowRequest(DeviceId device) {
   if (!options_.breakers_enabled) return true;
   auto it = stores_.find(device);

@@ -80,6 +80,7 @@ class HealthTracker {
     uint64_t probes = 0;   ///< half-open probes granted
     uint64_t closes = 0;   ///< transitions back to closed
     uint64_t rejections = 0;  ///< AllowRequest refusals
+    uint64_t pushbacks_recorded = 0;  ///< shed responses observed (neutral)
   };
 
   explicit HealthTracker(const SimClock* clock)
@@ -90,6 +91,13 @@ class HealthTracker {
   /// (both envelope transfers landed — a parsed remote error still counts
   /// as a healthy store), `latency_us` the attempt's virtual duration.
   void RecordOutcome(DeviceId device, bool ok, uint64_t latency_us);
+
+  /// An admission-control pushback arrived from `device`. Strictly neutral
+  /// for breaker math: no failure streak, no EWMA sample, no latency — an
+  /// overloaded store is healthy, it just asked us to come back later.
+  /// Opening breakers on shed traffic would convert a load spike into a
+  /// (false) availability incident. Counted for observability only.
+  void RecordPushback(DeviceId device);
 
   /// Breaker gate, consulted before radio traffic. Closed (or unknown)
   /// stores are granted; an open store is refused until its cooldown

@@ -1,0 +1,39 @@
+// Request priority classes for the store RPC path.
+//
+// Every store call carries one of five classes; when a store's service
+// queue saturates it sheds the lowest class first, so a recovery storm of
+// maintenance traffic can never starve the demand faults an application is
+// actually blocked on. Lower numeric value = more important.
+#pragma once
+
+#include <cstdint>
+
+namespace obiswap::net {
+
+enum class Priority : uint8_t {
+  kDemandSwapIn = 0,  ///< application blocked on a fault-in
+  kSwapOut = 1,       ///< device must free heap now
+  kHedgedFetch = 2,   ///< speculative second fetch racing a slow primary
+  kPrefetch = 3,      ///< predictive staging, purely opportunistic
+  kMaintenance = 4,   ///< durability repair, tier write-back, GC drops
+};
+
+inline constexpr int kPriorityClasses = 5;
+
+inline const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kDemandSwapIn:
+      return "demand";
+    case Priority::kSwapOut:
+      return "swap_out";
+    case Priority::kHedgedFetch:
+      return "hedge";
+    case Priority::kPrefetch:
+      return "prefetch";
+    case Priority::kMaintenance:
+      return "maintenance";
+  }
+  return "demand";
+}
+
+}  // namespace obiswap::net

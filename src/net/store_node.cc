@@ -96,4 +96,62 @@ std::vector<SwapKey> StoreNode::Keys() const {
   return keys;
 }
 
+StoreNode::AdmitResult StoreNode::Admit(uint64_t now_us, Priority priority) {
+  AdmitResult result;
+  if (!queue_.enabled) {
+    result.admitted = true;
+    return result;
+  }
+  const uint64_t service = queue_.service_time_us > 0 ? queue_.service_time_us
+                                                      : 1;
+  const uint64_t servers = queue_.concurrency > 0 ? queue_.concurrency : 1;
+  // Drain the backlog for the virtual time that passed since the last
+  // arrival: `servers` server-microseconds retire per clock microsecond.
+  if (now_us > backlog_as_of_us_) {
+    uint64_t drained = (now_us - backlog_as_of_us_) * servers;
+    backlog_us_ = backlog_us_ > drained ? backlog_us_ - drained : 0;
+  }
+  backlog_as_of_us_ = now_us;
+
+  const size_t depth =
+      static_cast<size_t>((backlog_us_ + service - 1) / service);
+  result.depth = depth;
+  if (depth > stats_.max_queue_depth) stats_.max_queue_depth = depth;
+
+  // Per-class admission bound: with shedding on, class p keeps only
+  // (4-p)/4 of the waiting slots past the service slots, so the lowest
+  // class is refused first as the backlog builds.
+  const int pri = static_cast<int>(priority);
+  size_t limit = servers + queue_.queue_limit;
+  if (queue_.priority_shedding) {
+    limit = servers + (queue_.queue_limit *
+                       static_cast<size_t>(kPriorityClasses - 1 - pri)) /
+                          static_cast<size_t>(kPriorityClasses - 1);
+  }
+  if (limit == 0) limit = 1;
+
+  if (depth >= limit) {
+    ++stats_.shed_total;
+    ++stats_.shed_by_class[pri];
+    // Time until the backlog has drained below this class's bound — the
+    // deterministic moment a retry would be admitted.
+    uint64_t admissible_backlog = (limit - 1) * service;
+    uint64_t excess = backlog_us_ > admissible_backlog
+                          ? backlog_us_ - admissible_backlog
+                          : 0;
+    result.retry_after_us = (excess + servers - 1) / servers;
+    if (result.retry_after_us == 0) result.retry_after_us = 1;
+    return result;
+  }
+
+  // Admitted: the response is due after the backlog ahead of us drains
+  // plus our own service time; charge that wait to the caller.
+  result.admitted = true;
+  result.queue_wait_us = backlog_us_ / servers + service;
+  backlog_us_ += service;
+  ++stats_.admitted;
+  stats_.queue_wait_us += result.queue_wait_us;
+  return result;
+}
+
 }  // namespace obiswap::net

@@ -20,6 +20,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "net/priority.h"
 
 namespace obiswap::net {
 
@@ -32,6 +33,42 @@ class StoreNode {
     uint64_t rejected_full = 0;
     uint64_t faulted_ops = 0;      ///< ops refused because the node crashed
     uint64_t corrupted_fetches = 0;  ///< fetches served with flipped bits
+    // --- admission control (all zero while the queue is disabled) ----------
+    uint64_t admitted = 0;           ///< requests that entered the queue
+    uint64_t queue_wait_us = 0;      ///< total queueing delay charged
+    uint64_t shed_total = 0;         ///< requests rejected with pushback
+    uint64_t shed_by_class[kPriorityClasses] = {0, 0, 0, 0, 0};
+    uint64_t max_queue_depth = 0;    ///< deepest backlog seen at an arrival
+  };
+
+  /// Bounded virtual-time service model (disabled by default — parity).
+  ///
+  /// The node tracks a work backlog in virtual time: every admitted request
+  /// adds service_time_us of work, and the backlog drains at `concurrency`
+  /// server-microseconds per clock microsecond as the shared clock
+  /// advances. Waiting callers do not block the shared clock (that would
+  /// serialize the whole simulation and the queue could never fill);
+  /// instead the deterministic queueing delay is charged to the caller's
+  /// latency accounting via the response path. A request arriving with
+  /// `concurrency + queue_limit` requests already outstanding is rejected
+  /// with kResourceExhausted pushback carrying a retry-after hint.
+  struct QueueOptions {
+    bool enabled = false;
+    size_t concurrency = 2;       ///< simultaneous service slots
+    size_t queue_limit = 8;       ///< waiting slots beyond the service slots
+    uint64_t service_time_us = 1000;  ///< virtual service time per request
+    /// Shed lowest-priority-first: class p keeps only (4-p)/4 of the
+    /// waiting slots, so maintenance traffic is refused while demand
+    /// swap-ins still have the full queue. Off = one shared FIFO limit.
+    bool priority_shedding = false;
+  };
+
+  /// One admission decision, all in virtual time.
+  struct AdmitResult {
+    bool admitted = false;
+    uint64_t queue_wait_us = 0;   ///< delay until this request's response
+    uint64_t retry_after_us = 0;  ///< rejected: time until a slot frees
+    size_t depth = 0;             ///< requests outstanding at arrival
   };
 
   /// Deterministic fault plan (all knobs off by default).
@@ -81,6 +118,15 @@ class StoreNode {
   /// All stored keys (diagnostics / GC audits), unordered.
   std::vector<SwapKey> Keys() const;
 
+  // --- admission control ---------------------------------------------------
+  void ConfigureQueue(const QueueOptions& options) { queue_ = options; }
+  const QueueOptions& queue_options() const { return queue_; }
+
+  /// Admission decision for a request of class `priority` arriving at
+  /// virtual time `now_us`. Always admits while the queue is disabled.
+  /// `now_us` must be monotone across calls (it is the shared sim clock).
+  AdmitResult Admit(uint64_t now_us, Priority priority);
+
   // --- fault injection -----------------------------------------------------
   void InjectFaults(const FaultPlan& plan) { faults_ = plan; }
   const FaultPlan& fault_plan() const { return faults_; }
@@ -107,6 +153,11 @@ class StoreNode {
   Stats stats_;
   FaultPlan faults_;
   bool crashed_ = false;
+
+  QueueOptions queue_;
+  /// Outstanding work in server-microseconds, as of backlog_as_of_us_.
+  uint64_t backlog_us_ = 0;
+  uint64_t backlog_as_of_us_ = 0;
 };
 
 }  // namespace obiswap::net

@@ -289,6 +289,90 @@ Status RegisterFleetActions(PolicyEngine& engine,
   return OkStatus();
 }
 
+Status RegisterOverloadActions(PolicyEngine& engine, net::Discovery& discovery,
+                               net::StoreClient& client) {
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-store-queue",
+      [&discovery](const context::Event&,
+                   const ActionParams& params) -> Status {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t enabled,
+                                 RequiredIntParam(params, "enabled"));
+        net::StoreNode::QueueOptions queue;
+        queue.enabled = enabled != 0;
+        if (params.count("concurrency") > 0) {
+          OBISWAP_ASSIGN_OR_RETURN(int64_t concurrency,
+                                   RequiredIntParam(params, "concurrency"));
+          if (concurrency <= 0)
+            return InvalidArgumentError("concurrency must be positive");
+          queue.concurrency = static_cast<size_t>(concurrency);
+        }
+        if (params.count("queue_limit") > 0) {
+          OBISWAP_ASSIGN_OR_RETURN(int64_t limit,
+                                   RequiredIntParam(params, "queue_limit"));
+          if (limit < 0)
+            return InvalidArgumentError("queue_limit must be >= 0");
+          queue.queue_limit = static_cast<size_t>(limit);
+        }
+        if (params.count("service_time_us") > 0) {
+          OBISWAP_ASSIGN_OR_RETURN(
+              int64_t service, RequiredIntParam(params, "service_time_us"));
+          if (service <= 0)
+            return InvalidArgumentError("service_time_us must be positive");
+          queue.service_time_us = static_cast<uint64_t>(service);
+        }
+        for (DeviceId device : discovery.AnnouncedDevices()) {
+          net::StoreNode* node = discovery.NodeFor(device);
+          if (node == nullptr) continue;
+          // Shedding is a separate knob; the queue reconfigure keeps it.
+          net::StoreNode::QueueOptions applied = queue;
+          applied.priority_shedding = node->queue_options().priority_shedding;
+          node->ConfigureQueue(applied);
+        }
+        return OkStatus();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-priority-shedding",
+      [&discovery, &client](const context::Event&,
+                            const ActionParams& params) -> Status {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t enabled,
+                                 RequiredIntParam(params, "enabled"));
+        for (DeviceId device : discovery.AnnouncedDevices()) {
+          net::StoreNode* node = discovery.NodeFor(device);
+          if (node == nullptr) continue;
+          net::StoreNode::QueueOptions queue = node->queue_options();
+          queue.priority_shedding = enabled != 0;
+          node->ConfigureQueue(queue);
+        }
+        // Stores can only classify stamped requests, so the shedding knob
+        // drives the client-side annotation too.
+        client.set_annotate_priority(enabled != 0);
+        return OkStatus();
+      }));
+  OBISWAP_RETURN_IF_ERROR(engine.RegisterAction(
+      "set-retry-budget",
+      [&client](const context::Event&, const ActionParams& params) -> Status {
+        OBISWAP_ASSIGN_OR_RETURN(int64_t enabled,
+                                 RequiredIntParam(params, "enabled"));
+        net::StoreClient::RetryBudgetOptions budget = client.retry_budget();
+        budget.enabled = enabled != 0;
+        if (params.count("earn") > 0) {
+          OBISWAP_ASSIGN_OR_RETURN(int64_t earn,
+                                   RequiredIntParam(params, "earn"));
+          if (earn < 0) return InvalidArgumentError("earn must be >= 0");
+          budget.earn_per_success = static_cast<uint32_t>(earn);
+        }
+        if (params.count("cost") > 0) {
+          OBISWAP_ASSIGN_OR_RETURN(int64_t cost,
+                                   RequiredIntParam(params, "cost"));
+          if (cost <= 0) return InvalidArgumentError("cost must be positive");
+          budget.cost_per_retry = static_cast<uint32_t>(cost);
+        }
+        client.set_retry_budget(budget);
+        return OkStatus();
+      }));
+  return OkStatus();
+}
+
 Status RegisterReplicationActions(PolicyEngine& engine,
                                   replication::ReplicationServer& server) {
   return engine.RegisterAction(

@@ -75,4 +75,18 @@ Status RegisterFleetActions(PolicyEngine& engine,
                             swap::SwappingManager& manager,
                             fleet::PlacementDirectory& directory);
 
+/// Registers the overload-resilience knobs (all default-off):
+///   set-store-queue (params "enabled" 0/1, optional "concurrency",
+///       "queue_limit", "service_time_us") — configures the bounded
+///       admission queue on every announced store node (each node keeps
+///       its current priority_shedding flag).
+///   set-priority-shedding (param "enabled" 0/1) — turns lowest-class-first
+///       shedding on at every announced store AND priority annotation on at
+///       the client (stores can only classify stamped requests).
+///   set-retry-budget (param "enabled" 0/1, optional "earn", "cost" in
+///       centitokens) — the client's per-store retry token bucket.
+/// Discovery and client must outlive the engine.
+Status RegisterOverloadActions(PolicyEngine& engine, net::Discovery& discovery,
+                               net::StoreClient& client);
+
 }  // namespace obiswap::policy

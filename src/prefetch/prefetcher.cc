@@ -33,7 +33,8 @@ Prefetcher::Prefetcher(runtime::Runtime& rt, swap::SwappingManager& manager,
       recorder_(FaultHistoryRecorder::Options{options.half_life_us,
                                               options.max_successors}),
       predictor_(recorder_, Predictor::Options{options.confidence_threshold,
-                                               options.max_predictions}) {
+                                               options.max_predictions}),
+      drain_pacer_(options.drain_pacer) {
   recorder_.Attach(&bus_);
   swapped_in_token_ = bus_.Subscribe(
       context::kEventClusterSwappedIn,
@@ -118,9 +119,16 @@ void Prefetcher::Drain() {
   in_drain_ = true;
   telemetry::ScopedSpan span(&manager_.telemetry(), "prefetch_drain",
                              "prefetch");
+  drain_pacer_.BeginWindow();
   while (!queue_.empty()) {
     if (manager_.PrefetchOutstanding() >= options_.budget) {
       ++stats_.budget_deferred;
+      break;
+    }
+    // AIMD gate: speculative traffic is the first thing to yield when the
+    // stores shed load; deferred entries stay queued for the next drain.
+    if (drain_pacer_.enabled() && !drain_pacer_.Admit()) {
+      ++stats_.paced_deferred;
       break;
     }
     double headroom = rt_.heap().free_fraction();
@@ -135,8 +143,19 @@ void Prefetcher::Drain() {
 
     bool full_swap_in = options_.mode == PrefetchMode::kFull &&
                         headroom >= options_.swap_in_headroom;
+    // Feedback via pushback-counter deltas (statuses fold shed fetches
+    // into generic failures).
+    const net::StoreClient::Stats* client = manager_.StoreClientStats();
+    const uint64_t pushbacks_before =
+        client != nullptr ? client->pushbacks : 0;
     Status status = full_swap_in ? manager_.SwapIn(id, /*prefetch=*/true)
                                  : manager_.PrefetchStage(id);
+    if (drain_pacer_.enabled()) {
+      if (client != nullptr && client->pushbacks > pushbacks_before)
+        drain_pacer_.OnPushback();
+      else if (status.ok())
+        drain_pacer_.OnSuccess();
+    }
     if (status.ok()) {
       if (full_swap_in) {
         ++stats_.speculative_swap_ins;

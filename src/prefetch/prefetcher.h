@@ -70,6 +70,11 @@ class Prefetcher {
     /// Recorder dials (see FaultHistoryRecorder::Options).
     uint64_t half_life_us = 30'000'000;
     size_t max_successors = 8;
+    /// AIMD pacing of the drain: each drain is one window, speculative ops
+    /// past the cap wait in the queue, and store pushback halves the cap —
+    /// prefetch yields to demand traffic the moment stores saturate.
+    /// Disabled by default.
+    AimdPacer::Options drain_pacer;
   };
 
   struct Stats {
@@ -82,6 +87,7 @@ class Prefetcher {
     uint64_t staged = 0;              ///< payloads staged into the cache
     uint64_t speculative_swap_ins = 0;
     uint64_t errors = 0;              ///< speculative ops that failed
+    uint64_t paced_deferred = 0;      ///< drain stops: AIMD cap reached
   };
 
   /// Subscribes to the bus and installs the manager's crossing observer.
@@ -133,6 +139,8 @@ class Prefetcher {
   std::unordered_set<SwapClusterId> queued_;
   bool in_drain_ = false;  ///< speculative work must not recurse into Drain
   Stats stats_;
+  /// AIMD cap on speculative ops per drain (options_.drain_pacer).
+  AimdPacer drain_pacer_;
 };
 
 }  // namespace obiswap::prefetch

@@ -17,7 +17,8 @@ DurabilityMonitor::DurabilityMonitor(SwappingManager& manager,
       self_(self),
       bus_(bus),
       props_(props),
-      options_(options) {}
+      options_(options),
+      repair_pacer_(options.repair_pacer) {}
 
 DurabilityMonitor::~DurabilityMonitor() {
   for (uint64_t token : bus_tokens_) bus_.Unsubscribe(token);
@@ -420,6 +421,11 @@ void DurabilityMonitor::ReReplicationSweep() {
   // (departures, withdrawals) or queues a dirty-cluster event drained at
   // the top of the poll.
   const bool fleet = FleetActive();
+  // Each sweep is one AIMD window for both background producers that run
+  // under it: the repair pacer bounds how many clusters this poll repairs,
+  // the manager's write-back pacer how many tier payloads ship to K.
+  repair_pacer_.BeginWindow();
+  manager_.write_back_pacer().BeginWindow();
   std::vector<SwapClusterId> candidates;
   if (fleet)
     candidates.assign(under_replicated_.begin(), under_replicated_.end());
@@ -437,8 +443,26 @@ void DurabilityMonitor::ReReplicationSweep() {
       if (fleet) RefreshCluster(id);  // stale set entry: reconcile it
       continue;
     }
+    // Past this poll's repair cap: the cluster stays in the sweep set and
+    // is retried next poll, with the cap re-opened by any successes.
+    if (repair_pacer_.enabled() && !repair_pacer_.Admit()) {
+      ++stats_.repairs_paced;
+      continue;
+    }
     uint64_t bytes_before = manager_.stats().bytes_re_replicated;
+    // Feedback reads pushback-counter deltas — ReReplicate folds shed
+    // placements into its fallback walk, so statuses alone cannot tell a
+    // saturated store from a departed one.
+    const net::StoreClient::Stats* client = manager_.StoreClientStats();
+    const uint64_t pushbacks_before =
+        client != nullptr ? client->pushbacks : 0;
     Result<size_t> added = manager_.ReReplicate(id);
+    if (repair_pacer_.enabled()) {
+      if (client != nullptr && client->pushbacks > pushbacks_before)
+        repair_pacer_.OnPushback();
+      else if (added.ok() && *added > 0)
+        repair_pacer_.OnSuccess();
+    }
     if (fleet) RefreshCluster(id);
     if (!added.ok() || *added == 0) continue;  // retried next poll
     ++stats_.clusters_re_replicated;

@@ -65,6 +65,11 @@ class DurabilityMonitor {
     /// Consecutive polls a store may stay announced-but-unreachable before
     /// it is presumed departed (radio silence = departure, eventually).
     int miss_threshold = 3;
+    /// AIMD pacing of the re-replication sweep: each poll is one window,
+    /// repairs past the cap wait for the next poll, and store pushback
+    /// halves the cap — a recovery storm stops flooding the surviving
+    /// stores with K×clusters repair traffic at once. Disabled by default.
+    AimdPacer::Options repair_pacer;
   };
 
   struct Stats {
@@ -77,6 +82,7 @@ class DurabilityMonitor {
     uint64_t drops_drained = 0;
     uint64_t clean_images_reaped = 0;  ///< dead retained images released
     uint64_t sweeps_deferred = 0;  ///< re-replication skipped in brownout
+    uint64_t repairs_paced = 0;    ///< sweep repairs deferred by the AIMD cap
     // --- scan-cost visibility (both modes) ----------------------------------
     uint64_t scan_replicas = 0;      ///< replica records actually examined
     uint64_t full_scan_replicas = 0;  ///< records a full scan would examine
@@ -159,6 +165,8 @@ class DurabilityMonitor {
   std::unordered_map<DeviceId, int> misses_;
   net::HealthTracker* health_ = nullptr;
   Stats stats_;
+  /// AIMD cap on sweep repairs per poll (options_.repair_pacer).
+  AimdPacer repair_pacer_;
 
   // --- incremental-mode state ----------------------------------------------
   bool incremental_ = false;

@@ -47,6 +47,7 @@ SwappingManager::SwappingManager(runtime::Runtime& rt, Options options)
       own_telemetry_(std::make_unique<telemetry::Telemetry>()),
       telemetry_(own_telemetry_.get()),
       cache_(options_.swap_in_cache_bytes),
+      write_back_pacer_(options_.write_back_pacer),
       alive_(std::make_shared<SwappingManager*>(this)) {
   OBISWAP_CHECK(options_.clusters_per_swap_cluster > 0);
   OBISWAP_CHECK(compress::FindCodec(options_.codec) != nullptr);
@@ -790,7 +791,7 @@ Status SwappingManager::StoreAt(DeviceId device, SwapKey key,
                                 uint64_t deadline_us) {
   if (IsLocalDevice(device)) return local_->Store(key, payload);
   OBISWAP_CHECK(store_ != nullptr);
-  return store_->Store(device, key, payload, deadline_us);
+  return store_->Store(device, key, payload, deadline_us, call_priority_);
 }
 
 Result<std::string> SwappingManager::FetchFrom(DeviceId device, SwapKey key,
@@ -798,14 +799,14 @@ Result<std::string> SwappingManager::FetchFrom(DeviceId device, SwapKey key,
   if (IsLocalDevice(device)) return local_->Fetch(key);
   if (store_ == nullptr)
     return FailedPreconditionError("no store client attached");
-  return store_->Fetch(device, key, deadline_us);
+  return store_->Fetch(device, key, deadline_us, call_priority_);
 }
 
 Status SwappingManager::DropAt(DeviceId device, SwapKey key) {
   if (IsLocalDevice(device)) return local_->Drop(key);
   if (store_ == nullptr)
     return FailedPreconditionError("no store client attached");
-  return store_->Drop(device, key);
+  return store_->Drop(device, key, /*deadline_us=*/0, call_priority_);
 }
 
 // ---------------------------------------------------------------------------
@@ -1655,6 +1656,7 @@ Result<serialization::SerializedCluster> SwappingManager::SerializeForWire(
 
 Result<SwapKey> SwappingManager::SwapOut(SwapClusterId id) {
   if (crashed_) return CrashedError();
+  PriorityScope priority_scope(this, net::Priority::kSwapOut);
   telemetry::ScopedSpan op_span(telemetry_, "swap_out", "swap",
                                 telemetry::Hist(telemetry_, "swap_out_us"));
   const uint64_t op_begin_us = clock_ != nullptr ? clock_->now_us() : 0;
@@ -2426,6 +2428,9 @@ Result<std::string> SwappingManager::ResolveDeltaBase(
 
 Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
   if (crashed_) return CrashedError();
+  PriorityScope priority_scope(this, prefetch
+                                         ? net::Priority::kPrefetch
+                                         : net::Priority::kDemandSwapIn);
   const uint64_t begin_us = clock_ != nullptr ? clock_->now_us() : 0;
   // Demand faults and speculative loads get distinct categories and
   // histograms: the trace separates application stall from prefetch work.
@@ -2612,6 +2617,11 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
     telemetry::ScopedSpan attempt_span(
         telemetry_, attempt_name, span_category,
         telemetry::Hist(telemetry_, "swap_in_fetch_us"));
+    // A fired hedge is speculative work: it demotes from demand class so a
+    // saturated failover target sheds it before anyone's blocking fault.
+    std::optional<PriorityScope> hedge_priority;
+    if (hedge_fired && attempt == 1)
+      hedge_priority.emplace(this, net::Priority::kHedgedFetch);
     Status failure = OkStatus();
     Result<std::string> fetched{std::string()};
     if (Status fault = CheckFaultPoint("swap_in.fetch"); !fault.ok()) {
@@ -2956,6 +2966,7 @@ Status SwappingManager::SwapIn(SwapClusterId id, bool prefetch) {
 
 Status SwappingManager::PrefetchStage(SwapClusterId id) {
   if (crashed_) return CrashedError();
+  PriorityScope priority_scope(this, net::Priority::kPrefetch);
   telemetry::ScopedSpan op_span(
       telemetry_, "prefetch_stage", "prefetch",
       telemetry::Hist(telemetry_, "prefetch_stage_us"));
@@ -3251,6 +3262,8 @@ std::vector<net::StoreNode*> SwappingManager::DirectoryCandidates(
 
 void SwappingManager::ReleaseReplicas(
     const std::vector<ReplicaLocation>& replicas, bool count_as_drop) {
+  // Drops are reclamation, never on the stall path: lowest shedding class.
+  PriorityScope priority_scope(this, net::Priority::kMaintenance);
   for (const ReplicaLocation& replica : replicas) {
     Status dropped = CheckFaultPoint("drop.release_replica");
     if (crashed_) return;  // abandon mid-release; recovery reclaims the rest
@@ -3261,9 +3274,10 @@ void SwappingManager::ReleaseReplicas(
     }
     if (dropped.code() == StatusCode::kNotFound) continue;  // already gone
     ++stats_.drop_failures;
-    if (dropped.code() == StatusCode::kUnavailable) {
-      // Store out of range right now: park the obligation; the queue is
-      // drained on the next connectivity change.
+    if (dropped.code() == StatusCode::kUnavailable ||
+        net::IsPushback(dropped)) {
+      // Store out of range (or shedding maintenance load) right now: park
+      // the obligation; the queue drains on a later poll or reconnection.
       if (EnqueuePendingDrop(replica.device, replica.key))
         ++stats_.drops_deferred;
     } else {
@@ -3320,6 +3334,7 @@ size_t SwappingManager::ForgetReplica(SwapClusterId id, DeviceId device) {
 
 Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
   if (crashed_) return CrashedError();
+  PriorityScope priority_scope(this, net::Priority::kMaintenance);
   telemetry::ScopedSpan op_span(
       telemetry_, "re_replicate", "durability",
       telemetry::Hist(telemetry_, "re_replicate_us"));
@@ -3369,6 +3384,13 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
     bool tier_sourced = false;
     if (replicas->empty()) {
       if (tier_ != nullptr) {
+        // AIMD write-back pacing: past this poll's cap the write-back
+        // waits for a later sweep. Nothing is lost by deferring — the
+        // tier still pins the payload until the group reaches K.
+        if (write_back_pacer_.enabled() && !write_back_pacer_.Admit()) {
+          ++stats_.write_backs_paced;
+          break;
+        }
         OBISWAP_RETURN_IF_ERROR(CheckFaultPoint("tier.write_back"));
         Result<std::string> from_tier =
             tier_->PayloadForWriteBack(id, group.epoch, group.checksum);
@@ -3404,6 +3426,11 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
     }
     size_t added = 0;
     Status place_failure = OkStatus();
+    // Pacer feedback reads pushback-counter deltas, not statuses —
+    // PlaceReplica folds per-store failures into its fallback walk.
+    const net::StoreClient::Stats* client = StoreClientStats();
+    const uint64_t pushbacks_before = client != nullptr ? client->pushbacks
+                                                        : 0;
     while (replicas->size() < want) {
       Result<ReplicaLocation> fresh = PlaceReplica(
           id, payload, *replicas, DeviceId(), seq, "re_replicate.place");
@@ -3417,6 +3444,12 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
       ++added;
       ++stats_.re_replications;
       stats_.bytes_re_replicated += payload.size();
+    }
+    if (tier_sourced && write_back_pacer_.enabled()) {
+      if (client != nullptr && client->pushbacks > pushbacks_before)
+        write_back_pacer_.OnPushback();
+      else if (added > 0)
+        write_back_pacer_.OnSuccess();
     }
     if (added == 0 && !place_failure.ok()) {
       if (journal_ != nullptr) (void)journal_->Abort(seq);
@@ -3434,6 +3467,7 @@ Result<size_t> SwappingManager::ReReplicate(SwapClusterId id) {
 
 Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
   if (crashed_) return CrashedError();
+  PriorityScope priority_scope(this, net::Priority::kMaintenance);
   telemetry::ScopedSpan op_span(telemetry_, "evacuate_replicas",
                                 "durability");
   size_t moved = 0;
@@ -3514,6 +3548,8 @@ Result<size_t> SwappingManager::EvacuateReplicas(DeviceId leaving) {
 size_t SwappingManager::FlushPendingDrops() {
   if (crashed_) return 0;  // no store traffic while torn; Recover() first
   if (pending_drops_.empty()) return 0;
+  // Deferred drops are reclamation: lowest shedding class, first refused.
+  PriorityScope priority_scope(this, net::Priority::kMaintenance);
   size_t drained = 0;
   size_t write = 0;
   for (size_t read = 0; read < pending_drops_.size(); ++read) {
@@ -3524,8 +3560,11 @@ size_t SwappingManager::FlushPendingDrops() {
       ++stats_.drops_drained;
       continue;
     }
-    if (dropped.code() == StatusCode::kUnavailable) {
-      pending_drops_[write++] = pending;  // still out of range; keep waiting
+    if (dropped.code() == StatusCode::kUnavailable ||
+        net::IsPushback(dropped)) {
+      // Out of range or shed by a saturated store: the obligation stands,
+      // retry on a later poll.
+      pending_drops_[write++] = pending;
       continue;
     }
     OBISWAP_LOG(kWarn) << "deferred drop failed permanently: "
@@ -3661,6 +3700,24 @@ constexpr StatFieldSpec kStatFields[] = {
     {"tier_swap_ins", &SwappingManager::Stats::tier_swap_ins},
     {"fleet_selections", &SwappingManager::Stats::fleet_selections},
     {"fleet_placements", &SwappingManager::Stats::fleet_placements},
+    {"write_backs_paced", &SwappingManager::Stats::write_backs_paced},
+};
+
+/// Overload-control keys exported from the attached StoreClient's counters
+/// (zeros while no remote store is attached). Emitted unconditionally so
+/// JSON key sets stay uniform across configurations, like the tier keys.
+constexpr const char* kOverloadKeys[] = {
+    "net.pushbacks",
+    "net.pushback_retries",
+    "net.retry_budget_exhausted",
+    "net.retry_budget_earned",
+    "net.retry_budget_spent",
+    "net.shed_demand",
+    "net.shed_swap_out",
+    "net.shed_hedge",
+    "net.shed_prefetch",
+    "net.shed_maintenance",
+    "store_queue_depth",
 };
 }  // namespace
 
@@ -3708,9 +3765,32 @@ std::vector<std::pair<std::string, uint64_t>> SwappingManager::StatsSnapshot()
       metrics.GetCounter(std::string(key)).Set(0);
   }
 
+  // Overload-control keys, same uniform-key-set contract: the client-side
+  // view of admission control (pushbacks received, per-class sheds, retry
+  // budget flow, deepest store queue observed). All zero while the knobs
+  // are off or no remote store is attached.
+  {
+    const net::StoreClient::Stats* client = StoreClientStats();
+    static const net::StoreClient::Stats kZeroClientStats{};
+    const net::StoreClient::Stats& c =
+        client != nullptr ? *client : kZeroClientStats;
+    metrics.GetCounter("net.pushbacks").Set(c.pushbacks);
+    metrics.GetCounter("net.pushback_retries").Set(c.pushback_retries);
+    metrics.GetCounter("net.retry_budget_exhausted")
+        .Set(c.retry_budget_exhausted);
+    metrics.GetCounter("net.retry_budget_earned").Set(c.retry_budget_earned);
+    metrics.GetCounter("net.retry_budget_spent").Set(c.retry_budget_spent);
+    metrics.GetCounter("net.shed_demand").Set(c.pushbacks_by_class[0]);
+    metrics.GetCounter("net.shed_swap_out").Set(c.pushbacks_by_class[1]);
+    metrics.GetCounter("net.shed_hedge").Set(c.pushbacks_by_class[2]);
+    metrics.GetCounter("net.shed_prefetch").Set(c.pushbacks_by_class[3]);
+    metrics.GetCounter("net.shed_maintenance").Set(c.pushbacks_by_class[4]);
+    metrics.GetCounter("store_queue_depth").Set(c.max_store_queue_depth);
+  }
+
   std::vector<std::pair<std::string, uint64_t>> snapshot;
   snapshot.reserve(std::size(kStatFields) + std::size(kCacheKeys) +
-                   tier_keys.size());
+                   tier_keys.size() + std::size(kOverloadKeys));
   for (const StatFieldSpec& spec : kStatFields)
     snapshot.emplace_back(spec.name, metrics.GetCounter(spec.name).value());
   for (const char* key : kCacheKeys)
@@ -3719,6 +3799,8 @@ std::vector<std::pair<std::string, uint64_t>> SwappingManager::StatsSnapshot()
     std::string name(key);
     snapshot.emplace_back(name, metrics.GetCounter(name).value());
   }
+  for (const char* key : kOverloadKeys)
+    snapshot.emplace_back(key, metrics.GetCounter(key).value());
   return snapshot;
 }
 

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/aimd.h"
 #include "common/ids.h"
 #include "common/status.h"
 #include "context/events.h"
@@ -121,6 +122,11 @@ class SwappingManager final : public runtime::Interceptor,
     /// obligation is evicted (counted as pending_drop_overflow) — a store
     /// that never returns must not grow the queue forever.
     size_t max_pending_drops = 1024;
+    /// AIMD pacing of tier write-backs (ReReplicate's tier-sourced branch):
+    /// each durability poll is one window; write-backs past the cap wait
+    /// for the next poll, and store pushback halves the cap. Disabled by
+    /// default — byte-parity.
+    AimdPacer::Options write_back_pacer;
   };
 
   struct Stats {
@@ -193,6 +199,8 @@ class SwappingManager final : public runtime::Interceptor,
     // --- fleet placement directory --------------------------------------------
     uint64_t fleet_selections = 0;  ///< placement walks served by the directory
     uint64_t fleet_placements = 0;  ///< replicas placed on directory targets
+    // --- overload controls ----------------------------------------------------
+    uint64_t write_backs_paced = 0;  ///< tier write-backs deferred by AIMD cap
   };
 
   /// What Recover() found and did — the restart post-mortem.
@@ -533,6 +541,16 @@ class SwappingManager final : public runtime::Interceptor,
   /// StatsSnapshot rendered as a flat JSON object.
   std::string StatsJson() const;
   const Options& options() const { return options_; }
+  /// The attached StoreClient's counters (retry budgets, pushbacks, wire
+  /// attempts); nullptr while no remote store is attached. Pacers and
+  /// benches read pushback deltas from here — remote op statuses fold
+  /// pushback into fallback logic, the counters do not lie.
+  const net::StoreClient::Stats* StoreClientStats() const {
+    return store_ == nullptr ? nullptr : &store_->stats();
+  }
+  /// The tier write-back pacer (see Options::write_back_pacer). The
+  /// durability monitor begins its window each poll.
+  AimdPacer& write_back_pacer() { return write_back_pacer_; }
   SwapState StateOf(SwapClusterId id) const;
   /// Live proxies currently targeting cluster `id` (prunes dead entries).
   size_t InboundProxyCount(SwapClusterId id);
@@ -596,12 +614,32 @@ class SwappingManager final : public runtime::Interceptor,
 
   /// Store plumbing shared by swap-out, swap-in and the drop path.
   /// `deadline_us` caps the RPC's virtual time (0 = none; the local flash
-  /// ignores it — flash writes are not subject to link weather).
+  /// ignores it — flash writes are not subject to link weather). Every
+  /// remote op ships the manager's current priority class (call_priority_,
+  /// scoped per operation) so saturated stores shed the right traffic.
   Status StoreAt(DeviceId device, SwapKey key, const std::string& payload,
                  uint64_t deadline_us = 0);
   Result<std::string> FetchFrom(DeviceId device, SwapKey key,
                                 uint64_t deadline_us = 0);
   Status DropAt(DeviceId device, SwapKey key);
+
+  /// RAII priority scope: the manager's operations nest (a swap-in can
+  /// trigger an eviction swap-out, a sweep calls ReReplicate), so the
+  /// class rides a member, set on operation entry and restored on exit.
+  class PriorityScope {
+   public:
+    PriorityScope(SwappingManager* manager, net::Priority priority)
+        : manager_(manager), saved_(manager->call_priority_) {
+      manager_->call_priority_ = priority;
+    }
+    ~PriorityScope() { manager_->call_priority_ = saved_; }
+    PriorityScope(const PriorityScope&) = delete;
+    PriorityScope& operator=(const PriorityScope&) = delete;
+
+   private:
+    SwappingManager* manager_;
+    net::Priority saved_;
+  };
   bool IsLocalDevice(DeviceId device) const {
     return local_ != nullptr && local_->device() == device;
   }
@@ -764,6 +802,12 @@ class SwappingManager final : public runtime::Interceptor,
   VictimFilter victim_filter_;
   PayloadCache cache_;
   Stats stats_;
+
+  /// Shedding class stamped on the next remote op (see PriorityScope).
+  /// Demand by default: unscoped calls get the most protected class.
+  net::Priority call_priority_ = net::Priority::kDemandSwapIn;
+  /// AIMD cap on tier write-backs per durability poll (options_.write_back_pacer).
+  AimdPacer write_back_pacer_;
 
   /// Prefetch bookkeeping: clusters whose payload was staged into the
   /// cache speculatively, and clusters speculatively swapped in but not
